@@ -1,0 +1,305 @@
+//! The probabilistic coalition study of §VII-E (Fig. 10): what fraction
+//! of exchanges does a global, active attacker controlling a fraction of
+//! the membership discover?
+//!
+//! The PAG attack is mechanistic, matching §VI-A/§VII-E: for an exchange
+//! `A → B` in round `R`, the attacker learns the content if and only if
+//!
+//! * `A` or `B` is corrupt (the theoretical minimum — endpoints always
+//!   know their own exchanges), or
+//! * the **designated monitor** of `B` for round `R` is corrupt (it holds
+//!   the cofactor products `Π_{k≠j} p_k`) *and* all of `B`'s predecessors
+//!   except at most two collude (their primes divide every cofactor down
+//!   to `p_A` alone) — the paper: "it is possible to discover the details
+//!   of the interactions of a node if all its predecessors except at most
+//!   two and at least one of the monitors of this node collude".
+//!
+//! More monitors help because the designated monitor rotates over a
+//! larger set, diluting the chance that the round's holder of the
+//! cofactors is corrupt — which is why the paper's "PAG - 5 monitors"
+//! curve sits below "PAG - 3 monitors".
+//!
+//! AcTinG's exposure is log-based: an interaction sits forever in both
+//! endpoints' secure logs, and every (rotating) auditor that ever reads
+//! them learns it; over a session this reaches 100 % quickly ("all
+//! interactions are discovered when an attacker controls 10 % of nodes in
+//! AcTinG").
+
+use std::collections::HashSet;
+
+use pag_membership::{Membership, NodeId, PrfStream};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of the coalition study.
+#[derive(Clone, Debug)]
+pub struct CoalitionParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Dissemination fanout (= predecessor count in expectation).
+    pub fanout: usize,
+    /// Monitors per node.
+    pub monitors: usize,
+    /// Rounds sampled per Monte-Carlo trial.
+    pub rounds: u64,
+    /// Monte-Carlo trials per attacker fraction.
+    pub trials: usize,
+    /// Monitor-rotation epochs an AcTinG session exposes logs to
+    /// (auditor sets rotate; each epoch adds fresh auditors).
+    pub acting_audit_epochs: usize,
+}
+
+impl Default for CoalitionParams {
+    fn default() -> Self {
+        CoalitionParams {
+            nodes: 1000,
+            fanout: 3,
+            monitors: 3,
+            rounds: 3,
+            trials: 20,
+            acting_audit_epochs: 10,
+        }
+    }
+}
+
+/// Result row: attacker fraction vs discovery probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoalitionPoint {
+    /// Fraction of the membership the attacker controls (0–1).
+    pub attacker_fraction: f64,
+    /// Fraction of exchanges discovered (0–1).
+    pub discovered_fraction: f64,
+}
+
+/// Theoretical minimum: at least one endpoint corrupt,
+/// `1 - (1 - q)^2`.
+pub fn theoretical_minimum(q: f64) -> f64 {
+    1.0 - (1.0 - q) * (1.0 - q)
+}
+
+/// Closed-form PAG discovery probability under uniform random corruption
+/// `q`, fanout `f` (= predecessors), `m` monitors.
+///
+/// `P = 1-(1-q)^2 + (1-q)^2 · q_D · P(≥ f-2 of the f-1 other
+/// predecessors corrupt)` where `q_D = q` is the chance the round's
+/// designated monitor is corrupt.
+pub fn pag_discovery_closed_form(q: f64, f: usize, _m: usize) -> f64 {
+    let endpoints = theoretical_minimum(q);
+    let others = f.saturating_sub(1); // predecessors besides A
+    let need = f.saturating_sub(2); // corrupt among them
+    let mut coalition = 0.0;
+    for k in need..=others {
+        coalition += binomial(others, k) * q.powi(k as i32) * (1.0 - q).powi((others - k) as i32);
+    }
+    endpoints + (1.0 - endpoints) * q * coalition
+}
+
+/// Closed-form AcTinG discovery probability: both endpoints' logs are
+/// read by `m` auditors per epoch over `epochs` epochs.
+pub fn acting_discovery_closed_form(q: f64, m: usize, epochs: usize) -> f64 {
+    let auditors = (2 * m * epochs + 2) as i32;
+    1.0 - (1.0 - q).powi(auditors)
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Monte-Carlo estimate of PAG's discovery fraction at attacker fraction
+/// `q`, using real membership topologies and the real designated-monitor
+/// rotation.
+pub fn pag_discovery_monte_carlo<R: Rng + ?Sized>(
+    params: &CoalitionParams,
+    q: f64,
+    rng: &mut R,
+) -> f64 {
+    let mut discovered = 0u64;
+    let mut total = 0u64;
+    for trial in 0..params.trials {
+        let membership = Membership::with_uniform_nodes(
+            0xC0A1 ^ trial as u64,
+            params.nodes,
+            params.fanout,
+            params.monitors,
+        );
+        let corrupt = sample_corrupt(&membership, q, rng);
+        for round in 0..params.rounds {
+            let topo = membership.topology(round);
+            for &b in membership.nodes() {
+                let preds = topo.predecessors(b);
+                if preds.is_empty() {
+                    continue;
+                }
+                // Designated monitor for b this round (same rule as
+                // pag-core's monitor engine).
+                let monitors = membership.monitors_of(b, round);
+                let mut stream = PrfStream::new(
+                    membership.session_id(),
+                    round,
+                    b.value() as u64,
+                    0xD1,
+                );
+                let designated = monitors[stream.next_below(monitors.len() as u64) as usize];
+                let d_corrupt = corrupt.contains(&designated);
+                for &a in preds {
+                    total += 1;
+                    if corrupt.contains(&a) || corrupt.contains(&b) {
+                        discovered += 1;
+                        continue;
+                    }
+                    if d_corrupt {
+                        let honest_others = preds
+                            .iter()
+                            .filter(|&&p| p != a && !corrupt.contains(&p))
+                            .count();
+                        if honest_others <= 1 {
+                            discovered += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        discovered as f64 / total as f64
+    }
+}
+
+fn sample_corrupt<R: Rng + ?Sized>(
+    membership: &Membership,
+    q: f64,
+    rng: &mut R,
+) -> HashSet<NodeId> {
+    let mut ids: Vec<NodeId> = membership.nodes().to_vec();
+    ids.shuffle(rng);
+    let count = ((membership.len() as f64) * q).round() as usize;
+    ids.into_iter().take(count).collect()
+}
+
+/// Produces the full Fig. 10 series for attacker fractions `0..=1` in
+/// steps of `step`, Monte-Carlo for PAG and closed form for AcTinG and
+/// the minimum.
+pub fn figure10_series<R: Rng + ?Sized>(
+    params: &CoalitionParams,
+    step: f64,
+    rng: &mut R,
+) -> Vec<(f64, f64, f64, f64)> {
+    // (q, acting, pag, minimum)
+    let mut out = Vec::new();
+    let mut q = 0.0;
+    while q <= 1.0 + 1e-9 {
+        let acting = acting_discovery_closed_form(q, params.monitors, params.acting_audit_epochs);
+        let pag = pag_discovery_monte_carlo(params, q, rng);
+        out.push((q, acting, pag, theoretical_minimum(q)));
+        q += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> CoalitionParams {
+        CoalitionParams {
+            nodes: 100,
+            trials: 5,
+            rounds: 2,
+            ..CoalitionParams::default()
+        }
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(theoretical_minimum(0.0), 0.0);
+        assert!((theoretical_minimum(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(pag_discovery_closed_form(0.0, 3, 3), 0.0);
+        assert!((pag_discovery_closed_form(1.0, 3, 3) - 1.0).abs() < 1e-9);
+        assert_eq!(acting_discovery_closed_form(0.0, 3, 10), 0.0);
+    }
+
+    #[test]
+    fn pag_close_to_theoretical_minimum() {
+        // The paper: "the privacy guarantees of PAG [are] close to ideal".
+        for q in [0.05, 0.1, 0.2] {
+            let pag = pag_discovery_closed_form(q, 3, 3);
+            let min = theoretical_minimum(q);
+            assert!(pag >= min);
+            assert!(pag - min < 0.12, "q={q}: pag={pag} min={min}");
+        }
+    }
+
+    #[test]
+    fn acting_reaches_full_disclosure_at_ten_percent() {
+        // "all interactions are discovered when an attacker controls 10%
+        // of nodes in AcTinG".
+        let p = acting_discovery_closed_form(0.10, 3, 10);
+        assert!(p > 0.99, "p = {p}");
+    }
+
+    #[test]
+    fn acting_leaks_more_than_pag_everywhere() {
+        for q in [0.02, 0.05, 0.1, 0.3, 0.6] {
+            let acting = acting_discovery_closed_form(q, 3, 10);
+            let pag = pag_discovery_closed_form(q, 3, 3);
+            assert!(acting > pag, "q={q}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = CoalitionParams {
+            nodes: 200,
+            trials: 10,
+            rounds: 2,
+            ..CoalitionParams::default()
+        };
+        for q in [0.1, 0.3] {
+            let mc = pag_discovery_monte_carlo(&params, q, &mut rng);
+            let cf = pag_discovery_closed_form(q, 3, 3);
+            assert!((mc - cf).abs() < 0.05, "q={q}: mc={mc} cf={cf}");
+        }
+    }
+
+    #[test]
+    fn five_monitors_beat_three() {
+        // With more monitors the designated role is diluted; the
+        // mechanistic Monte-Carlo must show 5 monitors <= 3 monitors.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p3 = small();
+        let p5 = CoalitionParams {
+            monitors: 5,
+            ..small()
+        };
+        let q = 0.3;
+        let d3 = pag_discovery_monte_carlo(&p3, q, &mut rng);
+        let d5 = pag_discovery_monte_carlo(&p5, q, &mut rng);
+        assert!(
+            d5 <= d3 + 0.02,
+            "5 monitors ({d5}) should not leak more than 3 ({d3})"
+        );
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let series = figure10_series(&small(), 0.25, &mut rng);
+        assert!(series.len() >= 4);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "acting monotone");
+            assert!(w[1].3 >= w[0].3 - 1e-9, "minimum monotone");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The Nash-equilibrium argument of §VI-B: no unilateral selfish
+//! deviation improves a node's utility, because every deviation is
+//! detected (deterministically, as the `pag-core` fault-injection suite
+//! shows) and detected nodes are evicted.
+//!
+//! Utility model (standard for gossip incentives, cf. BAR Gossip):
+//! `U = stream_value - bandwidth_cost` per round while in the system,
+//! and `U = 0` once evicted.
+
+/// One strategy's per-round economics.
+#[derive(Clone, Debug)]
+pub struct StrategyOutcome {
+    /// Strategy name (for reports).
+    pub name: &'static str,
+    /// Upload bandwidth spent, kbps.
+    pub upload_kbps: f64,
+    /// Probability the deviation is detected within a round.
+    pub detection_probability: f64,
+}
+
+/// Game parameters.
+#[derive(Clone, Debug)]
+pub struct GameParams {
+    /// Value of receiving the stream for one round, in the same currency
+    /// as bandwidth cost (kbps-equivalents).
+    pub stream_value: f64,
+    /// Cost per kbps of upload.
+    pub cost_per_kbps: f64,
+    /// Rounds the node intends to stay (horizon).
+    pub horizon: f64,
+    /// Honest upload bandwidth, kbps.
+    pub honest_upload_kbps: f64,
+}
+
+impl Default for GameParams {
+    fn default() -> Self {
+        GameParams {
+            // Watching the stream is worth more than the bandwidth it
+            // costs — otherwise nobody would join at all.
+            stream_value: 4000.0,
+            cost_per_kbps: 1.0,
+            horizon: 100.0,
+            honest_upload_kbps: 1050.0,
+        }
+    }
+}
+
+/// The deviations of §II-A with their bandwidth savings and (measured)
+/// detection probabilities. Detection in PAG is deterministic: the
+/// fault-injection tests in `pag-core` convict every one of these within
+/// two rounds, hence probability 1.
+pub fn pag_strategies(params: &GameParams) -> Vec<StrategyOutcome> {
+    let honest = params.honest_upload_kbps;
+    vec![
+        StrategyOutcome {
+            name: "honest",
+            upload_kbps: honest,
+            detection_probability: 0.0,
+        },
+        StrategyOutcome {
+            name: "drop-forward",
+            upload_kbps: honest * 0.25, // keeps receiving, stops serving
+            detection_probability: 1.0,
+        },
+        StrategyOutcome {
+            name: "partial-forward",
+            upload_kbps: honest * 0.6,
+            detection_probability: 1.0,
+        },
+        StrategyOutcome {
+            name: "no-ack",
+            upload_kbps: honest * 0.9,
+            detection_probability: 1.0,
+        },
+        StrategyOutcome {
+            name: "refuse-receive",
+            upload_kbps: honest * 0.5,
+            detection_probability: 1.0,
+        },
+        StrategyOutcome {
+            name: "silent-to-monitors",
+            upload_kbps: honest * 0.85,
+            detection_probability: 1.0,
+        },
+    ]
+}
+
+/// Expected total utility of a strategy over the horizon: the node plays
+/// until detected (geometric survival), then is evicted.
+pub fn expected_utility(params: &GameParams, s: &StrategyOutcome) -> f64 {
+    let per_round = params.stream_value - params.cost_per_kbps * s.upload_kbps;
+    if s.detection_probability <= 0.0 {
+        return per_round * params.horizon;
+    }
+    // Expected rounds survived: sum_{t=1..H} (1-p)^{t-1} truncated.
+    let p = s.detection_probability;
+    let q = 1.0 - p;
+    let expected_rounds = if q == 0.0 {
+        1.0
+    } else {
+        (1.0 - q.powf(params.horizon)) / p
+    };
+    per_round * expected_rounds
+}
+
+/// True if honest play is a best response: no deviation has higher
+/// expected utility (the Nash-equilibrium claim of §VI-B).
+pub fn honest_is_best_response(params: &GameParams) -> bool {
+    let strategies = pag_strategies(params);
+    let honest = expected_utility(params, &strategies[0]);
+    strategies[1..]
+        .iter()
+        .all(|s| expected_utility(params, s) <= honest)
+}
+
+/// The minimum horizon (in rounds) beyond which honesty dominates every
+/// deviation, given the parameters. Short-lived nodes with nothing to
+/// lose are the classical caveat of eviction-based incentives.
+pub fn min_horizon_for_honesty(params: &GameParams) -> f64 {
+    let mut lo = 1.0f64;
+    let mut hi = 10_000.0f64;
+    if honest_is_best_response(&GameParams { horizon: lo, ..params.clone() }) {
+        return lo;
+    }
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if honest_is_best_response(&GameParams {
+            horizon: mid,
+            ..params.clone()
+        }) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pag_is_a_nash_equilibrium_at_default_parameters() {
+        assert!(honest_is_best_response(&GameParams::default()));
+    }
+
+    #[test]
+    fn every_deviation_strictly_loses() {
+        let params = GameParams::default();
+        let strategies = pag_strategies(&params);
+        let honest = expected_utility(&params, &strategies[0]);
+        for s in &strategies[1..] {
+            let u = expected_utility(&params, s);
+            assert!(u < honest, "{}: {u} >= {honest}", s.name);
+        }
+    }
+
+    #[test]
+    fn without_detection_deviations_would_win() {
+        // Sanity: the equilibrium comes from detection, not from the
+        // cost model. Zero detection => freeriding dominates.
+        let params = GameParams::default();
+        let mut s = pag_strategies(&params);
+        for d in &mut s[1..] {
+            d.detection_probability = 0.0;
+        }
+        let honest = expected_utility(&params, &s[0]);
+        let freeride = expected_utility(&params, &s[1]);
+        assert!(freeride > honest);
+    }
+
+    #[test]
+    fn short_horizons_break_incentives() {
+        // One-shot visitors gain from deviating (they are evicted after
+        // the fact); the equilibrium needs repeated play.
+        let h = min_horizon_for_honesty(&GameParams::default());
+        assert!(h >= 1.0);
+        assert!(h < 10.0, "honesty should pay quickly: {h}");
+    }
+
+    #[test]
+    fn utility_monotone_in_detection() {
+        let params = GameParams::default();
+        let make = |p| StrategyOutcome {
+            name: "x",
+            upload_kbps: 100.0,
+            detection_probability: p,
+        };
+        let u_low = expected_utility(&params, &make(0.1));
+        let u_high = expected_utility(&params, &make(0.9));
+        assert!(u_low > u_high);
+    }
+}

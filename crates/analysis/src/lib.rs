@@ -1,0 +1,22 @@
+//! Analytical companions to the PAG reproduction.
+//!
+//! * [`coalition`] — the probabilistic privacy study of §VII-E (Fig. 10):
+//!   Monte-Carlo over real membership topologies plus closed forms for
+//!   PAG, AcTinG and the theoretical minimum.
+//! * [`game`] — the Nash-equilibrium argument of §VI-B: every selfish
+//!   deviation is detected and therefore dominated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalition;
+pub mod game;
+
+pub use coalition::{
+    acting_discovery_closed_form, figure10_series, pag_discovery_closed_form,
+    pag_discovery_monte_carlo, theoretical_minimum, CoalitionParams,
+};
+pub use game::{
+    expected_utility, honest_is_best_response, min_horizon_for_honesty, pag_strategies,
+    GameParams, StrategyOutcome,
+};

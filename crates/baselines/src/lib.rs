@@ -1,0 +1,25 @@
+//! Baseline protocols for the PAG evaluation.
+//!
+//! The paper compares PAG against:
+//!
+//! * **AcTinG** (reference 12) — accountable gossip built on secure logs and
+//!   probabilistic audits. Cheaper than PAG (nodes may refuse duplicates
+//!   and buffermaps are plaintext) but private data leaks to auditors.
+//!   Simulated faithfully in shape by [`acting`].
+//! * **RAC** (reference 15) — accountable *anonymous* communication. Anonymity
+//!   requires uniform relay load, making its cost proportional to the
+//!   number of nodes; modelled analytically in [`cost`] (calibrated to
+//!   the paper's "63 kbps max payload on 10 Gbps links").
+//!
+//! [`cost`] also carries analytic PAG and AcTinG models used where the
+//! paper itself computes instead of simulating (Fig. 9 beyond 10^4
+//! nodes, Table II).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acting;
+pub mod cost;
+
+pub use acting::{run_acting, ActingConfig, ActingNode};
+pub use cost::CostModel;

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the cryptographic substrate (§VII-C).
+//!
+//! The key paper claim: "each core of the machines we used is able to
+//! perform 4800 hashes per second with a 512-bits modulus", so one core
+//! sustains 720p and "using a 256 bits modulus ... would significantly
+//! reduce the bandwidth overhead". The `homomorphic_hash_*` benches
+//! measure our equivalents; EXPERIMENTS.md compares.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pag_bignum::{gen_prime, BigUint};
+use pag_crypto::chacha20::ChaCha20;
+use pag_crypto::homomorphic::HomomorphicParams;
+use pag_crypto::sha256::sha256;
+use pag_crypto::signature::{sign, verify};
+use pag_crypto::RsaKeyPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_homomorphic(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let update = vec![0xabu8; 938];
+
+    for bits in [256usize, 512] {
+        let params = HomomorphicParams::generate(bits, &mut rng);
+        let prime = gen_prime(bits, &mut rng);
+        let residue = params.residue(&update);
+        c.bench_function(&format!("homomorphic_hash_{bits}bit"), |b| {
+            b.iter(|| black_box(params.hash_residue(black_box(&residue), &prime)))
+        });
+    }
+
+    // The monitor-side raise (message 8): hash^cofactor with a cofactor of
+    // two 512-bit primes.
+    let params = HomomorphicParams::generate(512, &mut rng);
+    let p1 = gen_prime(512, &mut rng);
+    let cof = &gen_prime(512, &mut rng) * &gen_prime(512, &mut rng);
+    let h = params.hash(&update, &p1);
+    c.bench_function("homomorphic_raise_cofactor_1024bit_exp", |b| {
+        b.iter(|| black_box(params.raise(black_box(&h), &cof)))
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = RsaKeyPair::generate(2048, &mut rng);
+    let msg = vec![0x5au8; 256];
+    let sig = sign(&kp, &msg);
+    c.bench_function("rsa2048_sign", |b| b.iter(|| black_box(sign(&kp, black_box(&msg)))));
+    c.bench_function("rsa2048_verify", |b| {
+        b.iter(|| black_box(verify(kp.public(), black_box(&msg), &sig)))
+    });
+}
+
+fn bench_prime_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prime_generation");
+    group.sample_size(10);
+    group.bench_function("gen_prime_512", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(gen_prime(512, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let data = vec![0x11u8; 16 * 1024];
+    c.bench_function("sha256_16k", |b| b.iter(|| black_box(sha256(black_box(&data)))));
+    let cipher = ChaCha20::new(&[7u8; 32], &[9u8; 12]);
+    c.bench_function("chacha20_16k", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            cipher.apply_keystream(0, &mut buf);
+            black_box(buf)
+        })
+    });
+}
+
+fn bench_modexp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let m = &gen_prime(1024, &mut rng) * &gen_prime(1024, &mut rng);
+    let base = pag_bignum::random_below(&mut rng, &m);
+    let exp = pag_bignum::random_bits(&mut rng, 2048);
+    c.bench_function("modexp_2048", |b| {
+        b.iter(|| black_box(base.mod_pow(black_box(&exp), &m)))
+    });
+    let _ = BigUint::one();
+}
+
+criterion_group!(
+    benches,
+    bench_homomorphic,
+    bench_rsa,
+    bench_prime_generation,
+    bench_symmetric,
+    bench_modexp
+);
+criterion_main!(benches);

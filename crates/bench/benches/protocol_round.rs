@@ -1,0 +1,47 @@
+//! End-to-end protocol benchmarks: full PAG sessions on the simulator.
+//!
+//! Useful for tracking the cost of the whole machinery (exchanges,
+//! monitoring, verification) rather than single primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pag_core::session::{run_session, SessionConfig};
+use std::hint::black_box;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pag_session");
+    group.sample_size(10);
+    for nodes in [20usize, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("nodes_5rounds_30kbps", nodes),
+            &nodes,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sc = SessionConfig::honest(n, 5);
+                    sc.pag.stream_rate_kbps = 30.0;
+                    black_box(run_session(sc))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_acting(c: &mut Criterion) {
+    use pag_baselines::{run_acting, ActingConfig};
+    use pag_simnet::SimConfig;
+    let mut group = c.benchmark_group("acting_session");
+    group.sample_size(10);
+    group.bench_function("50nodes_5rounds_30kbps", |b| {
+        b.iter(|| {
+            let cfg = ActingConfig {
+                stream_rate_kbps: 30.0,
+                ..ActingConfig::default()
+            };
+            black_box(run_acting(cfg, 50, 5, SimConfig::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions, bench_acting);
+criterion_main!(benches);

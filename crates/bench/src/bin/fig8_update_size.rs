@@ -1,0 +1,52 @@
+//! Fig. 8 — "Bandwidth consumption with 1000 nodes and a 300 kbps stream
+//! in function of the size of updates (sim)".
+//!
+//! Larger updates mean fewer updates per second, so fewer buffermap
+//! hashes — bandwidth falls from ~2 Mbps at 1 kb updates towards a small
+//! multiple of the stream rate at 100 kb. Per-node bandwidth is
+//! N-independent at fixed fanout, so the sweep runs a smaller membership
+//! than the paper's 1000 (see EXPERIMENTS.md).
+
+use pag_bench::{fmt_kbps, header, quick_mode, row};
+use pag_core::session::{run_session, SessionConfig};
+
+fn main() {
+    let (nodes, rounds) = if quick_mode() { (40, 6) } else { (120, 12) };
+    // Update sizes in kilobits, as on the paper's x-axis.
+    let sizes_kb: &[f64] = if quick_mode() {
+        &[1.0, 10.0, 100.0]
+    } else {
+        &[1.0, 2.0, 5.0, 7.5, 10.0, 20.0, 50.0, 100.0]
+    };
+
+    println!("# Fig. 8 — bandwidth vs update size ({nodes} nodes, 300 kbps)\n");
+    header(&[
+        "update size (kb)",
+        "payload (B)",
+        "updates/s",
+        "PAG upload",
+        "hashes/node/s",
+    ]);
+    for &kb in sizes_kb {
+        let payload = (kb * 1000.0 / 8.0).round() as usize;
+        let mut sc = SessionConfig::honest(nodes, rounds);
+        sc.pag.stream_rate_kbps = 300.0;
+        sc.pag.wire.update_payload = payload;
+        let outcome = run_session(sc);
+        let upload: f64 = outcome
+            .report
+            .per_node
+            .values()
+            .map(|s| s.upload_kbps(outcome.report.duration))
+            .sum::<f64>()
+            / outcome.report.per_node.len() as f64;
+        row(&[
+            format!("{kb}"),
+            format!("{payload}"),
+            format!("{:.1}", 300_000.0 / 8.0 / payload as f64),
+            fmt_kbps(upload),
+            format!("{:.0}", outcome.hashes_per_node_per_second()),
+        ]);
+    }
+    println!("\npaper shape: ~2 Mbps at 1 kb falling monotonically to ~0.4-0.6 Mbps at 100 kb");
+}

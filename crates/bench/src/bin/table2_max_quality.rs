@@ -1,0 +1,43 @@
+//! Table II — "Maximum video quality sustainable in function of the
+//! network links capacity, and the associated bandwidth consumption, in a
+//! system with 1000 nodes": PAG vs AcTinG vs RAC across link capacities
+//! from ADSL (1.5 Mbps) to 10 Gigabit Ethernet.
+
+use pag_baselines::CostModel;
+use pag_bench::{fmt_kbps, header, row};
+use pag_streaming::VideoQuality;
+
+fn main() {
+    let model = CostModel::default();
+    let n = 1000;
+    let ladder: Vec<f64> = VideoQuality::ladder().iter().map(|q| q.rate_kbps()).collect();
+    let capacities = [
+        (1_500.0, "1.5 Mbps (ADSL Lite)"),
+        (10_000.0, "10 Mbps (Ethernet)"),
+        (100_000.0, "100 Mbps (Fast Ethernet)"),
+        (1_000_000.0, "1 Gbps (Gigabit)"),
+        (10_000_000.0, "10 Gbps (10 Gigabit)"),
+    ];
+
+    println!("# Table II — max sustainable quality per link capacity ({n} nodes)\n");
+    header(&["link capacity", "PAG", "AcTinG", "RAC"]);
+    for (cap, label) in capacities {
+        let cell = |model_fn: fn(&CostModel, f64, usize) -> f64| -> String {
+            match model.max_rate_under(cap, n, &ladder, model_fn) {
+                Some((rate, bw)) => {
+                    let q = VideoQuality::best_under(rate).expect("rate from ladder");
+                    format!("{q} ({})", fmt_kbps(bw))
+                }
+                None => "∅".to_string(),
+            }
+        };
+        row(&[
+            label.to_string(),
+            cell(CostModel::pag_upload_kbps),
+            cell(CostModel::acting_upload_kbps),
+            cell(CostModel::rac_upload_kbps),
+        ]);
+    }
+    println!("\npaper: PAG 144p@1.5M, 480p@10M, 1080p@100M+; AcTinG 480p@1.5M, 1080p@10M+;");
+    println!("RAC ∅ everywhere (63 kbps max payload even on 10 Gbps links)");
+}

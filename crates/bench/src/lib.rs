@@ -1,0 +1,57 @@
+//! Shared helpers for the experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md's per-experiment index):
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `fig7_bandwidth_cdf` | Fig. 7 — bandwidth CDF, PAG vs AcTinG |
+//! | `fig8_update_size` | Fig. 8 — bandwidth vs update size |
+//! | `fig9_scalability` | Fig. 9 — bandwidth vs number of nodes |
+//! | `fig10_coalitions` | Fig. 10 — attacker coalitions vs discovery |
+//! | `table1_crypto_counts` | Table I — signatures and hashes per second |
+//! | `table2_max_quality` | Table II — max quality per link capacity |
+//! | `proverif_substitute` | §VI-A — symbolic privacy analysis |
+//!
+//! Run them with `cargo run --release -p pag-bench --bin <target>`.
+//! Each accepts an optional `--quick` argument that shrinks the workload
+//! (fewer nodes/rounds/trials) for smoke-testing.
+
+/// Returns true when `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style header and separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Formats kbps with sensible units.
+pub fn fmt_kbps(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.1} Gbps", v / 1_000_000.0)
+    } else if v >= 1000.0 {
+        format!("{:.1} Mbps", v / 1000.0)
+    } else {
+        format!("{v:.0} kbps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kbps_formatting() {
+        assert_eq!(fmt_kbps(500.0), "500 kbps");
+        assert_eq!(fmt_kbps(1500.0), "1.5 Mbps");
+        assert_eq!(fmt_kbps(2_000_000.0), "2.0 Gbps");
+    }
+}

@@ -1,0 +1,241 @@
+//! Addition, subtraction, comparison helpers and shift operators.
+
+use std::ops::{Add, AddAssign, Shl, Shr, Sub, SubAssign};
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Adds two values.
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u128;
+        for i in 0..longer.len() {
+            let sum = longer[i] as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
+            out.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Subtracts `other` from `self`, returning `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let diff =
+                self.limbs[i] as i128 - *other.limbs.get(i).unwrap_or(&0) as i128 + borrow;
+            out.push(diff as u64);
+            borrow = diff >> 64; // arithmetic shift: 0 or -1
+        }
+        debug_assert_eq!(borrow, 0, "no final borrow when self >= other");
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (unsigned underflow).
+    pub fn sub_ref(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// Left-shifts by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right-shifts by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:ident) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$impl_fn(rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$impl_fn(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$impl_fn(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$impl_fn(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Sub, sub, sub_ref);
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn add_with_carry_propagation() {
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let one = BigUint::one();
+        let sum = &a + &one;
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let a = BigUint::from(12345u64);
+        assert_eq!(&a + &BigUint::zero(), a);
+    }
+
+    #[test]
+    fn sub_roundtrip() {
+        let a = BigUint::from_limbs(vec![3, 9, 1]);
+        let b = BigUint::from_limbs(vec![u64::MAX, 4]);
+        let sum = &a + &b;
+        assert_eq!(&sum - &b, a);
+        assert_eq!(&sum - &a, b);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = BigUint::from(1u64);
+        let b = BigUint::from(2u64);
+        assert!(a.checked_sub(&b).is_none());
+        assert_eq!(b.checked_sub(&a), Some(BigUint::one()));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::zero() - BigUint::one();
+    }
+
+    #[test]
+    fn sub_borrow_across_limbs() {
+        let a = BigUint::from_limbs(vec![0, 1]); // 2^64
+        let one = BigUint::one();
+        assert_eq!((&a - &one).limbs(), &[u64::MAX]);
+    }
+
+    #[test]
+    fn shifts_inverse() {
+        let v = BigUint::from(0xdead_beefu64);
+        for bits in [0usize, 1, 63, 64, 65, 130] {
+            let shifted = v.shl_bits(bits);
+            assert_eq!(shifted.shr_bits(bits), v, "shift by {bits}");
+        }
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let v = BigUint::from(0b101u64);
+        assert_eq!(v.shl_bits(3).to_u64(), Some(0b101000));
+        assert_eq!((&v << 64).limbs(), &[0, 0b101]);
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let v = BigUint::from(0xffu64);
+        assert!(v.shr_bits(9).is_zero());
+        assert!((&v >> 1000).is_zero());
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = BigUint::from(10u64);
+        a += &BigUint::from(5u64);
+        assert_eq!(a.to_u64(), Some(15));
+        a -= &BigUint::from(7u64);
+        assert_eq!(a.to_u64(), Some(8));
+    }
+}

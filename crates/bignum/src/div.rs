@@ -1,0 +1,249 @@
+//! Division and remainder via Knuth's Algorithm D (TAOCP vol. 2, 4.3.1).
+
+use std::ops::{Div, Rem};
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Computes quotient and remainder in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            return self.div_rem_limb(divisor.limbs[0]);
+        }
+        knuth_d(self, divisor)
+    }
+
+    /// Divides by a single limb.
+    fn div_rem_limb(&self, d: u64) -> (BigUint, BigUint) {
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = ((rem as u128) << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = (cur % d as u128) as u64;
+        }
+        (BigUint::from_limbs(q), BigUint::from(rem))
+    }
+
+    /// Computes `self mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem_ref(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Computes `self / divisor` (floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_ref(&self, divisor: &BigUint) -> BigUint {
+        self.div_rem(divisor).0
+    }
+}
+
+/// Knuth Algorithm D for multi-limb divisors.
+fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
+    let n = den.limbs.len();
+    let m = num.limbs.len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let s = den.limbs[n - 1].leading_zeros() as usize;
+    let v = shl_small(&den.limbs, s, false);
+    debug_assert_eq!(v.len(), n);
+    let mut u = shl_small(&num.limbs, s, true);
+    debug_assert_eq!(u.len(), num.limbs.len() + 1);
+
+    let mut q = vec![0u64; m + 1];
+    let v_top = v[n - 1] as u128;
+    let v_next = v[n - 2] as u128;
+
+    // D2-D7: main loop over quotient digits.
+    for j in (0..=m).rev() {
+        // D3: estimate the quotient digit.
+        let u_hi = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = u_hi / v_top;
+        let mut rhat = u_hi % v_top;
+        loop {
+            if qhat >> 64 != 0 || qhat * v_next > ((rhat << 64) | u[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >> 64 == 0 {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // D4: multiply and subtract.
+        let mut carry: u128 = 0;
+        let mut borrow: i128 = 0;
+        for i in 0..n {
+            let p = qhat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let t = u[j + i] as i128 - (p as u64) as i128 + borrow;
+            u[j + i] = t as u64;
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = u[j + n] as i128 - carry as i128 + borrow;
+        u[j + n] = t as u64;
+
+        // D5-D6: the estimate was one too large (probability ~2/2^64); add back.
+        if t < 0 {
+            qhat -= 1;
+            let mut c: u128 = 0;
+            for i in 0..n {
+                let sum = u[j + i] as u128 + v[i] as u128 + c;
+                u[j + i] = sum as u64;
+                c = sum >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(c as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = BigUint::from_limbs(u[..n].to_vec()).shr_bits(s);
+    (BigUint::from_limbs(q), rem)
+}
+
+/// Shifts limbs left by `s < 64` bits; `grow` appends the carry limb even if
+/// zero (Algorithm D wants the dividend one limb longer).
+fn shl_small(limbs: &[u64], s: usize, grow: bool) -> Vec<u64> {
+    let mut out = Vec::with_capacity(limbs.len() + 1);
+    if s == 0 {
+        out.extend_from_slice(limbs);
+        if grow {
+            out.push(0);
+        }
+        return out;
+    }
+    let mut carry = 0u64;
+    for &limb in limbs {
+        out.push((limb << s) | carry);
+        carry = limb >> (64 - s);
+    }
+    if grow || carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+macro_rules! forward_divrem {
+    ($trait:ident, $method:ident, $impl_fn:ident) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$impl_fn(rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$impl_fn(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$impl_fn(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$impl_fn(&rhs)
+            }
+        }
+    };
+}
+
+forward_divrem!(Div, div, div_ref);
+forward_divrem!(Rem, rem, rem_ref);
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn small_division() {
+        let a = BigUint::from(100u64);
+        let b = BigUint::from(7u64);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_u64(), Some(14));
+        assert_eq!(r.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn divide_by_larger_gives_zero_quotient() {
+        let a = BigUint::from(3u64);
+        let b = BigUint::from(10u64);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn multi_limb_roundtrip() {
+        let a = BigUint::from_hex_str(
+            "f123456789abcdef0fedcba987654321deadbeefcafebabe0011223344556677",
+        )
+        .unwrap();
+        let b = BigUint::from_hex_str("ffddbb9977553311aabbccdd").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = BigUint::from_hex_str("1000000000000000000000001").unwrap();
+        let q_expected = BigUint::from_hex_str("abcdef0123456789").unwrap();
+        let a = &b * &q_expected;
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, q_expected);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Classic add-back trigger: dividend crafted so qhat overshoots.
+        // u = (2^128 - 1) * 2^64, v = 2^128 - 2^64 - 1 exercises correction.
+        let u = BigUint::from_limbs(vec![0, u64::MAX, u64::MAX]);
+        let v = BigUint::from_limbs(vec![u64::MAX, u64::MAX - 1]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn remainder_only() {
+        let a = BigUint::from(1000u64);
+        let m = BigUint::from(37u64);
+        assert_eq!((&a % &m).to_u64(), Some(1000 % 37));
+        assert_eq!((&a / &m).to_u64(), Some(1000 / 37));
+    }
+
+    #[test]
+    fn division_by_power_of_two_matches_shift() {
+        let a = BigUint::from_hex_str("123456789abcdef0123456789abcdef").unwrap();
+        let d = BigUint::one().shl_bits(65);
+        assert_eq!(&a / &d, a.shr_bits(65));
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types for the bignum crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`crate::BigUint`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseBigUintError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a byte that is not a valid digit for the base.
+    InvalidDigit,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigUintError::Empty => f.write_str("cannot parse integer from empty string"),
+            ParseBigUintError::InvalidDigit => f.write_str("invalid digit found in string"),
+        }
+    }
+}
+
+impl Error for ParseBigUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_punctuation() {
+        for e in [ParseBigUintError::Empty, ParseBigUintError::InvalidDigit] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ParseBigUintError>();
+    }
+}

@@ -1,0 +1,281 @@
+//! Modular arithmetic: `mod_add`, `mod_sub`, `mod_mul`, `mod_pow`,
+//! `mod_inv`, `gcd` and the extended Euclidean algorithm.
+//!
+//! `mod_pow` automatically uses Montgomery multiplication when the modulus is
+//! odd (always the case for RSA and the homomorphic hash) and falls back to
+//! divide-and-reduce square-and-multiply otherwise.
+
+use crate::montgomery::Montgomery;
+use crate::BigUint;
+
+impl BigUint {
+    /// `(self + other) mod m`. Operands need not be reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_add(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        (self + other) % m
+    }
+
+    /// `(self - other) mod m`, wrapping around the modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_sub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = other % m;
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// `(self * other) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_mul(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        (self * other) % m
+    }
+
+    /// `self^exponent mod m`.
+    ///
+    /// This is the core operation of the paper's homomorphic hash
+    /// `H(u)_(p,M) = u^p mod M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero. `x^0 mod 1` is 0 like every residue mod 1.
+    pub fn mod_pow(&self, exponent: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus in mod_pow");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
+        if m.is_odd() {
+            let ctx = Montgomery::new(m).expect("odd modulus accepted");
+            return ctx.pow(&(self % m), exponent);
+        }
+        // Even modulus: plain square-and-multiply with explicit reduction.
+        let mut base = self % m;
+        let mut result = BigUint::one();
+        for i in 0..exponent.bit_len() {
+            if exponent.bit(i) {
+                result = result.mod_mul(&base, m);
+            }
+            base = base.mod_mul(&base, m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: returns `x` with `self * x ≡ 1 (mod m)`, or `None`
+    /// when `gcd(self, m) != 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_inv(&self, m: &BigUint) -> Option<BigUint> {
+        assert!(!m.is_zero(), "zero modulus in mod_inv");
+        if m.is_one() {
+            return Some(BigUint::zero());
+        }
+        let (g, x) = ext_gcd_coeff(&(self % m), m);
+        if g.is_one() {
+            Some(x)
+        } else {
+            None
+        }
+    }
+}
+
+/// Extended Euclid returning `(gcd, x mod m)` with `a*x ≡ gcd (mod m)`.
+///
+/// Coefficients are tracked as sign/magnitude pairs to stay in unsigned
+/// arithmetic.
+fn ext_gcd_coeff(a: &BigUint, m: &BigUint) -> (BigUint, BigUint) {
+    // Invariants: old_r = a*old_s (mod m), r = a*s (mod m)
+    let mut old_r = a.clone();
+    let mut r = m.clone();
+    let mut old_s = Signed::pos(BigUint::one());
+    let mut s = Signed::pos(BigUint::zero());
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        let qs = s.mul_mag(&q);
+        let new_s = old_s.sub(&qs);
+        old_s = std::mem::replace(&mut s, new_s);
+    }
+    (old_r, old_s.reduce_mod(m))
+}
+
+/// Minimal sign/magnitude integer for the extended Euclid bookkeeping.
+#[derive(Clone, Debug)]
+struct Signed {
+    neg: bool,
+    mag: BigUint,
+}
+
+impl Signed {
+    fn pos(mag: BigUint) -> Self {
+        Signed { neg: false, mag }
+    }
+
+    fn mul_mag(&self, k: &BigUint) -> Signed {
+        Signed {
+            neg: self.neg && !k.is_zero(),
+            mag: &self.mag * k,
+        }
+    }
+
+    fn sub(&self, other: &Signed) -> Signed {
+        match (self.neg, other.neg) {
+            (false, true) => Signed::pos(&self.mag + &other.mag),
+            (true, false) => Signed {
+                neg: !(&self.mag + &other.mag).is_zero(),
+                mag: &self.mag + &other.mag,
+            },
+            (sn, _) => {
+                // Same sign: subtract magnitudes.
+                if self.mag >= other.mag {
+                    let mag = &self.mag - &other.mag;
+                    Signed {
+                        neg: sn && !mag.is_zero(),
+                        mag,
+                    }
+                } else {
+                    let mag = &other.mag - &self.mag;
+                    Signed {
+                        neg: !sn && !mag.is_zero(),
+                        mag,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical representative in `[0, m)`.
+    fn reduce_mod(&self, m: &BigUint) -> BigUint {
+        let r = &self.mag % m;
+        if self.neg && !r.is_zero() {
+            m - &r
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn mod_add_wraps() {
+        assert_eq!(b(7).mod_add(&b(8), &b(10)).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn mod_sub_wraps_below_zero() {
+        assert_eq!(b(3).mod_sub(&b(8), &b(10)).to_u64(), Some(5));
+        assert_eq!(b(8).mod_sub(&b(3), &b(10)).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        assert_eq!(b(2).mod_pow(&b(10), &b(1000)).to_u64(), Some(24));
+        assert_eq!(b(3).mod_pow(&b(0), &b(7)).to_u64(), Some(1));
+        assert_eq!(b(0).mod_pow(&b(5), &b(7)).to_u64(), Some(0));
+        assert!(b(5).mod_pow(&b(5), &b(1)).is_zero());
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        // 3^7 mod 100 = 2187 mod 100 = 87 (even modulus path)
+        assert_eq!(b(3).mod_pow(&b(7), &b(100)).to_u64(), Some(87));
+    }
+
+    #[test]
+    fn mod_pow_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p and gcd(a, p) = 1
+        let p = b(1_000_000_007);
+        for a in [2u64, 3, 65537, 999_999_999] {
+            assert!(b(a).mod_pow(&(&p - &BigUint::one()), &p).is_one());
+        }
+    }
+
+    #[test]
+    fn mod_pow_large_operands() {
+        // 2^255 mod (2^255 - 19): 2^255 = (2^255 - 19) + 19 => 19.
+        let m = BigUint::one().shl_bits(255) - b(19);
+        let r = b(2).mod_pow(&b(255), &m);
+        assert_eq!(r.to_u64(), Some(19));
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(b(12).gcd(&b(18)).to_u64(), Some(6));
+        assert_eq!(b(17).gcd(&b(13)).to_u64(), Some(1));
+        assert_eq!(b(0).gcd(&b(5)).to_u64(), Some(5));
+        assert_eq!(b(5).gcd(&b(0)).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn mod_inv_roundtrip() {
+        let m = b(1_000_000_007);
+        for a in [2u64, 3, 999, 123456789] {
+            let inv = b(a).mod_inv(&m).expect("prime modulus => invertible");
+            assert!(b(a).mod_mul(&inv, &m).is_one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn mod_inv_not_coprime() {
+        assert!(b(6).mod_inv(&b(9)).is_none());
+        assert!(b(0).mod_inv(&b(7)).is_none());
+    }
+
+    #[test]
+    fn mod_inv_of_one() {
+        assert!(b(1).mod_inv(&b(97)).unwrap().is_one());
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        let m = BigUint::from_hex_str("fffffffffffffffffffffffffffffffeffffffffffffffff")
+            .unwrap(); // NIST P-192 prime
+        let a = BigUint::from_hex_str("deadbeefcafebabe0123456789abcdef").unwrap();
+        let inv = a.mod_inv(&m).unwrap();
+        assert!(a.mod_mul(&inv, &m).is_one());
+    }
+
+    #[test]
+    fn rsa_style_inverse() {
+        // Tiny RSA: p=61, q=53, n=3233, phi=3120, e=17 => d=2753.
+        let e = b(17);
+        let phi = b(3120);
+        let d = e.mod_inv(&phi).unwrap();
+        assert_eq!(d.to_u64(), Some(2753));
+    }
+}

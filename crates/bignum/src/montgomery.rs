@@ -1,0 +1,250 @@
+//! Montgomery modular multiplication and exponentiation (CIOS variant).
+//!
+//! All hot-path modular exponentiations in the reproduction — RSA
+//! signing/verification and homomorphic hashing — run through this context,
+//! which avoids per-step divisions by keeping operands in Montgomery form.
+
+use crate::BigUint;
+
+/// Precomputed context for modular arithmetic with a fixed odd modulus.
+///
+/// # Examples
+///
+/// ```
+/// use pag_bignum::{BigUint, Montgomery};
+///
+/// let m = BigUint::from(1_000_000_007u64);
+/// let ctx = Montgomery::new(&m).expect("odd modulus");
+/// let r = ctx.pow(&BigUint::from(2u64), &BigUint::from(100u64));
+/// assert_eq!(r, BigUint::from(2u64).mod_pow(&BigUint::from(100u64), &m));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// The modulus `n` (odd, > 1).
+    n: BigUint,
+    /// Limb count of `n`.
+    k: usize,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64k)`; used to convert into Montgomery form.
+    r2: BigUint,
+    /// `R mod n`, the Montgomery representation of 1.
+    one: BigUint,
+}
+
+impl Montgomery {
+    /// Builds a context for an odd modulus greater than one.
+    ///
+    /// Returns `None` when the modulus is even, zero, or one.
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_one() || modulus.is_even() {
+            return None;
+        }
+        let k = modulus.limbs.len();
+        let n0_inv = neg_inv_u64(modulus.limbs[0]);
+        let r = BigUint::one().shl_bits(64 * k);
+        let one = &r % modulus;
+        let r2 = (&r * &r) % modulus;
+        Some(Montgomery {
+            n: modulus.clone(),
+            k,
+            n0_inv,
+            r2,
+            one,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Converts a reduced value (`< n`) into Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> BigUint {
+        debug_assert!(a < &self.n, "operand must be reduced");
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts a value out of Montgomery form.
+    pub fn from_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, &BigUint::one())
+    }
+
+    /// Montgomery product: `a * b * R^{-1} mod n`.
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.k;
+        // t has k + 2 limbs of headroom: accumulated value stays < 2n < 2^(64(k+1)).
+        let mut t = vec![0u64; k + 2];
+        let a_limbs = &a.limbs;
+        let b_limbs = &b.limbs;
+
+        for i in 0..k {
+            let ai = *a_limbs.get(i).unwrap_or(&0);
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let sum = t[j] as u128
+                    + ai as u128 * *b_limbs.get(j).unwrap_or(&0) as u128
+                    + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[k] as u128 + carry;
+            t[k] = sum as u64;
+            t[k + 1] = t[k + 1].wrapping_add((sum >> 64) as u64);
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let sum = t[j] as u128 + m as u128 * self.n.limbs[j] as u128 + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[k] as u128 + carry;
+            t[k] = sum as u64;
+            t[k + 1] = t[k + 1].wrapping_add((sum >> 64) as u64);
+
+            // Shift one limb (divide by 2^64): t[0] is now zero by choice of m.
+            debug_assert_eq!(t[0], 0);
+            for j in 0..k + 1 {
+                t[j] = t[j + 1];
+            }
+            t[k + 1] = 0;
+        }
+
+        let mut result = BigUint::from_limbs(t);
+        if result >= self.n {
+            result = &result - &self.n;
+        }
+        result
+    }
+
+    /// Modular exponentiation `base^exp mod n` using a 4-bit fixed window.
+    ///
+    /// `base` need not be reduced.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one() % &self.n;
+        }
+        let base_red = base % &self.n;
+        let base_m = self.to_mont(&base_red);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one.clone());
+        for i in 1..16 {
+            let prev: &BigUint = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_len();
+        let mut acc = self.one.clone();
+        // Process the exponent in 4-bit windows from the most significant end.
+        let top_window = bits.div_ceil(4) * 4;
+        let mut idx = top_window;
+        while idx >= 4 {
+            idx -= 4;
+            // Square 4 times (skip for the leading all-zero prefix of acc==one).
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let mut w = 0usize;
+            for b in (0..4).rev() {
+                w = (w << 1) | exp.bit(idx + b) as usize;
+            }
+            if w != 0 {
+                acc = self.mont_mul(&acc, &table[w]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Computes `-n^{-1} mod 2^64` for odd `n` by Newton's iteration.
+fn neg_inv_u64(n: u64) -> u64 {
+    debug_assert!(n & 1 == 1);
+    // x converges to n^{-1} mod 2^64 after 6 doublings of precision.
+    let mut x = n; // correct mod 2^3 already for odd n? start with n works mod 2^2
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n.wrapping_mul(x), 1);
+    x.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inv_is_inverse() {
+        for n in [1u64, 3, 5, 0xdeadbeef | 1, u64::MAX] {
+            let ninv = neg_inv_u64(n);
+            assert_eq!(n.wrapping_mul(ninv.wrapping_neg()), 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&BigUint::one()).is_none());
+        assert!(Montgomery::new(&BigUint::from(10u64)).is_none());
+        assert!(Montgomery::new(&BigUint::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn mont_form_roundtrip() {
+        let m = BigUint::from(1_000_000_007u64);
+        let ctx = Montgomery::new(&m).unwrap();
+        for v in [0u64, 1, 2, 999_999_999, 1_000_000_006] {
+            let v = BigUint::from(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&v)), v);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive_reduction() {
+        let m = BigUint::from_hex_str("c2f869dd0f7a4f5b4d8f0a1b2c3d4e5f").unwrap();
+        let m = if m.is_even() { &m + &BigUint::one() } else { m };
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = BigUint::from_hex_str("123456789abcdef0fedcba9876543210").unwrap() % &m;
+        let b = BigUint::from_hex_str("aa55aa55aa55aa55aa55aa55aa55aa55").unwrap() % &m;
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        assert_eq!(prod, (&a * &b) % &m);
+    }
+
+    #[test]
+    fn pow_matches_small_cases() {
+        let m = BigUint::from(97u64);
+        let ctx = Montgomery::new(&m).unwrap();
+        for base in 0u64..20 {
+            for exp in 0u64..20 {
+                let got = ctx.pow(&BigUint::from(base), &BigUint::from(exp));
+                let mut acc = 1u64;
+                for _ in 0..exp {
+                    acc = acc * base % 97;
+                }
+                assert_eq!(got.to_u64(), Some(acc), "base={base} exp={exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let m = BigUint::from(101u64);
+        let ctx = Montgomery::new(&m).unwrap();
+        assert!(ctx.pow(&BigUint::from(5u64), &BigUint::zero()).is_one());
+    }
+
+    #[test]
+    fn pow_unreduced_base() {
+        let m = BigUint::from(13u64);
+        let ctx = Montgomery::new(&m).unwrap();
+        // 100^3 mod 13 = (9)^3 mod 13 = 729 mod 13 = 1
+        let r = ctx.pow(&BigUint::from(100u64), &BigUint::from(3u64));
+        assert_eq!(r.to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,218 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! threshold. Both paths are exercised against each other by property tests.
+
+use std::ops::{Mul, MulAssign};
+
+use crate::BigUint;
+
+/// Operand size (in limbs) above which Karatsuba splitting is used.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+impl BigUint {
+    /// Multiplies two values.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        BigUint::from_limbs(mul_slices(&self.limbs, &other.limbs))
+    }
+
+    /// Squares the value (currently delegates to multiplication).
+    pub fn square(&self) -> BigUint {
+        self.mul_ref(self)
+    }
+}
+
+/// Multiplies two limb slices, choosing the algorithm by size.
+fn mul_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) >= KARATSUBA_THRESHOLD {
+        karatsuba(a, b)
+    } else {
+        schoolbook(a, b)
+    }
+}
+
+/// O(n*m) schoolbook multiplication.
+fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba recursion: splits at half the larger operand.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = split(a, m);
+    let (b0, b1) = split(b, m);
+
+    let z0 = mul_slices(a0, b0);
+    let z2 = if a1.is_empty() || b1.is_empty() {
+        Vec::new()
+    } else {
+        mul_slices(a1, b1)
+    };
+
+    // z1 = (a0 + a1)(b0 + b1) - z0 - z2
+    let a_sum = add_slices(a0, a1);
+    let b_sum = add_slices(b0, b1);
+    let mut z1 = mul_slices(&a_sum, &b_sum);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    let mut out = vec![0u64; a.len() + b.len() + 1];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, m);
+    add_at(&mut out, &z2, 2 * m);
+    out
+}
+
+fn split(s: &[u64], m: usize) -> (&[u64], &[u64]) {
+    if s.len() <= m {
+        (s, &[])
+    } else {
+        (&s[..m], &s[m..])
+    }
+}
+
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(longer.len() + 1);
+    let mut carry = 0u128;
+    for i in 0..longer.len() {
+        let sum = longer[i] as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
+        out.push(sum as u64);
+        carry = sum >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+/// `acc -= sub`; requires `acc >= sub` numerically (guaranteed by Karatsuba).
+fn sub_in_place(acc: &mut [u64], sub: &[u64]) {
+    let mut borrow = 0i128;
+    for i in 0..acc.len() {
+        let diff = acc[i] as i128 - *sub.get(i).unwrap_or(&0) as i128 + borrow;
+        acc[i] = diff as u64;
+        borrow = diff >> 64;
+    }
+    debug_assert_eq!(borrow, 0, "karatsuba middle term must be non-negative");
+}
+
+/// `acc[offset..] += add`, propagating the carry; `acc` must be long enough.
+fn add_at(acc: &mut [u64], add: &[u64], offset: usize) {
+    let mut carry = 0u128;
+    let mut i = 0;
+    while i < add.len() || carry != 0 {
+        let idx = offset + i;
+        let sum = acc[idx] as u128 + *add.get(i).unwrap_or(&0) as u128 + carry;
+        acc[idx] = sum as u64;
+        carry = sum >> 64;
+        i += 1;
+    }
+}
+
+macro_rules! forward_mul {
+    ($lhs:ty, $rhs:ty) => {
+        impl Mul<$rhs> for $lhs {
+            type Output = BigUint;
+            fn mul(self, rhs: $rhs) -> BigUint {
+                BigUint::mul_ref(&self, &rhs)
+            }
+        }
+    };
+}
+
+forward_mul!(&BigUint, &BigUint);
+forward_mul!(BigUint, BigUint);
+forward_mul!(BigUint, &BigUint);
+forward_mul!(&BigUint, BigUint);
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    #[test]
+    fn mul_small() {
+        let a = BigUint::from(7u64);
+        let b = BigUint::from(6u64);
+        assert_eq!((&a * &b).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = BigUint::from(0xabcdefu64);
+        assert!((&a * &BigUint::zero()).is_zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn mul_carry_chain() {
+        let a = BigUint::from(u64::MAX);
+        let sq = &a * &a;
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = BigUint::from_limbs(vec![1, u64::MAX - 1]);
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Operands above the threshold force the Karatsuba path.
+        let n = KARATSUBA_THRESHOLD + 9;
+        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i + 7).wrapping_mul(0xC2B2AE3D27D4EB4F)).collect();
+        assert_eq!(karatsuba(&a, &b), {
+            let mut s = schoolbook(&a, &b);
+            s.push(0); // karatsuba allocates one extra limb
+            s
+        });
+    }
+
+    #[test]
+    fn karatsuba_unbalanced_operands() {
+        let a: Vec<u64> = (1..60u64).collect();
+        let b: Vec<u64> = (1..30u64).collect();
+        let k = BigUint::from_limbs(karatsuba(&a, &b));
+        let s = BigUint::from_limbs(schoolbook(&a, &b));
+        assert_eq!(k, s);
+    }
+
+    #[test]
+    fn square_equals_self_mul() {
+        let v = BigUint::from_hex_str("ffeeddccbbaa99887766554433221100").unwrap();
+        assert_eq!(v.square(), &v * &v);
+    }
+
+    #[test]
+    fn distributive_law() {
+        let a = BigUint::from(123456789u64);
+        let b = BigUint::from(987654321u64);
+        let c = BigUint::from(555555555u64);
+        assert_eq!(&a * (&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

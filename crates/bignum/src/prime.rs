@@ -1,0 +1,248 @@
+//! Primality testing (Miller–Rabin) and random prime generation.
+//!
+//! PAG's receivers generate one fresh prime per predecessor per round
+//! (§V-A), and RSA key generation needs two large primes, so prime
+//! generation speed matters: candidates are first sieved against small
+//! primes before any Miller–Rabin round runs.
+
+use rand::Rng;
+use std::sync::OnceLock;
+
+use crate::random::random_bits;
+use crate::BigUint;
+
+/// Number of Miller–Rabin rounds used by [`gen_prime`] and
+/// [`BigUint::is_probable_prime`]'s default. 2^-128 error bound for random inputs.
+pub const DEFAULT_MILLER_RABIN_ROUNDS: usize = 32;
+
+/// Upper bound of the trial-division sieve.
+const SIEVE_LIMIT: usize = 1 << 14;
+
+fn small_primes() -> &'static [u64] {
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let mut is_composite = vec![false; SIEVE_LIMIT];
+        let mut primes = Vec::new();
+        for n in 2..SIEVE_LIMIT {
+            if !is_composite[n] {
+                primes.push(n as u64);
+                let mut k = n * n;
+                while k < SIEVE_LIMIT {
+                    is_composite[k] = true;
+                    k += n;
+                }
+            }
+        }
+        primes
+    })
+}
+
+impl BigUint {
+    /// Probabilistic primality test: trial division by all primes below
+    /// 2^14, then `rounds` Miller–Rabin rounds with random bases.
+    ///
+    /// False positives occur with probability at most `4^-rounds`;
+    /// a return value of `false` is always correct.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rounds: usize, rng: &mut R) -> bool {
+        // Small and even cases.
+        if let Some(v) = self.to_u64() {
+            if v < 2 {
+                return false;
+            }
+            if v < (SIEVE_LIMIT * SIEVE_LIMIT) as u64 {
+                return small_primes()
+                    .iter()
+                    .take_while(|&&p| p * p <= v)
+                    .all(|&p| v % p != 0)
+                    || small_primes().binary_search(&v).is_ok();
+            }
+        }
+        if self.is_even() {
+            return false;
+        }
+        for &p in small_primes() {
+            let p_big = BigUint::from(p);
+            if (self % &p_big).is_zero() {
+                return self == &p_big;
+            }
+        }
+        miller_rabin(self, rounds, rng)
+    }
+}
+
+/// Runs `rounds` Miller–Rabin rounds with uniformly random bases in `[2, n-2]`.
+///
+/// Requires `n` odd and `> small_primes` (callers go through
+/// [`BigUint::is_probable_prime`]).
+fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let two = BigUint::from(2u64);
+    let n_minus_1 = n - &one;
+    // n - 1 = d * 2^s with d odd
+    let s = n_minus_1
+        .trailing_zeros()
+        .expect("n > 2 is odd so n-1 > 0");
+    let d = n_minus_1.shr_bits(s);
+
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let a = loop {
+            let cand = random_bits(rng, n.bit_len());
+            if cand >= two && cand <= (&n_minus_1 - &one) {
+                break cand;
+            }
+        };
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top two bits are forced to one (so products of two such primes have
+/// exactly `2*bits` bits, as RSA key generation requires) and the bottom
+/// bit is forced odd.
+///
+/// # Panics
+///
+/// Panics if `bits < 3` (no such prime shape exists).
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "prime generation needs at least 3 bits");
+    loop {
+        let mut cand = random_bits(rng, bits);
+        cand.set_bit(bits - 1);
+        cand.set_bit(bits - 2);
+        cand.set_bit(0);
+        // March forward over odd numbers: amortizes the sieve per candidate.
+        let two = BigUint::from(2u64);
+        for _ in 0..64 {
+            if cand.bit_len() != bits {
+                break; // stepped past the width; draw a fresh candidate
+            }
+            if cand.is_probable_prime(DEFAULT_MILLER_RABIN_ROUNDS, rng) {
+                return cand;
+            }
+            cand = &cand + &two;
+        }
+    }
+}
+
+/// Generates a random probable prime strictly smaller than `bound`.
+///
+/// Used by tests that need primes co-prime to a given modulus.
+///
+/// # Panics
+///
+/// Panics if `bound <= 3`.
+pub fn gen_prime_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+    assert!(bound > &BigUint::from(3u64), "bound too small");
+    loop {
+        let cand = crate::random::random_below(rng, bound);
+        if cand.is_probable_prime(DEFAULT_MILLER_RABIN_ROUNDS, rng) {
+            return cand;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn small_prime_classification() {
+        let mut r = rng();
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919, 104729];
+        let composites = [0u64, 1, 4, 6, 9, 15, 7917, 104730, 1_000_000];
+        for p in primes {
+            assert!(BigUint::from(p).is_probable_prime(16, &mut r), "{p}");
+        }
+        for c in composites {
+            assert!(!BigUint::from(c).is_probable_prime(16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!BigUint::from(c).is_probable_prime(16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut r = rng();
+        let m127 = BigUint::one().shl_bits(127) - BigUint::one();
+        assert!(m127.is_probable_prime(16, &mut r));
+        // 2^128 - 1 is composite.
+        let m128 = BigUint::one().shl_bits(128) - BigUint::one();
+        assert!(!m128.is_probable_prime(16, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_shape() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128, 256] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits, "bits = {bits}");
+            assert!(p.is_odd());
+            assert!(p.bit(bits - 2), "second-highest bit set");
+            assert!(p.is_probable_prime(16, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_prime_512_bits() {
+        // The paper's prime size for round keys (§VII-A).
+        let mut r = rng();
+        let p = gen_prime(512, &mut r);
+        assert_eq!(p.bit_len(), 512);
+        assert!(p.is_probable_prime(8, &mut r));
+    }
+
+    #[test]
+    fn distinct_primes_generated() {
+        let mut r = rng();
+        let a = gen_prime(64, &mut r);
+        let b = gen_prime(64, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_prime_below_bound() {
+        let mut r = rng();
+        let bound = BigUint::from(1_000_000u64);
+        for _ in 0..5 {
+            let p = gen_prime_below(&bound, &mut r);
+            assert!(p < bound);
+            assert!(p.is_probable_prime(16, &mut r));
+        }
+    }
+
+    #[test]
+    fn sieve_contains_expected_primes() {
+        let primes = small_primes();
+        assert_eq!(primes[0], 2);
+        assert_eq!(primes[1], 3);
+        assert!(primes.binary_search(&16381).is_ok()); // largest prime < 2^14
+        assert!(primes.binary_search(&16383).is_err());
+    }
+}

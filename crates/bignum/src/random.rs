@@ -1,0 +1,110 @@
+//! Uniform random [`BigUint`] generation.
+
+use rand::Rng;
+
+use crate::BigUint;
+
+/// Returns a uniformly random value with at most `bits` bits.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs_needed = bits.div_ceil(64);
+    let mut limbs = Vec::with_capacity(limbs_needed);
+    for _ in 0..limbs_needed {
+        limbs.push(rng.random::<u64>());
+    }
+    let excess = limbs_needed * 64 - bits;
+    if excess > 0 {
+        let last = limbs.last_mut().expect("at least one limb");
+        *last >>= excess;
+    }
+    BigUint::from_limbs(limbs)
+}
+
+/// Returns a uniformly random value in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "empty range");
+    let bits = bound.bit_len();
+    loop {
+        let cand = random_bits(rng, bits);
+        if &cand < bound {
+            return cand;
+        }
+    }
+}
+
+/// Returns a uniformly random value in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn random_range<R: Rng + ?Sized>(rng: &mut R, lo: &BigUint, hi: &BigUint) -> BigUint {
+    assert!(lo < hi, "empty range");
+    let width = hi - lo;
+    lo + &random_below(rng, &width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [0usize, 1, 7, 64, 65, 512] {
+            for _ in 0..20 {
+                let v = random_bits(&mut rng, bits);
+                assert!(v.bit_len() <= bits, "bits = {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_bits_reaches_top_bit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Over 64 draws of 8 bits, the top bit should be hit with
+        // probability 1 - 2^-64.
+        let hit = (0..64).any(|_| random_bits(&mut rng, 8).bit(7));
+        assert!(hit);
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from(1000u64);
+        for _ in 0..100 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_one_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(random_below(&mut rng, &BigUint::one()).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_below_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        random_below(&mut rng, &BigUint::zero());
+    }
+
+    #[test]
+    fn random_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let lo = BigUint::from(500u64);
+        let hi = BigUint::from(600u64);
+        for _ in 0..50 {
+            let v = random_range(&mut rng, &lo, &hi);
+            assert!(v >= lo && v < hi);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The [`BigUint`] type: an arbitrary-precision unsigned integer.
+//!
+//! Representation: little-endian `u64` limbs with no trailing zero limbs
+//! (the canonical representation of zero is an empty limb vector). All
+//! constructors normalize, so two equal values always have identical limb
+//! vectors, which makes the derived `PartialEq`/`Hash` correct.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseBigUintError;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// `BigUint` backs every cryptographic quantity in the PAG reproduction:
+/// RSA moduli, homomorphic-hash values, and the per-round prime keys
+/// `K(R, X)`. It supports the usual arithmetic operators plus
+/// modular routines (`mod_pow`, `mod_inv`, ...) and the [`crate::Montgomery`] context.
+///
+/// # Examples
+///
+/// ```
+/// use pag_bignum::BigUint;
+///
+/// let a = BigUint::from(42u64);
+/// let b = BigUint::from_decimal_str("340282366920938463463374607431768211456")?;
+/// let c = &a * &b;
+/// assert_eq!(c % &a, BigUint::zero());
+/// # Ok::<(), pag_bignum::ParseBigUintError>(())
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Returns zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// Returns one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Exposes the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Builds a value from big-endian bytes.
+    ///
+    /// Leading zero bytes are permitted and ignored.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_iter = bytes.rchunks(8);
+        while let Some(chunk) = chunk_iter.next() {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Builds a value from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut rev: Vec<u8> = bytes.to_vec();
+        rev.reverse();
+        Self::from_bytes_be(&rev)
+    }
+
+    /// Serializes to big-endian bytes without leading zeros.
+    ///
+    /// Zero serializes to an empty vector.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip.min(7)..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, zero-padded on the left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes but {} were requested",
+            raw.len(),
+            len
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns true if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns true if the value is even (zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns true if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (zero has bit length 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to one, growing the value if needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    /// Number of trailing zero bits.
+    ///
+    /// Returns `None` for zero (every bit of zero is a trailing zero).
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(i * 64 + limb.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] on an empty string or a non-digit byte.
+    pub fn from_decimal_str(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError::Empty);
+        }
+        let mut acc = BigUint::zero();
+        let ten_pow_19 = BigUint::from(10_000_000_000_000_000_000u64);
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let chunk_len = (bytes.len() - i).min(19);
+            let chunk = &s[i..i + chunk_len];
+            let digits: u64 = chunk
+                .parse()
+                .map_err(|_| ParseBigUintError::InvalidDigit)?;
+            let scale = if chunk_len == 19 {
+                ten_pow_19.clone()
+            } else {
+                BigUint::from(10u64.pow(chunk_len as u32))
+            };
+            acc = &(&acc * &scale) + &BigUint::from(digits);
+            i += chunk_len;
+        }
+        Ok(acc)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] on an empty string or a non-hex byte.
+    pub fn from_hex_str(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError::Empty);
+        }
+        let mut nibbles = Vec::with_capacity(s.len());
+        for c in s.bytes() {
+            let v = match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                b'A'..=b'F' => c - b'A' + 10,
+                _ => return Err(ParseBigUintError::InvalidDigit),
+            };
+            nibbles.push(v);
+        }
+        let mut bytes = Vec::with_capacity(nibbles.len() / 2 + 1);
+        let mut iter = nibbles.rchunks(2);
+        while let Some(pair) = iter.next() {
+            let byte = match pair {
+                [hi, lo] => (hi << 4) | lo,
+                [lo] => *lo,
+                _ => unreachable!(),
+            };
+            bytes.push(byte);
+        }
+        bytes.reverse();
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Formats the value as lowercase hexadecimal without a prefix.
+    pub fn to_hex_string(&self) -> String {
+        format!("{self:x}")
+    }
+
+    /// Formats the value in decimal.
+    pub fn to_decimal_string(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{self:x})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let ten_pow_19 = BigUint::from(10_000_000_000_000_000_000u64);
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&ten_pow_19);
+            chunks.push(r.to_u64().expect("remainder below 10^19 fits in u64"));
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().enumerate().rev() {
+            if i == chunks.len() - 1 {
+                s.push_str(&format!("{chunk}"));
+            } else {
+                s.push_str(&format!("{chunk:019}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            BigUint::from_hex_str(hex)
+        } else {
+            BigUint::from_decimal_str(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty_and_even() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert_eq!(z.bit_len(), 0);
+        assert_eq!(z.to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(z.to_u64(), Some(0));
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let v = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(v.limbs(), &[5]);
+        assert_eq!(v, BigUint::from(5u64));
+    }
+
+    #[test]
+    fn byte_roundtrip_be() {
+        let bytes = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        let v = BigUint::from_bytes_be(&bytes);
+        assert_eq!(v.to_bytes_be(), bytes.to_vec());
+    }
+
+    #[test]
+    fn byte_roundtrip_le() {
+        let v = BigUint::from_bytes_le(&[0xff, 0x01]);
+        assert_eq!(v.to_u64(), Some(0x01ff));
+    }
+
+    #[test]
+    fn leading_zero_bytes_ignored() {
+        let v = BigUint::from_bytes_be(&[0, 0, 0x12, 0x34]);
+        assert_eq!(v.to_u64(), Some(0x1234));
+        assert_eq!(v.to_bytes_be(), vec![0x12, 0x34]);
+    }
+
+    #[test]
+    fn padded_serialization() {
+        let v = BigUint::from(0x1234u64);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes")]
+    fn padded_serialization_too_small_panics() {
+        BigUint::from(0x123456u64).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        let v = BigUint::from(0b1011u64);
+        assert_eq!(v.bit_len(), 4);
+        assert!(v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(200));
+    }
+
+    #[test]
+    fn set_bit_grows() {
+        let mut v = BigUint::zero();
+        v.set_bit(100);
+        assert_eq!(v.bit_len(), 101);
+        assert!(v.bit(100));
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(BigUint::from(8u64).trailing_zeros(), Some(3));
+        let mut big = BigUint::zero();
+        big.set_bit(130);
+        assert_eq!(big.trailing_zeros(), Some(130));
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from_limbs(vec![0, 1]); // 2^64
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        let v = BigUint::from_decimal_str(s).unwrap();
+        assert_eq!(v.to_decimal_string(), s);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let s = "deadbeef0123456789abcdef";
+        let v = BigUint::from_hex_str(s).unwrap();
+        assert_eq!(v.to_hex_string(), s);
+    }
+
+    #[test]
+    fn from_str_accepts_both_bases() {
+        let d: BigUint = "255".parse().unwrap();
+        let h: BigUint = "0xff".parse().unwrap();
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigUint::from_decimal_str("").is_err());
+        assert!(BigUint::from_decimal_str("12a").is_err());
+        assert!(BigUint::from_hex_str("xyz").is_err());
+    }
+
+    #[test]
+    fn u128_conversions() {
+        let v = BigUint::from(u128::MAX);
+        assert_eq!(v.to_u128(), Some(u128::MAX));
+        assert_eq!(v.to_u64(), None);
+        assert_eq!(v.bit_len(), 128);
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", BigUint::zero()).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for `pag-bignum` core arithmetic invariants.
+
+use pag_bignum::{BigUint, Montgomery};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary BigUints up to ~512 bits.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..8).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy producing non-zero BigUints.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+/// Strategy producing odd moduli > 1.
+fn odd_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..6).prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        let v = BigUint::from_limbs(limbs);
+        if v.is_one() {
+            BigUint::from(3u64)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutative(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in biguint(), d in biguint_nonzero()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn shift_left_then_right(a in biguint(), bits in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in biguint(), bits in 0usize..100) {
+        let pow2 = BigUint::one().shl_bits(bits);
+        prop_assert_eq!(a.shl_bits(bits), &a * &pow2);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_bytes_le(&a.to_bytes_le_for_test()), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in biguint()) {
+        let s = a.to_decimal_string();
+        prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint()) {
+        let s = a.to_hex_string();
+        prop_assert_eq!(BigUint::from_hex_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(
+        base in biguint(),
+        exp in 0u64..40,
+        m in odd_modulus(),
+    ) {
+        let exp_big = BigUint::from(exp);
+        let fast = base.mod_pow(&exp_big, &m);
+        // Naive repeated multiplication.
+        let mut acc = BigUint::one() % &m;
+        let base_red = &base % &m;
+        for _ in 0..exp {
+            acc = acc.mod_mul(&base_red, &m);
+        }
+        prop_assert_eq!(fast, acc);
+    }
+
+    #[test]
+    fn mod_pow_product_of_exponents(
+        base in biguint(),
+        p1 in 1u64..1000,
+        p2 in 1u64..1000,
+        m in odd_modulus(),
+    ) {
+        // The paper's exponent-composition property:
+        // H(H(u)_(p1))_(p2) = H(u)_(p1*p2)
+        let h1 = base.mod_pow(&BigUint::from(p1), &m);
+        let h12 = h1.mod_pow(&BigUint::from(p2), &m);
+        let direct = base.mod_pow(&BigUint::from(p1 * p2), &m);
+        prop_assert_eq!(h12, direct);
+    }
+
+    #[test]
+    fn montgomery_matches_plain(a in biguint(), b in biguint(), m in odd_modulus()) {
+        let ctx = Montgomery::new(&m).unwrap();
+        let ar = &a % &m;
+        let br = &b % &m;
+        let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&ar), &ctx.to_mont(&br)));
+        prop_assert_eq!(got, ar.mod_mul(&br, &m));
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in biguint_nonzero(), m in odd_modulus()) {
+        if let Some(inv) = a.mod_inv(&m) {
+            prop_assert!(a.mod_mul(&inv, &m).is_one());
+            prop_assert!(inv < m);
+        } else {
+            // Not coprime: gcd must be > 1.
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in biguint(), b in biguint()) {
+        if a >= b {
+            prop_assert!(a.checked_sub(&b).is_some());
+        } else {
+            prop_assert!(a.checked_sub(&b).is_none());
+        }
+    }
+}
+
+// Helper for byte roundtrip test: expose LE encoding via BE reversal.
+trait ToBytesLe {
+    fn to_bytes_le_for_test(&self) -> Vec<u8>;
+}
+
+impl ToBytesLe for BigUint {
+    fn to_bytes_le_for_test(&self) -> Vec<u8> {
+        let mut v = self.to_bytes_be();
+        v.reverse();
+        v
+    }
+}

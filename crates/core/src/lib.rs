@@ -1,0 +1,71 @@
+//! The PAG protocol — *Private and Accountable Gossip* (Decouchant,
+//! Ben Mokhtar, Petit, Quéma; ICDCS 2016) — reproduced in Rust.
+//!
+//! PAG disseminates a live content stream by gossip while enforcing two
+//! obligations against selfish nodes (§III):
+//!
+//! * **R1, obligation to receive** — a node must receive the updates its
+//!   predecessors send;
+//! * **R2, obligation to forward** — updates received in round `R` must
+//!   reach all successors in round `R+1`;
+//!
+//! and one privacy property:
+//!
+//! * **P1, unlinkability** — nobody but the two endpoints of an exchange
+//!   can link the endpoints to the updates exchanged.
+//!
+//! Accountability comes from a log-less monitoring infrastructure
+//! (Fig. 3/6); privacy from homomorphic hashes `H(u)_(p,M) = u^p mod M`
+//! whose exponents — products of fresh per-round primes — change at
+//! every hop (Fig. 4/5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pag_core::session::{run_session, SessionConfig};
+//!
+//! let mut sc = SessionConfig::honest(10, 5);
+//! sc.pag.stream_rate_kbps = 30.0; // keep the doctest fast
+//! let outcome = run_session(sc);
+//! assert!(outcome.verdicts.is_empty(), "honest nodes are never convicted");
+//! ```
+//!
+//! Inject a freerider and watch it get caught:
+//!
+//! ```
+//! use pag_core::selfish::SelfishStrategy;
+//! use pag_core::session::{run_session, SessionConfig};
+//! use pag_membership::NodeId;
+//!
+//! let mut sc = SessionConfig::honest(10, 5);
+//! sc.pag.stream_rate_kbps = 30.0;
+//! sc.selfish.push((NodeId(4), SelfishStrategy::DropForward));
+//! let outcome = run_session(sc);
+//! assert_eq!(outcome.convicted(), vec![NodeId(4)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod messages;
+pub mod metrics;
+pub mod monitor;
+pub mod node;
+pub mod selfish;
+pub mod session;
+pub mod shared;
+pub mod update;
+pub mod verdict;
+pub mod wire;
+
+pub use config::{CryptoProfile, PagConfig};
+pub use messages::{HashTriple, MessageBody, SignedMessage};
+pub use metrics::{NodeMetrics, OpCounters};
+pub use node::PagNode;
+pub use selfish::SelfishStrategy;
+pub use session::{run_session, SessionConfig, SessionOutcome};
+pub use shared::SharedContext;
+pub use update::{UpdateId, UpdateStore};
+pub use verdict::{Fault, Verdict};
+pub use wire::WireConfig;

@@ -1,0 +1,1159 @@
+//! A PAG node: gossip participant (sender and receiver sides of the
+//! Fig. 5 exchange) plus monitor (Fig. 6) in one state machine.
+//!
+//! Round timeline (1-second rounds, paper §VII-A):
+//!
+//! ```text
+//! t+0ms    on_round: mint primes, build SA, KeyRequest successors,
+//!          source injects updates
+//! ~t+60ms  KeyResponse (prime + buffermap) flows back
+//! ~t+120ms Serve + Attestation flow forward
+//! ~t+180ms Ack flows back; messages 6/7 to the designated monitor
+//! ~t+240ms messages 8/9 fan out between monitor sets
+//! t+350ms  ack check: missing acks trigger accusations; self-report
+//! t+650ms  monitors evaluate the round's forwarding obligations
+//! t+900ms  unanswered exhibits convict
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use pag_bignum::{gen_prime, BigUint};
+use pag_crypto::{HomomorphicHash, Signature};
+use pag_membership::NodeId;
+use pag_simnet::{Context, Protocol, SimDuration};
+
+use crate::messages::{HashTriple, MessageBody, ServedRef, ServedUpdate, SignedMessage};
+use crate::metrics::NodeMetrics;
+use crate::monitor::{designated_monitor, MonitorEngine};
+use crate::selfish::SelfishStrategy;
+use crate::shared::SharedContext;
+use crate::update::{synthetic_payload, StoredUpdate, UpdateId, UpdateStore};
+use crate::verdict::Verdict;
+
+/// Timer kinds (encoded in the high byte of the timer tag).
+const TIMER_ACK_CHECK: u64 = 1 << 56;
+const TIMER_EVAL: u64 = 2 << 56;
+const TIMER_EXHIBIT: u64 = 3 << 56;
+const TIMER_ROUND_MASK: u64 = (1 << 56) - 1;
+
+/// The primes a node minted for its predecessors in one round, and their
+/// product `K(R, self)`.
+#[derive(Clone, Debug)]
+struct RoundKeys {
+    entries: Vec<(NodeId, BigUint)>,
+    k: BigUint,
+}
+
+impl RoundKeys {
+    fn prime_for(&self, pred: NodeId) -> Option<&BigUint> {
+        self.entries.iter().find(|(p, _)| *p == pred).map(|(_, v)| v)
+    }
+
+    /// `Π_{k≠j} p_k` for predecessor `pred`.
+    fn cofactor(&self, pred: NodeId) -> BigUint {
+        self.entries
+            .iter()
+            .filter(|(p, _)| *p != pred)
+            .fold(BigUint::one(), |acc, (_, v)| &acc * v)
+    }
+
+    fn factor_count(&self) -> u32 {
+        self.entries.len().max(1) as u32
+    }
+}
+
+/// One entry of the set `S_A` a node must forward this round.
+#[derive(Clone, Debug)]
+struct SaItem {
+    id: UpdateId,
+    count: u32,
+    created_round: u64,
+    residue: BigUint,
+    payload: Vec<u8>,
+}
+
+/// Sender-side state of one exchange (one successor, one round).
+#[derive(Clone, Debug, Default)]
+struct SenderExchange {
+    responded: bool,
+    served: Option<ServedSnapshot>,
+    expected_ack: Option<HashTriple>,
+    acked: Option<(HashTriple, Signature)>,
+    accused: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ServedSnapshot {
+    fresh: Vec<ServedUpdate>,
+    refs: Vec<ServedRef>,
+    k_prev: BigUint,
+    k_prev_factors: u32,
+}
+
+/// Receiver-side reorder buffer: Serve and Attestation arrive separately.
+#[derive(Clone, Debug, Default)]
+struct PendingServe {
+    serve: Option<(BigUint, u32, Vec<ServedUpdate>, Vec<ServedRef>)>,
+    attestation: Option<HashTriple>,
+}
+
+/// A node running PAG.
+#[derive(Debug)]
+pub struct PagNode {
+    id: NodeId,
+    shared: Arc<SharedContext>,
+    strategy: SelfishStrategy,
+    store: UpdateStore,
+    recv_keys: BTreeMap<u64, RoundKeys>,
+    /// Fresh (must-forward) receptions per round, with multiplicities.
+    received_fresh: BTreeMap<u64, BTreeMap<UpdateId, u32>>,
+    processed_exchanges: BTreeSet<(u64, NodeId)>,
+    pending_serves: BTreeMap<(u64, NodeId), PendingServe>,
+    /// Update-id lists matching the buffermaps sent, for ref resolution.
+    buffermaps_sent: BTreeMap<(u64, NodeId), Vec<UpdateId>>,
+    /// Acks already produced (receiver side), for re-acks and evidence.
+    acks_sent: BTreeMap<(u64, NodeId), (HashTriple, Signature)>,
+    sa_cache: BTreeMap<u64, Vec<SaItem>>,
+    exchanges: BTreeMap<(u64, NodeId), SenderExchange>,
+    monitor: MonitorEngine,
+    metrics: NodeMetrics,
+    /// Next update sequence number (source only).
+    next_seq: u64,
+    /// Creation rounds of injected updates (source only).
+    creations: BTreeMap<UpdateId, u64>,
+}
+
+impl PagNode {
+    /// Creates a node.
+    pub fn new(id: NodeId, shared: Arc<SharedContext>, strategy: SelfishStrategy) -> Self {
+        let monitor = MonitorEngine::new(id, &shared);
+        PagNode {
+            id,
+            shared,
+            strategy,
+            store: UpdateStore::new(),
+            recv_keys: BTreeMap::new(),
+            received_fresh: BTreeMap::new(),
+            processed_exchanges: BTreeSet::new(),
+            pending_serves: BTreeMap::new(),
+            buffermaps_sent: BTreeMap::new(),
+            acks_sent: BTreeMap::new(),
+            sa_cache: BTreeMap::new(),
+            exchanges: BTreeMap::new(),
+            monitor,
+            metrics: NodeMetrics::default(),
+            next_seq: 0,
+            creations: BTreeMap::new(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The strategy this node plays.
+    pub fn strategy(&self) -> SelfishStrategy {
+        self.strategy
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// Verdicts this node emitted in its monitor role.
+    pub fn verdicts(&self) -> &[Verdict] {
+        self.monitor.verdicts()
+    }
+
+    /// The update store (owned updates).
+    pub fn store(&self) -> &UpdateStore {
+        &self.store
+    }
+
+    /// Creation rounds of updates injected by this node (source only).
+    pub fn creations(&self) -> &BTreeMap<UpdateId, u64> {
+        &self.creations
+    }
+
+    fn is_source(&self) -> bool {
+        self.id == self.shared.source()
+    }
+
+    // ----- helpers -------------------------------------------------------
+
+    /// Signs and dispatches a message (locally when addressed to self).
+    fn send_body(&mut self, ctx: &mut Context<'_, SignedMessage>, to: NodeId, body: MessageBody) {
+        let class = body.traffic_class();
+        let msg = self.shared.sign(self.id, body);
+        self.metrics.ops.signatures += 1;
+        if to == self.id {
+            self.dispatch(self.id, msg, ctx);
+        } else {
+            let bytes = msg.wire_size(&self.shared.config.wire);
+            ctx.send_classified(to, msg, bytes, class);
+        }
+    }
+
+    /// Dispatches an already-signed message.
+    fn send_presigned(
+        &mut self,
+        ctx: &mut Context<'_, SignedMessage>,
+        to: NodeId,
+        msg: SignedMessage,
+    ) {
+        let class = msg.body.traffic_class();
+        if to == self.id {
+            self.dispatch(self.id, msg, ctx);
+        } else {
+            let bytes = msg.wire_size(&self.shared.config.wire);
+            ctx.send_classified(to, msg, bytes, class);
+        }
+    }
+
+    fn send_effects(
+        &mut self,
+        ctx: &mut Context<'_, SignedMessage>,
+        effects: Vec<(NodeId, MessageBody)>,
+    ) {
+        for (to, body) in effects {
+            self.send_body(ctx, to, body);
+        }
+    }
+
+    /// Product of `residue^count` terms, mod M.
+    fn multiset_product<'a, I>(&self, items: I) -> BigUint
+    where
+        I: IntoIterator<Item = (&'a BigUint, u32)>,
+    {
+        let m = self.shared.params.modulus();
+        let mut acc = BigUint::one() % m;
+        for (residue, count) in items {
+            for _ in 0..count {
+                acc = acc.mod_mul(residue, m);
+            }
+        }
+        acc
+    }
+
+    /// Hashes a `[expiring, fresh, duplicate]` product triple under `exp`.
+    fn hash_triple(&mut self, prods: &[BigUint; 3], exp: &BigUint) -> HashTriple {
+        self.metrics.ops.hashes += 3;
+        let p = &self.shared.params;
+        HashTriple {
+            expiring: p.hash_residue(&prods[0], exp),
+            fresh: p.hash_residue(&prods[1], exp),
+            duplicate: p.hash_residue(&prods[2], exp),
+        }
+    }
+
+    /// `K(round, self)`, or 1 when the node minted no primes that round.
+    fn k_of_round(&self, round: u64) -> (BigUint, u32) {
+        match self.recv_keys.get(&round) {
+            Some(keys) => (keys.k.clone(), keys.factor_count()),
+            None => (BigUint::one(), 1),
+        }
+    }
+
+    fn k_prev_for_serve(&self, round: u64) -> (BigUint, u32) {
+        if round == 0 {
+            (BigUint::one(), 1)
+        } else {
+            self.k_of_round(round - 1)
+        }
+    }
+
+    /// True for the SA items a deviating node actually serves.
+    fn strategy_keeps(&self, item: &SaItem) -> bool {
+        match self.strategy {
+            SelfishStrategy::PartialForward => item.id.0 % 2 == 0,
+            _ => true,
+        }
+    }
+
+    // ----- round driver --------------------------------------------------
+
+    fn start_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+        self.gc(round);
+
+        let topo = self.shared.topology(round);
+
+        // Receiver role: mint one prime per predecessor (§V-A message 2).
+        let preds: Vec<NodeId> = topo.predecessors(self.id).to_vec();
+        let mut entries = Vec::with_capacity(preds.len());
+        let mut k = BigUint::one();
+        for pred in preds {
+            let prime = gen_prime(self.shared.config.crypto.prime_bits, ctx.rng());
+            self.metrics.ops.primes += 1;
+            k = &k * &prime;
+            entries.push((pred, prime));
+        }
+        self.recv_keys.insert(round, RoundKeys { entries, k });
+
+        // Source role: inject this round's window of updates.
+        let mut sa = self.build_sa(round);
+        if self.is_source() {
+            let injected = self.inject_updates(round);
+            let fresh_prod =
+                self.multiset_product(injected.iter().map(|item| (&item.residue, item.count)));
+            sa.extend(injected);
+            let (k_prev, _) = self.k_prev_for_serve(round);
+            let prods = [
+                BigUint::one() % self.shared.params.modulus(),
+                fresh_prod,
+                BigUint::one() % self.shared.params.modulus(),
+            ];
+            let hashes = self.hash_triple(&prods, &k_prev);
+            let monitors = self.shared.membership.monitors_of(self.id, round);
+            for m in monitors {
+                self.send_body(ctx, m, MessageBody::SourceDeclare { round, hashes: hashes.clone() });
+            }
+        }
+        self.sa_cache.insert(round, sa);
+
+        // Sender role: open one exchange per successor (message 1).
+        if self.strategy.serves() {
+            let successors: Vec<NodeId> = topo.successors(self.id).to_vec();
+            for succ in successors {
+                self.exchanges
+                    .insert((round, succ), SenderExchange::default());
+                self.send_body(ctx, succ, MessageBody::KeyRequest { round });
+            }
+        }
+
+        let cfg = &self.shared.config;
+        ctx.set_timer(
+            SimDuration::from_millis(cfg.ack_check_ms),
+            TIMER_ACK_CHECK | round,
+        );
+        ctx.set_timer(SimDuration::from_millis(cfg.monitor_eval_ms), TIMER_EVAL | round);
+        ctx.set_timer(
+            SimDuration::from_millis(cfg.exhibit_resolve_ms),
+            TIMER_EXHIBIT | round,
+        );
+    }
+
+    /// SA = everything received fresh in the previous round.
+    fn build_sa(&self, round: u64) -> Vec<SaItem> {
+        let mut sa = Vec::new();
+        if round == 0 {
+            return sa;
+        }
+        if let Some(counts) = self.received_fresh.get(&(round - 1)) {
+            for (&id, &count) in counts {
+                if let Some(u) = self.store.get(id) {
+                    sa.push(SaItem {
+                        id,
+                        count,
+                        created_round: u.created_round,
+                        residue: u.residue.clone(),
+                        payload: u.payload.clone(),
+                    });
+                }
+            }
+        }
+        sa
+    }
+
+    fn inject_updates(&mut self, round: u64) -> Vec<SaItem> {
+        let n = self.shared.config.updates_per_round();
+        let session = self.shared.config.session_id;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = UpdateId(self.next_seq);
+            self.next_seq += 1;
+            let payload = synthetic_payload(session, id);
+            let residue = self.shared.params.residue(&payload);
+            self.store.insert(StoredUpdate {
+                id,
+                created_round: round,
+                payload: payload.clone(),
+                residue: residue.clone(),
+                first_received_round: round,
+            });
+            self.creations.insert(id, round);
+            self.metrics.record_delivery(id, round);
+            items.push(SaItem {
+                id,
+                count: 1,
+                created_round: round,
+                residue,
+                payload,
+            });
+        }
+        items
+    }
+
+    fn gc(&mut self, round: u64) {
+        let cfg = &self.shared.config;
+        self.store.prune_expired(round, cfg.expiration_rounds, cfg.buffermap_window + 2);
+        let keep = round.saturating_sub(3);
+        self.recv_keys.retain(|&r, _| r >= keep);
+        self.received_fresh.retain(|&r, _| r >= keep);
+        self.processed_exchanges.retain(|&(r, _)| r >= keep);
+        self.pending_serves.retain(|&(r, _), _| r >= keep);
+        self.buffermaps_sent.retain(|&(r, _), _| r >= keep);
+        self.acks_sent.retain(|&(r, _), _| r >= keep);
+        self.sa_cache.retain(|&r, _| r >= keep);
+        self.exchanges.retain(|&(r, _), _| r >= keep);
+        self.monitor.gc(round);
+    }
+
+    // ----- receiver side (B in Fig. 5) -----------------------------------
+
+    fn handle_key_request(
+        &mut self,
+        from: NodeId,
+        round: u64,
+        ctx: &mut Context<'_, SignedMessage>,
+    ) {
+        if !self.strategy.responds_keys() {
+            return;
+        }
+        let Some(prime) = self
+            .recv_keys
+            .get(&round)
+            .and_then(|k| k.prime_for(from))
+            .cloned()
+        else {
+            return; // not a predecessor of mine this round
+        };
+        // Buffermap: hashes (under the fresh prime) of updates obtained in
+        // the last `buffermap_window` rounds (§V-D).
+        let mut ids = Vec::new();
+        let mut hashes = Vec::new();
+        if round > 0 {
+            let from_round = round.saturating_sub(self.shared.config.buffermap_window);
+            for u in self.store.received_in_window(from_round, round - 1) {
+                ids.push(u.id);
+                hashes.push(
+                    self.shared
+                        .params
+                        .hash_residue(&u.residue, &prime)
+                        .value()
+                        .clone(),
+                );
+            }
+            self.metrics.ops.hashes += ids.len() as u64;
+        }
+        self.buffermaps_sent.insert((round, from), ids);
+        self.send_body(
+            ctx,
+            from,
+            MessageBody::KeyResponse {
+                round,
+                prime,
+                buffermap: hashes,
+            },
+        );
+    }
+
+    fn handle_serve_part(
+        &mut self,
+        from: NodeId,
+        round: u64,
+        part: PendingServePart,
+        ctx: &mut Context<'_, SignedMessage>,
+    ) {
+        let entry = self.pending_serves.entry((round, from)).or_default();
+        match part {
+            PendingServePart::Serve(k_prev, factors, fresh, refs) => {
+                entry.serve = Some((k_prev, factors, fresh, refs));
+            }
+            PendingServePart::Attestation(h) => entry.attestation = Some(h),
+        }
+        let ready = entry.serve.is_some() && entry.attestation.is_some();
+        if !ready {
+            return;
+        }
+        let pending = self
+            .pending_serves
+            .remove(&(round, from))
+            .expect("checked present");
+        let (k_prev, _factors, fresh, refs) = pending.serve.expect("serve present");
+        let attestation = pending.attestation.expect("attestation present");
+        self.process_incoming_exchange(from, round, k_prev, fresh, refs, Some(attestation), None, ctx);
+    }
+
+    /// Core receiver logic: verify, account, acknowledge, report.
+    ///
+    /// `reask_reply_to` is set when this runs under a monitor's ReAsk.
+    #[allow(clippy::too_many_arguments)]
+    fn process_incoming_exchange(
+        &mut self,
+        from: NodeId,
+        round: u64,
+        k_prev: BigUint,
+        fresh: Vec<ServedUpdate>,
+        refs: Vec<ServedRef>,
+        attestation: Option<HashTriple>,
+        reask_reply_to: Option<NodeId>,
+        ctx: &mut Context<'_, SignedMessage>,
+    ) {
+        if self.processed_exchanges.contains(&(round, from)) {
+            // Duplicate (Serve raced the accusation): re-acknowledge.
+            if !self.strategy.acks() {
+                return;
+            }
+            if let (Some(monitor), Some((ack, ack_sig))) =
+                (reask_reply_to, self.acks_sent.get(&(round, from)).cloned())
+            {
+                self.send_body(
+                    ctx,
+                    monitor,
+                    MessageBody::ReAskAck {
+                        round,
+                        accuser: from,
+                        ack,
+                        ack_sig,
+                    },
+                );
+            }
+            return;
+        }
+        let Some(my_prime) = self
+            .recv_keys
+            .get(&round)
+            .and_then(|k| k.prime_for(from))
+            .cloned()
+        else {
+            return;
+        };
+
+        let session = self.shared.config.session_id;
+        let lifetime = self.shared.config.expiration_rounds;
+        let m = self.shared.params.modulus().clone();
+        let one = BigUint::one() % &m;
+        let mut prods = [one.clone(), one.clone(), one];
+
+        // Fresh (payload-carrying) updates: check integrity (stands in for
+        // the source signature of §III) and classify per declared flags.
+        for u in &fresh {
+            if u.payload != synthetic_payload(session, u.id) {
+                return; // tampered payload: refuse the exchange
+            }
+            if u.count == 0 || u.created_round + lifetime <= round {
+                return; // malformed serve
+            }
+            let residue = self.shared.params.residue(&u.payload);
+            let slot = if u.expiring { 0 } else { 1 };
+            for _ in 0..u.count {
+                prods[slot] = prods[slot].mod_mul(&residue, &m);
+            }
+        }
+        // Referenced (already-owned) updates.
+        let bm_ids = self.buffermaps_sent.get(&(round, from));
+        for r in &refs {
+            let Some(id) = bm_ids.and_then(|ids| ids.get(r.index as usize)) else {
+                return; // reference to a buffermap I never sent
+            };
+            let Some(u) = self.store.get(*id) else {
+                return;
+            };
+            let residue = u.residue.clone();
+            for _ in 0..r.count {
+                prods[2] = prods[2].mod_mul(&residue, &m);
+            }
+        }
+
+        // Verify the sender's attestation against our own computation.
+        let computed_att = self.hash_triple(&prods, &my_prime);
+        if let Some(att) = &attestation {
+            if att != &computed_att {
+                return; // sender lied; withhold the ack, accusation decides
+            }
+        }
+
+        // Build and record the acknowledgement.
+        let ack = self.hash_triple(&prods, &k_prev);
+        let ack_body = MessageBody::Ack {
+            round,
+            hashes: ack.clone(),
+        };
+        let ack_sig = self.shared.signer(self.id).sign(&ack_body.signable_bytes());
+        self.metrics.ops.signatures += 1;
+        self.acks_sent.insert((round, from), (ack.clone(), ack_sig.clone()));
+        self.processed_exchanges.insert((round, from));
+        self.metrics.exchanges_completed += 1;
+
+        // Deliver payloads and record forwarding obligations.
+        for u in fresh {
+            self.metrics.record_delivery(u.id, round);
+            self.store.insert_parts(
+                &self.shared.params,
+                u.id,
+                u.created_round,
+                u.payload,
+                round,
+            );
+            if !u.expiring {
+                *self
+                    .received_fresh
+                    .entry(round)
+                    .or_default()
+                    .entry(u.id)
+                    .or_insert(0) += u.count;
+            }
+        }
+
+        if !self.strategy.acks() {
+            return;
+        }
+
+        // Message 5 (or the ReAsk detour).
+        match reask_reply_to {
+            None => {
+                let msg = SignedMessage {
+                    body: ack_body,
+                    sig: ack_sig.clone(),
+                };
+                self.send_presigned(ctx, from, msg);
+            }
+            Some(monitor) => {
+                self.send_body(
+                    ctx,
+                    monitor,
+                    MessageBody::ReAskAck {
+                        round,
+                        accuser: from,
+                        ack: ack.clone(),
+                        ack_sig: ack_sig.clone(),
+                    },
+                );
+            }
+        }
+
+        // Messages 6 and 7 to the designated monitor.
+        if self.strategy.reports_to_monitors() {
+            let d = designated_monitor(&self.shared, self.id, round);
+            let cofactor = self
+                .recv_keys
+                .get(&round)
+                .map(|k| k.cofactor(from))
+                .unwrap_or_else(BigUint::one);
+            let cofactor_factors = self
+                .recv_keys
+                .get(&round)
+                .map(|k| k.factor_count().saturating_sub(1).max(1))
+                .unwrap_or(1);
+            self.send_body(
+                ctx,
+                d,
+                MessageBody::MonitorAck {
+                    round,
+                    sender: from,
+                    ack: ack.clone(),
+                    ack_sig: ack_sig.clone(),
+                },
+            );
+            self.send_body(
+                ctx,
+                d,
+                MessageBody::MonitorAttestation {
+                    round,
+                    sender: from,
+                    attestation: computed_att,
+                    cofactor,
+                    cofactor_factors,
+                },
+            );
+        }
+    }
+
+    // ----- sender side (A in Fig. 5) --------------------------------------
+
+    fn handle_key_response(
+        &mut self,
+        from: NodeId,
+        round: u64,
+        prime: BigUint,
+        buffermap: Vec<BigUint>,
+        ctx: &mut Context<'_, SignedMessage>,
+    ) {
+        let Some(ex) = self.exchanges.get(&(round, from)) else {
+            return;
+        };
+        if ex.responded {
+            return;
+        }
+        let sa: Vec<SaItem> = self
+            .sa_cache
+            .get(&round)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|item| self.strategy_keeps(item))
+            .collect();
+
+        let bm_index: HashMap<&BigUint, u32> = buffermap
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h, i as u32))
+            .collect();
+
+        let m = self.shared.params.modulus().clone();
+        let one = BigUint::one() % &m;
+        let mut prods = [one.clone(), one.clone(), one];
+        let mut fresh = Vec::new();
+        let mut refs = Vec::new();
+        let lifetime = self.shared.config.expiration_rounds;
+
+        for item in &sa {
+            let h = self.shared.params.hash_residue(&item.residue, &prime);
+            self.metrics.ops.hashes += 1;
+            if let Some(&idx) = bm_index.get(h.value()) {
+                refs.push(ServedRef {
+                    index: idx,
+                    count: item.count,
+                });
+                for _ in 0..item.count {
+                    prods[2] = prods[2].mod_mul(&item.residue, &m);
+                }
+            } else {
+                let expiring = round + 1 >= item.created_round + lifetime;
+                fresh.push(ServedUpdate {
+                    id: item.id,
+                    created_round: item.created_round,
+                    payload: item.payload.clone(),
+                    count: item.count,
+                    expiring,
+                });
+                let slot = if expiring { 0 } else { 1 };
+                for _ in 0..item.count {
+                    prods[slot] = prods[slot].mod_mul(&item.residue, &m);
+                }
+            }
+        }
+
+        let attestation = self.hash_triple(&prods, &prime);
+        let (k_prev, k_prev_factors) = self.k_prev_for_serve(round);
+        let expected_ack = self.hash_triple(&prods, &k_prev);
+
+        let ex = self.exchanges.get_mut(&(round, from)).expect("exists");
+        ex.responded = true;
+        ex.served = Some(ServedSnapshot {
+            fresh: fresh.clone(),
+            refs: refs.clone(),
+            k_prev: k_prev.clone(),
+            k_prev_factors,
+        });
+        ex.expected_ack = Some(expected_ack);
+
+        self.send_body(
+            ctx,
+            from,
+            MessageBody::Serve {
+                round,
+                k_prev,
+                k_prev_factors,
+                fresh,
+                refs,
+            },
+        );
+        self.send_body(
+            ctx,
+            from,
+            MessageBody::Attestation {
+                round,
+                hashes: attestation,
+            },
+        );
+    }
+
+    fn handle_ack(&mut self, from: NodeId, round: u64, hashes: HashTriple, sig: Signature) {
+        let Some(ex) = self.exchanges.get_mut(&(round, from)) else {
+            return;
+        };
+        if ex.acked.is_some() {
+            return;
+        }
+        if ex.expected_ack.as_ref() == Some(&hashes) {
+            ex.acked = Some((hashes, sig));
+        }
+        // A wrong ack is treated as missing: the accusation path decides.
+    }
+
+    // ----- timers ---------------------------------------------------------
+
+    fn ack_check(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+        // Self-report (§V-B cross-check): hash of this round's fresh
+        // receptions under K(round, self).
+        if self.strategy.reports_to_monitors() {
+            let counts = self.received_fresh.get(&round).cloned().unwrap_or_default();
+            let residues: Vec<(BigUint, u32)> = counts
+                .iter()
+                .filter_map(|(&id, &c)| self.store.get(id).map(|u| (u.residue.clone(), c)))
+                .collect();
+            let prod = self.multiset_product(residues.iter().map(|(r, c)| (r, *c)));
+            let (k, _) = self.k_of_round(round);
+            self.metrics.ops.hashes += 1;
+            let value = self.shared.params.hash_residue(&prod, &k);
+            let identity =
+                HomomorphicHash::from_value(BigUint::one() % self.shared.params.modulus());
+            let triple = HashTriple {
+                expiring: identity.clone(),
+                fresh: value,
+                duplicate: identity,
+            };
+            let monitors = self.shared.membership.monitors_of(self.id, round);
+            for m in monitors {
+                self.send_body(
+                    ctx,
+                    m,
+                    MessageBody::SelfAccum {
+                        round,
+                        value: triple.clone(),
+                    },
+                );
+            }
+        }
+
+        // Accuse unresponsive successors (Fig. 3).
+        let pending: Vec<NodeId> = self
+            .exchanges
+            .iter()
+            .filter(|(&(r, _), ex)| r == round && ex.acked.is_none() && !ex.accused)
+            .map(|(&(_, succ), _)| succ)
+            .collect();
+        for succ in pending {
+            let (k_prev, k_prev_factors, fresh, refs) = match self
+                .exchanges
+                .get(&(round, succ))
+                .and_then(|ex| ex.served.clone())
+            {
+                Some(snap) => (snap.k_prev, snap.k_prev_factors, snap.fresh, snap.refs),
+                None => {
+                    // Never served (no KeyResponse): ship the full SA.
+                    let (k_prev, k_prev_factors) = self.k_prev_for_serve(round);
+                    let lifetime = self.shared.config.expiration_rounds;
+                    let fresh = self
+                        .sa_cache
+                        .get(&round)
+                        .map(|sa| {
+                            sa.iter()
+                                .filter(|item| self.strategy_keeps(item))
+                                .map(|item| ServedUpdate {
+                                    id: item.id,
+                                    created_round: item.created_round,
+                                    payload: item.payload.clone(),
+                                    count: item.count,
+                                    expiring: round + 1 >= item.created_round + lifetime,
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    (k_prev, k_prev_factors, fresh, Vec::new())
+                }
+            };
+            if let Some(ex) = self.exchanges.get_mut(&(round, succ)) {
+                ex.accused = true;
+            }
+            self.metrics.accusations_sent += 1;
+            let monitors = self.shared.membership.monitors_of(succ, round);
+            for m in monitors {
+                self.send_body(
+                    ctx,
+                    m,
+                    MessageBody::Accuse {
+                        round,
+                        accused: succ,
+                        k_prev: k_prev.clone(),
+                        k_prev_factors,
+                        fresh: fresh.clone(),
+                        refs: refs.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    // ----- message dispatch -----------------------------------------------
+
+    fn dispatch(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {
+        let monitors_others = self.strategy.monitors_others();
+        match msg.body {
+            MessageBody::KeyRequest { round } => self.handle_key_request(from, round, ctx),
+            MessageBody::KeyResponse {
+                round,
+                prime,
+                buffermap,
+            } => self.handle_key_response(from, round, prime, buffermap, ctx),
+            MessageBody::Serve {
+                round,
+                k_prev,
+                k_prev_factors,
+                fresh,
+                refs,
+            } => self.handle_serve_part(
+                from,
+                round,
+                PendingServePart::Serve(k_prev, k_prev_factors, fresh, refs),
+                ctx,
+            ),
+            MessageBody::Attestation { round, hashes } => {
+                self.handle_serve_part(from, round, PendingServePart::Attestation(hashes), ctx)
+            }
+            MessageBody::Ack { round, hashes } => self.handle_ack(from, round, hashes, msg.sig),
+            MessageBody::SourceDeclare { round, hashes } => {
+                if monitors_others {
+                    self.monitor
+                        .on_source_declare(&self.shared, from, round, &hashes);
+                }
+            }
+            MessageBody::MonitorAck {
+                round,
+                sender,
+                ack,
+                ack_sig,
+            } => {
+                if monitors_others && self.monitor.watched().contains(&from) {
+                    let shared = Arc::clone(&self.shared);
+                    let effects = self.monitor.on_monitor_ack(
+                        &shared,
+                        &mut self.metrics.ops,
+                        from,
+                        round,
+                        sender,
+                        ack,
+                        ack_sig,
+                    );
+                    self.send_effects(ctx, effects);
+                }
+            }
+            MessageBody::MonitorAttestation {
+                round,
+                sender,
+                attestation,
+                cofactor,
+                ..
+            } => {
+                if monitors_others && self.monitor.watched().contains(&from) {
+                    let shared = Arc::clone(&self.shared);
+                    let effects = self.monitor.on_monitor_attestation(
+                        &shared,
+                        &mut self.metrics.ops,
+                        from,
+                        round,
+                        sender,
+                        attestation,
+                        cofactor,
+                    );
+                    self.send_effects(ctx, effects);
+                }
+            }
+            MessageBody::MonitorBroadcast {
+                round,
+                watched,
+                sender,
+                combined,
+                ack,
+                ack_sig,
+            } => {
+                if monitors_others {
+                    self.monitor
+                        .on_monitor_broadcast(&self.shared, from, round, watched, sender, combined);
+                    // The broadcast carries the ack as well; record it if
+                    // we also monitor the exchange's sender.
+                    if self
+                        .shared
+                        .membership
+                        .monitors_of(sender, round)
+                        .contains(&self.id)
+                        && self.verify_ack_evidence(watched, round, &ack, &ack_sig)
+                    {
+                        self.monitor.record_ack(sender, round, watched, ack, ack_sig);
+                    }
+                }
+            }
+            MessageBody::AckForward {
+                round,
+                sender,
+                receiver,
+                ack,
+                ack_sig,
+            } => {
+                if monitors_others && self.verify_ack_evidence(receiver, round, &ack, &ack_sig) {
+                    self.monitor.record_ack(sender, round, receiver, ack, ack_sig);
+                }
+            }
+            MessageBody::Accuse {
+                round, accused, ..
+            } => {
+                if monitors_others && self.monitor.watched().contains(&accused) {
+                    let effects = self.monitor.on_accuse(round, from, accused, msg.body);
+                    self.send_effects(ctx, effects);
+                }
+            }
+            MessageBody::ReAsk {
+                round,
+                accuser,
+                k_prev,
+                fresh,
+                refs,
+                ..
+            } => {
+                // `from` is a monitor replaying a serve on behalf of
+                // `accuser`.
+                if self
+                    .shared
+                    .membership
+                    .monitors_of(self.id, round)
+                    .contains(&from)
+                {
+                    self.process_incoming_exchange(
+                        accuser,
+                        round,
+                        k_prev,
+                        fresh,
+                        refs,
+                        None,
+                        Some(from),
+                        ctx,
+                    );
+                }
+            }
+            MessageBody::ReAskAck {
+                round,
+                accuser,
+                ack,
+                ack_sig,
+            } => {
+                if monitors_others && self.verify_ack_evidence(from, round, &ack, &ack_sig) {
+                    let shared = Arc::clone(&self.shared);
+                    let effects = self
+                        .monitor
+                        .on_reask_ack(&shared, from, round, accuser, ack, ack_sig);
+                    self.send_effects(ctx, effects);
+                }
+            }
+            MessageBody::Confirm {
+                round,
+                accuser,
+                accused,
+                ack,
+                ack_sig,
+            } => {
+                if monitors_others && self.verify_ack_evidence(accused, round, &ack, &ack_sig) {
+                    self.monitor.on_confirm(round, accuser, accused, ack, ack_sig);
+                }
+            }
+            MessageBody::Nack {
+                round,
+                accuser,
+                accused,
+            } => {
+                if monitors_others {
+                    self.monitor.on_nack(round, accuser, accused);
+                }
+            }
+            MessageBody::ExhibitRequest { round, successor } => {
+                let ack = self
+                    .exchanges
+                    .get(&(round, successor))
+                    .and_then(|ex| ex.acked.clone());
+                self.send_body(
+                    ctx,
+                    from,
+                    MessageBody::ExhibitResponse {
+                        round,
+                        successor,
+                        ack,
+                    },
+                );
+            }
+            MessageBody::ExhibitResponse {
+                round,
+                successor,
+                ack,
+            } => {
+                if monitors_others {
+                    let shared = Arc::clone(&self.shared);
+                    let effects = self
+                        .monitor
+                        .on_exhibit_response(&shared, from, round, successor, ack);
+                    self.send_effects(ctx, effects);
+                }
+            }
+            MessageBody::ExhibitNotice {
+                round,
+                sender,
+                receiver,
+                ..
+            } => {
+                if monitors_others {
+                    let shared = Arc::clone(&self.shared);
+                    self.monitor
+                        .on_exhibit_notice(&shared, round, sender, receiver);
+                }
+            }
+            MessageBody::SelfAccum { round, value } => {
+                if monitors_others && self.monitor.watched().contains(&from) {
+                    self.monitor.on_self_accum(from, round, value.fresh);
+                }
+            }
+        }
+    }
+
+    fn verify_ack_evidence(
+        &mut self,
+        signer: NodeId,
+        round: u64,
+        ack: &HashTriple,
+        ack_sig: &Signature,
+    ) -> bool {
+        let body = MessageBody::Ack {
+            round,
+            hashes: ack.clone(),
+        };
+        if self.shared.config.verify_signatures {
+            self.metrics.ops.verifications += 1;
+        }
+        self.shared
+            .verify_evidence(signer, &body.signable_bytes(), ack_sig)
+    }
+}
+
+enum PendingServePart {
+    Serve(BigUint, u32, Vec<ServedUpdate>, Vec<ServedRef>),
+    Attestation(HashTriple),
+}
+
+impl Protocol for PagNode {
+    type Message = SignedMessage;
+
+    fn on_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+        self.start_round(round, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {
+        if self.shared.config.verify_signatures {
+            self.metrics.ops.verifications += 1;
+            if !self.shared.verify(from, &msg) {
+                return;
+            }
+        }
+        self.dispatch(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, SignedMessage>) {
+        let round = tag & TIMER_ROUND_MASK;
+        match tag & !TIMER_ROUND_MASK {
+            TIMER_ACK_CHECK => self.ack_check(round, ctx),
+            TIMER_EVAL => {
+                if self.strategy.monitors_others() {
+                    let shared = Arc::clone(&self.shared);
+                    let effects = self.monitor.eval_round(&shared, round);
+                    self.send_effects(ctx, effects);
+                }
+            }
+            TIMER_EXHIBIT => {
+                if self.strategy.monitors_others() {
+                    self.monitor.resolve_exhibits(round);
+                }
+            }
+            _ => {}
+        }
+    }
+}

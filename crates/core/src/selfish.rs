@@ -1,0 +1,94 @@
+//! Selfish deviation strategies for fault-injection experiments.
+//!
+//! The paper's adversary (§II-A) tampers with the client to "maximise
+//! their benefit while minimising their contribution". Each strategy
+//! below skips one contribution the protocol obliges; the accountability
+//! analysis (§VI-B) claims every one of them is detected — the test suite
+//! verifies exactly that.
+
+/// A deviation from the PAG protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelfishStrategy {
+    /// Follow the protocol.
+    #[default]
+    Honest,
+    /// Never serve successors (saves all upload bandwidth; violates R2).
+    DropForward,
+    /// Serve only every other fresh update (saves half the payload
+    /// upload; violates R2).
+    PartialForward,
+    /// Receive but never acknowledge (saves control upload and dodges the
+    /// engagement acks create; violates R1's machinery).
+    NoAck,
+    /// Never answer `KeyRequest`s (refuses to receive; violates R1).
+    RefuseReceive,
+    /// Participate in exchanges but withhold messages 6/7 from monitors
+    /// (saves monitoring upload).
+    SilentToMonitors,
+    /// Perform exchanges but skip monitor duties for *other* nodes
+    /// (saves monitoring bandwidth as a monitor).
+    LazyMonitor,
+}
+
+impl SelfishStrategy {
+    /// True if the strategy serves successors at all.
+    pub fn serves(self) -> bool {
+        self != SelfishStrategy::DropForward
+    }
+
+    /// True if the strategy acknowledges serves.
+    pub fn acks(self) -> bool {
+        !matches!(self, SelfishStrategy::NoAck | SelfishStrategy::RefuseReceive)
+    }
+
+    /// True if the strategy answers key requests.
+    pub fn responds_keys(self) -> bool {
+        self != SelfishStrategy::RefuseReceive
+    }
+
+    /// True if the strategy reports exchanges to its monitors.
+    pub fn reports_to_monitors(self) -> bool {
+        !matches!(
+            self,
+            SelfishStrategy::SilentToMonitors | SelfishStrategy::RefuseReceive
+        )
+    }
+
+    /// True if the strategy performs monitor duties for others.
+    pub fn monitors_others(self) -> bool {
+        self != SelfishStrategy::LazyMonitor
+    }
+
+    /// Fraction of fresh updates actually served.
+    pub fn forward_fraction(self) -> f64 {
+        match self {
+            SelfishStrategy::DropForward => 0.0,
+            SelfishStrategy::PartialForward => 0.5,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_does_everything() {
+        let s = SelfishStrategy::Honest;
+        assert!(s.serves() && s.acks() && s.responds_keys());
+        assert!(s.reports_to_monitors() && s.monitors_others());
+        assert_eq!(s.forward_fraction(), 1.0);
+    }
+
+    #[test]
+    fn each_strategy_skips_something() {
+        use SelfishStrategy::*;
+        assert!(!DropForward.serves());
+        assert!(!NoAck.acks());
+        assert!(!RefuseReceive.responds_keys());
+        assert!(!SilentToMonitors.reports_to_monitors());
+        assert!(!LazyMonitor.monitors_others());
+        assert_eq!(PartialForward.forward_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,208 @@
+//! One-call harness: build a full PAG session on the simulator, run it,
+//! and collect protocol-level outcomes next to the traffic report.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pag_membership::NodeId;
+use pag_simnet::{SimConfig, SimReport, Simulation};
+
+use crate::config::PagConfig;
+use crate::metrics::{NodeMetrics, OpCounters};
+use crate::node::PagNode;
+use crate::selfish::SelfishStrategy;
+use crate::shared::SharedContext;
+use crate::update::UpdateId;
+use crate::verdict::Verdict;
+
+/// Session-level run description.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Number of nodes (node 0 is the source).
+    pub nodes: usize,
+    /// Rounds to simulate.
+    pub rounds: u64,
+    /// Protocol configuration.
+    pub pag: PagConfig,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Nodes deviating from the protocol.
+    pub selfish: Vec<(NodeId, SelfishStrategy)>,
+    /// Fail-stop crashes: (node, round).
+    pub crashes: Vec<(NodeId, u64)>,
+}
+
+impl SessionConfig {
+    /// An honest session with default parameters.
+    pub fn honest(nodes: usize, rounds: u64) -> Self {
+        SessionConfig {
+            nodes,
+            rounds,
+            pag: PagConfig::default(),
+            sim: SimConfig::default(),
+            selfish: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of a session run.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Per-node traffic statistics.
+    pub report: SimReport,
+    /// All verdicts emitted by all monitors.
+    pub verdicts: Vec<Verdict>,
+    /// Per-node protocol metrics.
+    pub metrics: BTreeMap<NodeId, NodeMetrics>,
+    /// Creation round of every update the source injected.
+    pub creations: BTreeMap<UpdateId, u64>,
+    /// Rounds simulated.
+    pub rounds: u64,
+}
+
+impl SessionOutcome {
+    /// Aggregated crypto operation counters across all nodes.
+    pub fn total_ops(&self) -> OpCounters {
+        let mut total = OpCounters::default();
+        for m in self.metrics.values() {
+            total.merge(&m.ops);
+        }
+        total
+    }
+
+    /// Mean homomorphic hashes per node per second (Table I's metric).
+    pub fn hashes_per_node_per_second(&self) -> f64 {
+        if self.metrics.is_empty() || self.rounds == 0 {
+            return 0.0;
+        }
+        self.total_ops().hashes as f64 / self.metrics.len() as f64 / self.rounds as f64
+    }
+
+    /// Mean signatures per node per second (Table I's metric).
+    pub fn signatures_per_node_per_second(&self) -> f64 {
+        if self.metrics.is_empty() || self.rounds == 0 {
+            return 0.0;
+        }
+        self.total_ops().signatures as f64 / self.metrics.len() as f64 / self.rounds as f64
+    }
+
+    /// Distinct accused nodes across all verdicts.
+    pub fn convicted(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.verdicts.iter().map(|v| v.accused).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Fraction of evaluable updates delivered on time at `node`.
+    ///
+    /// Only updates old enough to have fully propagated (created at least
+    /// `deadline` rounds before the end) are evaluated.
+    pub fn on_time_ratio(&self, node: NodeId, deadline: u64) -> f64 {
+        let Some(m) = self.metrics.get(&node) else {
+            return 0.0;
+        };
+        let evaluable: BTreeMap<UpdateId, u64> = self
+            .creations
+            .iter()
+            .filter(|(_, &created)| created + deadline < self.rounds)
+            .map(|(&id, &r)| (id, r))
+            .collect();
+        m.on_time_fraction(&evaluable, deadline)
+    }
+
+    /// Mean on-time delivery ratio over all non-source nodes.
+    pub fn mean_on_time_ratio(&self, deadline: u64) -> f64 {
+        let nodes: Vec<NodeId> = self
+            .metrics
+            .keys()
+            .copied()
+            .filter(|&n| n != NodeId(0))
+            .collect();
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        nodes
+            .iter()
+            .map(|&n| self.on_time_ratio(n, deadline))
+            .sum::<f64>()
+            / nodes.len() as f64
+    }
+}
+
+/// Builds and runs a complete session.
+pub fn run_session(sc: SessionConfig) -> SessionOutcome {
+    let rounds = sc.rounds;
+    let shared = SharedContext::new(sc.pag, sc.nodes);
+    let mut sim = Simulation::new(sc.sim);
+    for &id in shared.membership.nodes() {
+        let strategy = sc
+            .selfish
+            .iter()
+            .find(|(n, _)| *n == id)
+            .map(|(_, s)| *s)
+            .unwrap_or(SelfishStrategy::Honest);
+        sim.add_node(id, PagNode::new(id, Arc::clone(&shared), strategy));
+    }
+    for (node, round) in sc.crashes {
+        sim.schedule_crash(node, round);
+    }
+    let report = sim.run(rounds);
+
+    let mut verdicts = Vec::new();
+    let mut metrics = BTreeMap::new();
+    let mut creations = BTreeMap::new();
+    for (id, node) in sim.into_nodes() {
+        verdicts.extend(node.verdicts().iter().cloned());
+        metrics.insert(id, node.metrics().clone());
+        creations.extend(node.creations().clone());
+    }
+
+    SessionOutcome {
+        report,
+        verdicts,
+        metrics,
+        creations,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small, fast configuration for unit tests.
+    fn tiny() -> SessionConfig {
+        let mut sc = SessionConfig::honest(10, 6);
+        sc.pag.stream_rate_kbps = 30.0; // 4 updates/round
+        sc
+    }
+
+    #[test]
+    fn honest_session_has_no_verdicts() {
+        let outcome = run_session(tiny());
+        assert!(
+            outcome.verdicts.is_empty(),
+            "honest run convicted: {:?}",
+            outcome.verdicts
+        );
+    }
+
+    #[test]
+    fn honest_session_delivers_updates() {
+        let mut sc = tiny();
+        sc.rounds = 12;
+        let outcome = run_session(sc);
+        let ratio = outcome.mean_on_time_ratio(10);
+        assert!(ratio > 0.95, "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let a = run_session(tiny());
+        let b = run_session(tiny());
+        assert_eq!(a.report.mean_bandwidth_kbps(), b.report.mean_bandwidth_kbps());
+        assert_eq!(a.total_ops(), b.total_ops());
+    }
+}

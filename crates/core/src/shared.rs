@@ -1,0 +1,278 @@
+//! Session-wide shared context: configuration, homomorphic parameters,
+//! membership, per-node signers and a topology cache.
+//!
+//! Everything here is public knowledge in the paper's model (public keys,
+//! membership views, the hash modulus `M`), so sharing one immutable
+//! structure between simulated nodes does not leak anything a real
+//! deployment would not.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use pag_crypto::sha256::Sha256;
+use pag_crypto::{HomomorphicParams, Keyring, Signature, SigningMode};
+use pag_membership::{Membership, NodeId, RoundTopology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::PagConfig;
+use crate::messages::{MessageBody, SignedMessage};
+
+/// Per-node signing handle: real RSA or a keyed-hash tag of identical
+/// wire size (see `CryptoProfile::real_signatures`).
+#[derive(Clone, Debug)]
+pub enum NodeSigner {
+    /// Real RSA signatures.
+    Rsa(Box<Keyring>),
+    /// Keyed SHA-256 tag; `len` is the emitted wire length.
+    Mac {
+        /// Signer secret.
+        secret: [u8; 32],
+        /// Emitted tag length (matches the RSA signature size).
+        len: usize,
+    },
+}
+
+impl NodeSigner {
+    fn derive(seed: u64, node: NodeId, rsa_bits: usize, real: bool, sig_len: usize) -> Self {
+        let node_seed = seed ^ pag_membership::mix(node.value() as u64 | 0x5160_0000_0000);
+        if real {
+            NodeSigner::Rsa(Box::new(Keyring::from_seed(
+                node_seed,
+                rsa_bits,
+                SigningMode::Rsa,
+            )))
+        } else {
+            let mut secret = [0u8; 32];
+            let mut h = Sha256::new();
+            h.update(&node_seed.to_be_bytes());
+            h.update(b"pag-node-signer");
+            secret.copy_from_slice(&h.finalize());
+            NodeSigner::Mac {
+                secret,
+                len: sig_len,
+            }
+        }
+    }
+
+    /// Signs a byte string.
+    pub fn sign(&self, bytes: &[u8]) -> Signature {
+        match self {
+            NodeSigner::Rsa(kr) => kr.sign(bytes),
+            NodeSigner::Mac { secret, len } => {
+                let mut h = Sha256::new();
+                h.update(secret);
+                h.update(bytes);
+                let digest = h.finalize();
+                let mut out = vec![0u8; *len];
+                for (i, b) in out.iter_mut().enumerate() {
+                    *b = digest[i % digest.len()];
+                }
+                Signature::from_bytes(out)
+            }
+        }
+    }
+
+    /// Verifies a signature produced by this signer's owner.
+    pub fn verify(&self, bytes: &[u8], sig: &Signature) -> bool {
+        match self {
+            NodeSigner::Rsa(kr) => kr.verify_own(bytes, sig),
+            NodeSigner::Mac { .. } => &self.sign(bytes) == sig,
+        }
+    }
+}
+
+/// Immutable session context shared by all nodes of a simulation.
+pub struct SharedContext {
+    /// Protocol configuration.
+    pub config: PagConfig,
+    /// The public homomorphic-hash parameters.
+    pub params: HomomorphicParams,
+    /// The membership directory.
+    pub membership: Membership,
+    signers: BTreeMap<NodeId, NodeSigner>,
+    topologies: Mutex<BTreeMap<u64, Arc<RoundTopology>>>,
+}
+
+impl std::fmt::Debug for SharedContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedContext")
+            .field("nodes", &self.membership.len())
+            .field("fanout", &self.config.fanout)
+            .finish()
+    }
+}
+
+impl SharedContext {
+    /// Builds the context for `n` nodes with identifiers `0..n`.
+    ///
+    /// Node 0 is the source. All key material derives deterministically
+    /// from `config.session_id`.
+    pub fn new(config: PagConfig, n: usize) -> Arc<Self> {
+        let membership = Membership::with_uniform_nodes(
+            config.session_id,
+            n,
+            config.fanout,
+            config.monitor_count,
+        );
+        Self::with_membership(config, membership)
+    }
+
+    /// Builds the context over an explicit membership.
+    pub fn with_membership(config: PagConfig, membership: Membership) -> Arc<Self> {
+        let mut rng = StdRng::seed_from_u64(config.session_id ^ 0x9A6_0000);
+        let params = HomomorphicParams::generate(config.crypto.homomorphic_bits, &mut rng);
+        let signers = membership
+            .nodes()
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    NodeSigner::derive(
+                        config.session_id,
+                        id,
+                        config.crypto.rsa_bits,
+                        config.crypto.real_signatures,
+                        config.wire.signature,
+                    ),
+                )
+            })
+            .collect();
+        Arc::new(SharedContext {
+            config,
+            params,
+            membership,
+            signers,
+            topologies: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The signer of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown nodes.
+    pub fn signer(&self, node: NodeId) -> &NodeSigner {
+        self.signers.get(&node).expect("signer for member node")
+    }
+
+    /// Signs a message body on behalf of `node`.
+    pub fn sign(&self, node: NodeId, body: MessageBody) -> SignedMessage {
+        let sig = self.signer(node).sign(&body.signable_bytes());
+        SignedMessage { body, sig }
+    }
+
+    /// Verifies `msg` as emitted by `node` (honors
+    /// `config.verify_signatures`).
+    pub fn verify(&self, node: NodeId, msg: &SignedMessage) -> bool {
+        if !self.config.verify_signatures {
+            return true;
+        }
+        self.signer(node).verify(&msg.body.signable_bytes(), &msg.sig)
+    }
+
+    /// Verifies detached evidence bytes signed by `node`.
+    pub fn verify_evidence(&self, node: NodeId, bytes: &[u8], sig: &Signature) -> bool {
+        if !self.config.verify_signatures {
+            return true;
+        }
+        self.signer(node).verify(bytes, sig)
+    }
+
+    /// The cached topology of `round` (computed once per round, shared by
+    /// all nodes).
+    pub fn topology(&self, round: u64) -> Arc<RoundTopology> {
+        let mut cache = self.topologies.lock().expect("topology cache lock");
+        if let Some(t) = cache.get(&round) {
+            return Arc::clone(t);
+        }
+        let topo = Arc::new(self.membership.topology(round));
+        cache.insert(round, Arc::clone(&topo));
+        // Bound the cache: old rounds are never queried again.
+        while cache.len() > 8 {
+            let oldest = *cache.keys().next().expect("non-empty cache");
+            cache.remove(&oldest);
+        }
+        Arc::clone(cache.get(&round).expect("just inserted"))
+    }
+
+    /// The session source node.
+    pub fn source(&self) -> NodeId {
+        self.membership.source()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CryptoProfile;
+
+    fn ctx() -> Arc<SharedContext> {
+        SharedContext::new(PagConfig::default(), 10)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_mac() {
+        let ctx = ctx();
+        let msg = ctx.sign(NodeId(3), MessageBody::KeyRequest { round: 7 });
+        assert!(ctx.verify(NodeId(3), &msg));
+        assert!(!ctx.verify(NodeId(4), &msg), "wrong signer rejected");
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_rsa() {
+        let mut config = PagConfig::default();
+        config.crypto = CryptoProfile {
+            homomorphic_bits: 64,
+            prime_bits: 16,
+            rsa_bits: 512,
+            real_signatures: true,
+        };
+        config.wire.signature = 64; // match RSA-512
+        let ctx = SharedContext::new(config, 3);
+        let msg = ctx.sign(NodeId(1), MessageBody::KeyRequest { round: 0 });
+        assert!(ctx.verify(NodeId(1), &msg));
+        assert!(!ctx.verify(NodeId(2), &msg));
+    }
+
+    #[test]
+    fn mac_signature_has_wire_length() {
+        let ctx = ctx();
+        let msg = ctx.sign(NodeId(0), MessageBody::KeyRequest { round: 0 });
+        assert_eq!(msg.sig.len(), ctx.config.wire.signature);
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let mut config = PagConfig::default();
+        config.verify_signatures = false;
+        let ctx = SharedContext::new(config, 4);
+        let mut msg = ctx.sign(NodeId(1), MessageBody::KeyRequest { round: 0 });
+        msg.sig = Signature::from_bytes(vec![0; 4]);
+        assert!(ctx.verify(NodeId(1), &msg), "verification disabled");
+    }
+
+    #[test]
+    fn topology_cache_is_consistent() {
+        let ctx = ctx();
+        let t1 = ctx.topology(5);
+        let t2 = ctx.topology(5);
+        assert!(Arc::ptr_eq(&t1, &t2), "cached");
+        for round in 0..12 {
+            let t = ctx.topology(round);
+            assert_eq!(t.round(), round);
+        }
+    }
+
+    #[test]
+    fn deterministic_context() {
+        let c1 = ctx();
+        let c2 = ctx();
+        assert_eq!(c1.params.modulus(), c2.params.modulus());
+        let m = MessageBody::KeyRequest { round: 1 };
+        assert_eq!(
+            c1.sign(NodeId(1), m.clone()).sig,
+            c2.sign(NodeId(1), m).sig
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Faults, verdicts and the evidence monitors attach to them.
+
+use pag_membership::NodeId;
+
+/// The deviation a monitor detected.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fault {
+    /// The node did not get its serve acknowledged by a successor and
+    /// could not exhibit the acknowledgement: it never forwarded
+    /// (violates R2, "obligation to forward").
+    FailedToForward {
+        /// The successor that was never served.
+        successor: NodeId,
+    },
+    /// The acknowledged set does not match the set the node was obliged
+    /// to forward: it forwarded the wrong (e.g. truncated) set.
+    WrongForward {
+        /// The successor that acknowledged the wrong set.
+        successor: NodeId,
+    },
+    /// The node did not acknowledge a (re-)served update set (violates
+    /// R1, "obligation to receive").
+    Unresponsive {
+        /// The accusing predecessor.
+        accuser: NodeId,
+    },
+    /// The node acknowledged an exchange but withheld the monitoring
+    /// messages (6/7) from its monitors.
+    SilentToMonitors {
+        /// The predecessor whose exchange was hidden.
+        predecessor: NodeId,
+    },
+    /// A designated monitor received messages 6/7 but never broadcast the
+    /// combined hash to its co-monitors (detected through the watched
+    /// node's self-report, §V-B's cross-check).
+    DroppedMonitorDuty {
+        /// The node whose reports were dropped.
+        watched: NodeId,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::FailedToForward { successor } => {
+                write!(f, "failed to forward to {successor}")
+            }
+            Fault::WrongForward { successor } => {
+                write!(f, "forwarded a wrong set to {successor}")
+            }
+            Fault::Unresponsive { accuser } => {
+                write!(f, "did not acknowledge serves from {accuser}")
+            }
+            Fault::SilentToMonitors { predecessor } => {
+                write!(f, "hid the exchange with {predecessor} from monitors")
+            }
+            Fault::DroppedMonitorDuty { watched } => {
+                write!(f, "dropped monitoring duties for {watched}")
+            }
+        }
+    }
+}
+
+/// A fault detection emitted by one monitor.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Verdict {
+    /// The monitor that emitted the verdict.
+    pub monitor: NodeId,
+    /// The convicted node.
+    pub accused: NodeId,
+    /// The round whose obligation was violated.
+    pub round: u64,
+    /// What went wrong.
+    pub fault: Fault,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[round {}] monitor {} convicts {}: {}",
+            self.round, self.monitor, self.accused, self.fault
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = Verdict {
+            monitor: NodeId(1),
+            accused: NodeId(2),
+            round: 9,
+            fault: Fault::FailedToForward {
+                successor: NodeId(3),
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("n2"));
+        assert!(s.contains("n3"));
+        assert!(s.contains("round 9"));
+    }
+
+    #[test]
+    fn faults_are_distinguishable() {
+        let a = Fault::Unresponsive { accuser: NodeId(1) };
+        let b = Fault::SilentToMonitors {
+            predecessor: NodeId(1),
+        };
+        assert_ne!(a, b);
+    }
+}

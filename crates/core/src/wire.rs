@@ -1,0 +1,92 @@
+//! Wire-size accounting, decoupled from the cryptographic parameters
+//! actually used in a run.
+//!
+//! The paper evaluates with 938-byte updates, RSA-2048 signatures and
+//! 512-bit hashes/primes (§VII-A). Simulations here may run with smaller,
+//! faster crypto while *charging* bandwidth at the paper's sizes — the
+//! protocol logic and message counts are identical either way.
+
+use pag_crypto::sizes;
+
+/// Sizes (in bytes) used to compute the wire footprint of every message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireConfig {
+    /// One update payload.
+    pub update_payload: usize,
+    /// One homomorphic hash.
+    pub hash: usize,
+    /// One prime (and per-factor size of prime products).
+    pub prime: usize,
+    /// One signature.
+    pub signature: usize,
+    /// Fixed overhead of a public-key sealed payload.
+    pub seal_overhead: usize,
+    /// One update identifier.
+    pub update_id: usize,
+    /// One buffermap reference (index + reception count).
+    pub reference: usize,
+    /// Fixed per-message header (type, round, sender, receiver).
+    pub header: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            update_payload: sizes::UPDATE_PAYLOAD_BYTES,
+            hash: sizes::HASH_BYTES,
+            prime: sizes::PRIME_BYTES,
+            signature: sizes::SIGNATURE_BYTES,
+            seal_overhead: sizes::SEAL_OVERHEAD_BYTES,
+            update_id: sizes::UPDATE_ID_BYTES,
+            reference: 6,
+            header: sizes::MESSAGE_HEADER_BYTES,
+        }
+    }
+}
+
+impl WireConfig {
+    /// Scales the update payload, keeping everything else at paper values
+    /// (the Fig. 8 update-size sweep).
+    pub fn with_update_payload(mut self, bytes: usize) -> Self {
+        self.update_payload = bytes;
+        self
+    }
+
+    /// Size of a served update: id + creation round + count + payload.
+    pub fn served_update(&self) -> usize {
+        self.update_id + 4 + 1 + self.update_payload
+    }
+
+    /// Size of a prime product with `factors` prime factors.
+    pub fn prime_product(&self, factors: usize) -> usize {
+        self.prime * factors.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let w = WireConfig::default();
+        assert_eq!(w.update_payload, 938);
+        assert_eq!(w.signature, 256);
+        assert_eq!(w.hash, 64);
+        assert_eq!(w.prime, 64);
+    }
+
+    #[test]
+    fn served_update_dominated_by_payload() {
+        let w = WireConfig::default();
+        assert!(w.served_update() > w.update_payload);
+        assert!(w.served_update() < w.update_payload + 32);
+    }
+
+    #[test]
+    fn prime_product_scales_with_factors() {
+        let w = WireConfig::default();
+        assert_eq!(w.prime_product(0), w.prime);
+        assert_eq!(w.prime_product(3), 3 * w.prime);
+    }
+}

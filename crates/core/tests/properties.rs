@@ -1,0 +1,71 @@
+//! Property-based tests of protocol-level invariants, driven through the
+//! real session machinery.
+
+use pag_core::selfish::SelfishStrategy;
+use pag_core::session::{run_session, SessionConfig};
+use pag_membership::NodeId;
+use proptest::prelude::*;
+
+fn tiny_session(nodes: usize, rounds: u64, session_id: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.session_id = session_id;
+    sc.pag.stream_rate_kbps = 16.0; // 2 updates per round
+    sc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soundness: honest sessions never produce verdicts, whatever the
+    /// topology (session id), size or length.
+    #[test]
+    fn no_false_convictions(
+        session_id in 0u64..1000,
+        nodes in 6usize..16,
+        rounds in 3u64..7,
+    ) {
+        let outcome = run_session(tiny_session(nodes, rounds, session_id));
+        prop_assert!(
+            outcome.verdicts.is_empty(),
+            "honest run convicted: {:?}",
+            outcome.verdicts
+        );
+    }
+
+    /// Completeness: a full freerider is always convicted, and only it,
+    /// whatever the topology.
+    #[test]
+    fn freerider_always_caught(
+        session_id in 0u64..1000,
+        culprit in 1u32..10,
+    ) {
+        let mut sc = tiny_session(12, 5, session_id);
+        sc.selfish.push((NodeId(culprit), SelfishStrategy::DropForward));
+        let outcome = run_session(sc);
+        prop_assert_eq!(outcome.convicted(), vec![NodeId(culprit)]);
+    }
+
+    /// Conservation: every byte received was sent (no loss configured),
+    /// across all traffic classes.
+    #[test]
+    fn byte_conservation(session_id in 0u64..1000) {
+        let outcome = run_session(tiny_session(10, 4, session_id));
+        let sent: u64 = outcome.report.per_node.values().map(|s| s.sent_bytes).sum();
+        let received: u64 = outcome.report.per_node.values().map(|s| s.recv_bytes).sum();
+        prop_assert_eq!(sent, received);
+    }
+
+    /// Liveness: updates old enough to have propagated reach almost all
+    /// nodes within the playout deadline. Gossip with fanout f covers the
+    /// membership w.h.p. when f ≳ ln N; at f = 3 and small N a few
+    /// percent of (update, node) pairs legitimately miss (the frontier
+    /// dies out), so the bound is probabilistic, not absolute.
+    #[test]
+    fn eventual_delivery(session_id in 0u64..200) {
+        let mut sc = tiny_session(10, 14, session_id);
+        sc.pag.stream_rate_kbps = 32.0; // 4 updates/round smooths variance
+        let outcome = run_session(sc);
+        let ratio = outcome.mean_on_time_ratio(10);
+        prop_assert!(ratio > 0.8, "delivery ratio {ratio}");
+    }
+}

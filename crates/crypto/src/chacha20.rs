@@ -1,0 +1,162 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! PAG encrypts `Serve` and `KeyResponse` payloads with the recipient's
+//! public key (§V-A). Encrypting multi-kilobyte update batches directly
+//! with RSA would be both slow and size-limited, so the reproduction uses
+//! standard hybrid encryption: a fresh ChaCha20 key is RSA-encrypted and
+//! the payload is ChaCha20-encrypted (see [`crate::encrypt`]).
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// ChaCha20 cipher instance bound to a key and nonce.
+///
+/// Encryption and decryption are the same operation (XOR with the
+/// keystream).
+///
+/// # Examples
+///
+/// ```
+/// use pag_crypto::chacha20::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut data = b"attack at dawn".to_vec();
+/// ChaCha20::new(&key, &nonce).apply_keystream(0, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// ChaCha20::new(&key, &nonce).apply_keystream(0, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key and a 96-bit nonce.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, word) in k.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(key[i * 4..(i + 1) * 4].try_into().expect("4 bytes"));
+        }
+        let mut n = [0u32; 3];
+        for (i, word) in n.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(nonce[i * 4..(i + 1) * 4].try_into().expect("4 bytes"));
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Generates the 64-byte keystream block at `counter`.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block `initial_counter`) into `data`.
+    pub fn apply_keystream(&self, initial_counter: u32, data: &mut [u8]) {
+        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(initial_counter.wrapping_add(block_idx as u32));
+            for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = ChaCha20::new(&key, &nonce).block(1);
+        let expected_start = [0x10u8, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&block[..8], &expected_start);
+        let expected_end = [0xa2u8, 0x50, 0x3c, 0x4e];
+        assert_eq!(&block[60..], &expected_end);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        ChaCha20::new(&key, &nonce).apply_keystream(1, &mut data);
+        let expected_prefix = [0x6eu8, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80];
+        assert_eq!(&data[..8], &expected_prefix);
+        // Round-trip.
+        ChaCha20::new(&key, &nonce).apply_keystream(1, &mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn keystream_differs_across_counters() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let c = ChaCha20::new(&key, &nonce);
+        assert_ne!(c.block(0), c.block(1));
+    }
+
+    #[test]
+    fn keystream_differs_across_nonces() {
+        let key = [1u8; 32];
+        let c1 = ChaCha20::new(&key, &[0u8; 12]);
+        let c2 = ChaCha20::new(&key, &[1u8; 12]);
+        assert_ne!(c1.block(0), c2.block(0));
+    }
+
+    #[test]
+    fn partial_block_roundtrip() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let mut data = vec![0xabu8; 100]; // not a multiple of 64
+        ChaCha20::new(&key, &nonce).apply_keystream(0, &mut data);
+        ChaCha20::new(&key, &nonce).apply_keystream(0, &mut data);
+        assert_eq!(data, vec![0xabu8; 100]);
+    }
+}

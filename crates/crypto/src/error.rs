@@ -1,0 +1,42 @@
+//! Error types for the crypto crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A raw RSA operand was not smaller than the modulus.
+    MessageTooLarge,
+    /// The RSA modulus is too small for the requested padding format.
+    KeyTooSmall,
+    /// Decryption failed (wrong key or corrupted ciphertext).
+    DecryptionFailed,
+    /// A homomorphic-hash modulus must be odd and greater than one.
+    InvalidModulus,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLarge => f.write_str("message not smaller than the modulus"),
+            CryptoError::KeyTooSmall => f.write_str("modulus too small for padding format"),
+            CryptoError::DecryptionFailed => f.write_str("decryption failed"),
+            CryptoError::InvalidModulus => f.write_str("modulus must be odd and greater than one"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CryptoError>();
+        assert!(!CryptoError::DecryptionFailed.to_string().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-node key material and a fast signing mode for large simulations.
+//!
+//! A [`Keyring`] bundles everything a PAG node needs: its RSA key pair and
+//! the shared homomorphic parameters. For simulations with hundreds of
+//! nodes, [`SigningMode::Fast`] replaces RSA signatures by keyed-hash tags
+//! of the same wire size — protocol logic, message flow and bandwidth are
+//! unchanged while CPU cost drops by orders of magnitude (the deviations
+//! PAG detects are protocol-level, not signature forgeries; real-RSA runs
+//! are covered by dedicated tests and benches).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::sha256::Sha256;
+use crate::signature::{self, Signature};
+
+/// How a [`Keyring`] produces and checks signatures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigningMode {
+    /// Real RSA signatures (hash-then-sign, PKCS#1 v1.5 style).
+    Rsa,
+    /// Keyed SHA-256 tags padded to `fast_len` bytes: cryptographically a
+    /// MAC, wire-compatible with an RSA signature of that length.
+    Fast {
+        /// Wire length of the emitted tag, normally
+        /// [`crate::sizes::SIGNATURE_BYTES`].
+        fast_len: usize,
+    },
+}
+
+/// Key material held by one node.
+#[derive(Clone, Debug)]
+pub struct Keyring {
+    keypair: RsaKeyPair,
+    mode: SigningMode,
+    /// Secret for fast-mode tags.
+    mac_secret: [u8; 32],
+}
+
+impl Keyring {
+    /// Generates a keyring with a fresh RSA key pair of `rsa_bits` bits.
+    pub fn generate<R: Rng + ?Sized>(rsa_bits: usize, mode: SigningMode, rng: &mut R) -> Self {
+        let keypair = RsaKeyPair::generate(rsa_bits, rng);
+        let mut mac_secret = [0u8; 32];
+        rng.fill(&mut mac_secret);
+        Keyring {
+            keypair,
+            mode,
+            mac_secret,
+        }
+    }
+
+    /// Deterministically derives a keyring from a seed (reproducible
+    /// simulations assign one seed per node).
+    pub fn from_seed(seed: u64, rsa_bits: usize, mode: SigningMode) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::generate(rsa_bits, mode, &mut rng)
+    }
+
+    /// The RSA public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        self.keypair.public()
+    }
+
+    /// The full RSA key pair (needed to open sealed boxes).
+    pub fn keypair(&self) -> &RsaKeyPair {
+        &self.keypair
+    }
+
+    /// The signing mode in effect.
+    pub fn mode(&self) -> SigningMode {
+        self.mode
+    }
+
+    /// Signs a message according to the signing mode.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        match self.mode {
+            SigningMode::Rsa => signature::sign(&self.keypair, message),
+            SigningMode::Fast { fast_len } => {
+                let mut h = Sha256::new();
+                h.update(&self.mac_secret);
+                h.update(message);
+                let digest = h.finalize();
+                let mut bytes = vec![0u8; fast_len];
+                for (i, byte) in bytes.iter_mut().enumerate() {
+                    *byte = digest[i % digest.len()];
+                }
+                Signature::from_bytes(bytes)
+            }
+        }
+    }
+
+    /// Verifies a signature produced by this keyring's owner.
+    ///
+    /// In fast mode only the owner can verify (it is a MAC); the simulator
+    /// routes verification through the signer's keyring, which models the
+    /// paper's "everyone can verify" with zero wire-size difference.
+    pub fn verify_own(&self, message: &[u8], sig: &Signature) -> bool {
+        match self.mode {
+            SigningMode::Rsa => signature::verify(self.keypair.public(), message, sig),
+            SigningMode::Fast { .. } => &self.sign(message) == sig,
+        }
+    }
+}
+
+/// Verifies a signature given only a public key (RSA mode).
+pub fn verify_with_public(public: &RsaPublicKey, message: &[u8], sig: &Signature) -> bool {
+    signature::verify(public, message, sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsa_mode_roundtrip() {
+        let kr = Keyring::from_seed(1, 512, SigningMode::Rsa);
+        let sig = kr.sign(b"msg");
+        assert!(kr.verify_own(b"msg", &sig));
+        assert!(!kr.verify_own(b"other", &sig));
+        assert!(verify_with_public(kr.public(), b"msg", &sig));
+    }
+
+    #[test]
+    fn fast_mode_roundtrip() {
+        let kr = Keyring::from_seed(2, 512, SigningMode::Fast { fast_len: 256 });
+        let sig = kr.sign(b"msg");
+        assert_eq!(sig.len(), 256, "wire size matches RSA-2048");
+        assert!(kr.verify_own(b"msg", &sig));
+        assert!(!kr.verify_own(b"other", &sig));
+    }
+
+    #[test]
+    fn fast_mode_tags_are_keyed() {
+        let a = Keyring::from_seed(3, 512, SigningMode::Fast { fast_len: 64 });
+        let b = Keyring::from_seed(4, 512, SigningMode::Fast { fast_len: 64 });
+        let sig = a.sign(b"msg");
+        assert!(!b.verify_own(b"msg", &sig), "different secret, different tag");
+    }
+
+    #[test]
+    fn deterministic_derivation() {
+        let a = Keyring::from_seed(7, 256, SigningMode::Rsa);
+        let b = Keyring::from_seed(7, 256, SigningMode::Rsa);
+        assert_eq!(a.public().modulus(), b.public().modulus());
+    }
+}

@@ -1,0 +1,221 @@
+//! RSA key generation and raw modular operations.
+//!
+//! PAG signs every protocol message (RSA-2048 in the paper, §VII-A) and
+//! encrypts `KeyResponse`/`Serve` payloads under the recipient's public
+//! key. This module provides textbook RSA with CRT-accelerated private
+//! operations; padding lives in [`crate::signature`] and
+//! [`crate::encrypt`].
+//!
+//! **Not hardened**: no constant-time guarantees or padding oracles
+//! defenses. The reproduction needs protocol-faithful math, not
+//! production-grade crypto (see DESIGN.md §6).
+
+use pag_bignum::{gen_prime, BigUint};
+use rand::Rng;
+
+use crate::error::CryptoError;
+
+/// Standard public exponent (2^16 + 1).
+pub const PUBLIC_EXPONENT: u64 = 65537;
+
+/// An RSA public key: modulus and public exponent.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    bits: usize,
+}
+
+impl RsaPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent `e`.
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Modulus size in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Modulus size in bytes (octet length of signatures and ciphertexts).
+    pub fn modulus_len(&self) -> usize {
+        self.bits / 8
+    }
+
+    /// Raw public-key operation `m^e mod n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLarge`] if `m >= n`.
+    pub fn encrypt_raw(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m >= &self.n {
+            return Err(CryptoError::MessageTooLarge);
+        }
+        Ok(m.mod_pow(&self.e, &self.n))
+    }
+
+    /// Short stable identifier derived from the modulus (for logging).
+    pub fn key_id(&self) -> u64 {
+        let digest = crate::sha256::sha256(&self.n.to_bytes_be());
+        u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// An RSA key pair with CRT parameters for fast private operations.
+#[derive(Clone, Debug)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+    p: BigUint,
+    q: BigUint,
+    d_p: BigUint,
+    d_q: BigUint,
+    q_inv: BigUint,
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of exactly `bits` bits.
+    ///
+    /// The paper deploys RSA-2048; tests use smaller sizes for speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a multiple of 16 or is smaller than 64
+    /// (the hybrid encryption format needs a minimum modulus size).
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 64, "modulus too small to be useful");
+        assert!(bits % 16 == 0, "modulus bits must be a multiple of 16");
+        let e = BigUint::from(PUBLIC_EXPONENT);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            debug_assert_eq!(n.bit_len(), bits, "top-two-bits-set primes");
+            let one = BigUint::one();
+            let phi = (&p - &one) * (&q - &one);
+            let Some(d) = e.mod_inv(&phi) else {
+                continue; // gcd(e, phi) != 1; extremely rare
+            };
+            let d_p = &d % &(&p - &one);
+            let d_q = &d % &(&q - &one);
+            let q_inv = q.mod_inv(&p).expect("p, q distinct primes");
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e, bits },
+                d,
+                p,
+                q,
+                d_p,
+                d_q,
+                q_inv,
+            };
+        }
+    }
+
+    /// The public half of the key pair.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// The private exponent `d` (exposed for tests and analysis).
+    pub fn private_exponent(&self) -> &BigUint {
+        &self.d
+    }
+
+    /// Raw private-key operation `c^d mod n`, via the Chinese Remainder
+    /// Theorem (about 4x faster than a direct exponentiation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLarge`] if `c >= n`.
+    pub fn decrypt_raw(&self, c: &BigUint) -> Result<BigUint, CryptoError> {
+        if c >= &self.public.n {
+            return Err(CryptoError::MessageTooLarge);
+        }
+        let m1 = c.mod_pow(&self.d_p, &self.p);
+        let m2 = c.mod_pow(&self.d_q, &self.q);
+        // h = q_inv * (m1 - m2) mod p
+        let h = self.q_inv.mod_mul(&m1.mod_sub(&m2, &self.p), &self.p);
+        Ok(&m2 + &(&h * &self.q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pag_bignum::random_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn generate_has_requested_size() {
+        let mut r = rng();
+        let kp = RsaKeyPair::generate(256, &mut r);
+        assert_eq!(kp.public().bits(), 256);
+        assert_eq!(kp.public().modulus().bit_len(), 256);
+        assert_eq!(kp.public().modulus_len(), 32);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut r = rng();
+        let kp = RsaKeyPair::generate(256, &mut r);
+        for _ in 0..5 {
+            let m = random_below(&mut r, kp.public().modulus());
+            let c = kp.public().encrypt_raw(&m).unwrap();
+            assert_eq!(kp.decrypt_raw(&c).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decrypt_then_encrypt_is_identity() {
+        // Sign-style direction: private op first.
+        let mut r = rng();
+        let kp = RsaKeyPair::generate(256, &mut r);
+        let m = random_below(&mut r, kp.public().modulus());
+        let s = kp.decrypt_raw(&m).unwrap();
+        assert_eq!(kp.public().encrypt_raw(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut r = rng();
+        let kp = RsaKeyPair::generate(128, &mut r);
+        let too_big = kp.public().modulus().clone();
+        assert_eq!(
+            kp.public().encrypt_raw(&too_big),
+            Err(CryptoError::MessageTooLarge)
+        );
+        assert!(kp.decrypt_raw(&too_big).is_err());
+    }
+
+    #[test]
+    fn distinct_keys() {
+        let mut r = rng();
+        let k1 = RsaKeyPair::generate(128, &mut r);
+        let k2 = RsaKeyPair::generate(128, &mut r);
+        assert_ne!(k1.public().modulus(), k2.public().modulus());
+        assert_ne!(k1.public().key_id(), k2.public().key_id());
+    }
+
+    #[test]
+    fn crt_matches_direct_exponentiation() {
+        let mut r = rng();
+        let kp = RsaKeyPair::generate(192, &mut r);
+        let m = random_below(&mut r, kp.public().modulus());
+        let via_crt = kp.decrypt_raw(&m).unwrap();
+        let direct = m.mod_pow(kp.private_exponent(), kp.public().modulus());
+        assert_eq!(via_crt, direct);
+    }
+}

@@ -1,0 +1,162 @@
+//! Hash-then-sign RSA signatures (PKCS#1 v1.5-style padding over SHA-256).
+//!
+//! Every PAG message `⟨m⟩_X` carries a signature by its emitter; signatures
+//! double as the *proofs of misbehaviour* that monitors exhibit when a node
+//! deviates (§VI-B: "nodes register the messages they send or receive, and
+//! can use them to prove their correctness or that another node deviated").
+
+use pag_bignum::BigUint;
+
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::sha256::{sha256, DIGEST_LEN};
+
+/// A detached RSA signature over a message.
+///
+/// The byte representation always has the length of the signer's modulus,
+/// which is what the wire-size accounting in `pag-core` relies on
+/// (RSA-2048 -> 256 bytes, as in the paper's §VII-A).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Signature {
+    bytes: Vec<u8>,
+}
+
+impl Signature {
+    /// The raw signature bytes (big-endian, modulus-length).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Signature length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the signature is empty (never produced by [`sign`]).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reconstructs a signature received from the network.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Signature { bytes }
+    }
+}
+
+/// Builds the padded encoding `0x00 0x01 0xFF.. 0x00 || digest` of a digest.
+fn encode_digest(digest: &[u8; DIGEST_LEN], k: usize) -> BigUint {
+    assert!(k >= DIGEST_LEN + 11, "modulus too small for PKCS#1 padding");
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - DIGEST_LEN - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(digest);
+    debug_assert_eq!(em.len(), k);
+    BigUint::from_bytes_be(&em)
+}
+
+/// Signs a message with the key pair's private key.
+///
+/// # Panics
+///
+/// Panics if the modulus is smaller than 43 bytes (344 bits), the minimum
+/// for SHA-256 PKCS#1 padding.
+pub fn sign(keypair: &RsaKeyPair, message: &[u8]) -> Signature {
+    let k = keypair.public().modulus_len();
+    let em = encode_digest(&sha256(message), k);
+    let s = keypair
+        .decrypt_raw(&em)
+        .expect("encoded digest < modulus by construction");
+    Signature {
+        bytes: s.to_bytes_be_padded(k),
+    }
+}
+
+/// Verifies a signature against a message and public key.
+///
+/// Returns `false` for any malformed or forged signature; never panics on
+/// untrusted input.
+pub fn verify(public: &RsaPublicKey, message: &[u8], signature: &Signature) -> bool {
+    let k = public.modulus_len();
+    if signature.bytes.len() != k || k < DIGEST_LEN + 11 {
+        return false;
+    }
+    let s = BigUint::from_bytes_be(&signature.bytes);
+    let Ok(em) = public.encrypt_raw(&s) else {
+        return false;
+    };
+    em == encode_digest(&sha256(message), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(99);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair();
+        let msg = b"Serve, R, A, B, K(R-1,A), updates";
+        let sig = sign(&kp, msg);
+        assert!(verify(kp.public(), msg, &sig));
+    }
+
+    #[test]
+    fn signature_has_modulus_length() {
+        let kp = keypair();
+        let sig = sign(&kp, b"x");
+        assert_eq!(sig.len(), kp.public().modulus_len());
+        assert!(!sig.is_empty());
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = keypair();
+        let sig = sign(&kp, b"original");
+        assert!(!verify(kp.public(), b"tampered", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = keypair();
+        let mut sig = sign(&kp, b"message").as_bytes().to_vec();
+        sig[10] ^= 0xff;
+        assert!(!verify(kp.public(), b"message", &Signature::from_bytes(sig)));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let kp1 = keypair();
+        let kp2 = RsaKeyPair::generate(512, &mut rng);
+        let sig = sign(&kp1, b"message");
+        assert!(!verify(kp2.public(), b"message", &sig));
+    }
+
+    #[test]
+    fn wrong_length_signature_rejected() {
+        let kp = keypair();
+        assert!(!verify(kp.public(), b"m", &Signature::from_bytes(vec![0; 10])));
+        assert!(!verify(kp.public(), b"m", &Signature::from_bytes(Vec::new())));
+    }
+
+    #[test]
+    fn all_ff_signature_rejected() {
+        let kp = keypair();
+        let k = kp.public().modulus_len();
+        // Value >= modulus: encrypt_raw must reject rather than panic.
+        assert!(!verify(kp.public(), b"m", &Signature::from_bytes(vec![0xff; k])));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = keypair();
+        assert_eq!(sign(&kp, b"same"), sign(&kp, b"same"));
+    }
+}

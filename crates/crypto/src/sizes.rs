@@ -1,0 +1,84 @@
+//! Wire-size constants from the paper's deployment (§VII-A).
+//!
+//! The simulator separates *protocol content* from *wire accounting*: a
+//! simulation may run with small, fast cryptographic parameters while
+//! charging bandwidth as if the deployment parameters below were used —
+//! exactly the sizes the paper reports.
+
+/// Update (video chunk) payload size in bytes: "updates of 938B".
+pub const UPDATE_PAYLOAD_BYTES: usize = 938;
+
+/// RSA modulus size used for signatures: "Signatures are generated using
+/// RSA-2048".
+pub const RSA_MODULUS_BITS: usize = 2048;
+
+/// Size of one RSA-2048 signature on the wire.
+pub const SIGNATURE_BYTES: usize = RSA_MODULUS_BITS / 8;
+
+/// Homomorphic-hash modulus size: "The modulus used in the homomorphic
+/// hashes is 512 bits long".
+pub const HOMOMORPHIC_MODULUS_BITS: usize = 512;
+
+/// Size of one homomorphic hash on the wire.
+pub const HASH_BYTES: usize = HOMOMORPHIC_MODULUS_BITS / 8;
+
+/// Size of the per-round primes: "The sizes of the generated prime numbers
+/// is set to 512 bits".
+pub const PRIME_BITS: usize = 512;
+
+/// Size of one prime on the wire.
+pub const PRIME_BYTES: usize = PRIME_BITS / 8;
+
+/// Node identifier on the wire (paper: integer identifier, e.g. derived
+/// from the IPv4 address).
+pub const NODE_ID_BYTES: usize = 4;
+
+/// Round number on the wire.
+pub const ROUND_BYTES: usize = 4;
+
+/// Update identifier on the wire (sequence number within the stream).
+pub const UPDATE_ID_BYTES: usize = 8;
+
+/// Fixed header carried by every protocol message: type tag, round,
+/// sender, receiver.
+pub const MESSAGE_HEADER_BYTES: usize = 1 + ROUND_BYTES + 2 * NODE_ID_BYTES;
+
+/// Overhead of a hybrid public-key encryption (`{...}_pk(X)`): the wrapped
+/// session key (one RSA block) plus the stream nonce.
+pub const SEAL_OVERHEAD_BYTES: usize = RSA_MODULUS_BITS / 8 + 12;
+
+/// Source window size: "A source groups packets in windows of 40 packets".
+pub const SOURCE_WINDOW_UPDATES: usize = 40;
+
+/// Gossip round duration: "The duration of one round is set to one second".
+pub const ROUND_DURATION_MS: u64 = 1000;
+
+/// Playout delay: "updates ... are released 10 seconds before being
+/// consumed by the nodes' media player".
+pub const PLAYOUT_DELAY_ROUNDS: u64 = 10;
+
+/// Buffermap depth: "the best results ... were obtained when the updates
+/// of the last 4 rounds were hashed and transmitted" (§V-D).
+pub const BUFFERMAP_WINDOW_ROUNDS: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(UPDATE_PAYLOAD_BYTES, 938);
+        assert_eq!(SIGNATURE_BYTES, 256);
+        assert_eq!(HASH_BYTES, 64);
+        assert_eq!(PRIME_BYTES, 64);
+        assert_eq!(SOURCE_WINDOW_UPDATES, 40);
+    }
+
+    #[test]
+    fn stream_rate_consistency() {
+        // A 300 kbps stream in 938-byte updates is ~40 updates/second,
+        // matching the paper's 40-packet windows.
+        let updates_per_second = 300_000.0 / 8.0 / UPDATE_PAYLOAD_BYTES as f64;
+        assert!((updates_per_second - 40.0).abs() < 0.5);
+    }
+}

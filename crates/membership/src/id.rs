@@ -1,0 +1,42 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Unique integer identifier of a node.
+///
+/// The paper: "Nodes are uniquely identified with an integer identifier,
+/// for example deterministically computed using their IP addresses, and
+/// cannot generate multiple identities" (§III).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw integer value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::from(3u32).value(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic round-based membership for the PAG reproduction.
+//!
+//! PAG (§III) assumes a membership substrate — Fireflies (reference 18) or a peer
+//! sampling service (references 20, 21) — that equips every node, for every round,
+//! with a set of *successors* (whom it must forward updates to), the
+//! implied *predecessors* (who forward to it), and a set of *monitors*
+//! (who audit it). Crucially these sets must be "identified, for a given
+//! round, by each node in the system": verifiability requires that anyone
+//! can recompute anyone else's view.
+//!
+//! This crate realizes that contract with a shared PRF: views are pure
+//! functions of `(session id, round, node)`. Churn is supported by
+//! updating the node directory; selection automatically adapts.
+//!
+//! # Examples
+//!
+//! ```
+//! use pag_membership::{default_fanout, Membership, NodeId};
+//!
+//! let n = 1000;
+//! let f = default_fanout(n); // 3, as in the paper's 1000-node runs
+//! let membership = Membership::with_uniform_nodes(7, n, f, f);
+//!
+//! // Every node derives the same view without communication.
+//! let successors = membership.successors(NodeId(17), 42);
+//! let monitors = membership.monitors_of(NodeId(17), 42);
+//! assert_eq!(successors.len(), 3);
+//! assert_eq!(monitors.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod id;
+mod membership;
+mod prf;
+mod view;
+
+pub use id::NodeId;
+pub use membership::{default_fanout, Membership};
+pub use prf::{mix, prf, PrfStream};
+pub use view::RoundTopology;

@@ -1,0 +1,387 @@
+//! The membership directory: who is in the session, and which successors
+//! and monitors each node is assigned per round.
+
+use std::collections::BTreeSet;
+
+use crate::id::NodeId;
+use crate::prf::PrfStream;
+use crate::view::RoundTopology;
+
+/// Salt domain separating successor selection from monitor selection.
+const SALT_SUCCESSORS: u64 = 0x5353; // "SS"
+const SALT_MONITORS: u64 = 0x4d4f; // "MO"
+
+/// Returns the paper's fanout for a system of `n` nodes.
+///
+/// "PAG is configured with the same numbers of successors and monitors per
+/// node (e.g., 3 when the system contains 1000 nodes)" combined with "in a
+/// system of N nodes, each user has log(N) successors" (§VII-D) gives
+/// `max(3, ceil(log10 N))`.
+pub fn default_fanout(n: usize) -> usize {
+    let mut f = 0usize;
+    let mut pow = 1usize;
+    while pow < n {
+        pow = pow.saturating_mul(10);
+        f += 1;
+    }
+    f.max(3)
+}
+
+/// Membership directory of one gossip session.
+///
+/// Produces, for any round, the deterministic successor and monitor
+/// assignments that the paper's membership substrate (Fireflies-style)
+/// would provide. All nodes derive identical views from the shared session
+/// identifier, so no communication is needed.
+///
+/// # Examples
+///
+/// ```
+/// use pag_membership::{Membership, NodeId};
+///
+/// let m = Membership::with_uniform_nodes(42, 100, 3, 3);
+/// let succ = m.successors(NodeId(5), 7);
+/// assert_eq!(succ.len(), 3);
+/// assert!(!succ.contains(&NodeId(5)), "never self");
+/// // Deterministic: every node computes the same view.
+/// assert_eq!(succ, m.successors(NodeId(5), 7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Membership {
+    session_id: u64,
+    /// Sorted set of live nodes.
+    nodes: Vec<NodeId>,
+    fanout: usize,
+    monitor_count: usize,
+    /// Rounds per monitor epoch; `u64::MAX` keeps monitor sets stable for
+    /// the whole session (the deployment configuration).
+    monitor_epoch_rounds: u64,
+    source: NodeId,
+}
+
+impl Membership {
+    /// Builds a directory over an explicit node set.
+    ///
+    /// The first node in sorted order acts as the source ("the source of
+    /// each session is assumed to be correct", §III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, contains duplicates, or if
+    /// `fanout == 0`.
+    pub fn new(session_id: u64, nodes: Vec<NodeId>, fanout: usize, monitor_count: usize) -> Self {
+        assert!(!nodes.is_empty(), "membership cannot be empty");
+        assert!(fanout > 0, "fanout must be positive");
+        let set: BTreeSet<NodeId> = nodes.iter().copied().collect();
+        assert_eq!(set.len(), nodes.len(), "duplicate node identifiers");
+        let sorted: Vec<NodeId> = set.into_iter().collect();
+        let source = sorted[0];
+        Membership {
+            session_id,
+            nodes: sorted,
+            fanout,
+            monitor_count,
+            monitor_epoch_rounds: u64::MAX,
+            source,
+        }
+    }
+
+    /// Builds a directory of `n` nodes with identifiers `0..n`.
+    pub fn with_uniform_nodes(session_id: u64, n: usize, fanout: usize, monitor_count: usize) -> Self {
+        Self::new(
+            session_id,
+            (0..n as u32).map(NodeId).collect(),
+            fanout,
+            monitor_count,
+        )
+    }
+
+    /// Sets the monitor rotation period in rounds (builder style).
+    ///
+    /// The default (`u64::MAX`) keeps monitor sets stable, matching the
+    /// paper's deployment. Shorter epochs model systems that rotate
+    /// monitors, which Fig. 10's AcTinG analysis assumes.
+    pub fn with_monitor_epoch(mut self, rounds: u64) -> Self {
+        assert!(rounds > 0, "epoch must be positive");
+        self.monitor_epoch_rounds = rounds;
+        self
+    }
+
+    /// The session identifier all views are keyed by.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the directory is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The live nodes in sorted order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The configured dissemination fanout `f_s`.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The configured number of monitors per node `f_m`.
+    pub fn monitor_count(&self) -> usize {
+        self.monitor_count
+    }
+
+    /// The session source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// True if `id` is currently a member.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.binary_search(&id).is_ok()
+    }
+
+    /// Adds a node (churn: join). Returns false if already present.
+    pub fn join(&mut self, id: NodeId) -> bool {
+        match self.nodes.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.nodes.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes a node (churn: leave). Returns false if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing the source (the paper assumes a correct,
+    /// stable source).
+    pub fn leave(&mut self, id: NodeId) -> bool {
+        assert_ne!(id, self.source, "the source cannot leave the session");
+        match self.nodes.binary_search(&id) {
+            Ok(pos) => {
+                self.nodes.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The successors of `node` for `round`: `fanout` distinct members,
+    /// never the node itself, chosen uniformly by the session PRF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a member.
+    pub fn successors(&self, node: NodeId, round: u64) -> Vec<NodeId> {
+        assert!(self.contains(node), "{node} is not a member");
+        self.select_distinct(node, round, SALT_SUCCESSORS, self.fanout)
+    }
+
+    /// The monitors of `node` for `round`: `monitor_count` distinct
+    /// members, never the node itself, stable within a monitor epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a member.
+    pub fn monitors_of(&self, node: NodeId, round: u64) -> Vec<NodeId> {
+        assert!(self.contains(node), "{node} is not a member");
+        let epoch = if self.monitor_epoch_rounds == u64::MAX {
+            0
+        } else {
+            round / self.monitor_epoch_rounds
+        };
+        self.select_distinct(node, epoch, SALT_MONITORS, self.monitor_count)
+    }
+
+    /// The predecessors of `node` at `round`: every member that has `node`
+    /// among its successors. O(N·f); use [`Membership::topology`] when
+    /// querying many nodes for the same round.
+    pub fn predecessors(&self, node: NodeId, round: u64) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&p| p != node && self.successors(p, round).contains(&node))
+            .collect()
+    }
+
+    /// Computes the complete topology (successor and predecessor lists for
+    /// every node) of one round in O(N·f).
+    pub fn topology(&self, round: u64) -> RoundTopology {
+        RoundTopology::build(self, round)
+    }
+
+    /// Draws `count` distinct members other than `node`.
+    fn select_distinct(&self, node: NodeId, round: u64, salt: u64, count: usize) -> Vec<NodeId> {
+        let candidates = self.nodes.len() - 1; // everyone but `node`
+        let count = count.min(candidates);
+        let mut stream = PrfStream::new(self.session_id, round, node.0 as u64, salt);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
+        // Rejection sampling; for count close to the population this
+        // degenerates, so fall back to a shuffle when dense.
+        if count * 3 >= candidates {
+            let mut pool: Vec<NodeId> =
+                self.nodes.iter().copied().filter(|&x| x != node).collect();
+            // Partial Fisher-Yates.
+            for i in 0..count {
+                let j = i + stream.next_below((pool.len() - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(count);
+            return pool;
+        }
+        while chosen.len() < count {
+            let idx = stream.next_below(self.nodes.len() as u64) as usize;
+            let cand = self.nodes[idx];
+            if cand != node && !chosen.contains(&cand) {
+                chosen.push(cand);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fanout_matches_paper() {
+        assert_eq!(default_fanout(10), 3);
+        assert_eq!(default_fanout(432), 3);
+        assert_eq!(default_fanout(1_000), 3);
+        assert_eq!(default_fanout(10_000), 4);
+        assert_eq!(default_fanout(100_000), 5);
+        assert_eq!(default_fanout(1_000_000), 6);
+    }
+
+    #[test]
+    fn successors_are_distinct_and_not_self() {
+        let m = Membership::with_uniform_nodes(1, 50, 4, 3);
+        for round in 0..10 {
+            for &n in m.nodes() {
+                let succ = m.successors(n, round);
+                assert_eq!(succ.len(), 4);
+                assert!(!succ.contains(&n));
+                let set: BTreeSet<_> = succ.iter().collect();
+                assert_eq!(set.len(), succ.len(), "distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn successors_change_across_rounds() {
+        let m = Membership::with_uniform_nodes(1, 100, 3, 3);
+        let r0 = m.successors(NodeId(5), 0);
+        let different = (1..20).any(|r| m.successors(NodeId(5), r) != r0);
+        assert!(different, "views rotate across rounds");
+    }
+
+    #[test]
+    fn monitors_stable_by_default() {
+        let m = Membership::with_uniform_nodes(1, 100, 3, 3);
+        let m0 = m.monitors_of(NodeId(5), 0);
+        for r in 1..50 {
+            assert_eq!(m.monitors_of(NodeId(5), r), m0);
+        }
+    }
+
+    #[test]
+    fn monitors_rotate_with_epochs() {
+        let m = Membership::with_uniform_nodes(1, 100, 3, 3).with_monitor_epoch(10);
+        let e0 = m.monitors_of(NodeId(5), 0);
+        assert_eq!(m.monitors_of(NodeId(5), 9), e0, "same epoch");
+        let changed = (1..5).any(|e| m.monitors_of(NodeId(5), e * 10) != e0);
+        assert!(changed, "epochs rotate monitor sets");
+    }
+
+    #[test]
+    fn predecessors_inverse_of_successors() {
+        let m = Membership::with_uniform_nodes(7, 30, 3, 3);
+        let round = 4;
+        for &n in m.nodes() {
+            for p in m.predecessors(n, round) {
+                assert!(m.successors(p, round).contains(&n));
+            }
+            // And completeness:
+            for &p in m.nodes() {
+                if p != n && m.successors(p, round).contains(&n) {
+                    assert!(m.predecessors(n, round).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_membership_fanout_clamped() {
+        let m = Membership::with_uniform_nodes(1, 3, 5, 5);
+        let succ = m.successors(NodeId(0), 0);
+        assert_eq!(succ.len(), 2, "only two other nodes exist");
+    }
+
+    #[test]
+    fn churn_join_leave() {
+        let mut m = Membership::with_uniform_nodes(1, 10, 3, 3);
+        assert!(m.join(NodeId(100)));
+        assert!(!m.join(NodeId(100)), "double join rejected");
+        assert!(m.contains(NodeId(100)));
+        assert!(m.leave(NodeId(100)));
+        assert!(!m.leave(NodeId(100)), "double leave rejected");
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot leave")]
+    fn source_cannot_leave() {
+        let mut m = Membership::with_uniform_nodes(1, 10, 3, 3);
+        let src = m.source();
+        m.leave(src);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        Membership::new(1, vec![NodeId(1), NodeId(1)], 3, 3);
+    }
+
+    #[test]
+    fn different_sessions_different_views() {
+        let m1 = Membership::with_uniform_nodes(1, 100, 3, 3);
+        let m2 = Membership::with_uniform_nodes(2, 100, 3, 3);
+        let diff = (0..10).any(|r| m1.successors(NodeId(0), r) != m2.successors(NodeId(0), r));
+        assert!(diff);
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        // Each node should appear as successor ~ f times per round on
+        // average; over many rounds the counts concentrate.
+        let n = 40;
+        let m = Membership::with_uniform_nodes(3, n, 3, 3);
+        let rounds = 200u64;
+        let mut counts = vec![0u32; n];
+        for r in 0..rounds {
+            for &node in m.nodes() {
+                for s in m.successors(node, r) {
+                    counts[s.0 as usize] += 1;
+                }
+            }
+        }
+        let expected = (rounds as f64) * 3.0; // n*f draws over n nodes
+        for (i, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.6..1.4).contains(&ratio),
+                "node {i}: count {c}, expected ~{expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A small deterministic pseudo-random function used to derive per-round
+//! views.
+//!
+//! The paper assumes "a membership protocol (e.g., Fireflies) provides
+//! nodes with a set of successors and monitors that can be identified, for
+//! a given round, by each node in the system". Deriving the sets from a
+//! shared PRF over `(session, round, node, salt)` gives exactly that
+//! property: every node computes the same sets without communication.
+//!
+//! SplitMix64 is used as the mixing function — not cryptographically
+//! strong, but the membership views only need to be *unpredictable enough
+//! and identical everywhere*; unforgeability of views is Fireflies'
+//! concern, out of scope here (see DESIGN.md).
+
+/// SplitMix64 finalizer: a bijective 64-bit mixer.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Combines inputs into a single PRF output.
+pub fn prf(session: u64, round: u64, node: u64, salt: u64) -> u64 {
+    mix(mix(mix(mix(session) ^ round) ^ node) ^ salt)
+}
+
+/// A deterministic stream of pseudo-random values seeded by [`prf`] inputs.
+#[derive(Clone, Debug)]
+pub struct PrfStream {
+    state: u64,
+}
+
+impl PrfStream {
+    /// Creates a stream keyed by the PRF inputs.
+    pub fn new(session: u64, round: u64, node: u64, salt: u64) -> Self {
+        PrfStream {
+            state: prf(session, round, node, salt),
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        mix(self.state)
+    }
+
+    /// Next value uniform in `[0, bound)` (bounded rejection, no modulo
+    /// bias beyond 2^-32 for bounds below 2^32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Widening multiply avoids modulo bias for the bounds used here
+        // (membership sizes are far below 2^32).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix(1), mix(1));
+        assert_ne!(mix(1), mix(2));
+        // Low-entropy inputs should produce well-spread outputs.
+        let a = mix(0);
+        let b = mix(1);
+        assert!(a.count_ones() > 8 || b.count_ones() > 8);
+    }
+
+    #[test]
+    fn prf_separates_all_inputs() {
+        let base = prf(1, 2, 3, 4);
+        assert_ne!(base, prf(9, 2, 3, 4));
+        assert_ne!(base, prf(1, 9, 3, 4));
+        assert_ne!(base, prf(1, 2, 9, 4));
+        assert_ne!(base, prf(1, 2, 3, 9));
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let mut s1 = PrfStream::new(1, 2, 3, 4);
+        let mut s2 = PrfStream::new(1, 2, 3, 4);
+        for _ in 0..10 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut s = PrfStream::new(5, 6, 7, 8);
+        for _ in 0..1000 {
+            assert!(s.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut s = PrfStream::new(5, 6, 7, 8);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[s.next_below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn next_below_zero_panics() {
+        PrfStream::new(0, 0, 0, 0).next_below(0);
+    }
+}

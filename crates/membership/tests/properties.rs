@@ -1,0 +1,78 @@
+//! Property-based tests for membership invariants.
+
+use pag_membership::{Membership, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #[test]
+    fn views_are_valid_for_any_shape(
+        session in any::<u64>(),
+        n in 2usize..80,
+        fanout in 1usize..6,
+        round in 0u64..1000,
+    ) {
+        let m = Membership::with_uniform_nodes(session, n, fanout, fanout);
+        for &node in m.nodes() {
+            let succ = m.successors(node, round);
+            prop_assert_eq!(succ.len(), fanout.min(n - 1));
+            prop_assert!(!succ.contains(&node));
+            let set: BTreeSet<_> = succ.iter().collect();
+            prop_assert_eq!(set.len(), succ.len());
+            for s in &succ {
+                prop_assert!(m.contains(*s));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism(session in any::<u64>(), round in any::<u64>()) {
+        let m1 = Membership::with_uniform_nodes(session, 30, 3, 3);
+        let m2 = Membership::with_uniform_nodes(session, 30, 3, 3);
+        for &node in m1.nodes() {
+            prop_assert_eq!(m1.successors(node, round), m2.successors(node, round));
+            prop_assert_eq!(m1.monitors_of(node, round), m2.monitors_of(node, round));
+        }
+    }
+
+    #[test]
+    fn topology_predecessor_successor_duality(
+        session in any::<u64>(),
+        n in 3usize..50,
+        round in 0u64..100,
+    ) {
+        let m = Membership::with_uniform_nodes(session, n, 3, 3);
+        let topo = m.topology(round);
+        for &node in m.nodes() {
+            for &s in topo.successors(node) {
+                prop_assert!(topo.predecessors(s).contains(&node));
+            }
+            for &p in topo.predecessors(node) {
+                prop_assert!(topo.successors(p).contains(&node));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_preserves_invariants(
+        session in any::<u64>(),
+        leaves in proptest::collection::vec(1u32..40, 0..10),
+        joins in proptest::collection::vec(100u32..200, 0..10),
+    ) {
+        let mut m = Membership::with_uniform_nodes(session, 40, 3, 3);
+        for j in joins {
+            m.join(NodeId(j));
+        }
+        for l in leaves {
+            if m.contains(NodeId(l)) && NodeId(l) != m.source() {
+                m.leave(NodeId(l));
+            }
+        }
+        let round = 5;
+        for &node in m.nodes() {
+            let succ = m.successors(node, round);
+            prop_assert!(succ.iter().all(|s| m.contains(*s)));
+            prop_assert!(!succ.contains(&node));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The context handed to protocol callbacks: the only way a node can act
+//! on the simulated world.
+
+use pag_membership::NodeId;
+use rand::rngs::StdRng;
+
+use crate::stats::TrafficClass;
+use crate::time::{SimDuration, SimTime};
+
+/// An outgoing message collected during a callback.
+#[derive(Clone, Debug)]
+pub(crate) struct Outgoing<M> {
+    pub to: NodeId,
+    pub msg: M,
+    pub bytes: usize,
+    pub class: TrafficClass,
+}
+
+/// Execution context of one protocol callback.
+///
+/// Sends and timers are buffered and applied by the engine after the
+/// callback returns, keeping callbacks free of engine borrow concerns.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    round: u64,
+    rng: &'a mut StdRng,
+    pub(crate) outbox: Vec<Outgoing<M>>,
+    pub(crate) timers: Vec<(SimDuration, u64)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(node: NodeId, now: SimTime, round: u64, rng: &'a mut StdRng) -> Self {
+        Context {
+            node,
+            now,
+            round,
+            rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The node this callback runs on.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The round the simulation clock is currently in.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The node's deterministic random source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`, charging `bytes` to traffic class 0.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: usize) {
+        self.send_classified(to, msg, bytes, TrafficClass::DEFAULT);
+    }
+
+    /// Sends `msg` to `to`, charging `bytes` to `class`.
+    pub fn send_classified(&mut self, to: NodeId, msg: M, bytes: usize, class: TrafficClass) {
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes,
+            class,
+        });
+    }
+
+    /// Schedules `on_timer(tag)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+}

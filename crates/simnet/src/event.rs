@@ -1,0 +1,99 @@
+//! The event queue: a min-heap ordered by (time, sequence number).
+
+use std::cmp::Ordering;
+
+use pag_membership::NodeId;
+
+use crate::stats::TrafficClass;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind<M> {
+    /// A node's gossip round begins.
+    RoundStart(u64),
+    /// A message arrives at its destination.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Payload.
+        msg: M,
+        /// Wire size for receive-side accounting.
+        bytes: usize,
+        /// Traffic class for receive-side accounting.
+        class: TrafficClass,
+    },
+    /// A protocol timer set via `Context::set_timer` expires.
+    Timer(u64),
+}
+
+/// A scheduled event targeting one node.
+#[derive(Clone, Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    /// Tie-breaker preserving scheduling order at equal times.
+    pub seq: u64,
+    pub node: NodeId,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time_us: u64, seq: u64) -> Event<()> {
+        Event {
+            time: SimTime::from_micros(time_us),
+            seq,
+            node: NodeId(0),
+            kind: EventKind::Timer(0),
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(300, 0));
+        heap.push(ev(100, 1));
+        heap.push(ev(200, 2));
+        assert_eq!(heap.pop().unwrap().time.as_micros(), 100);
+        assert_eq!(heap.pop().unwrap().time.as_micros(), 200);
+        assert_eq!(heap.pop().unwrap().time.as_micros(), 300);
+    }
+
+    #[test]
+    fn equal_times_fifo_by_seq() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(100, 5));
+        heap.push(ev(100, 3));
+        heap.push(ev(100, 4));
+        assert_eq!(heap.pop().unwrap().seq, 3);
+        assert_eq!(heap.pop().unwrap().seq, 4);
+        assert_eq!(heap.pop().unwrap().seq, 5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic discrete-event network simulator for the PAG
+//! reproduction.
+//!
+//! Stands in for the paper's two evaluation substrates (see DESIGN.md):
+//! the Grid'5000 deployment (48 machines × 9 processes = 432 nodes) and
+//! the OMNeT++ simulations (1000+ nodes). Protocols implement
+//! [`Protocol`]; the engine delivers rounds, messages and timers in
+//! deterministic order and accounts every byte per node and per traffic
+//! class — the paper's headline metric is per-node bandwidth consumption.
+//!
+//! Design choices:
+//!
+//! * **Deterministic**: one master seed derives every random stream
+//!   (per-node protocol RNGs, latency sampling, loss). Same inputs, same
+//!   report, bit for bit.
+//! * **No congestion model**: the paper reports *offered* bandwidth
+//!   against link capacities (Table II) rather than simulating queueing;
+//!   the engine does the same, counting bytes without throttling.
+//! * **Fail-stop faults**: nodes can crash at a round boundary
+//!   ([`Simulation::schedule_crash`]) and links can drop messages with a
+//!   configured probability, which exercises PAG's accusation path.
+//!
+//! # Examples
+//!
+//! ```
+//! use pag_membership::NodeId;
+//! use pag_simnet::{Context, Protocol, SimConfig, Simulation};
+//!
+//! /// Every round, node 0 pushes 1 kB to node 1.
+//! struct Push;
+//! impl Protocol for Push {
+//!     type Message = ();
+//!     fn on_round(&mut self, _round: u64, ctx: &mut Context<'_, ()>) {
+//!         if ctx.id() == NodeId(0) {
+//!             ctx.send(NodeId(1), (), 1000);
+//!         }
+//!     }
+//!     fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<'_, ()>) {}
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default());
+//! sim.add_node(NodeId(0), Push);
+//! sim.add_node(NodeId(1), Push);
+//! let report = sim.run(10);
+//! // 1 kB/s = 8 kbps of upload at node 0.
+//! assert_eq!(report.per_node[&NodeId(0)].upload_kbps(report.duration), 8.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod event;
+mod protocol;
+mod sim;
+mod stats;
+mod time;
+
+pub use context::Context;
+pub use protocol::Protocol;
+pub use sim::{SimConfig, Simulation};
+pub use stats::{NodeStats, SimReport, TrafficClass, MAX_TRAFFIC_CLASSES};
+pub use time::{SimDuration, SimTime};

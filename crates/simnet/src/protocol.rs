@@ -1,0 +1,33 @@
+//! The [`Protocol`] trait: the contract between a node implementation and
+//! the simulation engine.
+
+use pag_membership::NodeId;
+
+use crate::context::Context;
+
+/// Behaviour of one simulated node.
+///
+/// Implementations receive three kinds of callbacks:
+/// round starts (the gossip clock), message deliveries, and expired
+/// timers. All interaction with the world goes through the
+/// [`Context`].
+pub trait Protocol: Sized {
+    /// The message type exchanged between nodes of this protocol.
+    type Message;
+
+    /// Called once at simulation start, before any round.
+    fn on_init(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called at the beginning of every gossip round.
+    fn on_round(&mut self, round: u64, ctx: &mut Context<'_, Self::Message>);
+
+    /// Called when a message from `from` arrives.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+
+    /// Called when a timer set via [`Context::set_timer`] expires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Self::Message>) {
+        let _ = (tag, ctx);
+    }
+}

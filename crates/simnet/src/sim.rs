@@ -1,0 +1,427 @@
+//! The simulation engine: a deterministic single-threaded discrete-event
+//! loop over round starts, message deliveries and timers.
+
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+
+use pag_membership::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::Context;
+use crate::event::{Event, EventKind};
+use crate::protocol::Protocol;
+use crate::stats::{NodeStats, SimReport};
+use crate::time::{SimDuration, SimTime};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Gossip round duration (paper: 1 second).
+    pub round_duration: SimDuration,
+    /// Minimum one-way message latency.
+    pub latency_min: SimDuration,
+    /// Maximum one-way message latency (uniform in `[min, max]`).
+    pub latency_max: SimDuration,
+    /// Probability that a message is silently lost in transit.
+    pub loss_probability: f64,
+    /// Master seed; all per-node randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            round_duration: SimDuration::from_secs(1),
+            latency_min: SimDuration::from_millis(10),
+            latency_max: SimDuration::from_millis(60),
+            loss_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A deterministic discrete-event network simulation.
+///
+/// Stands in for both the paper's Grid'5000 deployment and its OMNeT++
+/// simulations (see DESIGN.md): the protocol under test runs unmodified
+/// message flows while the engine accounts every byte.
+///
+/// # Examples
+///
+/// ```
+/// use pag_simnet::{Context, Protocol, SimConfig, Simulation};
+/// use pag_membership::NodeId;
+///
+/// struct Ping;
+/// impl Protocol for Ping {
+///     type Message = u32;
+///     fn on_round(&mut self, round: u64, ctx: &mut Context<'_, u32>) {
+///         let peer = NodeId((ctx.id().value() + 1) % 2);
+///         ctx.send(peer, round as u32, 100);
+///     }
+///     fn on_message(&mut self, _from: NodeId, _msg: u32, _ctx: &mut Context<'_, u32>) {}
+/// }
+///
+/// let mut sim = Simulation::new(SimConfig::default());
+/// sim.add_node(NodeId(0), Ping);
+/// sim.add_node(NodeId(1), Ping);
+/// let report = sim.run(5);
+/// assert_eq!(report.rounds, 5);
+/// assert!(report.mean_bandwidth_kbps() > 0.0);
+/// ```
+pub struct Simulation<P: Protocol> {
+    config: SimConfig,
+    nodes: BTreeMap<NodeId, P>,
+    rngs: BTreeMap<NodeId, StdRng>,
+    stats: BTreeMap<NodeId, NodeStats>,
+    crashed: HashSet<NodeId>,
+    crash_schedule: Vec<(u64, NodeId)>,
+    queue: BinaryHeap<Event<P::Message>>,
+    latency_rng: StdRng,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates an empty simulation.
+    pub fn new(config: SimConfig) -> Self {
+        let latency_rng = StdRng::seed_from_u64(config.seed ^ 0x1a7e_9c1e);
+        Simulation {
+            config,
+            nodes: BTreeMap::new(),
+            rngs: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            crashed: HashSet::new(),
+            crash_schedule: Vec::new(),
+            queue: BinaryHeap::new(),
+            latency_rng,
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Registers a node running `protocol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate identifiers.
+    pub fn add_node(&mut self, id: NodeId, protocol: P) {
+        let prev = self.nodes.insert(id, protocol);
+        assert!(prev.is_none(), "duplicate node {id}");
+        self.rngs.insert(
+            id,
+            StdRng::seed_from_u64(self.config.seed ^ pag_membership::mix(id.value() as u64)),
+        );
+        self.stats.insert(id, NodeStats::default());
+    }
+
+    /// Schedules `node` to crash (stop processing) at the start of `round`.
+    ///
+    /// Models fail-stop omission faults; messages to a crashed node are
+    /// dropped after send-side accounting, like a dead TCP peer.
+    pub fn schedule_crash(&mut self, node: NodeId, round: u64) {
+        self.crash_schedule.push((round, node));
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(&id)
+    }
+
+    /// Iterates over `(id, protocol)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes.iter().map(|(&id, p)| (id, p))
+    }
+
+    /// Consumes the simulation, returning final protocol states.
+    pub fn into_nodes(self) -> BTreeMap<NodeId, P> {
+        self.nodes
+    }
+
+    /// Runs `rounds` gossip rounds and returns the traffic report.
+    ///
+    /// Determinism: identical configuration, node set and protocol logic
+    /// produce bit-identical reports.
+    pub fn run(&mut self, rounds: u64) -> SimReport {
+        let node_ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+
+        // Init callbacks at t=0.
+        for &id in &node_ids {
+            self.dispatch(id, |p, ctx| p.on_init(ctx), 0);
+        }
+
+        // Schedule every round start upfront (exact boundaries; the paper
+        // assumes roughly synchronized nodes).
+        for r in 0..rounds {
+            let t = SimTime::ZERO + self.config.round_duration.mul(r);
+            for &id in &node_ids {
+                self.seq += 1;
+                self.queue.push(Event {
+                    time: t,
+                    seq: self.seq,
+                    node: id,
+                    kind: EventKind::RoundStart(r),
+                });
+            }
+        }
+
+        let end = SimTime::ZERO + self.config.round_duration.mul(rounds);
+        while let Some(ev) = self.queue.pop() {
+            if ev.time >= end {
+                break;
+            }
+            self.now = ev.time;
+            let round = (ev.time.as_micros() / self.config.round_duration.as_micros()).min(rounds);
+            match ev.kind {
+                EventKind::RoundStart(r) => {
+                    self.apply_crashes(r);
+                    if self.crashed.contains(&ev.node) {
+                        continue;
+                    }
+                    self.dispatch(ev.node, |p, ctx| p.on_round(r, ctx), r);
+                }
+                EventKind::Deliver {
+                    from,
+                    msg,
+                    bytes,
+                    class,
+                } => {
+                    if self.crashed.contains(&ev.node) {
+                        continue;
+                    }
+                    if let Some(stats) = self.stats.get_mut(&ev.node) {
+                        stats.record_recv(bytes, class);
+                    }
+                    self.dispatch(ev.node, |p, ctx| p.on_message(from, msg, ctx), round);
+                }
+                EventKind::Timer(tag) => {
+                    if self.crashed.contains(&ev.node) {
+                        continue;
+                    }
+                    self.dispatch(ev.node, |p, ctx| p.on_timer(tag, ctx), round);
+                }
+            }
+        }
+
+        SimReport {
+            duration: self.config.round_duration.mul(rounds),
+            rounds,
+            per_node: self.stats.clone(),
+        }
+    }
+
+    fn apply_crashes(&mut self, round: u64) {
+        for &(r, node) in &self.crash_schedule {
+            if r <= round {
+                self.crashed.insert(node);
+            }
+        }
+    }
+
+    /// Runs one callback and applies its buffered effects.
+    fn dispatch<F>(&mut self, id: NodeId, f: F, round: u64)
+    where
+        F: FnOnce(&mut P, &mut Context<'_, P::Message>),
+    {
+        let Some(mut protocol) = self.nodes.remove(&id) else {
+            return;
+        };
+        let rng = self.rngs.get_mut(&id).expect("rng exists for node");
+        let mut ctx = Context::new(id, self.now, round, rng);
+        f(&mut protocol, &mut ctx);
+        let outbox = std::mem::take(&mut ctx.outbox);
+        let timers = std::mem::take(&mut ctx.timers);
+        self.nodes.insert(id, protocol);
+
+        for out in outbox {
+            if let Some(stats) = self.stats.get_mut(&id) {
+                stats.record_send(out.bytes, out.class);
+            }
+            if self.config.loss_probability > 0.0
+                && self.latency_rng.random::<f64>() < self.config.loss_probability
+            {
+                continue;
+            }
+            let latency = self.sample_latency();
+            self.seq += 1;
+            self.queue.push(Event {
+                time: self.now + latency,
+                seq: self.seq,
+                node: out.to,
+                kind: EventKind::Deliver {
+                    from: id,
+                    msg: out.msg,
+                    bytes: out.bytes,
+                    class: out.class,
+                },
+            });
+        }
+        for (delay, tag) in timers {
+            self.seq += 1;
+            self.queue.push(Event {
+                time: self.now + delay,
+                seq: self.seq,
+                node: id,
+                kind: EventKind::Timer(tag),
+            });
+        }
+    }
+
+    fn sample_latency(&mut self) -> SimDuration {
+        let lo = self.config.latency_min.as_micros();
+        let hi = self.config.latency_max.as_micros();
+        if hi <= lo {
+            return SimDuration::from_micros(lo);
+        }
+        SimDuration::from_micros(self.latency_rng.random_range(lo..hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts everything it sees; replies to each message once.
+    #[derive(Default)]
+    struct Echo {
+        rounds_seen: u64,
+        messages_seen: u64,
+        timers_seen: u64,
+        peers: Vec<NodeId>,
+    }
+
+    impl Protocol for Echo {
+        type Message = &'static str;
+
+        fn on_init(&mut self, ctx: &mut Context<'_, Self::Message>) {
+            ctx.set_timer(SimDuration::from_millis(500), 7);
+        }
+
+        fn on_round(&mut self, _round: u64, ctx: &mut Context<'_, Self::Message>) {
+            self.rounds_seen += 1;
+            for &p in &self.peers.clone() {
+                ctx.send(p, "ping", 100);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+            self.messages_seen += 1;
+            if msg == "ping" {
+                ctx.send(from, "pong", 50);
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Context<'_, Self::Message>) {
+            assert_eq!(tag, 7);
+            self.timers_seen += 1;
+        }
+    }
+
+    fn two_node_sim(config: SimConfig) -> Simulation<Echo> {
+        let mut sim = Simulation::new(config);
+        sim.add_node(
+            NodeId(0),
+            Echo {
+                peers: vec![NodeId(1)],
+                ..Echo::default()
+            },
+        );
+        sim.add_node(
+            NodeId(1),
+            Echo {
+                peers: vec![NodeId(0)],
+                ..Echo::default()
+            },
+        );
+        sim
+    }
+
+    #[test]
+    fn rounds_and_messages_flow() {
+        let mut sim = two_node_sim(SimConfig::default());
+        let report = sim.run(3);
+        assert_eq!(report.rounds, 3);
+        let n0 = sim.node(NodeId(0)).unwrap();
+        assert_eq!(n0.rounds_seen, 3);
+        // 3 pings received + 3 pongs received (latency << round duration).
+        assert_eq!(n0.messages_seen, 6);
+        assert_eq!(n0.timers_seen, 1);
+    }
+
+    #[test]
+    fn byte_accounting_is_symmetric() {
+        let mut sim = two_node_sim(SimConfig::default());
+        let report = sim.run(2);
+        let s0 = &report.per_node[&NodeId(0)];
+        let s1 = &report.per_node[&NodeId(1)];
+        // Symmetric workload: each sends 2 pings (100) + 2 pongs (50).
+        assert_eq!(s0.sent_bytes, 300);
+        assert_eq!(s1.sent_bytes, 300);
+        assert_eq!(s0.recv_bytes, 300);
+        assert_eq!(s0.sent_msgs, 4);
+        assert_eq!(s0.recv_msgs, 4);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let r1 = two_node_sim(SimConfig::default()).run(5);
+        let r2 = two_node_sim(SimConfig::default()).run(5);
+        assert_eq!(
+            r1.per_node[&NodeId(0)].sent_bytes,
+            r2.per_node[&NodeId(0)].sent_bytes
+        );
+        assert_eq!(
+            r1.per_node[&NodeId(1)].recv_msgs,
+            r2.per_node[&NodeId(1)].recv_msgs
+        );
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let config = SimConfig {
+            loss_probability: 1.0,
+            ..SimConfig::default()
+        };
+        let mut sim = two_node_sim(config);
+        let report = sim.run(2);
+        // Sends are charged, nothing arrives.
+        assert!(report.per_node[&NodeId(0)].sent_bytes > 0);
+        assert_eq!(report.per_node[&NodeId(0)].recv_bytes, 0);
+        assert_eq!(sim.node(NodeId(0)).unwrap().messages_seen, 0);
+    }
+
+    #[test]
+    fn crashed_node_goes_silent() {
+        let mut sim = two_node_sim(SimConfig::default());
+        sim.schedule_crash(NodeId(1), 1);
+        let report = sim.run(4);
+        // Node 1 only participated in round 0.
+        assert_eq!(sim.node(NodeId(1)).unwrap().rounds_seen, 1);
+        // Node 0 keeps sending to the dead peer; bytes still charged.
+        let s0 = &report.per_node[&NodeId(0)];
+        assert_eq!(s0.sent_msgs, 4 + 1); // 4 pings + 1 pong (round 0)
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_node_rejected() {
+        let mut sim: Simulation<Echo> = Simulation::new(SimConfig::default());
+        sim.add_node(NodeId(0), Echo::default());
+        sim.add_node(NodeId(0), Echo::default());
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        // Messages sent in round r arrive before round r+1 with default
+        // latencies; verified indirectly by message counts in
+        // rounds_and_messages_flow. Here: degenerate latency range.
+        let config = SimConfig {
+            latency_min: SimDuration::from_millis(5),
+            latency_max: SimDuration::from_millis(5),
+            ..SimConfig::default()
+        };
+        let mut sim = two_node_sim(config);
+        sim.run(1);
+        assert_eq!(sim.node(NodeId(0)).unwrap().messages_seen, 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-node traffic accounting and simulation reports.
+//!
+//! The paper's headline metric is *bandwidth consumption per node* (Figs.
+//! 7–9); the simulator counts every byte sent and received, broken down by
+//! protocol-defined traffic classes so experiments can attribute overhead
+//! (updates vs buffermaps vs monitoring control traffic).
+
+use std::collections::BTreeMap;
+
+use pag_membership::NodeId;
+
+use crate::time::SimDuration;
+
+/// Maximum number of traffic classes trackable per node.
+pub const MAX_TRAFFIC_CLASSES: usize = 8;
+
+/// A protocol-defined traffic class (index into per-class counters).
+///
+/// Protocols assign their own meaning; `pag-core` uses updates /
+/// buffermaps / exchange control / monitoring.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TrafficClass(pub u8);
+
+impl TrafficClass {
+    /// Catch-all class 0.
+    pub const DEFAULT: TrafficClass = TrafficClass(0);
+}
+
+/// Byte and message counters of one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Total bytes sent.
+    pub sent_bytes: u64,
+    /// Total bytes received.
+    pub recv_bytes: u64,
+    /// Messages sent.
+    pub sent_msgs: u64,
+    /// Messages received.
+    pub recv_msgs: u64,
+    /// Bytes sent per traffic class.
+    pub sent_by_class: [u64; MAX_TRAFFIC_CLASSES],
+    /// Bytes received per traffic class.
+    pub recv_by_class: [u64; MAX_TRAFFIC_CLASSES],
+}
+
+impl NodeStats {
+    pub(crate) fn record_send(&mut self, bytes: usize, class: TrafficClass) {
+        self.sent_bytes += bytes as u64;
+        self.sent_msgs += 1;
+        self.sent_by_class[class.0 as usize % MAX_TRAFFIC_CLASSES] += bytes as u64;
+    }
+
+    pub(crate) fn record_recv(&mut self, bytes: usize, class: TrafficClass) {
+        self.recv_bytes += bytes as u64;
+        self.recv_msgs += 1;
+        self.recv_by_class[class.0 as usize % MAX_TRAFFIC_CLASSES] += bytes as u64;
+    }
+
+    /// Total bandwidth over `duration` in kilobits per second, counting
+    /// upload and download together (the paper's "bandwidth consumption").
+    pub fn bandwidth_kbps(&self, duration: SimDuration) -> f64 {
+        let secs = duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.sent_bytes + self.recv_bytes) as f64 * 8.0 / 1000.0 / secs
+    }
+
+    /// Upload-only bandwidth in kbps.
+    pub fn upload_kbps(&self, duration: SimDuration) -> f64 {
+        let secs = duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.sent_bytes as f64 * 8.0 / 1000.0 / secs
+    }
+}
+
+/// Result of a simulation run: traffic per node plus run metadata.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Simulated wall-clock duration.
+    pub duration: SimDuration,
+    /// Number of completed rounds.
+    pub rounds: u64,
+    /// Per-node statistics.
+    pub per_node: BTreeMap<NodeId, NodeStats>,
+}
+
+impl SimReport {
+    /// Per-node total bandwidth (up+down) in kbps, sorted ascending — the
+    /// series behind the paper's CDF plots (Fig. 7).
+    pub fn bandwidth_distribution_kbps(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .per_node
+            .values()
+            .map(|s| s.bandwidth_kbps(self.duration))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bandwidth"));
+        v
+    }
+
+    /// Mean per-node bandwidth in kbps.
+    pub fn mean_bandwidth_kbps(&self) -> f64 {
+        let v = self.bandwidth_distribution_kbps();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// Bandwidth value at `percentile` (0–100) of the node distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no nodes or `percentile` is outside 0–100.
+    pub fn percentile_bandwidth_kbps(&self, percentile: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&percentile), "percentile in 0-100");
+        let v = self.bandwidth_distribution_kbps();
+        assert!(!v.is_empty(), "no nodes in report");
+        let idx = ((percentile / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx]
+    }
+
+    /// Sum of bytes sent across all nodes, per traffic class.
+    pub fn total_sent_by_class(&self) -> [u64; MAX_TRAFFIC_CLASSES] {
+        let mut out = [0u64; MAX_TRAFFIC_CLASSES];
+        for s in self.per_node.values() {
+            for (acc, v) in out.iter_mut().zip(s.sent_by_class.iter()) {
+                *acc += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_math() {
+        let mut s = NodeStats::default();
+        s.record_send(1000, TrafficClass::DEFAULT);
+        s.record_recv(1000, TrafficClass(1));
+        // 2000 bytes over 1 second = 16 kbps.
+        assert_eq!(s.bandwidth_kbps(SimDuration::from_secs(1)), 16.0);
+        assert_eq!(s.upload_kbps(SimDuration::from_secs(1)), 8.0);
+        assert_eq!(s.sent_by_class[0], 1000);
+        assert_eq!(s.recv_by_class[1], 1000);
+    }
+
+    #[test]
+    fn zero_duration_is_zero_bandwidth() {
+        let mut s = NodeStats::default();
+        s.record_send(1000, TrafficClass::DEFAULT);
+        assert_eq!(s.bandwidth_kbps(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn report_distribution_and_percentiles() {
+        let mut per_node = BTreeMap::new();
+        for i in 0..10u32 {
+            let mut s = NodeStats::default();
+            s.record_send(((i + 1) * 125) as usize, TrafficClass::DEFAULT); // 1..10 kbit
+            per_node.insert(NodeId(i), s);
+        }
+        let report = SimReport {
+            duration: SimDuration::from_secs(1),
+            rounds: 1,
+            per_node,
+        };
+        let dist = report.bandwidth_distribution_kbps();
+        assert_eq!(dist.len(), 10);
+        assert!(dist.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert_eq!(report.percentile_bandwidth_kbps(0.0), dist[0]);
+        assert_eq!(report.percentile_bandwidth_kbps(100.0), dist[9]);
+        let mean = report.mean_bandwidth_kbps();
+        assert!((mean - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_overflow_wraps_into_range() {
+        let mut s = NodeStats::default();
+        s.record_send(10, TrafficClass(200));
+        assert_eq!(s.sent_by_class[200 % MAX_TRAFFIC_CLASSES], 10);
+    }
+}

@@ -1,0 +1,155 @@
+//! Virtual time: instants and durations in microseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from microseconds since start.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since earlier instant"),
+        )
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1000)
+    }
+
+    /// Builds a duration from seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as floating point.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Scales the duration by an integer factor.
+    pub fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0 + o.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(o.0).expect("duration underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimTime::from_micros(1_500_000).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(2);
+        assert_eq!(t.as_micros(), 2_000_000);
+        assert_eq!(t.duration_since(SimTime::ZERO).as_secs_f64(), 2.0);
+        assert_eq!(
+            (SimDuration::from_secs(3) - SimDuration::from_secs(1)).as_secs_f64(),
+            2.0
+        );
+        assert_eq!(SimDuration::from_millis(10).mul(5).as_micros(), 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant")]
+    fn duration_since_panics_backwards() {
+        SimTime::ZERO.duration_since(SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(SimTime::from_micros(1_234_000).to_string(), "1.234s");
+        assert_eq!(SimDuration::from_millis(50).to_string(), "0.050s");
+    }
+}

@@ -1,0 +1,20 @@
+//! Live video streaming over PAG — the application workload of the
+//! paper's evaluation ("we implemented it ... and used it as a video live
+//! streaming application", §VII-A).
+//!
+//! * [`quality`] — the Table-I quality ladder (144p/80 kbps through
+//!   1080p/4500 kbps).
+//! * [`player`] — playback with a fixed playout delay; continuity and
+//!   delivery metrics.
+//! * [`session`] — glue running a stream over `pag-core` sessions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod player;
+pub mod quality;
+pub mod session;
+
+pub use player::{evaluate_playback, PlaybackStats};
+pub use quality::VideoQuality;
+pub use session::{stream_over_pag, StreamingConfig, StreamingReport};

@@ -1,0 +1,96 @@
+//! Playback model: chunks are consumed `playout_delay` rounds after
+//! creation ("updates ... are released 10 seconds before being consumed
+//! by the nodes' media player", §VII-A).
+
+use std::collections::BTreeMap;
+
+use pag_core::UpdateId;
+
+/// Playback statistics of one viewer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlaybackStats {
+    /// Chunks that arrived by their playback deadline.
+    pub on_time: usize,
+    /// Chunks that arrived late (stall, then skip).
+    pub late: usize,
+    /// Chunks that never arrived.
+    pub missing: usize,
+}
+
+impl PlaybackStats {
+    /// Continuity index: fraction of chunks available at their deadline.
+    /// The paper's notion of a watchable stream is continuity ≈ 1.
+    pub fn continuity(&self) -> f64 {
+        let total = self.on_time + self.late + self.missing;
+        if total == 0 {
+            return 1.0;
+        }
+        self.on_time as f64 / total as f64
+    }
+
+    /// Fraction of chunks eventually received (even late).
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.on_time + self.late + self.missing;
+        if total == 0 {
+            return 1.0;
+        }
+        (self.on_time + self.late) as f64 / total as f64
+    }
+}
+
+/// Evaluates playback for one node given when chunks were created and
+/// when this node received them.
+///
+/// Only chunks whose deadline falls inside the simulated horizon are
+/// scored (later chunks could not have been played yet).
+pub fn evaluate_playback(
+    creations: &BTreeMap<UpdateId, u64>,
+    deliveries: &BTreeMap<UpdateId, u64>,
+    playout_delay: u64,
+    horizon_rounds: u64,
+) -> PlaybackStats {
+    let mut stats = PlaybackStats::default();
+    for (id, &created) in creations {
+        let deadline = created + playout_delay;
+        if deadline >= horizon_rounds {
+            continue; // not yet played by the end of the run
+        }
+        match deliveries.get(id) {
+            Some(&got) if got <= deadline => stats.on_time += 1,
+            Some(_) => stats.late += 1,
+            None => stats.missing += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> UpdateId {
+        UpdateId(n)
+    }
+
+    #[test]
+    fn classification() {
+        let creations: BTreeMap<_, _> =
+            [(id(1), 0u64), (id(2), 0), (id(3), 0), (id(4), 90)].into_iter().collect();
+        let deliveries: BTreeMap<_, _> =
+            [(id(1), 5u64), (id(2), 20)].into_iter().collect();
+        // playout 10, horizon 50: chunk 4's deadline (100) is out of scope.
+        let s = evaluate_playback(&creations, &deliveries, 10, 50);
+        assert_eq!(s.on_time, 1); // chunk 1 (5 <= 10)
+        assert_eq!(s.late, 1); // chunk 2 (20 > 10)
+        assert_eq!(s.missing, 1); // chunk 3
+        assert!((s.continuity() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.delivery_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_perfect() {
+        let s = evaluate_playback(&BTreeMap::new(), &BTreeMap::new(), 10, 100);
+        assert_eq!(s.continuity(), 1.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+}

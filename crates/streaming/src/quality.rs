@@ -1,0 +1,109 @@
+//! The video quality ladder of Table I.
+
+use std::fmt;
+
+/// A video quality level with its payload rate (Table I: "Video quality /
+/// Payload size (Kbps)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VideoQuality {
+    /// 144p — 80 kbps.
+    Q144p,
+    /// 240p — 300 kbps (the paper's default streaming rate).
+    Q240p,
+    /// 360p — 750 kbps.
+    Q360p,
+    /// 480p — 1000 kbps.
+    Q480p,
+    /// 720p — 2500 kbps.
+    Q720p,
+    /// 1080p — 4500 kbps.
+    Q1080p,
+}
+
+impl VideoQuality {
+    /// The full ladder, ascending.
+    pub fn ladder() -> [VideoQuality; 6] {
+        [
+            VideoQuality::Q144p,
+            VideoQuality::Q240p,
+            VideoQuality::Q360p,
+            VideoQuality::Q480p,
+            VideoQuality::Q720p,
+            VideoQuality::Q1080p,
+        ]
+    }
+
+    /// Payload rate in kbps.
+    pub fn rate_kbps(self) -> f64 {
+        match self {
+            VideoQuality::Q144p => 80.0,
+            VideoQuality::Q240p => 300.0,
+            VideoQuality::Q360p => 750.0,
+            VideoQuality::Q480p => 1000.0,
+            VideoQuality::Q720p => 2500.0,
+            VideoQuality::Q1080p => 4500.0,
+        }
+    }
+
+    /// 938-byte updates per second at this rate.
+    pub fn updates_per_second(self) -> f64 {
+        self.rate_kbps() * 1000.0 / 8.0 / pag_crypto::sizes::UPDATE_PAYLOAD_BYTES as f64
+    }
+
+    /// The highest quality with rate at most `kbps`, if any.
+    pub fn best_under(kbps: f64) -> Option<VideoQuality> {
+        Self::ladder()
+            .into_iter()
+            .filter(|q| q.rate_kbps() <= kbps)
+            .next_back()
+    }
+}
+
+impl fmt::Display for VideoQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VideoQuality::Q144p => "144p",
+            VideoQuality::Q240p => "240p",
+            VideoQuality::Q360p => "360p",
+            VideoQuality::Q480p => "480p",
+            VideoQuality::Q720p => "720p",
+            VideoQuality::Q1080p => "1080p",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_table1() {
+        let rates: Vec<f64> = VideoQuality::ladder().iter().map(|q| q.rate_kbps()).collect();
+        assert_eq!(rates, vec![80.0, 300.0, 750.0, 1000.0, 2500.0, 4500.0]);
+    }
+
+    #[test]
+    fn ladder_is_ascending() {
+        let l = VideoQuality::ladder();
+        assert!(l.windows(2).all(|w| w[0].rate_kbps() < w[1].rate_kbps()));
+    }
+
+    #[test]
+    fn best_under_selects_correctly() {
+        assert_eq!(VideoQuality::best_under(79.0), None);
+        assert_eq!(VideoQuality::best_under(80.0), Some(VideoQuality::Q144p));
+        assert_eq!(VideoQuality::best_under(999.0), Some(VideoQuality::Q360p));
+        assert_eq!(VideoQuality::best_under(1e9), Some(VideoQuality::Q1080p));
+    }
+
+    #[test]
+    fn updates_per_second_at_240p_is_forty() {
+        assert!((VideoQuality::Q240p.updates_per_second() - 39.98).abs() < 0.1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VideoQuality::Q1080p.to_string(), "1080p");
+    }
+}

@@ -1,0 +1,239 @@
+//! Attacker knowledge and its deductive closure.
+//!
+//! The attacker is the paper's strongest adversary (§III): *global* (sees
+//! every message on the network) and *active* (controls corrupt nodes,
+//! contributing their keys and state). Its only limits are cryptographic:
+//!
+//! * it cannot invert encryptions without the private key;
+//! * it cannot forge signatures;
+//! * it cannot invert homomorphic hashes (the modulus is smaller than an
+//!   update, §IV-B);
+//! * it cannot factor a product of large primes — *except* by dividing
+//!   out factors it already knows: a product with exactly one unknown
+//!   factor yields that factor by ordinary division. (This efficient
+//!   division rule is what makes the cofactor products of message 7
+//!   dangerous in the wrong hands, and is the mechanism behind the
+//!   paper's §VII-E coalition condition.)
+
+use std::collections::BTreeSet;
+
+use crate::term::Term;
+
+/// A set of terms closed (on demand) under attacker deduction.
+#[derive(Clone, Debug, Default)]
+pub struct Knowledge {
+    facts: BTreeSet<Term>,
+}
+
+impl Knowledge {
+    /// Starts from an initial transcript plus corrupt-node secrets.
+    pub fn new<I: IntoIterator<Item = Term>>(initial: I) -> Self {
+        let mut k = Knowledge {
+            facts: initial.into_iter().collect(),
+        };
+        k.close();
+        k
+    }
+
+    /// Adds a fact and re-closes.
+    pub fn learn(&mut self, t: Term) {
+        self.facts.insert(t);
+        self.close();
+    }
+
+    /// All currently derivable base facts.
+    pub fn facts(&self) -> &BTreeSet<Term> {
+        &self.facts
+    }
+
+    /// Saturates the fact set under the decomposition rules.
+    fn close(&mut self) {
+        loop {
+            let mut new_facts: Vec<Term> = Vec::new();
+            for t in &self.facts {
+                match t {
+                    Term::Tuple(parts) => {
+                        for p in parts {
+                            if !self.facts.contains(p) {
+                                new_facts.push(p.clone());
+                            }
+                        }
+                    }
+                    // Signatures reveal their content.
+                    Term::Sign(inner, _) => {
+                        if !self.facts.contains(inner) {
+                            new_facts.push((**inner).clone());
+                        }
+                    }
+                    // Decrypt with a known private key.
+                    Term::Enc(inner, to) => {
+                        if self.facts.contains(&Term::Priv(to.clone()))
+                            && !self.facts.contains(inner)
+                        {
+                            new_facts.push((**inner).clone());
+                        }
+                    }
+                    // Division: a product with exactly one unknown factor
+                    // yields it.
+                    Term::PrimeProduct(primes) => {
+                        let unknown: Vec<&String> = primes
+                            .iter()
+                            .filter(|p| !self.facts.contains(&Term::Prime((*p).clone())))
+                            .collect();
+                        if unknown.len() == 1 {
+                            new_facts.push(Term::Prime(unknown[0].clone()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if new_facts.is_empty() {
+                return;
+            }
+            for f in new_facts {
+                self.facts.insert(f);
+            }
+        }
+    }
+
+    /// True if the attacker knows prime `p`.
+    pub fn knows_prime(&self, p: &str) -> bool {
+        self.facts.contains(&Term::Prime(p.to_string()))
+    }
+
+    /// True if the attacker can *assemble* the exponent set `exp`: every
+    /// prime individually known, or covered by known products combined
+    /// with known primes (products can be multiplied together and by
+    /// known primes; nothing can be divided out of them beyond the
+    /// closure rule).
+    pub fn can_assemble_exponent(&self, exp: &BTreeSet<String>) -> bool {
+        // Start with individually known primes.
+        let mut covered: BTreeSet<&str> = exp
+            .iter()
+            .filter(|p| self.knows_prime(p))
+            .map(String::as_str)
+            .collect();
+        if covered.len() == exp.len() {
+            return true;
+        }
+        // Greedily add known products that fit entirely inside the
+        // remaining exponent (multiplying products grows the exponent,
+        // so only fully-contained, non-overlapping products help).
+        loop {
+            let mut progressed = false;
+            for f in &self.facts {
+                if let Term::PrimeProduct(primes) = f {
+                    if primes.iter().all(|p| exp.contains(p))
+                        && primes.iter().any(|p| !covered.contains(p.as_str()))
+                        && primes
+                            .iter()
+                            .all(|p| !covered.contains(p.as_str()) || self.knows_prime(p))
+                    {
+                        for p in primes {
+                            covered.insert(p.as_str());
+                        }
+                        progressed = true;
+                    }
+                }
+            }
+            if covered.len() == exp.len() {
+                return true;
+            }
+            if !progressed {
+                return false;
+            }
+        }
+    }
+
+    /// True if the attacker can construct `H(base)_(exp)` from scratch —
+    /// the brute-force linking test of §VI-A ("the attacker would have to
+    /// hash any possible combination of updates using the prime number
+    /// and see if it is equal to the observation"): it needs all updates
+    /// in the base (as candidate guesses) and the exponent.
+    pub fn can_construct_hash(&self, base: &[(&str, u32)], exp: &BTreeSet<String>) -> bool {
+        base.iter()
+            .all(|(u, _)| self.facts.contains(&Term::Atom(u.to_string())))
+            && self.can_assemble_exponent(exp)
+    }
+
+    /// The privacy query of the paper: can the attacker link update `u`
+    /// to an exchange it observed, given the observed attestation
+    /// `H(u)_(exp)`? It must know a candidate for `u` and be able to
+    /// reproduce the hash.
+    pub fn can_link_update(&self, u: &str, exp: &BTreeSet<String>) -> bool {
+        self.can_construct_hash(&[(u, 1)], exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn tuples_and_signatures_decompose() {
+        let k = Knowledge::new([Term::sign(
+            Term::tuple(vec![Term::atom("a"), Term::prime("p")]),
+            "signer",
+        )]);
+        assert!(k.facts().contains(&Term::atom("a")));
+        assert!(k.knows_prime("p"));
+    }
+
+    #[test]
+    fn encryption_protects_without_key() {
+        let k = Knowledge::new([Term::enc(Term::prime("p"), "bob")]);
+        assert!(!k.knows_prime("p"));
+        let k2 = Knowledge::new([
+            Term::enc(Term::prime("p"), "bob"),
+            Term::Priv("bob".into()),
+        ]);
+        assert!(k2.knows_prime("p"));
+    }
+
+    #[test]
+    fn division_needs_all_but_one_factor() {
+        // p1*p2*p3 with only p1 known: opaque.
+        let k = Knowledge::new([Term::product(["p1", "p2", "p3"]), Term::prime("p1")]);
+        assert!(!k.knows_prime("p2"));
+        // Learn p2: now p3 falls out by division.
+        let mut k = k;
+        k.learn(Term::prime("p2"));
+        assert!(k.knows_prime("p3"));
+    }
+
+    #[test]
+    fn division_chains_across_products() {
+        // Knowing p2 and the two cofactors {p2,p3} and {p1,p3}
+        // cascades: p3 from the first, then p1 from the second.
+        let k = Knowledge::new([
+            Term::product(["p2", "p3"]),
+            Term::product(["p1", "p3"]),
+            Term::prime("p2"),
+        ]);
+        assert!(k.knows_prime("p3"));
+        assert!(k.knows_prime("p1"));
+    }
+
+    #[test]
+    fn exponent_assembly_from_products() {
+        let k = Knowledge::new([Term::product(["p1", "p2"]), Term::prime("p3")]);
+        let exp: BTreeSet<String> =
+            ["p1", "p2", "p3"].into_iter().map(String::from).collect();
+        assert!(k.can_assemble_exponent(&exp), "product x prime covers it");
+        let exp2: BTreeSet<String> = ["p1", "p3"].into_iter().map(String::from).collect();
+        assert!(
+            !k.can_assemble_exponent(&exp2),
+            "p1 only available inside an indivisible product"
+        );
+    }
+
+    #[test]
+    fn linking_needs_candidate_and_exponent() {
+        let exp: BTreeSet<String> = ["p1"].into_iter().map(String::from).collect();
+        let k = Knowledge::new([Term::prime("p1")]);
+        assert!(!k.can_link_update("u1", &exp), "no candidate update");
+        let k2 = Knowledge::new([Term::prime("p1"), Term::atom("u1")]);
+        assert!(k2.can_link_update("u1", &exp));
+    }
+}

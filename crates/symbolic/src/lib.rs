@@ -1,0 +1,46 @@
+//! A small Dolev–Yao symbolic protocol verifier, substituting for the
+//! ProVerif analysis of PAG's privacy property P1 (§VI-A).
+//!
+//! The paper models PAG's cryptographic procedures in ProVerif and shows
+//! that a global, active attacker cannot link updates to nodes unless a
+//! sufficient coalition colludes. This crate reproduces that analysis
+//! natively: [`term`] defines the term algebra (encryption, signatures,
+//! prime products, homomorphic hashes), [`knowledge`] implements attacker
+//! knowledge saturation under the standard deduction rules plus the
+//! division rule for prime products, and [`protocol_model`] builds the
+//! paper's scenario (node B, f predecessors, monitors, successor) and
+//! answers coalition queries.
+//!
+//! Reproduced results (see the test suites):
+//!
+//! * a global passive attacker learns nothing (paper case 1);
+//! * no single third party — designated monitor, co-monitor, other
+//!   predecessor, successor — learns anything;
+//! * the §VII-E coalition (the designated monitor plus all predecessors
+//!   except at most two) recovers the primes by dividing the cofactor
+//!   products, breaking P1;
+//! * increasing `f` strictly increases the minimal coalition size
+//!   ("increasing the value of f reinforces the security").
+//!
+//! # Examples
+//!
+//! ```
+//! use pag_symbolic::{PagScenario, Role};
+//!
+//! let scenario = PagScenario::new(3);
+//! // Nobody corrupted: exchange A1 -> B stays private.
+//! assert!(!scenario.privacy_broken(&[], 0));
+//! // The designated monitor plus one other predecessor break it.
+//! assert!(scenario.privacy_broken(&[Role::Monitor(0), Role::Predecessor(1)], 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod knowledge;
+pub mod protocol_model;
+pub mod term;
+
+pub use knowledge::Knowledge;
+pub use protocol_model::{PagScenario, Role};
+pub use term::Term;

@@ -1,0 +1,334 @@
+//! The PAG scenario of §VI-A, as given to ProVerif: a correct node `B`
+//! receives one update from each of `f` predecessors `A1..Af`, reports to
+//! its monitors `m1..mf` (messages 6/7 go to the round's designated
+//! monitor `m1`), and forwards everything to a successor `C` in the next
+//! round.
+//!
+//! The attacker is global (the whole transcript is public) and active
+//! (corrupting a role adds its private key, from which its decryptable
+//! state follows). Following §VI-A, the attacker also holds the list of
+//! *candidate* updates ("the attacker has access to the list of updates
+//! that node B may have received") — so privacy reduces to obtaining the
+//! primes, exactly as the paper argues.
+
+use std::collections::BTreeSet;
+
+use crate::knowledge::Knowledge;
+use crate::term::Term;
+
+/// A role in the scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Role {
+    /// Predecessor `Ai` (0-based index).
+    Predecessor(usize),
+    /// Monitor `mi` (0-based; index 0 is the round's designated monitor).
+    Monitor(usize),
+    /// The successor `C` of the next round.
+    Successor,
+    /// The monitored node `B` itself.
+    Node,
+}
+
+impl Role {
+    fn name(self) -> String {
+        match self {
+            Role::Predecessor(i) => format!("A{}", i + 1),
+            Role::Monitor(i) => format!("m{}", i + 1),
+            Role::Successor => "C".to_string(),
+            Role::Node => "B".to_string(),
+        }
+    }
+}
+
+/// The §VI-A scenario with configurable fanout.
+#[derive(Clone, Debug)]
+pub struct PagScenario {
+    /// Number of predecessors = monitors (the paper's `f`).
+    pub f: usize,
+    transcript: Vec<Term>,
+}
+
+impl PagScenario {
+    /// Builds the scenario for fanout `f` (the paper proves `f = 3` and
+    /// argues larger `f` only strengthens the protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f < 2`.
+    pub fn new(f: usize) -> Self {
+        assert!(f >= 2, "scenario needs at least two predecessors");
+        let mut transcript = Vec::new();
+
+        let prime_names: Vec<String> = (1..=f).map(|i| format!("p{i}")).collect();
+        let all_primes: Vec<&str> = prime_names.iter().map(String::as_str).collect();
+        let update_names: Vec<String> = (1..=f).map(|i| format!("u{i}")).collect();
+
+        // Public keys and candidate updates are public knowledge.
+        for r in (0..f)
+            .map(Role::Predecessor)
+            .chain((0..f).map(Role::Monitor))
+            .chain([Role::Successor, Role::Node])
+        {
+            transcript.push(Term::Pub(r.name()));
+        }
+        for u in &update_names {
+            transcript.push(Term::atom(u));
+        }
+
+        for i in 0..f {
+            let a = Role::Predecessor(i).name();
+            let p_i = &prime_names[i];
+            let u_i = &update_names[i];
+            // A_i's own receiving primes from the previous round (fresh
+            // names; their owners are outside the scenario).
+            let k_prev: Vec<String> = (1..=f).map(|j| format!("q{}{}", i + 1, j)).collect();
+            let k_prev_refs: Vec<&str> = k_prev.iter().map(String::as_str).collect();
+
+            // 1. KeyRequest (no secrets).
+            transcript.push(Term::sign(
+                Term::tuple(vec![Term::atom("keyreq"), Term::atom(&a)]),
+                &a,
+            ));
+            // 2. KeyResponse: {⟨p_i⟩_B}_pk(A_i).
+            transcript.push(Term::enc(
+                Term::sign(Term::prime(p_i), "B"),
+                &a,
+            ));
+            // 3. Serve: {⟨u_i, K(R-1, A_i)⟩_A_i}_pk(B).
+            transcript.push(Term::enc(
+                Term::sign(
+                    Term::tuple(vec![
+                        Term::atom(u_i),
+                        Term::product(k_prev_refs.iter().copied()),
+                    ]),
+                    &a,
+                ),
+                "B",
+            ));
+            // 4. Attestation: ⟨H(u_i)_(p_i)⟩_A_i — public.
+            transcript.push(Term::sign(Term::hhash(u_i, [p_i.as_str()]), &a));
+            // 5. Ack: ⟨H(u_i)_(K(R-1,A_i))⟩_B — public.
+            transcript.push(Term::sign(
+                Term::hhash(u_i, k_prev_refs.iter().copied()),
+                "B",
+            ));
+            // 6. Ack copy to the designated monitor (public content).
+            transcript.push(Term::sign(
+                Term::tuple(vec![
+                    Term::atom("mon-ack"),
+                    Term::hhash(u_i, k_prev_refs.iter().copied()),
+                ]),
+                "B",
+            ));
+            // 7. Attestation + cofactor, encrypted to the designated
+            // monitor m1.
+            let cofactor: Vec<&str> = all_primes
+                .iter()
+                .copied()
+                .filter(|p| *p != p_i.as_str())
+                .collect();
+            transcript.push(Term::enc(
+                Term::sign(
+                    Term::tuple(vec![
+                        Term::hhash(u_i, [p_i.as_str()]),
+                        Term::product(cofactor),
+                    ]),
+                    "B",
+                ),
+                &Role::Monitor(0).name(),
+            ));
+            // 8. Broadcast of the combined hash to the other monitors —
+            // public content (hash under the full product).
+            transcript.push(Term::sign(
+                Term::hhash(u_i, all_primes.iter().copied()),
+                &Role::Monitor(0).name(),
+            ));
+        }
+
+        // Round R+1: B forwards everything to C, shipping K(R, B).
+        let upd_refs: Vec<&str> = update_names.iter().map(String::as_str).collect();
+        transcript.push(Term::enc(
+            Term::sign(
+                Term::tuple(vec![
+                    Term::tuple(upd_refs.iter().map(|u| Term::atom(u)).collect()),
+                    Term::product(all_primes.iter().copied()),
+                ]),
+                "B",
+            ),
+            "C",
+        ));
+        // C's KeyResponse to B with its fresh prime.
+        transcript.push(Term::enc(Term::sign(Term::prime("pc"), "C"), "B"));
+        // B's attestation towards C — public.
+        transcript.push(Term::sign(
+            Term::hhash_multi(upd_refs.iter().copied(), ["pc"]),
+            "B",
+        ));
+
+        PagScenario { f, transcript }
+    }
+
+    /// Attacker knowledge with the given roles corrupted (their private
+    /// keys join the transcript; everything else follows by deduction).
+    pub fn attacker_with(&self, corrupt: &[Role]) -> Knowledge {
+        let mut initial = self.transcript.clone();
+        for r in corrupt {
+            initial.push(Term::Priv(r.name()));
+        }
+        Knowledge::new(initial)
+    }
+
+    /// True if the coalition breaks property P1 for the exchange
+    /// `A_{target+1} → B`: it derives the prime `p_{target+1}` and can
+    /// therefore link the update (candidates being public, §VI-A).
+    pub fn privacy_broken(&self, corrupt: &[Role], target: usize) -> bool {
+        // An exchange is only "private" with respect to third parties;
+        // corrupting an endpoint trivially discloses it.
+        if corrupt.contains(&Role::Node) || corrupt.contains(&Role::Predecessor(target)) {
+            return true;
+        }
+        let k = self.attacker_with(corrupt);
+        let p = format!("p{}", target + 1);
+        let exp: BTreeSet<String> = [p.clone()].into_iter().collect();
+        let linked = k.can_link_update(&format!("u{}", target + 1), &exp);
+        debug_assert_eq!(linked, k.knows_prime(&p), "linking reduces to the prime");
+        k.knows_prime(&p)
+    }
+
+    /// Size of the smallest corrupting coalition (over third-party roles)
+    /// that breaks exchange `target`, searching coalitions up to
+    /// `max_size`.
+    pub fn minimal_coalition(&self, target: usize, max_size: usize) -> Option<Vec<Role>> {
+        let mut roles: Vec<Role> = Vec::new();
+        for i in 0..self.f {
+            if i != target {
+                roles.push(Role::Predecessor(i));
+            }
+        }
+        for i in 0..self.f {
+            roles.push(Role::Monitor(i));
+        }
+        roles.push(Role::Successor);
+
+        for size in 1..=max_size.min(roles.len()) {
+            let mut best: Option<Vec<Role>> = None;
+            combinations(&roles, size, &mut |combo| {
+                if best.is_none() && self.privacy_broken(combo, target) {
+                    best = Some(combo.to_vec());
+                }
+            });
+            if best.is_some() {
+                return best;
+            }
+        }
+        None
+    }
+}
+
+/// Calls `f` on every `size`-combination of `items`.
+fn combinations<T: Clone>(items: &[T], size: usize, f: &mut impl FnMut(&[T])) {
+    fn rec<T: Clone>(items: &[T], size: usize, start: usize, cur: &mut Vec<T>, f: &mut impl FnMut(&[T])) {
+        if cur.len() == size {
+            f(cur);
+            return;
+        }
+        for i in start..items.len() {
+            cur.push(items[i].clone());
+            rec(items, size, i + 1, cur, f);
+            cur.pop();
+        }
+    }
+    rec(items, size, 0, &mut Vec::new(), f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_global_passive_attacker_learns_nothing() {
+        // §VI-A case (1): full transcript, no corruption.
+        let s = PagScenario::new(3);
+        for target in 0..3 {
+            assert!(!s.privacy_broken(&[], target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn non_designated_monitors_learn_nothing() {
+        let s = PagScenario::new(3);
+        assert!(!s.privacy_broken(&[Role::Monitor(1), Role::Monitor(2)], 0));
+    }
+
+    #[test]
+    fn designated_monitor_alone_learns_nothing() {
+        // Its cofactor products all have >= 2 unknown factors.
+        let s = PagScenario::new(3);
+        assert!(!s.privacy_broken(&[Role::Monitor(0)], 0));
+    }
+
+    #[test]
+    fn single_other_predecessor_learns_nothing() {
+        let s = PagScenario::new(3);
+        assert!(!s.privacy_broken(&[Role::Predecessor(1)], 0));
+    }
+
+    #[test]
+    fn successor_alone_learns_nothing() {
+        // It holds K(R,B) = p1*p2*p3, opaque with 3 unknown factors.
+        let s = PagScenario::new(3);
+        assert!(!s.privacy_broken(&[Role::Successor], 0));
+    }
+
+    #[test]
+    fn paper_coalition_breaks_privacy() {
+        // §VII-E: "all its predecessors except at most two and at least
+        // one of the monitors [the designated one] collude": with f = 3,
+        // one other predecessor + the designated monitor suffice —
+        // division cascades through the cofactor products.
+        let s = PagScenario::new(3);
+        assert!(s.privacy_broken(&[Role::Monitor(0), Role::Predecessor(1)], 0));
+    }
+
+    #[test]
+    fn successor_plus_predecessors_breaks_privacy() {
+        // K(R,B) with all factors but one known divides down to p1.
+        let s = PagScenario::new(3);
+        assert!(s.privacy_broken(
+            &[Role::Successor, Role::Predecessor(1), Role::Predecessor(2)],
+            0
+        ));
+        assert!(!s.privacy_broken(&[Role::Successor, Role::Predecessor(1)], 0));
+    }
+
+    #[test]
+    fn endpoints_trivially_disclose() {
+        let s = PagScenario::new(3);
+        assert!(s.privacy_broken(&[Role::Node], 0));
+        assert!(s.privacy_broken(&[Role::Predecessor(0)], 0));
+    }
+
+    #[test]
+    fn increasing_f_reinforces_security() {
+        // §VI-A: "Increasing the value of f reinforces the security of
+        // the protocol, as the necessary number of colluding nodes ...
+        // also increases." The minimal third-party coalition grows with f.
+        let m3 = PagScenario::new(3).minimal_coalition(0, 4).expect("attack exists");
+        let m4 = PagScenario::new(4).minimal_coalition(0, 5).expect("attack exists");
+        let m5 = PagScenario::new(5).minimal_coalition(0, 6).expect("attack exists");
+        assert!(m4.len() > m3.len(), "f=4 needs more than f=3 ({m3:?} vs {m4:?})");
+        assert!(m5.len() > m4.len(), "f=5 needs more than f=4");
+    }
+
+    #[test]
+    fn minimal_coalition_includes_an_information_holder() {
+        // Every minimal attack involves the designated monitor or the
+        // successor — the only third parties holding prime products.
+        let s = PagScenario::new(3);
+        let coalition = s.minimal_coalition(0, 4).expect("attack exists");
+        assert!(
+            coalition.contains(&Role::Monitor(0)) || coalition.contains(&Role::Successor),
+            "{coalition:?}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! The term algebra of the symbolic model.
+//!
+//! Terms mirror the cryptographic objects PAG puts on the wire:
+//! identities, updates, primes and their products, public-key
+//! encryptions, signatures, tuples, and homomorphic hashes
+//! `H(Π u_i^{c_i})_(Π p_j, M)` represented by their update multiset and
+//! exponent prime set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A symbolic term.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// An atomic public name (identity, round number) or private datum
+    /// (an update's content).
+    Atom(String),
+    /// A prime minted by a receiver.
+    Prime(String),
+    /// The public key of an identity (always derivable).
+    Pub(String),
+    /// The private key of an identity (known only to it / the attacker
+    /// when corrupt).
+    Priv(String),
+    /// Asymmetric encryption of a term under an identity's public key.
+    Enc(Box<Term>, String),
+    /// Signature by an identity: reveals the signed term, cannot be
+    /// forged.
+    Sign(Box<Term>, String),
+    /// Tuple of terms.
+    Tuple(Vec<Term>),
+    /// Product of distinct primes (`K(R,B)` and the cofactors of
+    /// message 7). Opaque unless factored per the deduction rules.
+    PrimeProduct(BTreeSet<String>),
+    /// Homomorphic hash of an update multiset under a prime-set exponent.
+    HHash {
+        /// Update name -> multiplicity.
+        base: BTreeMap<String, u32>,
+        /// Exponent primes (the product `Π p_j`).
+        exp: BTreeSet<String>,
+    },
+}
+
+impl Term {
+    /// Convenience: an atom.
+    pub fn atom(s: &str) -> Term {
+        Term::Atom(s.to_string())
+    }
+
+    /// Convenience: a prime.
+    pub fn prime(s: &str) -> Term {
+        Term::Prime(s.to_string())
+    }
+
+    /// Convenience: a prime product.
+    pub fn product<'a, I: IntoIterator<Item = &'a str>>(primes: I) -> Term {
+        Term::PrimeProduct(primes.into_iter().map(str::to_string).collect())
+    }
+
+    /// Convenience: a homomorphic hash of a single update.
+    pub fn hhash<'a, I: IntoIterator<Item = &'a str>>(update: &str, exp: I) -> Term {
+        Term::HHash {
+            base: [(update.to_string(), 1)].into_iter().collect(),
+            exp: exp.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Convenience: a hash of several updates (multiplicity 1 each).
+    pub fn hhash_multi<'a, I, J>(updates: I, exp: J) -> Term
+    where
+        I: IntoIterator<Item = &'a str>,
+        J: IntoIterator<Item = &'a str>,
+    {
+        Term::HHash {
+            base: updates.into_iter().map(|u| (u.to_string(), 1)).collect(),
+            exp: exp.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Encryption under `to`'s public key.
+    pub fn enc(t: Term, to: &str) -> Term {
+        Term::Enc(Box::new(t), to.to_string())
+    }
+
+    /// Signature by `by`.
+    pub fn sign(t: Term, by: &str) -> Term {
+        Term::Sign(Box::new(t), by.to_string())
+    }
+
+    /// Tuple.
+    pub fn tuple(ts: Vec<Term>) -> Term {
+        Term::Tuple(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let h = Term::hhash("u1", ["p1", "p2"]);
+        match h {
+            Term::HHash { base, exp } => {
+                assert_eq!(base.get("u1"), Some(&1));
+                assert_eq!(exp.len(), 2);
+            }
+            _ => panic!("wrong shape"),
+        }
+        assert_eq!(
+            Term::product(["a", "b"]),
+            Term::product(["b", "a"]),
+            "products are sets"
+        );
+    }
+
+    #[test]
+    fn terms_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Term::atom("x"));
+        s.insert(Term::atom("x"));
+        assert_eq!(s.len(), 1);
+    }
+}

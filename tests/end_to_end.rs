@@ -1,0 +1,141 @@
+//! Workspace-level integration tests spanning all crates: PAG vs the
+//! AcTinG baseline, streaming on top of the protocol stack, and
+//! consistency between the symbolic model and the probabilistic study.
+
+use pag::analysis::{pag_discovery_monte_carlo, theoretical_minimum, CoalitionParams};
+use pag::baselines::{run_acting, ActingConfig, CostModel};
+use pag::core::selfish::SelfishStrategy;
+use pag::core::session::{run_session, SessionConfig};
+use pag::membership::NodeId;
+use pag::simnet::SimConfig;
+use pag::streaming::{stream_over_pag, StreamingConfig, VideoQuality};
+use pag::symbolic::{PagScenario, Role};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fig. 7's qualitative claim: PAG costs more than AcTinG (the price of
+/// privacy), but by a small constant factor, not an order of magnitude.
+#[test]
+fn pag_costs_more_than_acting_but_in_the_same_league() {
+    let nodes = 40;
+    let rounds = 10;
+    let rate = 60.0;
+
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.stream_rate_kbps = rate;
+    let pag = run_session(sc);
+    let pag_up = pag
+        .report
+        .per_node
+        .values()
+        .map(|s| s.upload_kbps(pag.report.duration))
+        .sum::<f64>()
+        / nodes as f64;
+
+    let acting_cfg = ActingConfig {
+        stream_rate_kbps: rate,
+        ..ActingConfig::default()
+    };
+    let (acting_report, _) = run_acting(acting_cfg, nodes, rounds, SimConfig::default());
+    let acting_up = acting_report
+        .per_node
+        .values()
+        .map(|s| s.upload_kbps(acting_report.duration))
+        .sum::<f64>()
+        / nodes as f64;
+
+    assert!(
+        pag_up > acting_up,
+        "privacy costs bandwidth: PAG {pag_up:.0} vs AcTinG {acting_up:.0}"
+    );
+    assert!(
+        pag_up < 10.0 * acting_up,
+        "but within a small factor: PAG {pag_up:.0} vs AcTinG {acting_up:.0}"
+    );
+}
+
+/// The full stack: streaming over PAG with a freerider still plays for
+/// honest viewers and convicts the freerider.
+#[test]
+fn streaming_with_freerider_end_to_end() {
+    let mut cfg = StreamingConfig::paper_default(14, 14);
+    cfg.quality = VideoQuality::Q144p;
+    cfg.selfish.push((NodeId(6), SelfishStrategy::DropForward));
+    let report = stream_over_pag(cfg);
+    assert!(report.outcome.convicted().contains(&NodeId(6)));
+    assert!(
+        report.mean_continuity() > 0.7,
+        "continuity {}",
+        report.mean_continuity()
+    );
+}
+
+/// The symbolic verifier and the Monte-Carlo study agree on the attack
+/// surface: the minimal symbolic coalition is exactly the configuration
+/// the probabilistic rule charges for.
+#[test]
+fn symbolic_and_probabilistic_models_agree() {
+    let scenario = PagScenario::new(3);
+    // Symbolically: designated monitor + (f-2) other predecessors break.
+    assert!(scenario.privacy_broken(&[Role::Monitor(0), Role::Predecessor(1)], 0));
+    assert!(!scenario.privacy_broken(&[Role::Monitor(0)], 0));
+    assert!(!scenario.privacy_broken(&[Role::Predecessor(1)], 0));
+
+    // Probabilistically: discovery stays near the endpoint-only minimum.
+    let params = CoalitionParams {
+        nodes: 200,
+        trials: 8,
+        rounds: 2,
+        ..CoalitionParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let q = 0.1;
+    let discovered = pag_discovery_monte_carlo(&params, q, &mut rng);
+    let min = theoretical_minimum(q);
+    assert!(discovered >= min - 0.02);
+    assert!(discovered < min + 0.05, "discovered {discovered} vs min {min}");
+}
+
+/// Table II's ordering holds across the analytic models at every quality.
+#[test]
+fn capacity_ordering_pag_acting_rac() {
+    let model = CostModel::default();
+    for q in VideoQuality::ladder() {
+        let rate = q.rate_kbps();
+        let pag = model.pag_upload_kbps(rate, 1000);
+        let acting = model.acting_upload_kbps(rate, 1000);
+        let rac = model.rac_upload_kbps(rate, 1000);
+        assert!(acting < pag, "{q}");
+        assert!(pag < rac, "{q}: RAC is always the most expensive");
+    }
+}
+
+/// Determinism across the whole stack: identical configurations give
+/// bit-identical outcomes (the simulator's core guarantee).
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut sc = SessionConfig::honest(15, 6);
+        sc.pag.stream_rate_kbps = 30.0;
+        sc.selfish.push((NodeId(3), SelfishStrategy::PartialForward));
+        run_session(sc)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report.mean_bandwidth_kbps(), b.report.mean_bandwidth_kbps());
+    assert_eq!(a.verdicts.len(), b.verdicts.len());
+    assert_eq!(a.total_ops(), b.total_ops());
+}
+
+/// The paper's parameter table (§VII-A) is wired through the whole stack.
+#[test]
+fn paper_parameters_are_the_defaults() {
+    let sc = SessionConfig::honest(2, 1);
+    assert_eq!(sc.pag.wire.update_payload, 938);
+    assert_eq!(sc.pag.wire.signature, 256); // RSA-2048
+    assert_eq!(sc.pag.wire.hash, 64); // 512-bit modulus
+    assert_eq!(sc.pag.wire.prime, 64); // 512-bit primes
+    assert_eq!(sc.pag.buffermap_window, 4);
+    assert_eq!(sc.pag.expiration_rounds, 10);
+    assert_eq!(sc.pag.updates_per_round(), 40); // 300 kbps window
+}
