@@ -7,7 +7,7 @@
 //! measure our equivalents; EXPERIMENTS.md compares.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pag_bignum::{gen_prime, BigUint};
+use pag_bignum::{gen_prime, BigUint, Montgomery};
 use pag_crypto::chacha20::ChaCha20;
 use pag_crypto::homomorphic::HomomorphicParams;
 use pag_crypto::sha256::sha256;
@@ -86,12 +86,75 @@ fn bench_modexp(c: &mut Criterion) {
     let _ = BigUint::one();
 }
 
+/// Cached-context windowed exponentiation against the two baselines it
+/// replaced: rebuilding the Montgomery context per call, and naive
+/// divide-and-reduce square-and-multiply.
+fn bench_modexp_paths(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let m = &gen_prime(256, &mut rng) * &gen_prime(256, &mut rng);
+    let ctx = Montgomery::new(&m).expect("odd modulus");
+    let base = pag_bignum::random_below(&mut rng, &m);
+    let exp = gen_prime(512, &mut rng); // a paper-sized round prime
+
+    c.bench_function("modexp_512_cached_windowed", |b| {
+        b.iter(|| black_box(ctx.pow(black_box(&base), &exp)))
+    });
+    c.bench_function("modexp_512_rebuild_context", |b| {
+        b.iter(|| {
+            let fresh = Montgomery::new(&m).expect("odd modulus");
+            black_box(fresh.pow(black_box(&base), &exp))
+        })
+    });
+    c.bench_function("modexp_512_naive_square_multiply", |b| {
+        b.iter(|| black_box(base.mod_pow_naive(black_box(&exp), &m)))
+    });
+
+    // The e = 65537 sparse path every signature verification takes.
+    c.bench_function("modexp_512_e65537_sparse", |b| {
+        b.iter(|| black_box(ctx.pow_u64(black_box(&base), 65_537)))
+    });
+    let e = BigUint::from(65_537u64);
+    c.bench_function("modexp_512_e65537_windowed", |b| {
+        b.iter(|| black_box(ctx.pow(black_box(&base), &e)))
+    });
+}
+
+/// Multiset products: Montgomery-domain accumulation against the
+/// mod_mul (multiply + divide) chain the protocol used before.
+fn bench_multiset_product(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = HomomorphicParams::generate(512, &mut rng);
+    let residues: Vec<_> = (0..40)
+        .map(|i| params.residue(format!("update-{i}").as_bytes()))
+        .collect();
+    let parts: Vec<(&pag_bignum::BigUint, u32)> =
+        residues.iter().map(|r| (r, 2u32)).collect();
+
+    c.bench_function("multiset_product_40x2_montgomery", |b| {
+        b.iter(|| black_box(params.multiset_product(parts.iter().copied())))
+    });
+    c.bench_function("multiset_product_40x2_mod_mul", |b| {
+        b.iter(|| {
+            let m = params.modulus();
+            let mut acc = BigUint::one() % m;
+            for (r, count) in &parts {
+                for _ in 0..*count {
+                    acc = acc.mod_mul(r, m);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_homomorphic,
     bench_rsa,
     bench_prime_generation,
     bench_symmetric,
-    bench_modexp
+    bench_modexp,
+    bench_modexp_paths,
+    bench_multiset_product
 );
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! monitoring, verification) rather than single primitives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pag_bench::real_crypto_session;
 use pag_core::session::{run_session, SessionConfig};
 use std::hint::black_box;
 
@@ -26,6 +27,18 @@ fn bench_sessions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Session with real RSA signing/verification and 512-bit homomorphic
+/// parameters: the configuration whose per-round cost is dominated by
+/// the cached-context modular exponentiation this crate optimizes.
+fn bench_real_crypto_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pag_session_real_crypto");
+    group.sample_size(10);
+    group.bench_function("20nodes_3rounds_30kbps_rsa512", |b| {
+        b.iter(|| black_box(run_session(real_crypto_session(20, 3))))
+    });
+    group.finish();
+}
+
 fn bench_acting(c: &mut Criterion) {
     use pag_baselines::{run_acting, ActingConfig};
     use pag_simnet::SimConfig;
@@ -43,5 +56,5 @@ fn bench_acting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sessions, bench_acting);
+criterion_group!(benches, bench_sessions, bench_real_crypto_session, bench_acting);
 criterion_main!(benches);

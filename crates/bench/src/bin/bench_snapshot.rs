@@ -1,0 +1,95 @@
+//! Perf-trajectory snapshot: runs a fixed 20-node / 5-round PAG session
+//! and writes wall-clock plus crypto-operation counts as JSON to
+//! `BENCH_protocol.json` (repo root, committed), so successive PRs have
+//! a comparable record of protocol-level cost.
+//!
+//! The scenario is deliberately frozen — same node count, rounds,
+//! stream rate and crypto profile — and the wall-clock figure is the
+//! best of three runs to damp scheduler noise. Run with:
+//!
+//! ```text
+//! cargo run --release -p pag-bench --bin bench_snapshot
+//! ```
+//!
+//! Pass an output path to write elsewhere (e.g. for comparisons).
+
+use std::time::Instant;
+
+use pag_bench::real_crypto_session;
+use pag_core::session::{run_session, SessionOutcome};
+
+const NODES: usize = 20;
+const ROUNDS: u64 = 5;
+const RUNS: usize = 3;
+
+fn run_once() -> (f64, SessionOutcome) {
+    let start = Instant::now();
+    let outcome = run_session(real_crypto_session(NODES, ROUNDS));
+    (start.elapsed().as_secs_f64() * 1e3, outcome)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_protocol.json".to_string());
+
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..RUNS {
+        let (ms, outcome) = run_once();
+        best_ms = best_ms.min(ms);
+        last = Some(outcome);
+    }
+    let outcome = last.expect("at least one run");
+    let ops = outcome.total_ops();
+
+    assert!(
+        outcome.verdicts.is_empty(),
+        "snapshot scenario is honest; verdicts indicate a regression: {:?}",
+        outcome.verdicts
+    );
+
+    let json = format!(
+        r#"{{
+  "schema": 1,
+  "scenario": {{
+    "nodes": {NODES},
+    "rounds": {ROUNDS},
+    "stream_rate_kbps": 30.0,
+    "homomorphic_bits": 512,
+    "prime_bits": 64,
+    "rsa_bits": 512,
+    "real_signatures": true
+  }},
+  "wall_clock_ms": {best_ms:.2},
+  "crypto_ops": {{
+    "hashes": {hashes},
+    "signatures": {signatures},
+    "verifications": {verifications},
+    "primes": {primes}
+  }},
+  "derived": {{
+    "hashes_per_node_per_round": {hpnr:.2},
+    "signatures_per_node_per_round": {spnr:.2},
+    "mean_bandwidth_kbps": {bw:.2},
+    "exchanges_completed": {exchanges}
+  }}
+}}
+"#,
+        hashes = ops.hashes,
+        signatures = ops.signatures,
+        verifications = ops.verifications,
+        primes = ops.primes,
+        hpnr = outcome.hashes_per_node_per_second(),
+        spnr = outcome.signatures_per_node_per_second(),
+        bw = outcome.report.mean_bandwidth_kbps(),
+        exchanges = outcome
+            .metrics
+            .values()
+            .map(|m| m.exchanges_completed)
+            .sum::<u64>(),
+    );
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("wrote {out_path}:\n{json}");
+}

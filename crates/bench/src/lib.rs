@@ -17,9 +17,31 @@
 //! Each accepts an optional `--quick` argument that shrinks the workload
 //! (fewer nodes/rounds/trials) for smoke-testing.
 
+use pag_core::config::CryptoProfile;
+use pag_core::session::SessionConfig;
+
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The frozen real-crypto scenario shared by the `bench_snapshot` bin
+/// and the `protocol_round` criterion bench: real RSA-512 signatures
+/// and a paper-sized 512-bit homomorphic modulus, so the measured cost
+/// is dominated by the crypto hot path. Keep both consumers on this
+/// one definition — `BENCH_protocol.json` comparisons across PRs
+/// assume the scenario never drifts.
+pub fn real_crypto_session(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.stream_rate_kbps = 30.0;
+    sc.pag.crypto = CryptoProfile {
+        homomorphic_bits: 512,
+        prime_bits: 64,
+        rsa_bits: 512,
+        real_signatures: true,
+    };
+    sc.pag.wire.signature = 64; // match RSA-512
+    sc
 }
 
 /// Prints a markdown-style table row.

@@ -60,9 +60,30 @@ impl BigUint {
         }
         if m.is_odd() {
             let ctx = Montgomery::new(m).expect("odd modulus accepted");
-            return ctx.pow(&(self % m), exponent);
+            return ctx.pow(self, exponent);
         }
-        // Even modulus: plain square-and-multiply with explicit reduction.
+        self.mod_pow_naive(exponent, m)
+    }
+
+    /// `self^exponent mod m` by plain square-and-multiply with a full
+    /// divide-and-reduce per step.
+    ///
+    /// Works for any non-zero modulus (odd or even). This is the
+    /// reference implementation the windowed Montgomery path is property
+    /// tested against, and the baseline the crypto benchmarks compare to;
+    /// [`BigUint::mod_pow`] only uses it when the modulus is even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow_naive(&self, exponent: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus in mod_pow_naive");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
         let mut base = self % m;
         let mut result = BigUint::one();
         for i in 0..exponent.bit_len() {

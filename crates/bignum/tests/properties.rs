@@ -157,6 +157,138 @@ proptest! {
     }
 }
 
+/// Strategy producing odd moduli of 256–2048 bits (4–32 limbs), the
+/// range the protocol's RSA and homomorphic moduli live in.
+fn wide_odd_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 4..33).prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        let last = limbs.len() - 1;
+        limbs[last] |= 1 << 63; // full declared width
+        BigUint::from_limbs(limbs)
+    })
+}
+
+/// Strategy producing operands up to 2048 bits, possibly unreduced.
+fn wide_operand() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..33).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The windowed Montgomery exponentiation must agree bit-for-bit
+    /// with naive square-and-multiply (divide-and-reduce per step, the
+    /// same code path `mod_pow` uses for even moduli) across the full
+    /// 256–2048-bit operand range, including unreduced bases.
+    #[test]
+    fn windowed_pow_matches_naive_square_multiply(
+        base in wide_operand(),
+        exp in wide_operand(),
+        m in wide_odd_modulus(),
+    ) {
+        let ctx = Montgomery::new(&m).unwrap();
+        let windowed = ctx.pow(&base, &exp);
+        prop_assert_eq!(&windowed, &base.mod_pow_naive(&exp, &m));
+        // And mod_pow (odd path) must route through the same result.
+        prop_assert_eq!(&windowed, &base.mod_pow(&exp, &m));
+    }
+
+    /// The even-modulus fallback (mod_pow routes even moduli through
+    /// mod_pow_naive) against an independent reference: a plain fold of
+    /// modular multiplications.
+    #[test]
+    fn even_fallback_matches_repeated_multiplication(
+        base in wide_operand(),
+        exp in 0u64..400,
+        m in wide_odd_modulus(),
+    ) {
+        let even_m = &m + &BigUint::one();
+        let mut expected = BigUint::one() % &even_m;
+        let base_red = &base % &even_m;
+        for _ in 0..exp {
+            expected = expected.mod_mul(&base_red, &even_m);
+        }
+        prop_assert_eq!(base.mod_pow(&BigUint::from(exp), &even_m), expected);
+    }
+
+    /// Machine-word exponent fast path (the RSA verify exponent lives
+    /// here) against both the windowed and the naive path.
+    #[test]
+    fn pow_u64_matches_windowed_and_naive(
+        base in wide_operand(),
+        exp in any::<u64>(),
+        m in wide_odd_modulus(),
+    ) {
+        let ctx = Montgomery::new(&m).unwrap();
+        let fast = ctx.pow_u64(&base, exp);
+        let exp_big = BigUint::from(exp);
+        prop_assert_eq!(&fast, &ctx.pow(&base, &exp_big));
+        prop_assert_eq!(&fast, &base.mod_pow_naive(&exp_big, &m));
+    }
+
+    /// Division-free modular product against multiply-then-divide.
+    #[test]
+    fn mul_mod_matches_mod_mul(
+        a in wide_operand(),
+        b in wide_operand(),
+        m in wide_odd_modulus(),
+    ) {
+        let ctx = Montgomery::new(&m).unwrap();
+        let ar = &a % &m;
+        let br = &b % &m;
+        prop_assert_eq!(ctx.mul_mod(&ar, &br), ar.mod_mul(&br, &m));
+    }
+
+    /// The Montgomery accumulator equals a fold of mod_mul.
+    #[test]
+    fn accumulator_matches_mod_mul_fold(
+        values in proptest::collection::vec((1u64..1 << 48).prop_map(BigUint::from), 0..12),
+        counts in proptest::collection::vec(0u32..6, 12..13),
+        m in wide_odd_modulus(),
+    ) {
+        let ctx = Montgomery::new(&m).unwrap();
+        let mut acc = pag_bignum::MontAccumulator::new(&ctx);
+        let mut expected = BigUint::one() % &m;
+        for (v, &c) in values.iter().zip(counts.iter()) {
+            let vr = v % &m;
+            acc.mul_pow(&vr, c);
+            for _ in 0..c {
+                expected = expected.mod_mul(&vr, &m);
+            }
+        }
+        prop_assert_eq!(acc.finish(), expected);
+    }
+}
+
+/// Edge cases the window scanner must not mishandle.
+#[test]
+fn windowed_pow_edge_cases() {
+    let m = BigUint::from_hex_str(
+        "f7f6f5f4f3f2f1f0e7e6e5e4e3e2e1e0d7d6d5d4d3d2d1d0c7c6c5c4c3c2c1c1",
+    )
+    .unwrap();
+    let ctx = Montgomery::new(&m).unwrap();
+    let big_base = BigUint::one().shl_bits(4000) + BigUint::from(12345u64);
+
+    // Zero exponent: x^0 = 1 for any base, reduced or not.
+    assert!(ctx.pow(&big_base, &BigUint::zero()).is_one());
+    assert!(ctx.pow(&BigUint::zero(), &BigUint::zero()).is_one());
+
+    // Exponent one returns the reduced base.
+    assert_eq!(ctx.pow(&big_base, &BigUint::one()), &big_base % &m);
+
+    // Unreduced base agrees with the naive path on a nontrivial exponent.
+    let exp = BigUint::from(0xdead_beef_1234u64);
+    assert_eq!(ctx.pow(&big_base, &exp), big_base.mod_pow_naive(&exp, &m));
+
+    // Zero base annihilates for positive exponents.
+    assert!(ctx.pow(&BigUint::zero(), &exp).is_zero());
+
+    // Exponent exactly at a window boundary (multiple of 4 and 5 bits).
+    let exp20 = BigUint::from((1u64 << 20) - 1);
+    assert_eq!(ctx.pow(&big_base, &exp20), big_base.mod_pow_naive(&exp20, &m));
+}
+
 // Helper for byte roundtrip test: expose LE encoding via BE reversal.
 trait ToBytesLe {
     fn to_bytes_le_for_test(&self) -> Vec<u8>;

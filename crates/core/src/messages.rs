@@ -75,14 +75,18 @@ impl HashTriple {
 }
 
 /// An update served with its payload (the `u_{j ∈ SA\SB}` of message 3).
+///
+/// The payload is `Arc`-shared with the sender's update store: serve
+/// snapshots, accusation replays and re-asks all clone `ServedUpdate`s,
+/// and each clone used to copy the full payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServedUpdate {
     /// Identifier.
     pub id: UpdateId,
     /// Source creation round (drives expiration downstream).
     pub created_round: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, shared with the emitting node's store.
+    pub payload: std::sync::Arc<[u8]>,
     /// Times the sender received this update in the previous round (the
     /// multiple-receptions counter of §V-D).
     pub count: u32,
@@ -747,7 +751,7 @@ mod tests {
                 ServedUpdate {
                     id: UpdateId(0),
                     created_round: 0,
-                    payload: vec![0u8; 8],
+                    payload: vec![0u8; 8].into(),
                     count: 1,
                     expiring: false,
                 };
@@ -771,7 +775,7 @@ mod tests {
             fresh: vec![ServedUpdate {
                 id: UpdateId(0),
                 created_round: 0,
-                payload: vec![0u8; 8],
+                payload: vec![0u8; 8].into(),
                 count: 1,
                 expiring: false,
             }],

@@ -18,8 +18,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use pag_bignum::{gen_prime, BigUint};
-use pag_crypto::{HomomorphicHash, Signature};
+use pag_bignum::{gen_prime, BigUint, MontAccumulator};
+use pag_crypto::{HomomorphicHash, HomomorphicParams, Signature};
 use pag_membership::NodeId;
 use pag_simnet::{Context, Protocol, SimDuration};
 
@@ -64,13 +64,47 @@ impl RoundKeys {
 }
 
 /// One entry of the set `S_A` a node must forward this round.
+///
+/// Residue and payload are `Arc`-shared with the update store: the SA is
+/// rebuilt every round and snapshotted per successor, so these fields
+/// are cloned on the hottest path of the protocol.
 #[derive(Clone, Debug)]
 struct SaItem {
     id: UpdateId,
     count: u32,
     created_round: u64,
-    residue: BigUint,
-    payload: Vec<u8>,
+    residue: Arc<BigUint>,
+    payload: Arc<[u8]>,
+}
+
+/// Running `[expiring, fresh, duplicate]` multiset product in the
+/// homomorphic modulus, built on the params' cached Montgomery context
+/// (no divisions, scratch reused across factors).
+struct TripleProduct<'m> {
+    slots: [MontAccumulator<'m>; 3],
+}
+
+impl<'m> TripleProduct<'m> {
+    fn new(params: &'m HomomorphicParams) -> Self {
+        let mont = params.montgomery();
+        TripleProduct {
+            slots: [
+                MontAccumulator::new(mont),
+                MontAccumulator::new(mont),
+                MontAccumulator::new(mont),
+            ],
+        }
+    }
+
+    /// Multiplies `residue^count` into slot `slot`.
+    fn mul(&mut self, slot: usize, residue: &BigUint, count: u32) {
+        self.slots[slot].mul_pow(residue, count);
+    }
+
+    fn finish(self) -> [BigUint; 3] {
+        let [e, f, d] = self.slots;
+        [e.finish(), f.finish(), d.finish()]
+    }
 }
 
 /// Sender-side state of one exchange (one successor, one round).
@@ -223,19 +257,13 @@ impl PagNode {
         }
     }
 
-    /// Product of `residue^count` terms, mod M.
+    /// Product of `residue^count` terms, mod M, through the cached
+    /// Montgomery context (no per-factor division).
     fn multiset_product<'a, I>(&self, items: I) -> BigUint
     where
         I: IntoIterator<Item = (&'a BigUint, u32)>,
     {
-        let m = self.shared.params.modulus();
-        let mut acc = BigUint::one() % m;
-        for (residue, count) in items {
-            for _ in 0..count {
-                acc = acc.mod_mul(residue, m);
-            }
-        }
-        acc
+        self.shared.params.multiset_product(items)
     }
 
     /// Hashes a `[expiring, fresh, duplicate]` product triple under `exp`.
@@ -296,8 +324,8 @@ impl PagNode {
         let mut sa = self.build_sa(round);
         if self.is_source() {
             let injected = self.inject_updates(round);
-            let fresh_prod =
-                self.multiset_product(injected.iter().map(|item| (&item.residue, item.count)));
+            let fresh_prod = self
+                .multiset_product(injected.iter().map(|item| (&*item.residue, item.count)));
             sa.extend(injected);
             let (k_prev, _) = self.k_prev_for_serve(round);
             let prods = [
@@ -348,8 +376,8 @@ impl PagNode {
                         id,
                         count,
                         created_round: u.created_round,
-                        residue: u.residue.clone(),
-                        payload: u.payload.clone(),
+                        residue: Arc::clone(&u.residue),
+                        payload: Arc::clone(&u.payload),
                     });
                 }
             }
@@ -364,13 +392,13 @@ impl PagNode {
         for _ in 0..n {
             let id = UpdateId(self.next_seq);
             self.next_seq += 1;
-            let payload = synthetic_payload(session, id);
-            let residue = self.shared.params.residue(&payload);
+            let payload: Arc<[u8]> = synthetic_payload(session, id).into();
+            let residue = Arc::new(self.shared.params.residue(&payload));
             self.store.insert(StoredUpdate {
                 id,
                 created_round: round,
-                payload: payload.clone(),
-                residue: residue.clone(),
+                payload: Arc::clone(&payload),
+                residue: Arc::clone(&residue),
                 first_received_round: round,
             });
             self.creations.insert(id, round);
@@ -524,24 +552,24 @@ impl PagNode {
 
         let session = self.shared.config.session_id;
         let lifetime = self.shared.config.expiration_rounds;
-        let m = self.shared.params.modulus().clone();
-        let one = BigUint::one() % &m;
-        let mut prods = [one.clone(), one.clone(), one];
+        // Keep the shared context alive independently of `self` so the
+        // Montgomery accumulators can borrow its params while `self` is
+        // mutated below.
+        let shared = Arc::clone(&self.shared);
+        let mut prods = TripleProduct::new(&shared.params);
 
         // Fresh (payload-carrying) updates: check integrity (stands in for
         // the source signature of §III) and classify per declared flags.
         for u in &fresh {
-            if u.payload != synthetic_payload(session, u.id) {
+            if u.payload.as_ref() != synthetic_payload(session, u.id).as_slice() {
                 return; // tampered payload: refuse the exchange
             }
             if u.count == 0 || u.created_round + lifetime <= round {
                 return; // malformed serve
             }
-            let residue = self.shared.params.residue(&u.payload);
+            let residue = shared.params.residue(&u.payload);
             let slot = if u.expiring { 0 } else { 1 };
-            for _ in 0..u.count {
-                prods[slot] = prods[slot].mod_mul(&residue, &m);
-            }
+            prods.mul(slot, &residue, u.count);
         }
         // Referenced (already-owned) updates.
         let bm_ids = self.buffermaps_sent.get(&(round, from));
@@ -552,11 +580,9 @@ impl PagNode {
             let Some(u) = self.store.get(*id) else {
                 return;
             };
-            let residue = u.residue.clone();
-            for _ in 0..r.count {
-                prods[2] = prods[2].mod_mul(&residue, &m);
-            }
+            prods.mul(2, &u.residue, r.count);
         }
+        let prods = prods.finish();
 
         // Verify the sender's attestation against our own computation.
         let computed_att = self.hash_triple(&prods, &my_prime);
@@ -678,14 +704,6 @@ impl PagNode {
         if ex.responded {
             return;
         }
-        let sa: Vec<SaItem> = self
-            .sa_cache
-            .get(&round)
-            .cloned()
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|item| self.strategy_keeps(item))
-            .collect();
 
         let bm_index: HashMap<&BigUint, u32> = buffermap
             .iter()
@@ -693,40 +711,43 @@ impl PagNode {
             .map(|(i, h)| (h, i as u32))
             .collect();
 
-        let m = self.shared.params.modulus().clone();
-        let one = BigUint::one() % &m;
-        let mut prods = [one.clone(), one.clone(), one];
+        let shared = Arc::clone(&self.shared);
+        let mut prods = TripleProduct::new(&shared.params);
         let mut fresh = Vec::new();
         let mut refs = Vec::new();
-        let lifetime = self.shared.config.expiration_rounds;
+        let lifetime = shared.config.expiration_rounds;
+        let mut hash_ops = 0u64;
 
-        for item in &sa {
-            let h = self.shared.params.hash_residue(&item.residue, &prime);
-            self.metrics.ops.hashes += 1;
+        // Walk the cached SA in place: items are Arc-shared, so serving
+        // clones refcounts, not payload bytes.
+        for item in self.sa_cache.get(&round).map_or(&[][..], Vec::as_slice) {
+            if !self.strategy_keeps(item) {
+                continue;
+            }
+            let h = shared.params.hash_residue(&item.residue, &prime);
+            hash_ops += 1;
             if let Some(&idx) = bm_index.get(h.value()) {
                 refs.push(ServedRef {
                     index: idx,
                     count: item.count,
                 });
-                for _ in 0..item.count {
-                    prods[2] = prods[2].mod_mul(&item.residue, &m);
-                }
+                prods.mul(2, &item.residue, item.count);
             } else {
                 let expiring = round + 1 >= item.created_round + lifetime;
                 fresh.push(ServedUpdate {
                     id: item.id,
                     created_round: item.created_round,
-                    payload: item.payload.clone(),
+                    payload: Arc::clone(&item.payload),
                     count: item.count,
                     expiring,
                 });
                 let slot = if expiring { 0 } else { 1 };
-                for _ in 0..item.count {
-                    prods[slot] = prods[slot].mod_mul(&item.residue, &m);
-                }
+                prods.mul(slot, &item.residue, item.count);
             }
         }
+        let prods = prods.finish();
 
+        self.metrics.ops.hashes += hash_ops;
         let attestation = self.hash_triple(&prods, &prime);
         let (k_prev, k_prev_factors) = self.k_prev_for_serve(round);
         let expected_ack = self.hash_triple(&prods, &k_prev);
@@ -781,12 +802,13 @@ impl PagNode {
         // Self-report (§V-B cross-check): hash of this round's fresh
         // receptions under K(round, self).
         if self.strategy.reports_to_monitors() {
-            let counts = self.received_fresh.get(&round).cloned().unwrap_or_default();
-            let residues: Vec<(BigUint, u32)> = counts
-                .iter()
-                .filter_map(|(&id, &c)| self.store.get(id).map(|u| (u.residue.clone(), c)))
-                .collect();
-            let prod = self.multiset_product(residues.iter().map(|(r, c)| (r, *c)));
+            let prod = self.multiset_product(
+                self.received_fresh
+                    .get(&round)
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|(&id, &c)| self.store.get(id).map(|u| (u.residue.as_ref(), c))),
+            );
             let (k, _) = self.k_of_round(round);
             self.metrics.ops.hashes += 1;
             let value = self.shared.params.hash_residue(&prod, &k);
@@ -818,12 +840,19 @@ impl PagNode {
             .map(|(&(_, succ), _)| succ)
             .collect();
         for succ in pending {
+            // Served snapshots and SA items are Arc-shared, so assembling
+            // the accusation payload clones refcounts, not update bytes.
             let (k_prev, k_prev_factors, fresh, refs) = match self
                 .exchanges
                 .get(&(round, succ))
-                .and_then(|ex| ex.served.clone())
+                .and_then(|ex| ex.served.as_ref())
             {
-                Some(snap) => (snap.k_prev, snap.k_prev_factors, snap.fresh, snap.refs),
+                Some(snap) => (
+                    snap.k_prev.clone(),
+                    snap.k_prev_factors,
+                    snap.fresh.clone(),
+                    snap.refs.clone(),
+                ),
                 None => {
                     // Never served (no KeyResponse): ship the full SA.
                     let (k_prev, k_prev_factors) = self.k_prev_for_serve(round);
@@ -837,7 +866,7 @@ impl PagNode {
                                 .map(|item| ServedUpdate {
                                     id: item.id,
                                     created_round: item.created_round,
-                                    payload: item.payload.clone(),
+                                    payload: Arc::clone(&item.payload),
                                     count: item.count,
                                     expiring: round + 1 >= item.created_round + lifetime,
                                 })

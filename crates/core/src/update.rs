@@ -1,6 +1,7 @@
 //! Updates (stream chunks) and the per-node update store.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use pag_bignum::BigUint;
 use pag_crypto::HomomorphicParams;
@@ -16,17 +17,24 @@ impl std::fmt::Display for UpdateId {
 }
 
 /// An update as held by a node.
+///
+/// Payload and residue are `Arc`-shared: the exchange path snapshots
+/// updates into per-successor serve sets and per-round SA caches, and
+/// every such copy used to deep-clone both fields. Shared buffers make
+/// those copies refcount bumps.
 #[derive(Clone, Debug)]
 pub struct StoredUpdate {
     /// Identifier.
     pub id: UpdateId,
     /// Round the source created it (drives expiration).
     pub created_round: u64,
-    /// Payload bytes. Simulations use small synthetic payloads; the wire
-    /// footprint is governed by `WireConfig::update_payload`.
-    pub payload: Vec<u8>,
-    /// Cached residue `payload mod M`.
-    pub residue: BigUint,
+    /// Payload bytes, shared with serve sets that reference this update.
+    /// Simulations use small synthetic payloads; the wire footprint is
+    /// governed by `WireConfig::update_payload`.
+    pub payload: Arc<[u8]>,
+    /// Cached residue `payload mod M`, shared with the products computed
+    /// over it.
+    pub residue: Arc<BigUint>,
     /// Round this node first obtained the update.
     pub first_received_round: u64,
 }
@@ -89,13 +97,14 @@ impl UpdateStore {
         params: &HomomorphicParams,
         id: UpdateId,
         created_round: u64,
-        payload: Vec<u8>,
+        payload: impl Into<Arc<[u8]>>,
         received_round: u64,
     ) -> bool {
         if self.updates.contains_key(&id) {
             return false;
         }
-        let residue = params.residue(&payload);
+        let payload = payload.into();
+        let residue = Arc::new(params.residue(&payload));
         self.insert(StoredUpdate {
             id,
             created_round,
@@ -190,6 +199,6 @@ mod tests {
         let p = params();
         let s = store_with(&p, &[(9, 0, 0)]);
         let u = s.get(UpdateId(9)).unwrap();
-        assert_eq!(u.residue, p.residue(&u.payload));
+        assert_eq!(*u.residue, p.residue(&u.payload));
     }
 }

@@ -13,7 +13,7 @@
 //! `H(∪S_j)_(K(R,B),M)` with `K(R,B) = Π_j p_j` — without ever learning
 //! the updates or the individual primes (§V-B/C).
 
-use pag_bignum::{gen_prime, BigUint, Montgomery};
+use pag_bignum::{gen_prime, BigUint, MontAccumulator, Montgomery};
 use rand::Rng;
 
 use crate::error::CryptoError;
@@ -115,6 +115,15 @@ impl HomomorphicParams {
         &self.modulus
     }
 
+    /// The cached Montgomery context for `M`.
+    ///
+    /// Exposed so protocol code can run division-free products of
+    /// residues (`pag-core`'s multiset products) against the same
+    /// context the hash exponentiations use.
+    pub fn montgomery(&self) -> &Montgomery {
+        &self.mont
+    }
+
     /// Modulus width in bits.
     pub fn bits(&self) -> usize {
         self.bits
@@ -155,12 +164,24 @@ impl HomomorphicParams {
     where
         I: IntoIterator<Item = (&'a BigUint, u32)>,
     {
-        let mut acc = BigUint::one() % &self.modulus;
+        self.hash_residue(&self.multiset_product(parts), exp)
+    }
+
+    /// Multiset product `Π residue_i^{count_i} mod M`, division-free.
+    ///
+    /// Residues must be reduced (`< M`), which [`Self::residue`]
+    /// guarantees. The whole product runs inside the cached Montgomery
+    /// context: one conversion per distinct residue, two word-width
+    /// multiplications per factor, no long division anywhere.
+    pub fn multiset_product<'a, I>(&self, parts: I) -> BigUint
+    where
+        I: IntoIterator<Item = (&'a BigUint, u32)>,
+    {
+        let mut acc = MontAccumulator::new(&self.mont);
         for (residue, count) in parts {
-            let powered = self.mont.pow(residue, &BigUint::from(count as u64));
-            acc = acc.mod_mul(&powered, &self.modulus);
+            acc.mul_pow(residue, count);
         }
-        self.hash_residue(&acc, exp)
+        acc.finish()
     }
 
     /// Product of residues modulo `M` (the `u1 * ... * uj` of the paper).
@@ -168,18 +189,18 @@ impl HomomorphicParams {
     where
         I: IntoIterator<Item = &'a BigUint>,
     {
-        let mut acc = BigUint::one() % &self.modulus;
+        let mut acc = MontAccumulator::new(&self.mont);
         for r in residues {
-            acc = acc.mod_mul(r, &self.modulus);
+            acc.mul(r);
         }
-        acc
+        acc.finish()
     }
 
     /// Combines two hashes under the *same* exponent:
     /// `H(u1)·H(u2) = H(u1·u2)`.
     pub fn combine(&self, a: &HomomorphicHash, b: &HomomorphicHash) -> HomomorphicHash {
         HomomorphicHash {
-            value: a.value.mod_mul(&b.value, &self.modulus),
+            value: self.mont.mul_mod(&a.value, &b.value),
         }
     }
 

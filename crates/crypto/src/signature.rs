@@ -5,6 +5,8 @@
 //! deviates (§VI-B: "nodes register the messages they send or receive, and
 //! can use them to prove their correctness or that another node deviated").
 
+use std::sync::Arc;
+
 use pag_bignum::BigUint;
 
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
@@ -15,9 +17,14 @@ use crate::sha256::{sha256, DIGEST_LEN};
 /// The byte representation always has the length of the signer's modulus,
 /// which is what the wire-size accounting in `pag-core` relies on
 /// (RSA-2048 -> 256 bytes, as in the paper's §VII-A).
+///
+/// Signatures travel as relayable evidence through the monitoring
+/// pipeline (messages 6–9, accusations, exhibits) and get cloned at
+/// every hop; the bytes are `Arc`-shared so a clone is a refcount bump,
+/// not a 256-byte copy.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Signature {
-    bytes: Vec<u8>,
+    bytes: Arc<[u8]>,
 }
 
 impl Signature {
@@ -38,7 +45,9 @@ impl Signature {
 
     /// Reconstructs a signature received from the network.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        Signature { bytes }
+        Signature {
+            bytes: bytes.into(),
+        }
     }
 }
 
@@ -68,7 +77,7 @@ pub fn sign(keypair: &RsaKeyPair, message: &[u8]) -> Signature {
         .decrypt_raw(&em)
         .expect("encoded digest < modulus by construction");
     Signature {
-        bytes: s.to_bytes_be_padded(k),
+        bytes: s.to_bytes_be_padded(k).into(),
     }
 }
 
