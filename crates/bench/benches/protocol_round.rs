@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pag_bench::real_crypto_session;
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 use std::hint::black_box;
 
 fn bench_sessions(c: &mut Criterion) {

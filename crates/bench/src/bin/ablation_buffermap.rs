@@ -7,7 +7,7 @@
 //! windows cost hash bytes but suppress duplicate payload transfers.
 
 use pag_bench::{fmt_kbps, header, quick_mode, row};
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 
 fn main() {
     let (nodes, rounds) = if quick_mode() { (30, 8) } else { (80, 14) };

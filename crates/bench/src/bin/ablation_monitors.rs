@@ -8,7 +8,7 @@
 
 use pag_bench::{fmt_kbps, header, quick_mode, row};
 use pag_core::config::PagConfig;
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 
 fn main() {
     let (nodes, rounds) = if quick_mode() { (30, 8) } else { (80, 12) };

@@ -12,31 +12,42 @@
 //! ```
 //!
 //! Pass an output path to write elsewhere (e.g. for comparisons).
+//! `--quick` shrinks the scenario (8 nodes / 3 rounds / 1 run) for CI
+//! smoke runs — never commit a quick snapshot over the frozen one.
 
 use std::time::Instant;
 
-use pag_bench::real_crypto_session;
-use pag_core::session::{run_session, SessionOutcome};
+use pag_bench::{quick_mode, real_crypto_session};
+use pag_runtime::{run_session, SessionOutcome};
 
 const NODES: usize = 20;
 const ROUNDS: u64 = 5;
 const RUNS: usize = 3;
 
-fn run_once() -> (f64, SessionOutcome) {
+fn run_once(nodes: usize, rounds: u64) -> (f64, SessionOutcome) {
     let start = Instant::now();
-    let outcome = run_session(real_crypto_session(NODES, ROUNDS));
+    let outcome = run_session(real_crypto_session(nodes, rounds));
     (start.elapsed().as_secs_f64() * 1e3, outcome)
 }
 
 fn main() {
+    let quick = quick_mode();
+    let (nodes, rounds, runs) = if quick { (8, 3, 1) } else { (NODES, ROUNDS, RUNS) };
     let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_protocol.json".to_string());
+        .skip(1)
+        .find(|a| a != "--quick")
+        .unwrap_or_else(|| {
+            if quick {
+                "BENCH_quick.json".to_string()
+            } else {
+                "BENCH_protocol.json".to_string()
+            }
+        });
 
     let mut best_ms = f64::INFINITY;
     let mut last = None;
-    for _ in 0..RUNS {
-        let (ms, outcome) = run_once();
+    for _ in 0..runs {
+        let (ms, outcome) = run_once(nodes, rounds);
         best_ms = best_ms.min(ms);
         last = Some(outcome);
     }
@@ -53,8 +64,8 @@ fn main() {
         r#"{{
   "schema": 1,
   "scenario": {{
-    "nodes": {NODES},
-    "rounds": {ROUNDS},
+    "nodes": {nodes},
+    "rounds": {rounds},
     "stream_rate_kbps": 30.0,
     "homomorphic_bits": 512,
     "prime_bits": 64,

@@ -8,7 +8,7 @@
 
 use pag_baselines::{run_acting, ActingConfig};
 use pag_bench::{fmt_kbps, header, quick_mode, row};
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 use pag_simnet::SimConfig;
 
 fn main() {

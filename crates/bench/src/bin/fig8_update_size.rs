@@ -8,7 +8,7 @@
 //! than the paper's 1000 (see EXPERIMENTS.md).
 
 use pag_bench::{fmt_kbps, header, quick_mode, row};
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 
 fn main() {
     let (nodes, rounds) = if quick_mode() { (40, 6) } else { (120, 12) };

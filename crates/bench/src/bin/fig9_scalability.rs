@@ -9,7 +9,7 @@
 
 use pag_baselines::{run_acting, ActingConfig, CostModel};
 use pag_bench::{fmt_kbps, header, quick_mode, row};
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 use pag_membership::default_fanout;
 use pag_simnet::SimConfig;
 

@@ -7,7 +7,7 @@
 //! `12 x updates/s` (4-round buffermaps x 3 predecessors, §V-D).
 
 use pag_bench::{header, quick_mode, row};
-use pag_core::session::{run_session, SessionConfig};
+use pag_runtime::{run_session, SessionConfig};
 use pag_streaming::VideoQuality;
 
 fn main() {

@@ -18,7 +18,7 @@
 //! (fewer nodes/rounds/trials) for smoke-testing.
 
 use pag_core::config::CryptoProfile;
-use pag_core::session::SessionConfig;
+use pag_runtime::SessionConfig;
 
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {

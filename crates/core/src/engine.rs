@@ -1,0 +1,353 @@
+//! The sans-IO protocol engine: PAG as a pure state machine over typed
+//! inputs and effects.
+//!
+//! [`PagEngine`] contains the complete protocol logic of a node — both
+//! gossip roles of the Fig. 5 exchange plus the monitor of Fig. 6 — but
+//! performs **no IO**: it never sends a byte, reads a clock or sleeps.
+//! A *driver* feeds it [`Input`]s (round starts, message deliveries,
+//! expired timers) and executes the [`Effect`]s it emits (sends, timer
+//! requests, verdicts, metric events). The same engine therefore runs
+//! unmodified on any substrate:
+//!
+//! * the deterministic discrete-event simulator (`pag-simnet`, via the
+//!   adapter in `pag-runtime`),
+//! * the real-time multi-threaded in-process driver (`pag-runtime`),
+//! * or any future transport (TCP, QUIC, a test harness replaying a
+//!   trace).
+//!
+//! # Determinism contract
+//!
+//! The engine owns its randomness: a [`rand::rngs::StdRng`] seeded from
+//! `session_seed ^ mix(node_id)` at construction. Given the same shared
+//! context, the same seed and the same input sequence, an engine emits
+//! the same effect sequence — byte for byte. Drivers that deliver the
+//! same inputs in an order-equivalent schedule (message handling is
+//! commutative within a timer phase; see DESIGN.md §8) produce identical
+//! verdict sets, delivery metrics and traffic totals. This is the
+//! property the driver-equivalence test in `pag-runtime` pins down.
+//!
+//! # Example
+//!
+//! ```
+//! use pag_core::engine::{Effect, Input, PagEngine};
+//! use pag_core::{PagConfig, SelfishStrategy, SharedContext};
+//! use pag_membership::NodeId;
+//!
+//! let shared = SharedContext::new(PagConfig::default(), 4);
+//! let mut engine = PagEngine::new(NodeId(1), shared, SelfishStrategy::Honest, 42);
+//! let effects = engine.handle(Input::RoundStart(0));
+//! // Round 0: the node opens exchanges and arms its round timers.
+//! assert!(effects.iter().any(|e| matches!(e, Effect::Send { .. })));
+//! assert!(effects.iter().any(|e| matches!(e, Effect::SetTimer { .. })));
+//! ```
+
+use std::sync::Arc;
+
+use pag_membership::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::messages::SignedMessage;
+use crate::metrics::NodeMetrics;
+use crate::node::PagNode;
+use crate::selfish::SelfishStrategy;
+use crate::shared::SharedContext;
+use crate::update::{UpdateId, UpdateStore};
+use crate::verdict::Verdict;
+use crate::wire::TrafficClass;
+
+/// One stimulus a driver feeds the engine.
+#[derive(Clone, Debug)]
+pub enum Input {
+    /// The gossip clock entered `round`.
+    RoundStart(u64),
+    /// A message from `from` arrived.
+    Deliver {
+        /// Emitting node.
+        from: NodeId,
+        /// The signed message.
+        msg: SignedMessage,
+    },
+    /// A timer armed via [`Effect::SetTimer`] expired.
+    TimerFired {
+        /// The tag the timer was armed with.
+        tag: u64,
+    },
+}
+
+/// One action the engine asks its driver to perform.
+#[derive(Clone, Debug)]
+pub enum Effect {
+    /// Transmit `msg` to `to`.
+    ///
+    /// `bytes` is the wire footprint under the session's `WireConfig`
+    /// (equal to the length `pag_core::wire::encode_frame` produces);
+    /// drivers that do not serialize may charge it directly.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The signed message.
+        msg: SignedMessage,
+        /// Wire size in bytes (accounting and codec agree; see
+        /// DESIGN.md §4).
+        bytes: usize,
+        /// Traffic class for bandwidth attribution.
+        class: TrafficClass,
+    },
+    /// Arm a timer: feed back [`Input::TimerFired`] with `tag` after
+    /// `after_ms` milliseconds of protocol time (one round = 1000 ms;
+    /// real-time drivers may scale).
+    SetTimer {
+        /// Opaque tag returned on expiry.
+        tag: u64,
+        /// Delay in protocol milliseconds.
+        after_ms: u64,
+    },
+    /// The node's monitor convicted someone. Also retained internally
+    /// (see [`PagEngine::verdicts`]); drivers may stream or ignore it.
+    Verdict(Verdict),
+    /// A measurement event. Also folded into [`PagEngine::metrics`];
+    /// drivers may stream or ignore it.
+    Metric(MetricEvent),
+}
+
+/// Measurement events emitted as [`Effect::Metric`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricEvent {
+    /// An update's payload reached this node for the first time.
+    Delivered {
+        /// The update.
+        update: UpdateId,
+        /// Round of first delivery.
+        round: u64,
+    },
+    /// A full serve/ack exchange completed on the receiver side.
+    ExchangeCompleted {
+        /// The exchange round.
+        round: u64,
+    },
+}
+
+/// The effect sink handed to protocol handlers: buffered sends, timers
+/// and metric events plus the engine's deterministic randomness.
+///
+/// This is the sans-IO analogue of a network context — handlers stay
+/// free of driver and borrow concerns.
+pub(crate) struct EngineCtx<'a> {
+    rng: &'a mut StdRng,
+    effects: &'a mut Vec<Effect>,
+}
+
+impl<'a> EngineCtx<'a> {
+    /// The engine's deterministic random source.
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues a transmission.
+    pub(crate) fn send(&mut self, to: NodeId, msg: SignedMessage, bytes: usize, class: TrafficClass) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            bytes,
+            class,
+        });
+    }
+
+    /// Queues a timer request.
+    pub(crate) fn set_timer_ms(&mut self, after_ms: u64, tag: u64) {
+        self.effects.push(Effect::SetTimer { tag, after_ms });
+    }
+
+    /// Queues a metric event.
+    pub(crate) fn metric(&mut self, event: MetricEvent) {
+        self.effects.push(Effect::Metric(event));
+    }
+}
+
+/// A PAG node as a sans-IO state machine.
+///
+/// Wraps the protocol state ([`PagNode`]) together with the node's
+/// deterministic RNG and turns `(state, input) -> (state', effects)`.
+#[derive(Debug)]
+pub struct PagEngine {
+    node: PagNode,
+    rng: StdRng,
+    verdicts_reported: usize,
+}
+
+impl PagEngine {
+    /// Creates the engine for `id`.
+    ///
+    /// `session_seed` is the run-wide seed; the engine derives its
+    /// private stream as `session_seed ^ mix(id)`, so distinct nodes of
+    /// one session draw independent primes while two engines built with
+    /// identical arguments behave identically.
+    pub fn new(
+        id: NodeId,
+        shared: Arc<SharedContext>,
+        strategy: SelfishStrategy,
+        session_seed: u64,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(session_seed ^ pag_membership::mix(id.value() as u64));
+        PagEngine {
+            node: PagNode::new(id, shared, strategy),
+            rng,
+            verdicts_reported: 0,
+        }
+    }
+
+    /// Processes one input, returning the effects it produced.
+    pub fn handle(&mut self, input: Input) -> Vec<Effect> {
+        let mut out = Vec::new();
+        self.handle_into(input, &mut out);
+        out
+    }
+
+    /// Processes one input, appending effects to `out` (allocation-free
+    /// drivers reuse one buffer across calls).
+    pub fn handle_into(&mut self, input: Input, out: &mut Vec<Effect>) {
+        {
+            let mut ctx = EngineCtx {
+                rng: &mut self.rng,
+                effects: out,
+            };
+            match input {
+                Input::RoundStart(round) => self.node.handle_round(round, &mut ctx),
+                Input::Deliver { from, msg } => self.node.handle_delivery(from, msg, &mut ctx),
+                Input::TimerFired { tag } => self.node.handle_timer(tag, &mut ctx),
+            }
+        }
+        // Surface verdicts the monitor emitted while handling this input.
+        let verdicts = self.node.verdicts();
+        for v in &verdicts[self.verdicts_reported.min(verdicts.len())..] {
+            out.push(Effect::Verdict(v.clone()));
+        }
+        self.verdicts_reported = verdicts.len();
+    }
+
+    /// This engine's node identifier.
+    pub fn id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    /// The strategy the node plays.
+    pub fn strategy(&self) -> SelfishStrategy {
+        self.node.strategy()
+    }
+
+    /// Execution metrics accumulated so far.
+    pub fn metrics(&self) -> &NodeMetrics {
+        self.node.metrics()
+    }
+
+    /// Verdicts the node emitted in its monitor role.
+    pub fn verdicts(&self) -> &[Verdict] {
+        self.node.verdicts()
+    }
+
+    /// The node's update store.
+    pub fn store(&self) -> &UpdateStore {
+        self.node.store()
+    }
+
+    /// Creation rounds of updates this node injected (source only).
+    pub fn creations(&self) -> &std::collections::BTreeMap<UpdateId, u64> {
+        self.node.creations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PagConfig;
+
+    fn engine_for(n: usize, id: u32) -> PagEngine {
+        let mut cfg = PagConfig::default();
+        cfg.stream_rate_kbps = 16.0; // keep tests fast
+        let shared = SharedContext::new(cfg, n);
+        PagEngine::new(NodeId(id), shared, SelfishStrategy::Honest, 0)
+    }
+
+    #[test]
+    fn round_start_arms_three_timers() {
+        let mut e = engine_for(6, 2);
+        let effects = e.handle(Input::RoundStart(0));
+        let timers: Vec<u64> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::SetTimer { after_ms, .. } => Some(*after_ms),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(timers.len(), 3, "ack-check, eval, exhibit");
+        assert!(timers.iter().all(|&ms| ms < 1000), "within the round");
+    }
+
+    #[test]
+    fn source_round_start_emits_delivery_metrics() {
+        let mut e = engine_for(6, 0); // node 0 is the source
+        let effects = e.handle(Input::RoundStart(0));
+        let deliveries = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Metric(MetricEvent::Delivered { .. })))
+            .count();
+        assert_eq!(deliveries, e.metrics().delivered_count());
+        assert!(deliveries > 0, "source injects its window");
+    }
+
+    #[test]
+    fn identical_engines_emit_identical_effects() {
+        let run = || {
+            let mut e = engine_for(6, 1);
+            let fx = e.handle(Input::RoundStart(0));
+            fx.iter()
+                .map(|f| match f {
+                    Effect::Send { to, bytes, .. } => (0u8, to.value() as u64, *bytes as u64),
+                    Effect::SetTimer { tag, after_ms } => (1, *tag, *after_ms),
+                    Effect::Verdict(_) => (2, 0, 0),
+                    Effect::Metric(_) => (3, 0, 0),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Drives one engine through round start plus a predecessor's
+    /// KeyRequest and returns the prime it minted for that predecessor
+    /// (from the KeyResponse effect).
+    fn minted_prime(seed: u64) -> pag_bignum::BigUint {
+        let mut cfg = PagConfig::default();
+        cfg.stream_rate_kbps = 16.0;
+        let shared = SharedContext::new(cfg, 6);
+        let me = NodeId(1);
+        let pred = shared.topology(0).predecessors(me)[0];
+        let mut engine = PagEngine::new(me, Arc::clone(&shared), SelfishStrategy::Honest, seed);
+        engine.handle(Input::RoundStart(0));
+        let request = shared.sign(pred, crate::messages::MessageBody::KeyRequest { round: 0 });
+        let effects = engine.handle(Input::Deliver {
+            from: pred,
+            msg: request,
+        });
+        effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { msg, .. } => match &msg.body {
+                    crate::messages::MessageBody::KeyResponse { prime, .. } => {
+                        Some(prime.clone())
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("predecessor receives a KeyResponse")
+    }
+
+    #[test]
+    fn engine_seed_drives_minted_primes() {
+        // The seed is the engine's only randomness: equal seeds must
+        // reproduce the same prime, different seeds must diverge.
+        assert_eq!(minted_prime(7), minted_prime(7), "same seed, same prime");
+        assert_ne!(minted_prime(1), minted_prime(2), "seed changes the draw");
+    }
+}

@@ -19,53 +19,57 @@
 //! whose exponents — products of fresh per-round primes — change at
 //! every hop (Fig. 4/5).
 //!
-//! # Quick start
+//! # Sans-IO
+//!
+//! Since PR 2 this crate is **driver-free**: the protocol is the
+//! [`engine::PagEngine`] state machine, which consumes typed
+//! [`engine::Input`]s and emits [`engine::Effect`]s, and depends on no
+//! simulator or transport. Drivers live in `pag-runtime`: the
+//! discrete-event simulator adapter and a real-time multi-threaded
+//! runtime both execute this engine unmodified (DESIGN.md §8). Sessions
+//! are built and run through `pag_runtime::{Session, run_session}`.
+//!
+//! # Quick start (engine level)
 //!
 //! ```
-//! use pag_core::session::{run_session, SessionConfig};
-//!
-//! let mut sc = SessionConfig::honest(10, 5);
-//! sc.pag.stream_rate_kbps = 30.0; // keep the doctest fast
-//! let outcome = run_session(sc);
-//! assert!(outcome.verdicts.is_empty(), "honest nodes are never convicted");
-//! ```
-//!
-//! Inject a freerider and watch it get caught:
-//!
-//! ```
-//! use pag_core::selfish::SelfishStrategy;
-//! use pag_core::session::{run_session, SessionConfig};
+//! use pag_core::engine::{Effect, Input, PagEngine};
+//! use pag_core::{PagConfig, SelfishStrategy, SharedContext};
 //! use pag_membership::NodeId;
 //!
-//! let mut sc = SessionConfig::honest(10, 5);
-//! sc.pag.stream_rate_kbps = 30.0;
-//! sc.selfish.push((NodeId(4), SelfishStrategy::DropForward));
-//! let outcome = run_session(sc);
-//! assert_eq!(outcome.convicted(), vec![NodeId(4)]);
+//! // A 4-node session context; drive node 1 by hand for one round.
+//! let shared = SharedContext::new(PagConfig::default(), 4);
+//! let mut engine = PagEngine::new(NodeId(1), shared, SelfishStrategy::Honest, 7);
+//! let effects = engine.handle(Input::RoundStart(0));
+//! // The node opened exchanges with its successors and armed timers.
+//! assert!(effects.iter().any(|e| matches!(e, Effect::Send { .. })));
+//! assert!(effects.iter().any(|e| matches!(e, Effect::SetTimer { .. })));
 //! ```
+//!
+//! Full sessions (simulated or threaded) are one call away in
+//! `pag-runtime`; see its crate docs and `examples/quickstart.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod messages;
 pub mod metrics;
 pub mod monitor;
 pub mod node;
 pub mod selfish;
-pub mod session;
 pub mod shared;
 pub mod update;
 pub mod verdict;
 pub mod wire;
 
 pub use config::{CryptoProfile, PagConfig};
+pub use engine::{Effect, Input, MetricEvent, PagEngine};
 pub use messages::{HashTriple, MessageBody, SignedMessage};
 pub use metrics::{NodeMetrics, OpCounters};
 pub use node::PagNode;
 pub use selfish::SelfishStrategy;
-pub use session::{run_session, SessionConfig, SessionOutcome};
 pub use shared::SharedContext;
 pub use update::{UpdateId, UpdateStore};
 pub use verdict::{Fault, Verdict};
-pub use wire::WireConfig;
+pub use wire::{decode_frame, encode_frame, CodecError, Frame, TrafficClass, WireConfig};

@@ -12,10 +12,9 @@
 use pag_bignum::BigUint;
 use pag_crypto::{HomomorphicHash, HomomorphicParams, Signature};
 use pag_membership::NodeId;
-use pag_simnet::TrafficClass;
 
 use crate::update::UpdateId;
-use crate::wire::WireConfig;
+use crate::wire::{TrafficClass, WireConfig};
 
 /// Traffic class of exchange control messages (KeyRequest, Attestation,
 /// Ack).
@@ -105,7 +104,7 @@ pub struct ServedRef {
 }
 
 /// Message bodies; see module docs for the paper mapping.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MessageBody {
     /// 1. `⟨KeyRequest, R, A, B⟩_A` — A asks its successor B for a prime.
     KeyRequest {
@@ -333,7 +332,7 @@ pub enum MessageBody {
 }
 
 /// A message body together with its emitter's signature.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SignedMessage {
     /// The content.
     pub body: MessageBody,
@@ -590,12 +589,17 @@ impl MessageBody {
     }
 
     /// Wire size in bytes (excluding the outer signature) under `wire`.
+    ///
+    /// This is exactly the length `crate::wire::encode_frame` produces
+    /// for the body (the codec property tests enforce the equality), so
+    /// drivers may charge it without serializing.
     pub fn wire_size(&self, wire: &WireConfig) -> usize {
         let h = wire.header;
+        let c = wire.count;
         match self {
             MessageBody::KeyRequest { .. } => h,
             MessageBody::KeyResponse { buffermap, .. } => {
-                h + wire.prime + buffermap.len() * wire.hash + wire.seal_overhead
+                h + c + wire.prime + buffermap.len() * wire.hash + wire.seal_overhead
             }
             MessageBody::Serve {
                 k_prev_factors,
@@ -603,7 +607,8 @@ impl MessageBody {
                 refs,
                 ..
             } => {
-                h + wire.prime_product(*k_prev_factors as usize)
+                h + 3 * c
+                    + wire.prime_product(*k_prev_factors as usize)
                     + fresh.len() * wire.served_update()
                     + refs.len() * wire.reference
                     + wire.seal_overhead
@@ -616,6 +621,7 @@ impl MessageBody {
                 cofactor_factors, ..
             } => {
                 h + 4
+                    + c
                     + 3 * wire.hash
                     + wire.prime_product(*cofactor_factors as usize)
                     + wire.signature
@@ -636,6 +642,7 @@ impl MessageBody {
                 ..
             } => {
                 h + 4
+                    + 3 * c
                     + wire.prime_product(*k_prev_factors as usize)
                     + fresh.len() * wire.served_update()
                     + refs.len() * wire.reference

@@ -50,12 +50,14 @@ pub struct NodeMetrics {
 
 impl NodeMetrics {
     /// Records the first delivery of `id` at `round` (later calls are
-    /// duplicate payloads).
-    pub fn record_delivery(&mut self, id: UpdateId, round: u64) {
+    /// duplicate payloads). Returns `true` on a first delivery.
+    pub fn record_delivery(&mut self, id: UpdateId, round: u64) -> bool {
         if self.delivered.contains_key(&id) {
             self.duplicate_payloads += 1;
+            false
         } else {
             self.delivered.insert(id, round);
+            true
         }
     }
 

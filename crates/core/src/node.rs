@@ -21,8 +21,8 @@ use std::sync::Arc;
 use pag_bignum::{gen_prime, BigUint, MontAccumulator};
 use pag_crypto::{HomomorphicHash, HomomorphicParams, Signature};
 use pag_membership::NodeId;
-use pag_simnet::{Context, Protocol, SimDuration};
 
+use crate::engine::{EngineCtx, MetricEvent};
 use crate::messages::{HashTriple, MessageBody, ServedRef, ServedUpdate, SignedMessage};
 use crate::metrics::NodeMetrics;
 use crate::monitor::{designated_monitor, MonitorEngine};
@@ -37,15 +37,43 @@ const TIMER_EVAL: u64 = 2 << 56;
 const TIMER_EXHIBIT: u64 = 3 << 56;
 const TIMER_ROUND_MASK: u64 = (1 << 56) - 1;
 
-/// The primes a node minted for its predecessors in one round, and their
-/// product `K(R, self)`.
+/// The primes a node minted for its predecessors in one round, their
+/// product `K(R, self)`, and the per-predecessor cofactors.
 #[derive(Clone, Debug)]
 struct RoundKeys {
     entries: Vec<(NodeId, BigUint)>,
     k: BigUint,
+    /// `cofactors[i] = Π_{k≠i} p_k`, precomputed with one prefix/suffix
+    /// sweep (3(d−1) multiplications per round instead of the O(d²) a
+    /// per-exchange refold costs).
+    cofactors: Vec<BigUint>,
 }
 
 impl RoundKeys {
+    fn new(entries: Vec<(NodeId, BigUint)>) -> Self {
+        let d = entries.len();
+        // prefix[i] = p_0 … p_{i-1}; walking suffix products complete
+        // each cofactor, and the last prefix step yields K itself.
+        let mut prefix = Vec::with_capacity(d + 1);
+        prefix.push(BigUint::one());
+        for (_, p) in &entries {
+            let next = &prefix[prefix.len() - 1] * p;
+            prefix.push(next);
+        }
+        let k = prefix[d].clone();
+        let mut cofactors = vec![BigUint::one(); d];
+        let mut suffix = BigUint::one();
+        for i in (0..d).rev() {
+            cofactors[i] = &prefix[i] * &suffix;
+            suffix = &suffix * &entries[i].1;
+        }
+        RoundKeys {
+            entries,
+            k,
+            cofactors,
+        }
+    }
+
     fn prime_for(&self, pred: NodeId) -> Option<&BigUint> {
         self.entries.iter().find(|(p, _)| *p == pred).map(|(_, v)| v)
     }
@@ -54,8 +82,9 @@ impl RoundKeys {
     fn cofactor(&self, pred: NodeId) -> BigUint {
         self.entries
             .iter()
-            .filter(|(p, _)| *p != pred)
-            .fold(BigUint::one(), |acc, (_, v)| &acc * v)
+            .position(|(p, _)| *p == pred)
+            .map(|i| self.cofactors[i].clone())
+            .unwrap_or_else(|| self.k.clone())
     }
 
     fn factor_count(&self) -> u32 {
@@ -219,7 +248,7 @@ impl PagNode {
     // ----- helpers -------------------------------------------------------
 
     /// Signs and dispatches a message (locally when addressed to self).
-    fn send_body(&mut self, ctx: &mut Context<'_, SignedMessage>, to: NodeId, body: MessageBody) {
+    fn send_body(&mut self, ctx: &mut EngineCtx<'_>, to: NodeId, body: MessageBody) {
         let class = body.traffic_class();
         let msg = self.shared.sign(self.id, body);
         self.metrics.ops.signatures += 1;
@@ -227,14 +256,14 @@ impl PagNode {
             self.dispatch(self.id, msg, ctx);
         } else {
             let bytes = msg.wire_size(&self.shared.config.wire);
-            ctx.send_classified(to, msg, bytes, class);
+            ctx.send(to, msg, bytes, class);
         }
     }
 
     /// Dispatches an already-signed message.
     fn send_presigned(
         &mut self,
-        ctx: &mut Context<'_, SignedMessage>,
+        ctx: &mut EngineCtx<'_>,
         to: NodeId,
         msg: SignedMessage,
     ) {
@@ -243,13 +272,13 @@ impl PagNode {
             self.dispatch(self.id, msg, ctx);
         } else {
             let bytes = msg.wire_size(&self.shared.config.wire);
-            ctx.send_classified(to, msg, bytes, class);
+            ctx.send(to, msg, bytes, class);
         }
     }
 
     fn send_effects(
         &mut self,
-        ctx: &mut Context<'_, SignedMessage>,
+        ctx: &mut EngineCtx<'_>,
         effects: Vec<(NodeId, MessageBody)>,
     ) {
         for (to, body) in effects {
@@ -303,7 +332,7 @@ impl PagNode {
 
     // ----- round driver --------------------------------------------------
 
-    fn start_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+    fn start_round(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
         self.gc(round);
 
         let topo = self.shared.topology(round);
@@ -311,19 +340,17 @@ impl PagNode {
         // Receiver role: mint one prime per predecessor (§V-A message 2).
         let preds: Vec<NodeId> = topo.predecessors(self.id).to_vec();
         let mut entries = Vec::with_capacity(preds.len());
-        let mut k = BigUint::one();
         for pred in preds {
             let prime = gen_prime(self.shared.config.crypto.prime_bits, ctx.rng());
             self.metrics.ops.primes += 1;
-            k = &k * &prime;
             entries.push((pred, prime));
         }
-        self.recv_keys.insert(round, RoundKeys { entries, k });
+        self.recv_keys.insert(round, RoundKeys::new(entries));
 
         // Source role: inject this round's window of updates.
         let mut sa = self.build_sa(round);
         if self.is_source() {
-            let injected = self.inject_updates(round);
+            let injected = self.inject_updates(round, ctx);
             let fresh_prod = self
                 .multiset_product(injected.iter().map(|item| (&*item.residue, item.count)));
             sa.extend(injected);
@@ -352,15 +379,9 @@ impl PagNode {
         }
 
         let cfg = &self.shared.config;
-        ctx.set_timer(
-            SimDuration::from_millis(cfg.ack_check_ms),
-            TIMER_ACK_CHECK | round,
-        );
-        ctx.set_timer(SimDuration::from_millis(cfg.monitor_eval_ms), TIMER_EVAL | round);
-        ctx.set_timer(
-            SimDuration::from_millis(cfg.exhibit_resolve_ms),
-            TIMER_EXHIBIT | round,
-        );
+        ctx.set_timer_ms(cfg.ack_check_ms, TIMER_ACK_CHECK | round);
+        ctx.set_timer_ms(cfg.monitor_eval_ms, TIMER_EVAL | round);
+        ctx.set_timer_ms(cfg.exhibit_resolve_ms, TIMER_EXHIBIT | round);
     }
 
     /// SA = everything received fresh in the previous round.
@@ -385,7 +406,7 @@ impl PagNode {
         sa
     }
 
-    fn inject_updates(&mut self, round: u64) -> Vec<SaItem> {
+    fn inject_updates(&mut self, round: u64, ctx: &mut EngineCtx<'_>) -> Vec<SaItem> {
         let n = self.shared.config.updates_per_round();
         let session = self.shared.config.session_id;
         let mut items = Vec::with_capacity(n);
@@ -402,7 +423,9 @@ impl PagNode {
                 first_received_round: round,
             });
             self.creations.insert(id, round);
-            self.metrics.record_delivery(id, round);
+            if self.metrics.record_delivery(id, round) {
+                ctx.metric(MetricEvent::Delivered { update: id, round });
+            }
             items.push(SaItem {
                 id,
                 count: 1,
@@ -435,7 +458,7 @@ impl PagNode {
         &mut self,
         from: NodeId,
         round: u64,
-        ctx: &mut Context<'_, SignedMessage>,
+        ctx: &mut EngineCtx<'_>,
     ) {
         if !self.strategy.responds_keys() {
             return;
@@ -483,7 +506,7 @@ impl PagNode {
         from: NodeId,
         round: u64,
         part: PendingServePart,
-        ctx: &mut Context<'_, SignedMessage>,
+        ctx: &mut EngineCtx<'_>,
     ) {
         let entry = self.pending_serves.entry((round, from)).or_default();
         match part {
@@ -518,7 +541,7 @@ impl PagNode {
         refs: Vec<ServedRef>,
         attestation: Option<HashTriple>,
         reask_reply_to: Option<NodeId>,
-        ctx: &mut Context<'_, SignedMessage>,
+        ctx: &mut EngineCtx<'_>,
     ) {
         if self.processed_exchanges.contains(&(round, from)) {
             // Duplicate (Serve raced the accusation): re-acknowledge.
@@ -603,10 +626,13 @@ impl PagNode {
         self.acks_sent.insert((round, from), (ack.clone(), ack_sig.clone()));
         self.processed_exchanges.insert((round, from));
         self.metrics.exchanges_completed += 1;
+        ctx.metric(MetricEvent::ExchangeCompleted { round });
 
         // Deliver payloads and record forwarding obligations.
         for u in fresh {
-            self.metrics.record_delivery(u.id, round);
+            if self.metrics.record_delivery(u.id, round) {
+                ctx.metric(MetricEvent::Delivered { update: u.id, round });
+            }
             self.store.insert_parts(
                 &self.shared.params,
                 u.id,
@@ -696,7 +722,7 @@ impl PagNode {
         round: u64,
         prime: BigUint,
         buffermap: Vec<BigUint>,
-        ctx: &mut Context<'_, SignedMessage>,
+        ctx: &mut EngineCtx<'_>,
     ) {
         let Some(ex) = self.exchanges.get(&(round, from)) else {
             return;
@@ -798,7 +824,7 @@ impl PagNode {
 
     // ----- timers ---------------------------------------------------------
 
-    fn ack_check(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+    fn ack_check(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
         // Self-report (§V-B cross-check): hash of this round's fresh
         // receptions under K(round, self).
         if self.strategy.reports_to_monitors() {
@@ -900,7 +926,7 @@ impl PagNode {
 
     // ----- message dispatch -----------------------------------------------
 
-    fn dispatch(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {
+    fn dispatch(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut EngineCtx<'_>) {
         let monitors_others = self.strategy.monitors_others();
         match msg.body {
             MessageBody::KeyRequest { round } => self.handle_key_request(from, round, ctx),
@@ -1149,14 +1175,22 @@ enum PendingServePart {
     Attestation(HashTriple),
 }
 
-impl Protocol for PagNode {
-    type Message = SignedMessage;
-
-    fn on_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+// The engine-facing entry points ([`crate::engine::PagEngine`] is the
+// public surface; these stay crate-private so the sans-IO contract —
+// inputs in, effects out — cannot be bypassed).
+impl PagNode {
+    /// [`crate::engine::Input::RoundStart`].
+    pub(crate) fn handle_round(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
         self.start_round(round, ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {
+    /// [`crate::engine::Input::Deliver`]: verify, then dispatch.
+    pub(crate) fn handle_delivery(
+        &mut self,
+        from: NodeId,
+        msg: SignedMessage,
+        ctx: &mut EngineCtx<'_>,
+    ) {
         if self.shared.config.verify_signatures {
             self.metrics.ops.verifications += 1;
             if !self.shared.verify(from, &msg) {
@@ -1166,7 +1200,8 @@ impl Protocol for PagNode {
         self.dispatch(from, msg, ctx);
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, SignedMessage>) {
+    /// [`crate::engine::Input::TimerFired`].
+    pub(crate) fn handle_timer(&mut self, tag: u64, ctx: &mut EngineCtx<'_>) {
         let round = tag & TIMER_ROUND_MASK;
         match tag & !TIMER_ROUND_MASK {
             TIMER_ACK_CHECK => self.ack_check(round, ctx),

@@ -1,0 +1,256 @@
+//! Codec round-trip property tests: every [`MessageBody`] variant
+//! survives `encode_frame` → `decode_frame` bit-exactly, and the encoded
+//! byte length equals the `WireConfig` wire-size accounting for each
+//! message type — the invariant that lets drivers charge `wire_size`
+//! without serializing.
+
+use pag_bignum::BigUint;
+use pag_core::messages::{HashTriple, MessageBody, ServedRef, ServedUpdate, SignedMessage};
+use pag_core::wire::{decode_frame, encode_frame, WireConfig};
+use pag_core::UpdateId;
+use pag_crypto::{HomomorphicHash, Signature};
+use pag_membership::NodeId;
+use proptest::prelude::*;
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+fn hash(bytes: &[u8]) -> HomomorphicHash {
+    HomomorphicHash::from_value(big(bytes))
+}
+
+fn triple(a: &[u8], b: &[u8], c: &[u8]) -> HashTriple {
+    HashTriple {
+        expiring: hash(a),
+        fresh: hash(b),
+        duplicate: hash(c),
+    }
+}
+
+fn sig(wire: &WireConfig, fill: u8) -> Signature {
+    Signature::from_bytes(vec![fill; wire.signature])
+}
+
+fn served(id: u64, round: u32, count: u32, expiring: bool, payload: Vec<u8>) -> ServedUpdate {
+    ServedUpdate {
+        id: UpdateId(id),
+        created_round: round as u64,
+        payload: payload.into(),
+        count,
+        expiring,
+    }
+}
+
+/// Builds one instance of every message variant from the sampled
+/// parameters, so each property case exercises the whole codec surface.
+#[allow(clippy::too_many_arguments)]
+fn all_variants(
+    wire: &WireConfig,
+    round: u64,
+    peer: NodeId,
+    peer2: NodeId,
+    h1: &[u8],
+    h2: &[u8],
+    h3: &[u8],
+    prime: &[u8],
+    factors: u32,
+    count: u32,
+    payload: Vec<u8>,
+    buffermap: Vec<Vec<u8>>,
+    sig_fill: u8,
+    with_ack: bool,
+) -> Vec<MessageBody> {
+    let t = triple(h1, h2, h3);
+    let s = sig(wire, sig_fill);
+    let fresh = vec![
+        served(3, round as u32, count, false, payload.clone()),
+        // Boundary: a payload of exactly the configured wire width.
+        served(4, round as u32, 1, true, vec![0xEE; wire.update_payload]),
+    ];
+    let refs = vec![
+        ServedRef { index: 0, count },
+        ServedRef {
+            index: u32::MAX,
+            count: 1,
+        },
+    ];
+    vec![
+        MessageBody::KeyRequest { round },
+        MessageBody::KeyResponse {
+            round,
+            prime: big(prime),
+            buffermap: buffermap.iter().map(|b| big(b)).collect(),
+        },
+        MessageBody::Serve {
+            round,
+            k_prev: big(prime),
+            k_prev_factors: factors,
+            fresh: fresh.clone(),
+            refs: refs.clone(),
+        },
+        MessageBody::Attestation {
+            round,
+            hashes: t.clone(),
+        },
+        MessageBody::Ack {
+            round,
+            hashes: t.clone(),
+        },
+        MessageBody::SourceDeclare {
+            round,
+            hashes: t.clone(),
+        },
+        MessageBody::MonitorAck {
+            round,
+            sender: peer,
+            ack: t.clone(),
+            ack_sig: s.clone(),
+        },
+        MessageBody::MonitorAttestation {
+            round,
+            sender: peer,
+            attestation: t.clone(),
+            cofactor: big(prime),
+            cofactor_factors: factors,
+        },
+        MessageBody::MonitorBroadcast {
+            round,
+            watched: peer,
+            sender: peer2,
+            combined: triple(h2, h3, h1),
+            ack: t.clone(),
+            ack_sig: s.clone(),
+        },
+        MessageBody::AckForward {
+            round,
+            sender: peer,
+            receiver: peer2,
+            ack: t.clone(),
+            ack_sig: s.clone(),
+        },
+        MessageBody::Accuse {
+            round,
+            accused: peer,
+            k_prev: big(prime),
+            k_prev_factors: factors,
+            fresh: fresh.clone(),
+            refs: refs.clone(),
+        },
+        MessageBody::ReAsk {
+            round,
+            accuser: peer,
+            k_prev: big(prime),
+            k_prev_factors: factors,
+            fresh,
+            refs,
+        },
+        MessageBody::ReAskAck {
+            round,
+            accuser: peer,
+            ack: t.clone(),
+            ack_sig: s.clone(),
+        },
+        MessageBody::Confirm {
+            round,
+            accuser: peer,
+            accused: peer2,
+            ack: t.clone(),
+            ack_sig: s.clone(),
+        },
+        MessageBody::Nack {
+            round,
+            accuser: peer,
+            accused: peer2,
+        },
+        MessageBody::ExhibitRequest {
+            round,
+            successor: peer,
+        },
+        MessageBody::ExhibitResponse {
+            round,
+            successor: peer,
+            ack: with_ack.then(|| (t.clone(), s.clone())),
+        },
+        MessageBody::ExhibitNotice {
+            round,
+            sender: peer,
+            receiver: peer2,
+            ack: t.clone(),
+            ack_sig: s,
+        },
+        MessageBody::SelfAccum { round, value: t },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-trip + length-accounting equality for every variant under
+    /// the paper's default wire profile.
+    #[test]
+    fn every_variant_roundtrips_at_accounted_length(
+        round in 0u64..u32::MAX as u64,
+        from in 0u32..1000,
+        to in 0u32..1000,
+        peer in 0u32..1000,
+        peer2 in 0u32..1000,
+        h1 in proptest::collection::vec(any::<u8>(), 1..64),
+        h2 in proptest::collection::vec(any::<u8>(), 1..64),
+        h3 in proptest::collection::vec(any::<u8>(), 1..64),
+        prime in proptest::collection::vec(any::<u8>(), 1..64),
+        factors in 1u32..5,
+        count in 1u32..500,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        buffermap in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..64), 1..12),
+        sig_fill in any::<u8>(),
+        with_ack in any::<bool>(),
+        outer_fill in any::<u8>(),
+    ) {
+        let wire = WireConfig::default();
+        let bodies = all_variants(
+            &wire, round, NodeId(peer), NodeId(peer2),
+            &h1, &h2, &h3, &prime, factors, count,
+            payload, buffermap, sig_fill, with_ack,
+        );
+        prop_assert_eq!(bodies.len(), 19, "one instance per variant");
+        for body in bodies {
+            let msg = SignedMessage { body, sig: sig(&wire, outer_fill) };
+            let frame = encode_frame(NodeId(from), NodeId(to), &msg, &wire)
+                .expect("encodable");
+            prop_assert_eq!(
+                frame.len(),
+                msg.wire_size(&wire),
+                "encoded length != accounting for {:?}",
+                msg.body
+            );
+            let decoded = decode_frame(&frame, &wire).expect("decodable");
+            prop_assert_eq!(decoded.from, NodeId(from));
+            prop_assert_eq!(decoded.to, NodeId(to));
+            prop_assert_eq!(decoded.msg, msg);
+        }
+    }
+
+    /// The Fig. 8 sweep profile (non-default payload width) keeps the
+    /// codec and the accounting aligned.
+    #[test]
+    fn sweep_profiles_stay_aligned(
+        payload_width in 16usize..300,
+        payload in proptest::collection::vec(any::<u8>(), 0..16),
+        count in 1u32..100,
+    ) {
+        let wire = WireConfig::default().with_update_payload(payload_width);
+        let body = MessageBody::Serve {
+            round: 1,
+            k_prev: BigUint::from(17u64),
+            k_prev_factors: 2,
+            fresh: vec![served(9, 1, count, false, payload)],
+            refs: vec![ServedRef { index: 3, count }],
+        };
+        let msg = SignedMessage { body, sig: sig(&wire, 0x5A) };
+        let frame = encode_frame(NodeId(1), NodeId(2), &msg, &wire).expect("encodable");
+        prop_assert_eq!(frame.len(), msg.wire_size(&wire));
+        prop_assert_eq!(decode_frame(&frame, &wire).expect("decodable").msg, msg);
+    }
+}

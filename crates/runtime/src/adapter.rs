@@ -1,0 +1,77 @@
+//! The simnet adapter: runs the sans-IO engine on the discrete-event
+//! simulator by translating callbacks into [`Input`]s and draining the
+//! resulting [`Effect`]s back into the simulator's context.
+//!
+//! This is deliberately thin — the protocol lives entirely in
+//! [`PagEngine`]; everything here is plumbing, which is the point of the
+//! sans-IO split (DESIGN.md §8).
+
+use pag_core::engine::{Effect, Input, PagEngine};
+use pag_core::SignedMessage;
+use pag_membership::NodeId;
+use pag_simnet::{Context, Protocol, SimDuration, TrafficClass as SimClass};
+
+/// A [`PagEngine`] speaking the simulator's [`Protocol`] trait.
+#[derive(Debug)]
+pub struct SimnetPag {
+    engine: PagEngine,
+    effects: Vec<Effect>,
+}
+
+impl SimnetPag {
+    /// Wraps an engine for simulation.
+    pub fn new(engine: PagEngine) -> Self {
+        SimnetPag {
+            engine,
+            effects: Vec::new(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &PagEngine {
+        &self.engine
+    }
+
+    /// Unwraps the engine (to harvest verdicts and metrics after a run).
+    pub fn into_engine(self) -> PagEngine {
+        self.engine
+    }
+
+    /// Feeds one input and executes the effects against the simulator.
+    fn pump(&mut self, input: Input, ctx: &mut Context<'_, SignedMessage>) {
+        self.effects.clear();
+        self.engine.handle_into(input, &mut self.effects);
+        for effect in self.effects.drain(..) {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    bytes,
+                    class,
+                } => ctx.send_classified(to, msg, bytes, SimClass(class.0)),
+                Effect::SetTimer { tag, after_ms } => {
+                    ctx.set_timer(SimDuration::from_millis(after_ms), tag)
+                }
+                // The engine retains verdicts and metrics; the session
+                // harvests them from the final states.
+                Effect::Verdict(_) | Effect::Metric(_) => {}
+            }
+        }
+    }
+}
+
+impl Protocol for SimnetPag {
+    type Message = SignedMessage;
+
+    fn on_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+        self.pump(Input::RoundStart(round), ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {
+        self.pump(Input::Deliver { from, msg }, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, SignedMessage>) {
+        self.pump(Input::TimerFired { tag }, ctx);
+    }
+}

@@ -1,0 +1,35 @@
+//! Drivers for the PAG sans-IO engine.
+//!
+//! `pag-core` contains the protocol as a pure state machine
+//! ([`pag_core::engine::PagEngine`]); this crate contains everything
+//! that *executes* it:
+//!
+//! * [`SimnetPag`] — the adapter running the engine on the
+//!   deterministic discrete-event simulator (`pag-simnet`), with
+//!   latency, loss and crash faults;
+//! * [`threaded::run_threaded`] — a real-time multi-threaded in-process
+//!   runtime: one thread per node, channel links carrying byte frames
+//!   produced by the `pag_core::wire` codec, and either lockstep
+//!   (deterministic) or wall-clock timers;
+//! * [`Session`] / [`run_session`] — the one-call harness that builds a
+//!   session, runs it on a selected [`Driver`] and collects verdicts,
+//!   metrics and a driver-neutral [`TrafficReport`].
+//!
+//! The two drivers execute the same engine byte-for-byte; the
+//! driver-equivalence test in `tests/` holds their verdicts, deliveries
+//! and traffic totals equal. See DESIGN.md §8 for the architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod report;
+pub mod session;
+pub mod threaded;
+
+pub use adapter::SimnetPag;
+pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
+pub use session::{
+    run_session, Driver, Session, SessionBuilder, SessionConfig, SessionOutcome,
+};
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedRun};

@@ -1,0 +1,547 @@
+//! The threaded driver: a real-time multi-threaded in-process runtime
+//! for the sans-IO engine.
+//!
+//! One OS thread per node; links are unbounded channels carrying
+//! **encoded frames** (`pag_core::wire::encode_frame`), so every byte a
+//! node is charged for actually crosses a thread boundary and is parsed
+//! back with `decode_frame` on arrival — the codec is load-bearing, not
+//! decorative.
+//!
+//! Two clock modes:
+//!
+//! * **Lockstep** (`lockstep: true`, the deterministic timer mode): time
+//!   is virtual (one round = 1000 protocol ms). A coordinator drives
+//!   barriers — round start, then one phase per distinct timer deadline
+//!   — and waits for global quiescence (an outstanding-work counter)
+//!   between phases, so every message cascade settles before the next
+//!   timer fires. Within a phase, delivery *interleaving* across threads
+//!   is scheduler-dependent, but the engine's handlers are commutative
+//!   within a phase (monitor accumulators are products, obligations are
+//!   sets), so verdict sets, delivery metrics and traffic totals are
+//!   deterministic — the driver-equivalence test pins them to the
+//!   simulator's.
+//! * **Real time** (`lockstep: false`): rounds tick on the wall clock
+//!   every `round_ms` milliseconds and engine timers are armed at
+//!   proportionally scaled offsets (`after_ms * round_ms / 1000`),
+//!   fired by `recv_timeout` deadlines on each node thread.
+//!
+//! The driver supports fail-stop crashes (a crashed node drops every
+//! envelope from its crash round on, like the simulator) but models no
+//! latency or loss — it is a transport, not a network emulator.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pag_core::engine::{Effect, Input, PagEngine};
+use pag_core::wire::{decode_frame, encode_frame};
+use pag_core::{SharedContext, WireConfig};
+use pag_membership::NodeId;
+
+use crate::report::{NodeTraffic, TrafficReport};
+
+/// Virtual milliseconds per round in lockstep mode — the one-second
+/// rounds the protocol's timer offsets assume (§VII-A).
+const VIRTUAL_ROUND_MS: u64 = 1000;
+
+/// Configuration of the threaded driver.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// Wall-clock round duration in real-time mode (engine timer offsets
+    /// scale by `round_ms / 1000`). Ignored in lockstep mode.
+    pub round_ms: u64,
+    /// Deterministic timer mode: virtual time with quiescence barriers
+    /// instead of the wall clock.
+    pub lockstep: bool,
+    /// Session seed for the engines' deterministic randomness.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            round_ms: 1000,
+            lockstep: true,
+            seed: 0,
+        }
+    }
+}
+
+/// What node threads exchange: protocol frames and clock commands.
+enum Envelope {
+    /// The gossip clock entered this round.
+    Round(u64),
+    /// An encoded protocol frame.
+    Frame(Vec<u8>),
+    /// Lockstep only: release the frames stashed during the last
+    /// round-start or timer phase.
+    ///
+    /// Phase outputs are buffered until every node has processed its own
+    /// phase envelope — otherwise a fast node's `KeyRequest` could reach
+    /// a peer that has not minted its round primes yet, or an eval-phase
+    /// `Nack` could overtake a peer monitor's own evaluation. The
+    /// simulator cannot interleave these either: events at one instant
+    /// all precede any same-instant send's delivery (latency > 0).
+    Flush,
+    /// Lockstep only: fire every timer due at or before this virtual ms.
+    TimersUpTo(u64),
+    /// Shut down and report.
+    Stop,
+}
+
+/// Quiescence tracking for lockstep mode: a count of outstanding
+/// envelopes plus each node's next timer deadline.
+struct Coordination {
+    pending: Mutex<u64>,
+    quiet: Condvar,
+    deadlines: Mutex<Vec<Option<u64>>>,
+    /// Set when a worker panics, so `wait_quiet` unblocks instead of
+    /// waiting forever on work the dead thread can no longer drain; the
+    /// coordinator then joins and propagates the original panic.
+    aborted: std::sync::atomic::AtomicBool,
+}
+
+impl Coordination {
+    fn new(nodes: usize) -> Self {
+        Coordination {
+            pending: Mutex::new(0),
+            quiet: Condvar::new(),
+            deadlines: Mutex::new(vec![None; nodes]),
+            aborted: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn abort(&self) {
+        self.aborted
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let _unused = self.pending.lock().expect("pending lock");
+        self.quiet.notify_all();
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Registers `n` envelopes about to be enqueued. Always called
+    /// *before* the matching `send`, so the counter can never observe
+    /// zero while work is in flight.
+    fn add(&self, n: u64) {
+        *self.pending.lock().expect("pending lock") += n;
+    }
+
+    /// Marks one envelope fully processed (all its own sends already
+    /// registered).
+    fn done(&self) {
+        let mut p = self.pending.lock().expect("pending lock");
+        *p -= 1;
+        if *p == 0 {
+            self.quiet.notify_all();
+        }
+    }
+
+    /// Blocks until every envelope (and the cascades it spawned) is
+    /// processed, or until a worker aborted.
+    fn wait_quiet(&self) {
+        let mut p = self.pending.lock().expect("pending lock");
+        while *p != 0 && !self.is_aborted() {
+            p = self.quiet.wait(p).expect("pending wait");
+        }
+    }
+
+    fn publish_deadline(&self, idx: usize, deadline: Option<u64>) {
+        self.deadlines.lock().expect("deadline lock")[idx] = deadline;
+    }
+
+    fn min_deadline(&self) -> Option<u64> {
+        self.deadlines
+            .lock()
+            .expect("deadline lock")
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+    }
+}
+
+/// Final state a node thread reports.
+struct WorkerResult {
+    id: NodeId,
+    engine: PagEngine,
+    traffic: NodeTraffic,
+}
+
+/// Outcome of a threaded run: per-node traffic plus the final engines
+/// (verdicts, metrics, stores).
+pub struct ThreadedRun {
+    /// Traffic accounted from real encoded frames.
+    pub report: TrafficReport,
+    /// Final engine states by node.
+    pub engines: BTreeMap<NodeId, PagEngine>,
+}
+
+struct Worker {
+    idx: usize,
+    id: NodeId,
+    engine: PagEngine,
+    wire: WireConfig,
+    rx: Receiver<Envelope>,
+    peers: BTreeMap<NodeId, Sender<Envelope>>,
+    coord: Option<Arc<Coordination>>,
+    traffic: NodeTraffic,
+    /// Pending timers: (due, sequence, tag). `due` is virtual ms in
+    /// lockstep mode, scaled ms since `epoch` in real-time mode.
+    timers: Vec<(u64, u64, u64)>,
+    timer_seq: u64,
+    now_ms: u64,
+    crash_round: Option<u64>,
+    crashed: bool,
+    effects: Vec<Effect>,
+    /// Lockstep: frames produced during round start, held for `Flush`.
+    stash: Vec<(NodeId, Vec<u8>)>,
+    buffering: bool,
+    /// Real-time mode: wall-clock epoch and per-round milliseconds.
+    epoch: Instant,
+    round_ms: u64,
+}
+
+impl Worker {
+    fn lockstep(&self) -> bool {
+        self.coord.is_some()
+    }
+
+    /// Scales a protocol-ms delay to this driver's clock.
+    fn scale(&self, after_ms: u64) -> u64 {
+        if self.lockstep() {
+            after_ms
+        } else {
+            after_ms * self.round_ms / VIRTUAL_ROUND_MS
+        }
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        self.timers.iter().map(|&(due, _, _)| due).min()
+    }
+
+    /// Runs one engine input and executes the effects: encode + ship
+    /// frames, arm timers.
+    fn feed(&mut self, input: Input) {
+        let mut fx = std::mem::take(&mut self.effects);
+        fx.clear();
+        self.engine.handle_into(input, &mut fx);
+        for effect in fx.drain(..) {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    bytes,
+                    class,
+                } => {
+                    let frame = encode_frame(self.id, to, &msg, &self.wire)
+                        .expect("session messages encode under the session wire profile");
+                    debug_assert_eq!(frame.len(), bytes, "codec/accounting divergence");
+                    self.traffic.record_send(frame.len(), class);
+                    if self.buffering {
+                        self.stash.push((to, frame));
+                    } else {
+                        self.ship(to, frame);
+                    }
+                }
+                Effect::SetTimer { tag, after_ms } => {
+                    let due = self.now_ms + self.scale(after_ms);
+                    self.timers.push((due, self.timer_seq, tag));
+                    self.timer_seq += 1;
+                }
+                // Retained inside the engine; harvested after the run.
+                Effect::Verdict(_) | Effect::Metric(_) => {}
+            }
+        }
+        self.effects = fx;
+    }
+
+    /// Enqueues one frame on a peer's link.
+    fn ship(&self, to: NodeId, frame: Vec<u8>) {
+        if let Some(coord) = &self.coord {
+            coord.add(1);
+        }
+        // A receiver that already stopped is fine to lose.
+        if self.peers[&to].send(Envelope::Frame(frame)).is_err() {
+            if let Some(coord) = &self.coord {
+                coord.done();
+            }
+        }
+    }
+
+    /// Decodes an incoming frame, accounts it, and delivers it.
+    fn deliver(&mut self, frame: Vec<u8>) {
+        let parsed = decode_frame(&frame, &self.wire).expect("peer frames decode");
+        debug_assert_eq!(parsed.to, self.id, "misrouted frame");
+        self.traffic
+            .record_recv(frame.len(), parsed.msg.body.traffic_class());
+        self.feed(Input::Deliver {
+            from: parsed.from,
+            msg: parsed.msg,
+        });
+    }
+
+    /// Fires every pending timer due at or before `upto`, in (due,
+    /// arming-order) order.
+    fn fire_due(&mut self, upto: u64) {
+        loop {
+            let Some(pos) = self
+                .timers
+                .iter()
+                .enumerate()
+                .filter(|(_, &(due, _, _))| due <= upto)
+                .min_by_key(|(_, &(due, seq, _))| (due, seq))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let (due, _, tag) = self.timers.swap_remove(pos);
+            self.now_ms = due.max(self.now_ms);
+            self.feed(Input::TimerFired { tag });
+        }
+    }
+
+    fn enter_round(&mut self, round: u64) {
+        if self.lockstep() {
+            self.now_ms = round * VIRTUAL_ROUND_MS;
+        } else {
+            self.now_ms = round * self.round_ms;
+        }
+        if self.crash_round.is_some_and(|cr| round >= cr) {
+            self.crashed = true;
+            self.timers.clear();
+        }
+        if !self.crashed {
+            // Lockstep holds round-start frames until the Flush barrier.
+            self.buffering = self.lockstep();
+            self.feed(Input::RoundStart(round));
+            self.buffering = false;
+        }
+    }
+
+    fn run(mut self) -> WorkerResult {
+        if self.lockstep() {
+            // Unblock the coordinator if this thread dies mid-phase —
+            // the join then surfaces the worker's panic instead of a
+            // deadlocked wait_quiet.
+            struct AbortOnPanic(Arc<Coordination>);
+            impl Drop for AbortOnPanic {
+                fn drop(&mut self) {
+                    if thread::panicking() {
+                        self.0.abort();
+                    }
+                }
+            }
+            let _guard = AbortOnPanic(Arc::clone(self.coord.as_ref().expect("lockstep")));
+            self.run_lockstep();
+        } else {
+            self.run_realtime();
+        }
+        WorkerResult {
+            id: self.id,
+            engine: self.engine,
+            traffic: self.traffic,
+        }
+    }
+
+    fn run_lockstep(&mut self) {
+        let coord = Arc::clone(self.coord.as_ref().expect("lockstep coordination"));
+        while let Ok(envelope) = self.rx.recv() {
+            match envelope {
+                Envelope::Round(round) => self.enter_round(round),
+                Envelope::Frame(frame) => {
+                    if !self.crashed {
+                        self.deliver(frame);
+                    }
+                }
+                Envelope::Flush => {
+                    for (to, frame) in std::mem::take(&mut self.stash) {
+                        self.ship(to, frame);
+                    }
+                }
+                Envelope::TimersUpTo(upto) => {
+                    if !self.crashed {
+                        self.buffering = true;
+                        self.fire_due(upto);
+                        self.buffering = false;
+                    }
+                }
+                Envelope::Stop => break,
+            }
+            coord.publish_deadline(self.idx, self.next_deadline());
+            coord.done();
+        }
+    }
+
+    fn run_realtime(&mut self) {
+        loop {
+            let envelope = match self.next_deadline() {
+                Some(due) => {
+                    let due_at = self.epoch + Duration::from_millis(due);
+                    let now = Instant::now();
+                    if due_at <= now {
+                        if self.crashed {
+                            self.timers.clear();
+                        } else {
+                            let upto = (now - self.epoch).as_millis() as u64;
+                            self.fire_due(upto);
+                        }
+                        continue;
+                    }
+                    match self.rx.recv_timeout(due_at - now) {
+                        Ok(envelope) => envelope,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(envelope) => envelope,
+                    Err(_) => return,
+                },
+            };
+            match envelope {
+                Envelope::Round(round) => self.enter_round(round),
+                Envelope::Frame(frame) => {
+                    if !self.crashed {
+                        self.deliver(frame);
+                    }
+                }
+                Envelope::Flush | Envelope::TimersUpTo(_) => {}
+                Envelope::Stop => return,
+            }
+        }
+    }
+}
+
+/// Runs `engines` for `rounds` rounds on per-node threads.
+///
+/// Every engine's node must belong to `shared`'s membership; `crashes`
+/// are fail-stop rounds per node. Returns the traffic report (protocol
+/// seconds; see [`crate::report`]) and the final engines.
+pub fn run_threaded(
+    shared: &Arc<SharedContext>,
+    engines: Vec<PagEngine>,
+    rounds: u64,
+    crashes: &[(NodeId, u64)],
+    cfg: &ThreadedConfig,
+) -> ThreadedRun {
+    let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
+    let n = ids.len();
+    let coord = cfg.lockstep.then(|| Arc::new(Coordination::new(n)));
+    let epoch = Instant::now();
+
+    let mut senders: BTreeMap<NodeId, Sender<Envelope>> = BTreeMap::new();
+    let mut receivers = Vec::with_capacity(n);
+    for &id in &ids {
+        let (tx, rx) = channel();
+        senders.insert(id, tx);
+        receivers.push(rx);
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (idx, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
+        let id = ids[idx];
+        let worker = Worker {
+            idx,
+            id,
+            engine,
+            wire: shared.config.wire.clone(),
+            rx,
+            peers: senders.clone(),
+            coord: coord.clone(),
+            traffic: NodeTraffic::default(),
+            timers: Vec::new(),
+            timer_seq: 0,
+            now_ms: 0,
+            crash_round: crashes
+                .iter()
+                .filter(|(node, _)| *node == id)
+                .map(|&(_, round)| round)
+                .min(),
+            crashed: false,
+            effects: Vec::new(),
+            stash: Vec::new(),
+            buffering: false,
+            epoch,
+            round_ms: cfg.round_ms.max(1),
+        };
+        let handle = thread::Builder::new()
+            .name(format!("pag-{id}"))
+            .spawn(move || worker.run())
+            .expect("spawn node thread");
+        handles.push(handle);
+    }
+
+    let broadcast = |envelope_of: &dyn Fn() -> Envelope| {
+        for tx in senders.values() {
+            let _ = tx.send(envelope_of());
+        }
+    };
+
+    match &coord {
+        Some(coord) => {
+            // Deterministic lockstep: barrier per round start, then one
+            // barrier per distinct timer deadline within the round.
+            'rounds: for round in 0..rounds {
+                coord.add(n as u64);
+                broadcast(&|| Envelope::Round(round));
+                coord.wait_quiet();
+                // Every node started the round; now release the stashed
+                // round-start frames and let the cascades settle.
+                coord.add(n as u64);
+                broadcast(&|| Envelope::Flush);
+                coord.wait_quiet();
+                let round_end = (round + 1) * VIRTUAL_ROUND_MS;
+                while let Some(deadline) = coord.min_deadline() {
+                    if deadline >= round_end || coord.is_aborted() {
+                        break;
+                    }
+                    coord.add(n as u64);
+                    broadcast(&|| Envelope::TimersUpTo(deadline));
+                    coord.wait_quiet();
+                    coord.add(n as u64);
+                    broadcast(&|| Envelope::Flush);
+                    coord.wait_quiet();
+                }
+                if coord.is_aborted() {
+                    break 'rounds;
+                }
+            }
+        }
+        None => {
+            // Real time: rounds tick on the wall clock; one trailing
+            // round lets late timers (offsets < 1 round) fire.
+            let round_ms = cfg.round_ms.max(1);
+            for round in 0..rounds {
+                broadcast(&|| Envelope::Round(round));
+                let next = epoch + Duration::from_millis((round + 1) * round_ms);
+                thread::sleep(next.saturating_duration_since(Instant::now()));
+            }
+            thread::sleep(Duration::from_millis(round_ms));
+        }
+    }
+
+    broadcast(&|| Envelope::Stop);
+    drop(senders);
+
+    let mut per_node = BTreeMap::new();
+    let mut engines = BTreeMap::new();
+    for handle in handles {
+        let result = handle.join().expect("node thread panicked");
+        per_node.insert(result.id, result.traffic);
+        engines.insert(result.id, result.engine);
+    }
+
+    ThreadedRun {
+        report: TrafficReport {
+            duration: rounds as f64,
+            rounds,
+            per_node,
+        },
+        engines,
+    }
+}

@@ -4,9 +4,9 @@
 //! message loss.
 
 use pag_core::selfish::SelfishStrategy;
-use pag_core::session::{run_session, SessionConfig};
 use pag_core::{CryptoProfile, Fault};
 use pag_membership::NodeId;
+use pag_runtime::{run_session, Driver, SessionConfig};
 use pag_simnet::SimConfig;
 
 fn base(nodes: usize, rounds: u64) -> SessionConfig {
@@ -142,10 +142,10 @@ fn moderate_message_loss_heals_without_convictions() {
     // of loss may be convicted. We assert the common case: delivery keeps
     // working.
     let mut sc = base(12, 8);
-    sc.sim = SimConfig {
+    sc.driver = Driver::Simnet(SimConfig {
         loss_probability: 0.005,
         ..SimConfig::default()
-    };
+    });
     let outcome = run_session(sc);
     assert!(outcome.mean_on_time_ratio(10) > 0.9);
 }

@@ -2,8 +2,8 @@
 //! real session machinery.
 
 use pag_core::selfish::SelfishStrategy;
-use pag_core::session::{run_session, SessionConfig};
 use pag_membership::NodeId;
+use pag_runtime::{run_session, SessionConfig};
 use proptest::prelude::*;
 
 fn tiny_session(nodes: usize, rounds: u64, session_id: u64) -> SessionConfig {

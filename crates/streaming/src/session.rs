@@ -2,8 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use pag_core::session::{run_session, SessionConfig, SessionOutcome};
 use pag_core::SelfishStrategy;
+use pag_runtime::{run_session, SessionConfig, SessionOutcome};
 use pag_crypto::sizes;
 use pag_membership::NodeId;
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example loss_and_accusations
 //! ```
 
-use pag::core::session::{run_session, SessionConfig};
+use pag::runtime::{run_session, Driver, SessionConfig};
 use pag::simnet::SimConfig;
 
 fn main() {
@@ -16,10 +16,10 @@ fn main() {
     for loss in [0.0, 0.002, 0.01, 0.03] {
         let mut config = SessionConfig::honest(16, 12);
         config.pag.stream_rate_kbps = 60.0;
-        config.sim = SimConfig {
+        config.driver = Driver::Simnet(SimConfig {
             loss_probability: loss,
             ..SimConfig::default()
-        };
+        });
         let outcome = run_session(config);
         let accusations: u64 = outcome.metrics.values().map(|m| m.accusations_sent).sum();
         println!(

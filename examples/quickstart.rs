@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pag::core::session::{run_session, SessionConfig};
+use pag::runtime::{run_session, SessionConfig};
 
 fn main() {
     // 20 nodes (node 0 is the source), 10 one-second rounds, streaming at

@@ -7,7 +7,7 @@
 //! ```
 
 use pag::core::selfish::SelfishStrategy;
-use pag::core::session::{run_session, SessionConfig};
+use pag::runtime::{run_session, SessionConfig};
 use pag::membership::NodeId;
 
 fn main() {

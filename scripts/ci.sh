@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate (documented in ROADMAP.md and DESIGN.md §1):
+#
+#   1. release build of the whole workspace (warms the cache)
+#   2. pag-core builds warning-free (the sans-IO engine crate stays
+#      clean; only pag-core itself is recompiled for this check)
+#   3. full test suite (unit, integration, doctests, codec properties,
+#      driver equivalence)
+#   4. bench_snapshot --quick smoke run (honest, real RSA-512 crypto;
+#      writes to a scratch path, never over the committed snapshot)
+#
+# Run from anywhere: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/4] workspace release build =="
+cargo build --release --workspace
+
+echo "== [2/4] pag-core, deny warnings =="
+# Force only pag-core itself to recompile (its dependencies stay cached
+# from step 1 — no RUSTFLAGS flip, no double build) and fail on any
+# warning the fresh compile prints.
+touch crates/core/src/lib.rs
+core_out=$(cargo build --release -p pag-core 2>&1)
+echo "$core_out"
+if grep -E "^warning" <<<"$core_out" >/dev/null; then
+    echo "pag-core emitted warnings; tier-1 gate denies them" >&2
+    exit 1
+fi
+
+echo "== [3/4] test suite =="
+cargo test -q --workspace
+
+echo "== [4/4] bench snapshot smoke (--quick) =="
+out="${TMPDIR:-/tmp}/pag_bench_quick.json"
+cargo run --release -p pag-bench --bin bench_snapshot -- "$out" --quick
+rm -f "$out"
+
+echo "CI OK"

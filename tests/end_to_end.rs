@@ -5,7 +5,7 @@
 use pag::analysis::{pag_discovery_monte_carlo, theoretical_minimum, CoalitionParams};
 use pag::baselines::{run_acting, ActingConfig, CostModel};
 use pag::core::selfish::SelfishStrategy;
-use pag::core::session::{run_session, SessionConfig};
+use pag::runtime::{run_session, SessionConfig};
 use pag::membership::NodeId;
 use pag::simnet::SimConfig;
 use pag::streaming::{stream_over_pag, StreamingConfig, VideoQuality};
