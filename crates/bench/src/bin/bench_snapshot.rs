@@ -1,38 +1,56 @@
-//! Perf-trajectory snapshot: runs a fixed 20-node / 5-round PAG session
-//! and writes wall-clock plus crypto-operation counts as JSON to
-//! `BENCH_protocol.json` (repo root, committed), so successive PRs have
-//! a comparable record of protocol-level cost.
+//! Perf-trajectory snapshot: runs two frozen PAG scenarios — the static
+//! 20-node / 5-round session and the churned 50-node `churn_steady_50`
+//! session — and writes wall-clock plus crypto-operation counts as JSON
+//! to `BENCH_protocol.json` (repo root, committed), so successive PRs
+//! have a comparable record of protocol-level cost, with and without
+//! membership churn.
 //!
-//! The scenario is deliberately frozen — same node count, rounds,
-//! stream rate and crypto profile — and the wall-clock figure is the
-//! best of three runs to damp scheduler noise. Run with:
+//! The scenarios are deliberately frozen — same node counts, rounds,
+//! churn seed, stream rate and crypto profile — and each wall-clock
+//! figure is the best of three runs to damp scheduler noise. Run with:
 //!
 //! ```text
 //! cargo run --release -p pag-bench --bin bench_snapshot
 //! ```
 //!
 //! Pass an output path to write elsewhere (e.g. for comparisons).
-//! `--quick` shrinks the scenario (8 nodes / 3 rounds / 1 run) for CI
+//! `--quick` shrinks both scenarios (8 nodes / 3 rounds / 1 run) for CI
 //! smoke runs — never commit a quick snapshot over the frozen one.
 
 use std::time::Instant;
 
-use pag_bench::{quick_mode, real_crypto_session};
-use pag_runtime::{run_session, SessionOutcome};
+use pag_bench::{churn_steady_session, quick_mode, real_crypto_session};
+use pag_runtime::{run_session, ChurnKind, SessionConfig, SessionOutcome};
 
 const NODES: usize = 20;
 const ROUNDS: u64 = 5;
 const RUNS: usize = 3;
+/// The churned scenario: 50 initial nodes, 2 joins + 2 leaves per round.
+const CHURN_NODES: usize = 50;
+const CHURN_ROUNDS: u64 = 6;
+const CHURN_RATE: usize = 2;
 
-fn run_once(nodes: usize, rounds: u64) -> (f64, SessionOutcome) {
-    let start = Instant::now();
-    let outcome = run_session(real_crypto_session(nodes, rounds));
-    (start.elapsed().as_secs_f64() * 1e3, outcome)
+/// Best-of-`runs` wall clock plus the last outcome of `make_session`.
+fn measure(runs: usize, make_session: impl Fn() -> SessionConfig) -> (f64, SessionOutcome) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let outcome = run_session(make_session());
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(outcome);
+    }
+    (best_ms, last.expect("at least one run"))
 }
 
 fn main() {
     let quick = quick_mode();
     let (nodes, rounds, runs) = if quick { (8, 3, 1) } else { (NODES, ROUNDS, RUNS) };
+    let (churn_nodes, churn_rounds, churn_rate) = if quick {
+        (8, 3, 1)
+    } else {
+        (CHURN_NODES, CHURN_ROUNDS, CHURN_RATE)
+    };
     let out_path = std::env::args()
         .skip(1)
         .find(|a| a != "--quick")
@@ -44,25 +62,34 @@ fn main() {
             }
         });
 
-    let mut best_ms = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..runs {
-        let (ms, outcome) = run_once(nodes, rounds);
-        best_ms = best_ms.min(ms);
-        last = Some(outcome);
-    }
-    let outcome = last.expect("at least one run");
+    let (best_ms, outcome) = measure(runs, || real_crypto_session(nodes, rounds));
     let ops = outcome.total_ops();
-
     assert!(
         outcome.verdicts.is_empty(),
         "snapshot scenario is honest; verdicts indicate a regression: {:?}",
         outcome.verdicts
     );
 
+    let (churn_ms, churned) = measure(runs, || {
+        churn_steady_session(churn_nodes, churn_rounds, churn_rate, churn_rate)
+    });
+    let churn_ops = churned.total_ops();
+    assert!(
+        churned.verdicts.is_empty(),
+        "clean churn convicts nobody; verdicts indicate a regression: {:?}",
+        churned.verdicts
+    );
+    let churn_sc = churn_steady_session(churn_nodes, churn_rounds, churn_rate, churn_rate);
+    let joins = churn_sc
+        .churn
+        .iter()
+        .filter(|e| e.kind == ChurnKind::Join)
+        .count();
+    let leaves = churn_sc.churn.len() - joins;
+
     let json = format!(
         r#"{{
-  "schema": 1,
+  "schema": 2,
   "scenario": {{
     "nodes": {nodes},
     "rounds": {rounds},
@@ -84,6 +111,26 @@ fn main() {
     "signatures_per_node_per_round": {spnr:.2},
     "mean_bandwidth_kbps": {bw:.2},
     "exchanges_completed": {exchanges}
+  }},
+  "churn_steady_50": {{
+    "scenario": {{
+      "initial_nodes": {churn_nodes},
+      "rounds": {churn_rounds},
+      "joins": {joins},
+      "leaves": {leaves},
+      "churn_seed": 50
+    }},
+    "wall_clock_ms": {churn_ms:.2},
+    "crypto_ops": {{
+      "hashes": {c_hashes},
+      "signatures": {c_signatures},
+      "verifications": {c_verifications},
+      "primes": {c_primes}
+    }},
+    "derived": {{
+      "mean_bandwidth_kbps": {c_bw:.2},
+      "exchanges_completed": {c_exchanges}
+    }}
   }}
 }}
 "#,
@@ -95,6 +142,16 @@ fn main() {
         spnr = outcome.signatures_per_node_per_second(),
         bw = outcome.report.mean_bandwidth_kbps(),
         exchanges = outcome
+            .metrics
+            .values()
+            .map(|m| m.exchanges_completed)
+            .sum::<u64>(),
+        c_hashes = churn_ops.hashes,
+        c_signatures = churn_ops.signatures,
+        c_verifications = churn_ops.verifications,
+        c_primes = churn_ops.primes,
+        c_bw = churned.report.mean_bandwidth_kbps(),
+        c_exchanges = churned
             .metrics
             .values()
             .map(|m| m.exchanges_completed)

@@ -18,7 +18,7 @@
 //! (fewer nodes/rounds/trials) for smoke-testing.
 
 use pag_core::config::CryptoProfile;
-use pag_runtime::SessionConfig;
+use pag_runtime::{ChurnSchedule, SessionConfig};
 
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
@@ -41,6 +41,23 @@ pub fn real_crypto_session(nodes: usize, rounds: u64) -> SessionConfig {
         real_signatures: true,
     };
     sc.pag.wire.signature = 64; // match RSA-512
+    sc
+}
+
+/// The frozen churned-session scenario behind the `churn_steady_50`
+/// entry of `BENCH_protocol.json`: the real-crypto profile of
+/// [`real_crypto_session`] plus a steady churn rate of `joins` joins and
+/// `leaves` leaves per round (seed 50, fixed forever for comparability).
+pub fn churn_steady_session(
+    nodes: usize,
+    rounds: u64,
+    joins: usize,
+    leaves: usize,
+) -> SessionConfig {
+    let mut sc = real_crypto_session(nodes, rounds);
+    sc.churn = ChurnSchedule::steady(50, nodes, rounds, joins, leaves)
+        .events()
+        .to_vec();
     sc
 }
 

@@ -146,6 +146,22 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize);
 
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $v:ident),*) => {
+            impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+                type Value = ($($s::Value,)*);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($v,)*) = self;
+                    ($($v.sample(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+
     /// A strategy that always yields a clone of one value.
     pub struct Just<T: Clone>(pub T);
 

@@ -73,6 +73,29 @@ pub enum Input {
         /// The tag the timer was armed with.
         tag: u64,
     },
+    /// The membership service announces that `node` joins at the start
+    /// of `round`. Drivers feed this during round `round - 1`; the
+    /// change is staged and every view applies it at the `round`
+    /// boundary, so all nodes compute round-`round` topologies from the
+    /// same epoch. When `node` is this engine's own id, the engine also
+    /// emits a signed `JoinAnnounce` to the whole key roster, which is
+    /// how peers (and waiting joiners) learn of the change on the wire.
+    Join {
+        /// The joining node.
+        node: NodeId,
+        /// First round of membership.
+        round: u64,
+    },
+    /// The membership service announces that `node` leaves at the start
+    /// of `round`. Semantics mirror [`Input::Join`]; a leave of the
+    /// session source is a rejected no-op surfaced as
+    /// [`MetricEvent::ChurnRejected`].
+    Leave {
+        /// The departing node.
+        node: NodeId,
+        /// First round out of the membership.
+        round: u64,
+    },
 }
 
 /// One action the engine asks its driver to perform.
@@ -124,6 +147,14 @@ pub enum MetricEvent {
     /// A full serve/ack exchange completed on the receiver side.
     ExchangeCompleted {
         /// The exchange round.
+        round: u64,
+    },
+    /// A staged membership change was refused when it came due (today
+    /// only: the session source attempting to leave).
+    ChurnRejected {
+        /// The node whose change was refused.
+        node: NodeId,
+        /// The round the change would have taken effect.
         round: u64,
     },
 }
@@ -216,6 +247,8 @@ impl PagEngine {
                 Input::RoundStart(round) => self.node.handle_round(round, &mut ctx),
                 Input::Deliver { from, msg } => self.node.handle_delivery(from, msg, &mut ctx),
                 Input::TimerFired { tag } => self.node.handle_timer(tag, &mut ctx),
+                Input::Join { node, round } => self.node.handle_join(node, round, &mut ctx),
+                Input::Leave { node, round } => self.node.handle_leave(node, round, &mut ctx),
             }
         }
         // Surface verdicts the monitor emitted while handling this input.
@@ -234,6 +267,12 @@ impl PagEngine {
     /// The strategy the node plays.
     pub fn strategy(&self) -> SelfishStrategy {
         self.node.strategy()
+    }
+
+    /// The engine's current membership view (epoch-stamped; evolves as
+    /// staged churn takes effect at round boundaries).
+    pub fn view(&self) -> &pag_membership::Membership {
+        self.node.view()
     }
 
     /// Execution metrics accumulated so far.
@@ -349,5 +388,80 @@ mod tests {
         // reproduce the same prime, different seeds must diverge.
         assert_eq!(minted_prime(7), minted_prime(7), "same seed, same prime");
         assert_ne!(minted_prime(1), minted_prime(2), "seed changes the draw");
+    }
+
+    /// A six-member context with one registered joiner (node 100).
+    fn shared_with_joiner() -> Arc<SharedContext> {
+        let mut cfg = PagConfig::default();
+        cfg.stream_rate_kbps = 16.0;
+        let membership =
+            pag_membership::Membership::with_uniform_nodes(cfg.session_id, 6, cfg.fanout, cfg.monitor_count);
+        SharedContext::with_roster(cfg, membership, &[NodeId(100)])
+    }
+
+    #[test]
+    fn joiner_announces_then_participates() {
+        let shared = shared_with_joiner();
+        let mut joiner = PagEngine::new(NodeId(100), Arc::clone(&shared), SelfishStrategy::Honest, 3);
+
+        // Before joining: round starts are inert.
+        assert!(joiner.handle(Input::RoundStart(0)).is_empty());
+
+        // The membership service schedules the join for round 1.
+        let fx = joiner.handle(Input::Join { node: NodeId(100), round: 1 });
+        let announces = fx
+            .iter()
+            .filter(|e| matches!(
+                e,
+                Effect::Send { msg, .. }
+                    if matches!(msg.body, crate::messages::MessageBody::JoinAnnounce { .. })
+            ))
+            .count();
+        assert_eq!(announces, 6, "one announcement per roster peer");
+
+        // At the effective round the joiner mints primes and opens
+        // exchanges like any member.
+        let fx = joiner.handle(Input::RoundStart(1));
+        assert!(joiner.view().contains(NodeId(100)));
+        assert_eq!(joiner.view().epoch(), 1);
+        assert!(fx.iter().any(|e| matches!(e, Effect::SetTimer { .. })));
+    }
+
+    #[test]
+    fn member_applies_announced_leave_at_boundary() {
+        let shared = shared_with_joiner();
+        let mut observer = PagEngine::new(NodeId(1), Arc::clone(&shared), SelfishStrategy::Honest, 3);
+        observer.handle(Input::RoundStart(0));
+        let announce = shared.sign(
+            NodeId(2),
+            crate::messages::MessageBody::LeaveAnnounce { round: 1, node: NodeId(2) },
+        );
+        observer.handle(Input::Deliver { from: NodeId(2), msg: announce });
+        assert!(observer.view().contains(NodeId(2)), "staged, not yet applied");
+        observer.handle(Input::RoundStart(1));
+        assert!(!observer.view().contains(NodeId(2)), "applied at the boundary");
+        assert_eq!(observer.view().epoch(), 1);
+    }
+
+    #[test]
+    fn source_leave_is_rejected_and_not_announced() {
+        let shared = shared_with_joiner();
+        let source = shared.source();
+        let mut engine = PagEngine::new(source, Arc::clone(&shared), SelfishStrategy::Honest, 3);
+        engine.handle(Input::RoundStart(0));
+        let fx = engine.handle(Input::Leave { node: source, round: 1 });
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                Effect::Metric(MetricEvent::ChurnRejected { node, round: 1 }) if *node == source
+            )),
+            "rejection surfaced: {fx:?}"
+        );
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::Send { .. })),
+            "no departure announcement"
+        );
+        engine.handle(Input::RoundStart(1));
+        assert!(engine.view().contains(source));
     }
 }

@@ -27,6 +27,8 @@ pub const CLASS_BUFFERMAP: TrafficClass = TrafficClass(2);
 pub const CLASS_MONITORING: TrafficClass = TrafficClass(3);
 /// Traffic class of the accusation flow.
 pub const CLASS_ACCUSATION: TrafficClass = TrafficClass(4);
+/// Traffic class of membership churn announcements (join/leave).
+pub const CLASS_MEMBERSHIP: TrafficClass = TrafficClass(5);
 
 /// Hashes of the three parts of a served update set, all under the same
 /// exponent.
@@ -329,6 +331,26 @@ pub enum MessageBody {
         /// `H(all fresh receptions)_(K(round, self), M)`.
         value: HashTriple,
     },
+    /// Membership announcement: `node` joins the session at the start of
+    /// `round`. Emitted by the joiner itself (one round ahead, so every
+    /// view switches at the same round boundary) and signed like any
+    /// other message; the paper's membership substrate (Fireflies) is
+    /// assumed to have distributed keys at session setup.
+    JoinAnnounce {
+        /// First round the joiner participates in.
+        round: u64,
+        /// The joining node (must equal the frame's emitter).
+        node: NodeId,
+    },
+    /// Membership announcement: `node` leaves the session at the start of
+    /// `round`. Emitted by the leaver during its last round; a source
+    /// announcement is invalid and rejected by every view.
+    LeaveAnnounce {
+        /// First round the leaver no longer participates in.
+        round: u64,
+        /// The departing node (must equal the frame's emitter).
+        node: NodeId,
+    },
 }
 
 /// A message body together with its emitter's signature.
@@ -559,6 +581,16 @@ impl MessageBody {
                 out.extend_from_slice(&round.to_be_bytes());
                 value.encode(&mut out);
             }
+            MessageBody::JoinAnnounce { round, node } => {
+                out.push(20);
+                out.extend_from_slice(&round.to_be_bytes());
+                out.extend_from_slice(&node.value().to_be_bytes());
+            }
+            MessageBody::LeaveAnnounce { round, node } => {
+                out.push(21);
+                out.extend_from_slice(&round.to_be_bytes());
+                out.extend_from_slice(&node.value().to_be_bytes());
+            }
         }
         out
     }
@@ -584,7 +616,9 @@ impl MessageBody {
             | MessageBody::ExhibitRequest { round, .. }
             | MessageBody::ExhibitResponse { round, .. }
             | MessageBody::ExhibitNotice { round, .. }
-            | MessageBody::SelfAccum { round, .. } => *round,
+            | MessageBody::SelfAccum { round, .. }
+            | MessageBody::JoinAnnounce { round, .. }
+            | MessageBody::LeaveAnnounce { round, .. } => *round,
         }
     }
 
@@ -660,6 +694,7 @@ impl MessageBody {
             }
             MessageBody::ExhibitNotice { .. } => h + 8 + 3 * wire.hash + wire.signature,
             MessageBody::SelfAccum { .. } => h + 3 * wire.hash,
+            MessageBody::JoinAnnounce { .. } | MessageBody::LeaveAnnounce { .. } => h + 4,
         }
     }
 
@@ -685,6 +720,9 @@ impl MessageBody {
             | MessageBody::ExhibitRequest { .. }
             | MessageBody::ExhibitResponse { .. }
             | MessageBody::ExhibitNotice { .. } => CLASS_ACCUSATION,
+            MessageBody::JoinAnnounce { .. } | MessageBody::LeaveAnnounce { .. } => {
+                CLASS_MEMBERSHIP
+            }
         }
     }
 }

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use pag_bignum::BigUint;
 use pag_crypto::{HomomorphicHash, Signature};
-use pag_membership::{NodeId, PrfStream};
+use pag_membership::{Membership, NodeId, PrfStream};
 
 use crate::messages::{HashTriple, MessageBody};
 use crate::metrics::OpCounters;
@@ -29,8 +29,16 @@ use crate::verdict::{Fault, Verdict};
 /// The monitor a node sends messages 6/7 to in a given round ("node B
 /// sends two messages to only one of its own monitors, to prevent
 /// monitors from receiving all the products of the prime numbers").
-pub fn designated_monitor(shared: &SharedContext, node: NodeId, round: u64) -> NodeId {
-    let monitors = shared.membership.monitors_of(node, round);
+///
+/// `view` is the caller's membership view of that round — under churn,
+/// monitor sets are a function of the current epoch's node set.
+pub fn designated_monitor(
+    shared: &SharedContext,
+    view: &Membership,
+    node: NodeId,
+    round: u64,
+) -> NodeId {
+    let monitors = view.monitors_of(node, round);
     let mut stream = PrfStream::new(
         shared.config.session_id,
         round,
@@ -51,8 +59,16 @@ struct PendingReport {
 #[derive(Debug, Default)]
 pub struct MonitorEngine {
     me: NodeId,
-    /// Nodes this node monitors (stable monitor sets).
+    /// Nodes this node monitors (stable within a membership epoch;
+    /// recomputed by [`MonitorEngine::refresh_watch`] on churn).
     watched: Vec<NodeId>,
+    /// Round at which each watch relationship began. `0` means "since
+    /// session start". Obligations for round `R` are reported during
+    /// `R-1`, so a monitor that picked up a node at round `e > 0` cannot
+    /// evaluate rounds `<= e` — it skips them (one grace round per
+    /// monitor-set rotation) instead of convicting on a missing
+    /// accumulator.
+    watch_started: BTreeMap<NodeId, u64>,
     /// Obligation accumulator keyed by (watched node, serve round):
     /// the hash of everything the node must forward in that round.
     obligation: BTreeMap<(NodeId, u64), HomomorphicHash>,
@@ -81,18 +97,21 @@ pub struct MonitorEngine {
 pub(crate) type Effects = Vec<(NodeId, MessageBody)>;
 
 impl MonitorEngine {
-    /// Creates the engine for `me`, precomputing its watch list.
+    /// Creates the engine for `me`, precomputing its watch list from the
+    /// session-start view (relationships start at round 0).
     pub fn new(me: NodeId, shared: &SharedContext) -> Self {
-        let watched = shared
+        let watched: Vec<NodeId> = shared
             .membership
             .nodes()
             .iter()
             .copied()
             .filter(|&b| b != me && shared.membership.monitors_of(b, 0).contains(&me))
             .collect();
+        let watch_started = watched.iter().map(|&b| (b, 0)).collect();
         MonitorEngine {
             me,
             watched,
+            watch_started,
             ..MonitorEngine::default()
         }
     }
@@ -100,6 +119,67 @@ impl MonitorEngine {
     /// The nodes this engine watches.
     pub fn watched(&self) -> &[NodeId] {
         &self.watched
+    }
+
+    /// Recomputes the watch list after a membership-epoch change taking
+    /// effect at `round`. Nodes newly assigned to this monitor start
+    /// with `watch_started = round` (their first evaluable serve round
+    /// is `round + 1`); nodes no longer assigned are retired together
+    /// with their monitoring state.
+    pub fn refresh_watch(&mut self, view: &Membership, round: u64) {
+        let new: Vec<NodeId> = view
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|&b| b != self.me && view.monitors_of(b, round).contains(&self.me))
+            .collect();
+        let old: BTreeSet<NodeId> = self.watched.iter().copied().collect();
+        let now: BTreeSet<NodeId> = new.iter().copied().collect();
+        for &b in old.difference(&now) {
+            self.watch_started.remove(&b);
+            self.drop_watch_state(b);
+        }
+        for &b in now.difference(&old) {
+            self.watch_started.entry(b).or_insert(round);
+        }
+        self.watched = new;
+    }
+
+    /// Retires every trace of a departed node: watch state if we watched
+    /// it, plus its roles as accuser, accused, exhibit party and ack
+    /// sender. Nacks where the departed is the *accused* are kept — they
+    /// exonerate a live accuser. Called when a leave takes effect, so a
+    /// node that left cleanly can never be convicted afterwards.
+    pub fn retire(&mut self, node: NodeId) {
+        if let Some(pos) = self.watched.iter().position(|&b| b == node) {
+            self.watched.remove(pos);
+        }
+        self.watch_started.remove(&node);
+        self.drop_watch_state(node);
+        self.acks.retain(|&(sender, _, _), _| sender != node);
+        self.nacks.retain(|&(accuser, _, _)| accuser != node);
+        self.pending_accusations
+            .retain(|&(_, accuser, accused), _| accuser != node && accused != node);
+        self.pending_exhibits
+            .retain(|&(sender, _, succ)| sender != node && succ != node);
+    }
+
+    /// Drops the per-watched-node accumulators of `b`.
+    fn drop_watch_state(&mut self, b: NodeId) {
+        self.obligation.retain(|&(n, _), _| n != b);
+        self.self_reports.retain(|&(n, _), _| n != b);
+        self.got_report.retain(|&(n, _, _)| n != b);
+        self.pending_reports.retain(|&(n, _, _), _| n != b);
+    }
+
+    /// True if this monitor held the watch on `b` early enough to have
+    /// accumulated `b`'s obligations for serve round `round`.
+    fn can_evaluate(&self, b: NodeId, round: u64) -> bool {
+        match self.watch_started.get(&b) {
+            Some(0) => true,
+            Some(&started) => round > started,
+            None => false,
+        }
     }
 
     /// Verdicts emitted so far.
@@ -148,9 +228,11 @@ impl MonitorEngine {
     }
 
     /// Handles message 6 (ack copy) from watched node `from`.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_monitor_ack(
         &mut self,
         shared: &SharedContext,
+        view: &Membership,
         ops: &mut OpCounters,
         from: NodeId,
         round: u64,
@@ -163,14 +245,16 @@ impl MonitorEngine {
             .entry((from, round, sender))
             .or_default();
         pending.ack = Some((ack, ack_sig));
-        self.try_complete_report(shared, ops, from, round, sender)
+        self.try_complete_report(shared, view, ops, from, round, sender)
     }
 
     /// Handles message 7 (attestation + cofactor) from watched node
     /// `from`.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_monitor_attestation(
         &mut self,
         shared: &SharedContext,
+        view: &Membership,
         ops: &mut OpCounters,
         from: NodeId,
         round: u64,
@@ -183,7 +267,7 @@ impl MonitorEngine {
             .entry((from, round, sender))
             .or_default();
         pending.attestation = Some((attestation, cofactor));
-        self.try_complete_report(shared, ops, from, round, sender)
+        self.try_complete_report(shared, view, ops, from, round, sender)
     }
 
     /// When both 6 and 7 are in: compute the combined hash, fold it,
@@ -192,12 +276,20 @@ impl MonitorEngine {
     fn try_complete_report(
         &mut self,
         shared: &SharedContext,
+        view: &Membership,
         ops: &mut OpCounters,
         watched: NodeId,
         round: u64,
         sender: NodeId,
     ) -> Effects {
         let key = (watched, round, sender);
+        if !view.contains(watched) {
+            // A straggler report about a node whose leave already
+            // applied: the watch gate upstream normally filters this,
+            // but a departed subject has no monitors to inform either.
+            self.pending_reports.remove(&key);
+            return Vec::new();
+        }
         let Some(pending) = self.pending_reports.get(&key) else {
             return Vec::new();
         };
@@ -222,7 +314,7 @@ impl MonitorEngine {
         self.fold_obligation(shared, watched, round + 1, &combined.fresh);
 
         let mut effects = Vec::new();
-        for m in shared.membership.monitors_of(watched, round) {
+        for m in view.monitors_of(watched, round) {
             if m == self.me {
                 continue;
             }
@@ -239,7 +331,13 @@ impl MonitorEngine {
             ));
         }
         // Message 9: tell the sender's monitors their node was acked.
-        for m in shared.membership.monitors_of(sender, round) {
+        // A sender that already left the view has no monitors to tell.
+        let sender_monitors = if view.contains(sender) {
+            view.monitors_of(sender, round)
+        } else {
+            Vec::new()
+        };
+        for m in sender_monitors {
             if m == self.me {
                 self.record_ack(sender, round, watched, ack.clone(), ack_sig.clone());
             } else {
@@ -259,17 +357,20 @@ impl MonitorEngine {
     }
 
     /// Handles message 8 from a co-monitor.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_monitor_broadcast(
         &mut self,
         shared: &SharedContext,
+        view: &Membership,
         from: NodeId,
         round: u64,
         watched: NodeId,
         sender: NodeId,
         combined: HashTriple,
     ) {
-        // Only accept from fellow monitors of the watched node.
-        if !shared.membership.monitors_of(watched, round).contains(&from) {
+        // Only accept from fellow monitors of the watched node (a
+        // departed subject has none).
+        if !view.contains(watched) || !view.monitors_of(watched, round).contains(&from) {
             return;
         }
         if !self.got_report.insert((watched, round, sender)) {
@@ -347,9 +448,10 @@ impl MonitorEngine {
     }
 
     /// Handles the accused node's answer to a replayed serve.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_reask_ack(
         &mut self,
-        shared: &SharedContext,
+        view: &Membership,
         from: NodeId,
         round: u64,
         accuser: NodeId,
@@ -363,8 +465,11 @@ impl MonitorEngine {
             return Vec::new();
         }
         *answered = true;
+        if !view.contains(accuser) {
+            return Vec::new();
+        }
         let mut effects = Vec::new();
-        for m in shared.membership.monitors_of(accuser, round) {
+        for m in view.monitors_of(accuser, round) {
             if m == self.me {
                 self.record_ack(accuser, round, from, ack.clone(), ack_sig.clone());
             } else {
@@ -407,7 +512,7 @@ impl MonitorEngine {
     /// End-of-round evaluation of every watched node's obligations for
     /// `round` (§IV-A's verification that a node "(i) contacted all its
     /// successors, and (ii) forwarded the right update").
-    pub fn eval_round(&mut self, shared: &SharedContext, round: u64) -> Effects {
+    pub fn eval_round(&mut self, shared: &SharedContext, view: &Membership, round: u64) -> Effects {
         let mut effects = Vec::new();
 
         // Resolve this round's unanswered accusations with a Nack.
@@ -421,7 +526,7 @@ impl MonitorEngine {
             self.pending_accusations.remove(&(r, accuser, accused));
             self.emit(accused, r, Fault::Unresponsive { accuser });
             self.nacks.insert((accuser, r, accused));
-            for m in shared.membership.monitors_of(accuser, r) {
+            for m in view.monitors_of(accuser, r) {
                 if m != self.me {
                     effects.push((
                         m,
@@ -436,8 +541,13 @@ impl MonitorEngine {
         }
 
         // Forwarding obligations.
-        let topo = shared.topology(round);
+        let topo = shared.topology_for(view, round);
         for b in self.watched.clone() {
+            if !self.can_evaluate(b, round) {
+                // Fresh watch relationship: the obligations for this
+                // round were reported to the previous epoch's monitors.
+                continue;
+            }
             let expected = self.expected(shared, b, round);
             for &succ in topo.successors(b) {
                 if let Some((ack, _)) = self.acks.get(&(b, round, succ)) {
@@ -462,9 +572,11 @@ impl MonitorEngine {
     }
 
     /// Handles a node's answer to an exhibit request.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_exhibit_response(
         &mut self,
         shared: &SharedContext,
+        view: &Membership,
         from: NodeId,
         round: u64,
         successor: NodeId,
@@ -498,7 +610,7 @@ impl MonitorEngine {
         // The exchange was fine but the monitoring pipeline was starved:
         // let the receiver's monitors attribute blame precisely.
         let mut effects = Vec::new();
-        for m in shared.membership.monitors_of(successor, round) {
+        for m in view.monitors_of(successor, round) {
             let notice = MessageBody::ExhibitNotice {
                 round,
                 sender: from,
@@ -507,7 +619,7 @@ impl MonitorEngine {
                 ack_sig: ack_sig.clone(),
             };
             if m == self.me {
-                self.on_exhibit_notice(shared, round, from, successor);
+                self.on_exhibit_notice(shared, view, round, from, successor);
             } else {
                 effects.push((m, notice));
             }
@@ -520,11 +632,12 @@ impl MonitorEngine {
     pub fn on_exhibit_notice(
         &mut self,
         shared: &SharedContext,
+        view: &Membership,
         round: u64,
         sender: NodeId,
         receiver: NodeId,
     ) {
-        if !self.watched.contains(&receiver) {
+        if !self.watched.contains(&receiver) || !self.can_evaluate(receiver, round) {
             return;
         }
         if self.got_report.contains(&(receiver, round, sender)) {
@@ -533,7 +646,7 @@ impl MonitorEngine {
         if self.self_reports.contains_key(&(receiver, round)) {
             // The receiver reported; its designated monitor dropped the
             // relay.
-            let d = designated_monitor(shared, receiver, round);
+            let d = designated_monitor(shared, view, receiver, round);
             if d != self.me {
                 self.emit(d, round, Fault::DroppedMonitorDuty { watched: receiver });
             }
@@ -610,7 +723,7 @@ mod tests {
         let shared = shared();
         for round in 0..5 {
             for &id in shared.membership.nodes() {
-                let d = designated_monitor(&shared, id, round);
+                let d = designated_monitor(&shared, &shared.membership, id, round);
                 assert!(shared.membership.monitors_of(id, round).contains(&d));
                 assert_ne!(d, id);
             }
@@ -651,7 +764,7 @@ mod tests {
         assert!(engine.watched().contains(&b));
         let succ = shared.topology(1).successors(b)[0];
         engine.on_nack(1, b, succ);
-        let effects = engine.eval_round(&shared, 1);
+        let effects = engine.eval_round(&shared, &shared.membership, 1);
         // No exhibit request for the nacked successor.
         assert!(!effects.iter().any(|(to, m)| {
             matches!(m, MessageBody::ExhibitRequest { successor, .. } if *successor == succ)
@@ -683,11 +796,82 @@ mod tests {
         );
         assert!(matches!(effects[0].1, MessageBody::ReAsk { .. }));
         assert_eq!(effects[0].0, accused);
-        engine.eval_round(&shared, 1);
+        engine.eval_round(&shared, &shared.membership, 1);
         assert!(engine
             .verdicts()
             .iter()
             .any(|v| v.accused == accused
                 && v.fault == Fault::Unresponsive { accuser }));
+    }
+
+    #[test]
+    fn refresh_watch_grants_grace_round_to_new_relationships() {
+        let shared = shared();
+        let mut view = shared.membership.clone();
+        // Pick any node and a monitor that does NOT watch it initially.
+        let b = NodeId(2);
+        let outsider = shared
+            .membership
+            .nodes()
+            .iter()
+            .copied()
+            .find(|&m| m != b && !shared.membership.monitors_of(b, 0).contains(&m))
+            .expect("some node is not a monitor of b");
+        let mut engine = MonitorEngine::new(outsider, &shared);
+        // Churn until the outsider picks up b (joining nodes reshuffles
+        // monitor assignments deterministically).
+        let mut effective = 0;
+        for extra in 100..160u32 {
+            view.join(NodeId(extra));
+            effective += 1;
+            engine.refresh_watch(&view, effective);
+            if engine.watched().contains(&b) {
+                break;
+            }
+        }
+        if !engine.watched().contains(&b) {
+            return; // reshuffle never assigned b to this monitor; vacuous
+        }
+        assert!(
+            !engine.can_evaluate(b, effective),
+            "the pickup round is a grace round"
+        );
+        assert!(
+            engine.can_evaluate(b, effective + 1),
+            "evaluation resumes one round later"
+        );
+    }
+
+    #[test]
+    fn retire_erases_departed_node_state() {
+        let shared = shared();
+        let b = NodeId(2);
+        let monitor = shared.membership.monitors_of(b, 1)[0];
+        let mut engine = MonitorEngine::new(monitor, &shared);
+        assert!(engine.watched().contains(&b));
+        // Seed some state that would otherwise convict b later.
+        engine.on_accuse(
+            1,
+            NodeId(5),
+            b,
+            MessageBody::Accuse {
+                round: 1,
+                accused: b,
+                k_prev: BigUint::one(),
+                k_prev_factors: 1,
+                fresh: vec![],
+                refs: vec![],
+            },
+        );
+        engine.retire(b);
+        assert!(!engine.watched().contains(&b));
+        let effects = engine.eval_round(&shared, &shared.membership, 1);
+        assert!(engine.verdicts().is_empty(), "departed node not convicted");
+        assert!(
+            !effects
+                .iter()
+                .any(|(to, _)| *to == b),
+            "no exhibit traffic to the departed node"
+        );
     }
 }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use pag_bignum::{gen_prime, BigUint, MontAccumulator};
 use pag_crypto::{HomomorphicHash, HomomorphicParams, Signature};
-use pag_membership::NodeId;
+use pag_membership::{LeaveError, Membership, NodeId};
 
 use crate::engine::{EngineCtx, MetricEvent};
 use crate::messages::{HashTriple, MessageBody, ServedRef, ServedUpdate, SignedMessage};
@@ -161,12 +161,30 @@ struct PendingServe {
     attestation: Option<HashTriple>,
 }
 
+/// Kind of a staged membership change. Joins sort before leaves within a
+/// round, so the apply order is identical on every node regardless of
+/// announcement arrival order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum ChurnStage {
+    Join,
+    Leave,
+}
+
 /// A node running PAG.
 #[derive(Debug)]
 pub struct PagNode {
     id: NodeId,
     shared: Arc<SharedContext>,
     strategy: SelfishStrategy,
+    /// This node's membership view, seeded from the shared session-start
+    /// directory and evolved by staged churn. All engines fed the same
+    /// announcements hold identical views (same epoch) at every round
+    /// boundary.
+    view: Membership,
+    /// Announced membership changes waiting for their effective round:
+    /// `(effective round, kind, node)`, applied in sorted order at the
+    /// next round start.
+    staged_churn: BTreeSet<(u64, ChurnStage, NodeId)>,
     store: UpdateStore,
     recv_keys: BTreeMap<u64, RoundKeys>,
     /// Fresh (must-forward) receptions per round, with multiplicities.
@@ -191,10 +209,13 @@ impl PagNode {
     /// Creates a node.
     pub fn new(id: NodeId, shared: Arc<SharedContext>, strategy: SelfishStrategy) -> Self {
         let monitor = MonitorEngine::new(id, &shared);
+        let view = shared.membership.clone();
         PagNode {
             id,
             shared,
             strategy,
+            view,
+            staged_churn: BTreeSet::new(),
             store: UpdateStore::new(),
             recv_keys: BTreeMap::new(),
             received_fresh: BTreeMap::new(),
@@ -241,8 +262,98 @@ impl PagNode {
         &self.creations
     }
 
+    /// The node's current membership view.
+    pub fn view(&self) -> &Membership {
+        &self.view
+    }
+
     fn is_source(&self) -> bool {
         self.id == self.shared.source()
+    }
+
+    // ----- churn ----------------------------------------------------------
+
+    /// [`crate::engine::Input::Join`]: stage the change for its effective
+    /// round; the subject announces itself to the whole key roster so
+    /// every view (members and waiting joiners alike) switches at the
+    /// same boundary.
+    pub(crate) fn handle_join(&mut self, node: NodeId, round: u64, ctx: &mut EngineCtx<'_>) {
+        if node == self.id {
+            self.announce(ctx, MessageBody::JoinAnnounce { round, node });
+        }
+        self.staged_churn.insert((round, ChurnStage::Join, node));
+    }
+
+    /// [`crate::engine::Input::Leave`]: like joins, but a source leave is
+    /// refused immediately — the source anchors the session, so it never
+    /// announces a departure.
+    pub(crate) fn handle_leave(&mut self, node: NodeId, round: u64, ctx: &mut EngineCtx<'_>) {
+        if node == self.id {
+            if node == self.view.source() {
+                ctx.metric(MetricEvent::ChurnRejected { node, round });
+                return;
+            }
+            self.announce(ctx, MessageBody::LeaveAnnounce { round, node });
+        }
+        self.staged_churn.insert((round, ChurnStage::Leave, node));
+    }
+
+    /// Sends a membership announcement to every roster node but self.
+    fn announce(&mut self, ctx: &mut EngineCtx<'_>, body: MessageBody) {
+        let targets: Vec<NodeId> = self.shared.roster().filter(|&n| n != self.id).collect();
+        for to in targets {
+            self.send_body(ctx, to, body.clone());
+        }
+    }
+
+    /// Applies every staged change due at `round`, in deterministic
+    /// `(round, kind, node)` order, then refreshes the monitor watch list
+    /// if the epoch moved.
+    fn apply_staged_churn(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
+        if self.staged_churn.iter().next().is_none_or(|&(r, _, _)| r > round) {
+            return;
+        }
+        let due: Vec<(u64, ChurnStage, NodeId)> = self
+            .staged_churn
+            .iter()
+            .copied()
+            .take_while(|&(r, _, _)| r <= round)
+            .collect();
+        let mut changed = false;
+        for entry in due {
+            self.staged_churn.remove(&entry);
+            let (effective, stage, node) = entry;
+            match stage {
+                ChurnStage::Join => changed |= self.view.join(node),
+                ChurnStage::Leave => match self.view.leave(node) {
+                    Ok(true) => {
+                        changed = true;
+                        self.retire_peer(node);
+                    }
+                    Ok(false) => {}
+                    Err(LeaveError::SourceAnchor) => {
+                        ctx.metric(MetricEvent::ChurnRejected {
+                            node,
+                            round: effective,
+                        });
+                    }
+                },
+            }
+        }
+        if changed {
+            self.monitor.refresh_watch(&self.view, round);
+        }
+    }
+
+    /// Drops every piece of per-peer state held about a departed node:
+    /// open sender exchanges (so it is never accused), half-assembled
+    /// serves, buffermaps and acks, plus all its monitoring state.
+    fn retire_peer(&mut self, node: NodeId) {
+        self.exchanges.retain(|&(_, succ), _| succ != node);
+        self.pending_serves.retain(|&(_, from), _| from != node);
+        self.buffermaps_sent.retain(|&(_, peer), _| peer != node);
+        self.acks_sent.retain(|&(_, peer), _| peer != node);
+        self.monitor.retire(node);
     }
 
     // ----- helpers -------------------------------------------------------
@@ -333,9 +444,16 @@ impl PagNode {
     // ----- round driver --------------------------------------------------
 
     fn start_round(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
+        self.apply_staged_churn(round, ctx);
         self.gc(round);
 
-        let topo = self.shared.topology(round);
+        if !self.view.contains(self.id) {
+            // Waiting to join (tracking announcements) or departed: no
+            // primes, no exchanges, no timers.
+            return;
+        }
+
+        let topo = self.shared.topology_for(&self.view, round);
 
         // Receiver role: mint one prime per predecessor (§V-A message 2).
         let preds: Vec<NodeId> = topo.predecessors(self.id).to_vec();
@@ -361,7 +479,7 @@ impl PagNode {
                 BigUint::one() % self.shared.params.modulus(),
             ];
             let hashes = self.hash_triple(&prods, &k_prev);
-            let monitors = self.shared.membership.monitors_of(self.id, round);
+            let monitors = self.view.monitors_of(self.id, round);
             for m in monitors {
                 self.send_body(ctx, m, MessageBody::SourceDeclare { round, hashes: hashes.clone() });
             }
@@ -679,7 +797,8 @@ impl PagNode {
 
         // Messages 6 and 7 to the designated monitor.
         if self.strategy.reports_to_monitors() {
-            let d = designated_monitor(&self.shared, self.id, round);
+            let shared = Arc::clone(&self.shared);
+            let d = designated_monitor(&shared, &self.view, self.id, round);
             let cofactor = self
                 .recv_keys
                 .get(&round)
@@ -845,7 +964,7 @@ impl PagNode {
                 fresh: value,
                 duplicate: identity,
             };
-            let monitors = self.shared.membership.monitors_of(self.id, round);
+            let monitors = self.view.monitors_of(self.id, round);
             for m in monitors {
                 self.send_body(
                     ctx,
@@ -906,7 +1025,7 @@ impl PagNode {
                 ex.accused = true;
             }
             self.metrics.accusations_sent += 1;
-            let monitors = self.shared.membership.monitors_of(succ, round);
+            let monitors = self.view.monitors_of(succ, round);
             for m in monitors {
                 self.send_body(
                     ctx,
@@ -927,6 +1046,17 @@ impl PagNode {
     // ----- message dispatch -----------------------------------------------
 
     fn dispatch(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut EngineCtx<'_>) {
+        // A node outside the membership (waiting to join, or departed)
+        // only tracks membership announcements; everything else is
+        // protocol traffic it must not act on.
+        if !self.view.contains(self.id)
+            && !matches!(
+                msg.body,
+                MessageBody::JoinAnnounce { .. } | MessageBody::LeaveAnnounce { .. }
+            )
+        {
+            return;
+        }
         let monitors_others = self.strategy.monitors_others();
         match msg.body {
             MessageBody::KeyRequest { round } => self.handle_key_request(from, round, ctx),
@@ -967,6 +1097,7 @@ impl PagNode {
                     let shared = Arc::clone(&self.shared);
                     let effects = self.monitor.on_monitor_ack(
                         &shared,
+                        &self.view,
                         &mut self.metrics.ops,
                         from,
                         round,
@@ -988,6 +1119,7 @@ impl PagNode {
                     let shared = Arc::clone(&self.shared);
                     let effects = self.monitor.on_monitor_attestation(
                         &shared,
+                        &self.view,
                         &mut self.metrics.ops,
                         from,
                         round,
@@ -1007,15 +1139,16 @@ impl PagNode {
                 ack_sig,
             } => {
                 if monitors_others {
+                    let shared = Arc::clone(&self.shared);
                     self.monitor
-                        .on_monitor_broadcast(&self.shared, from, round, watched, sender, combined);
+                        .on_monitor_broadcast(&shared, &self.view, from, round, watched, sender, combined);
                     // The broadcast carries the ack as well; record it if
                     // we also monitor the exchange's sender.
-                    if self
-                        .shared
-                        .membership
-                        .monitors_of(sender, round)
-                        .contains(&self.id)
+                    if self.view.contains(sender)
+                        && self
+                            .view
+                            .monitors_of(sender, round)
+                            .contains(&self.id)
                         && self.verify_ack_evidence(watched, round, &ack, &ack_sig)
                     {
                         self.monitor.record_ack(sender, round, watched, ack, ack_sig);
@@ -1052,8 +1185,7 @@ impl PagNode {
                 // `from` is a monitor replaying a serve on behalf of
                 // `accuser`.
                 if self
-                    .shared
-                    .membership
+                    .view
                     .monitors_of(self.id, round)
                     .contains(&from)
                 {
@@ -1076,10 +1208,9 @@ impl PagNode {
                 ack_sig,
             } => {
                 if monitors_others && self.verify_ack_evidence(from, round, &ack, &ack_sig) {
-                    let shared = Arc::clone(&self.shared);
                     let effects = self
                         .monitor
-                        .on_reask_ack(&shared, from, round, accuser, ack, ack_sig);
+                        .on_reask_ack(&self.view, from, round, accuser, ack, ack_sig);
                     self.send_effects(ctx, effects);
                 }
             }
@@ -1127,7 +1258,7 @@ impl PagNode {
                     let shared = Arc::clone(&self.shared);
                     let effects = self
                         .monitor
-                        .on_exhibit_response(&shared, from, round, successor, ack);
+                        .on_exhibit_response(&shared, &self.view, from, round, successor, ack);
                     self.send_effects(ctx, effects);
                 }
             }
@@ -1140,12 +1271,23 @@ impl PagNode {
                 if monitors_others {
                     let shared = Arc::clone(&self.shared);
                     self.monitor
-                        .on_exhibit_notice(&shared, round, sender, receiver);
+                        .on_exhibit_notice(&shared, &self.view, round, sender, receiver);
                 }
             }
             MessageBody::SelfAccum { round, value } => {
                 if monitors_others && self.monitor.watched().contains(&from) {
                     self.monitor.on_self_accum(from, round, value.fresh);
+                }
+            }
+            MessageBody::JoinAnnounce { round, node } => {
+                // Only the subject may announce itself.
+                if from == node {
+                    self.staged_churn.insert((round, ChurnStage::Join, node));
+                }
+            }
+            MessageBody::LeaveAnnounce { round, node } => {
+                if from == node {
+                    self.staged_churn.insert((round, ChurnStage::Leave, node));
                 }
             }
         }
@@ -1208,7 +1350,7 @@ impl PagNode {
             TIMER_EVAL => {
                 if self.strategy.monitors_others() {
                     let shared = Arc::clone(&self.shared);
-                    let effects = self.monitor.eval_round(&shared, round);
+                    let effects = self.monitor.eval_round(&shared, &self.view, round);
                     self.send_effects(ctx, effects);
                 }
             }

@@ -88,10 +88,17 @@ pub struct SharedContext {
     pub config: PagConfig,
     /// The public homomorphic-hash parameters.
     pub params: HomomorphicParams,
-    /// The membership directory.
+    /// The membership directory **at session start**. Under churn every
+    /// engine evolves its own copy of this view; the shared one stays
+    /// frozen as the epoch-0 baseline (and keys the signer roster).
     pub membership: Membership,
     signers: BTreeMap<NodeId, NodeSigner>,
-    topologies: Mutex<BTreeMap<u64, Arc<RoundTopology>>>,
+    /// Topology cache keyed by `(membership fingerprint, round)`. The
+    /// fingerprint digests the actual node set (not the operation
+    /// count), so engines share an entry exactly when their views hold
+    /// the same members — even if views were ever to diverge, each
+    /// would get its own correct topology rather than a poisoned one.
+    topologies: Mutex<BTreeMap<(u64, u64), Arc<RoundTopology>>>,
 }
 
 impl std::fmt::Debug for SharedContext {
@@ -120,11 +127,25 @@ impl SharedContext {
 
     /// Builds the context over an explicit membership.
     pub fn with_membership(config: PagConfig, membership: Membership) -> Arc<Self> {
+        Self::with_roster(config, membership, &[])
+    }
+
+    /// Builds the context over an explicit membership plus `joiners`:
+    /// nodes that are not members yet but will join mid-session. Key
+    /// material is derived for the whole roster up front — the "key
+    /// distribution" half of joiner bootstrap, standing in for the PKI
+    /// the paper's membership substrate provides.
+    pub fn with_roster(
+        config: PagConfig,
+        membership: Membership,
+        joiners: &[NodeId],
+    ) -> Arc<Self> {
         let mut rng = StdRng::seed_from_u64(config.session_id ^ 0x9A6_0000);
         let params = HomomorphicParams::generate(config.crypto.homomorphic_bits, &mut rng);
         let signers = membership
             .nodes()
             .iter()
+            .chain(joiners.iter())
             .map(|&id| {
                 (
                     id,
@@ -145,6 +166,12 @@ impl SharedContext {
             signers,
             topologies: Mutex::new(BTreeMap::new()),
         })
+    }
+
+    /// Every node that can ever hold a key in this session: initial
+    /// members plus registered joiners, in sorted order.
+    pub fn roster(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.signers.keys().copied()
     }
 
     /// The signer of `node`.
@@ -179,21 +206,31 @@ impl SharedContext {
         self.signer(node).verify(bytes, sig)
     }
 
-    /// The cached topology of `round` (computed once per round, shared by
-    /// all nodes).
+    /// The cached topology of `round` under the epoch-0 (session-start)
+    /// view. Engines running a churned view use
+    /// [`SharedContext::topology_for`] instead.
     pub fn topology(&self, round: u64) -> Arc<RoundTopology> {
+        self.topology_for(&self.membership, round)
+    }
+
+    /// The cached topology of `round` under `view` (computed once per
+    /// `(node set, round)` pair, shared by all nodes holding that set).
+    pub fn topology_for(&self, view: &Membership, round: u64) -> Arc<RoundTopology> {
+        let key = (view.fingerprint(), round);
         let mut cache = self.topologies.lock().expect("topology cache lock");
-        if let Some(t) = cache.get(&round) {
+        if let Some(t) = cache.get(&key) {
+            debug_assert_eq!(t.iter().count(), view.len(), "fingerprint collision");
             return Arc::clone(t);
         }
-        let topo = Arc::new(self.membership.topology(round));
-        cache.insert(round, Arc::clone(&topo));
-        // Bound the cache: old rounds are never queried again.
+        let topo = Arc::new(view.topology(round));
+        cache.insert(key, Arc::clone(&topo));
+        // Bound the cache: entries for sets and rounds the session has
+        // moved past are never queried again.
         while cache.len() > 8 {
             let oldest = *cache.keys().next().expect("non-empty cache");
             cache.remove(&oldest);
         }
-        Arc::clone(cache.get(&round).expect("just inserted"))
+        topo
     }
 
     /// The session source node.

@@ -449,6 +449,8 @@ fn type_tag(body: &MessageBody) -> u8 {
         MessageBody::ExhibitResponse { .. } => 17,
         MessageBody::ExhibitNotice { .. } => 18,
         MessageBody::SelfAccum { .. } => 19,
+        MessageBody::JoinAnnounce { .. } => 20,
+        MessageBody::LeaveAnnounce { .. } => 21,
     }
 }
 
@@ -631,6 +633,9 @@ pub fn encode_frame(
         MessageBody::SelfAccum { value, .. } => {
             w.triple(value, "value")?;
         }
+        MessageBody::JoinAnnounce { node, .. } | MessageBody::LeaveAnnounce { node, .. } => {
+            w.node(*node);
+        }
     }
 
     w.sig(&msg.sig, "sig")?;
@@ -811,6 +816,14 @@ pub fn decode_frame(bytes: &[u8], wire: &WireConfig) -> Result<Frame, CodecError
         19 => MessageBody::SelfAccum {
             round,
             value: r.triple("value")?,
+        },
+        20 => MessageBody::JoinAnnounce {
+            round,
+            node: r.node("node")?,
+        },
+        21 => MessageBody::LeaveAnnounce {
+            round,
+            node: r.node("node")?,
         },
         other => return Err(CodecError::UnknownType(other)),
     };

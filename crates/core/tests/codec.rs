@@ -180,6 +180,8 @@ fn all_variants(
             ack_sig: s,
         },
         MessageBody::SelfAccum { round, value: t },
+        MessageBody::JoinAnnounce { round, node: peer },
+        MessageBody::LeaveAnnounce { round, node: peer2 },
     ]
 }
 
@@ -214,7 +216,7 @@ proptest! {
             &h1, &h2, &h3, &prime, factors, count,
             payload, buffermap, sig_fill, with_ack,
         );
-        prop_assert_eq!(bodies.len(), 19, "one instance per variant");
+        prop_assert_eq!(bodies.len(), 21, "one instance per variant");
         for body in bodies {
             let msg = SignedMessage { body, sig: sig(&wire, outer_fill) };
             let frame = encode_frame(NodeId(from), NodeId(to), &msg, &wire)

@@ -37,6 +37,6 @@ mod prf;
 mod view;
 
 pub use id::NodeId;
-pub use membership::{default_fanout, Membership};
+pub use membership::{default_fanout, LeaveError, Membership};
 pub use prf::{mix, prf, PrfStream};
 pub use view::RoundTopology;

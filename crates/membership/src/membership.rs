@@ -11,6 +11,25 @@ use crate::view::RoundTopology;
 const SALT_SUCCESSORS: u64 = 0x5353; // "SS"
 const SALT_MONITORS: u64 = 0x4d4f; // "MO"
 
+/// Why a membership mutation was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaveError {
+    /// The session source anchors the session and cannot leave ("the
+    /// source of each session is assumed to be correct", §III); the
+    /// view is unchanged.
+    SourceAnchor,
+}
+
+impl std::fmt::Display for LeaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaveError::SourceAnchor => write!(f, "the source cannot leave the session"),
+        }
+    }
+}
+
+impl std::error::Error for LeaveError {}
+
 /// Returns the paper's fanout for a system of `n` nodes.
 ///
 /// "PAG is configured with the same numbers of successors and monitors per
@@ -57,6 +76,17 @@ pub struct Membership {
     /// the whole session (the deployment configuration).
     monitor_epoch_rounds: u64,
     source: NodeId,
+    /// Membership epoch: bumped by every successful [`Membership::join`]
+    /// or [`Membership::leave`].
+    epoch: u64,
+    /// Incremental node-set digest (see [`Membership::fingerprint`]).
+    fingerprint: u64,
+}
+
+/// Per-node contribution to the set fingerprint (self-inverse under
+/// XOR, so join and leave apply the same update).
+fn node_digest(id: NodeId) -> u64 {
+    crate::prf::mix(id.0 as u64 ^ 0x4650_0000_0000)
 }
 
 impl Membership {
@@ -76,13 +106,16 @@ impl Membership {
         assert_eq!(set.len(), nodes.len(), "duplicate node identifiers");
         let sorted: Vec<NodeId> = set.into_iter().collect();
         let source = sorted[0];
+        let fingerprint = sorted.iter().fold(0u64, |acc, &n| acc ^ node_digest(n));
         Membership {
             session_id,
             nodes: sorted,
+            fingerprint,
             fanout,
             monitor_count,
             monitor_epoch_rounds: u64::MAX,
             source,
+            epoch: 0,
         }
     }
 
@@ -147,31 +180,58 @@ impl Membership {
         self.nodes.binary_search(&id).is_ok()
     }
 
-    /// Adds a node (churn: join). Returns false if already present.
+    /// The membership epoch: the number of successful joins and leaves
+    /// applied so far. Two views with equal session id and epoch hold
+    /// identical node sets *provided they applied the same churn
+    /// sequence*; use [`Membership::fingerprint`] for a key that
+    /// depends on the actual node set.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// An order-independent 64-bit digest of the current node set
+    /// (XOR of per-node mixes, maintained incrementally). Unlike
+    /// [`Membership::epoch`] — an operation count — equal fingerprints
+    /// mean equal node sets (up to 64-bit collisions), so caches keyed
+    /// by fingerprint stay correct even if two views somehow diverge
+    /// at the same epoch.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Adds a node (churn: join). Returns false if already present;
+    /// a successful join advances the [`Membership::epoch`].
     pub fn join(&mut self, id: NodeId) -> bool {
         match self.nodes.binary_search(&id) {
             Ok(_) => false,
             Err(pos) => {
                 self.nodes.insert(pos, id);
+                self.epoch += 1;
+                self.fingerprint ^= node_digest(id);
                 true
             }
         }
     }
 
-    /// Removes a node (churn: leave). Returns false if absent.
+    /// Removes a node (churn: leave). Returns `Ok(false)` if absent; a
+    /// successful leave advances the [`Membership::epoch`].
     ///
-    /// # Panics
-    ///
-    /// Panics when removing the source (the paper assumes a correct,
-    /// stable source).
-    pub fn leave(&mut self, id: NodeId) -> bool {
-        assert_ne!(id, self.source, "the source cannot leave the session");
+    /// Removing the source is a rejected no-op: the source anchors the
+    /// session, so the view is left untouched and
+    /// [`LeaveError::SourceAnchor`] is returned for the caller (the
+    /// protocol engine) to surface.
+    pub fn leave(&mut self, id: NodeId) -> Result<bool, LeaveError> {
+        if id == self.source {
+            return Err(LeaveError::SourceAnchor);
+        }
         match self.nodes.binary_search(&id) {
             Ok(pos) => {
                 self.nodes.remove(pos);
-                true
+                self.epoch += 1;
+                self.fingerprint ^= node_digest(id);
+                Ok(true)
             }
-            Err(_) => false,
+            Err(_) => Ok(false),
         }
     }
 
@@ -330,20 +390,51 @@ mod tests {
     #[test]
     fn churn_join_leave() {
         let mut m = Membership::with_uniform_nodes(1, 10, 3, 3);
+        assert_eq!(m.epoch(), 0);
         assert!(m.join(NodeId(100)));
         assert!(!m.join(NodeId(100)), "double join rejected");
         assert!(m.contains(NodeId(100)));
-        assert!(m.leave(NodeId(100)));
-        assert!(!m.leave(NodeId(100)), "double leave rejected");
+        assert_eq!(m.epoch(), 1, "only successful churn bumps the epoch");
+        assert_eq!(m.leave(NodeId(100)), Ok(true));
+        assert_eq!(m.leave(NodeId(100)), Ok(false), "double leave rejected");
         assert_eq!(m.len(), 10);
+        assert_eq!(m.epoch(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "source cannot leave")]
-    fn source_cannot_leave() {
+    fn fingerprint_tracks_node_set_not_history() {
+        let mut a = Membership::with_uniform_nodes(1, 10, 3, 3);
+        let fresh = Membership::with_uniform_nodes(1, 10, 3, 3);
+        assert_eq!(a.fingerprint(), fresh.fingerprint());
+        a.join(NodeId(50));
+        assert_ne!(a.fingerprint(), fresh.fingerprint());
+        a.leave(NodeId(50)).unwrap();
+        // Same set again, different epoch: fingerprint returns, epoch
+        // does not.
+        assert_eq!(a.fingerprint(), fresh.fingerprint());
+        assert_eq!(a.epoch(), 2);
+        // And the incremental digest matches a from-scratch build of
+        // the same set.
+        let mut b = Membership::with_uniform_nodes(1, 10, 3, 3);
+        b.join(NodeId(77));
+        b.leave(NodeId(3)).unwrap();
+        let rebuilt = Membership::new(
+            1,
+            b.nodes().to_vec(),
+            3,
+            3,
+        );
+        assert_eq!(b.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn source_leave_is_rejected_noop() {
         let mut m = Membership::with_uniform_nodes(1, 10, 3, 3);
         let src = m.source();
-        m.leave(src);
+        assert_eq!(m.leave(src), Err(LeaveError::SourceAnchor));
+        assert!(m.contains(src), "view unchanged");
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.epoch(), 0, "rejected leave does not advance the epoch");
     }
 
     #[test]

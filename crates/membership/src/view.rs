@@ -14,6 +14,7 @@ use crate::membership::Membership;
 #[derive(Clone, Debug)]
 pub struct RoundTopology {
     round: u64,
+    epoch: u64,
     successors: HashMap<NodeId, Vec<NodeId>>,
     predecessors: HashMap<NodeId, Vec<NodeId>>,
 }
@@ -36,6 +37,7 @@ impl RoundTopology {
         }
         RoundTopology {
             round,
+            epoch: membership.epoch(),
             successors,
             predecessors,
         }
@@ -44,6 +46,11 @@ impl RoundTopology {
     /// The round this topology describes.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The membership epoch the topology was computed from.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Successor list of `node` (empty slice for unknown nodes).

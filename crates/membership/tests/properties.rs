@@ -65,7 +65,7 @@ proptest! {
         }
         for l in leaves {
             if m.contains(NodeId(l)) && NodeId(l) != m.source() {
-                m.leave(NodeId(l));
+                m.leave(NodeId(l)).expect("non-source leave succeeds");
             }
         }
         let round = 5;
@@ -73,6 +73,64 @@ proptest! {
             let succ = m.successors(node, round);
             prop_assert!(succ.iter().all(|s| m.contains(*s)));
             prop_assert!(!succ.contains(&node));
+        }
+    }
+
+    /// Arbitrary interleaved join/leave sequences keep `successors`,
+    /// `monitors_of` and `predecessors` mutually consistent at every
+    /// intermediate epoch: successor/predecessor duality holds in both
+    /// directions, monitor counts respect the clamped fanout, and the
+    /// epoch counter advances exactly on effective churn.
+    #[test]
+    fn interleaved_churn_keeps_views_mutually_consistent(
+        session in any::<u64>(),
+        n in 4usize..24,
+        fanout in 2usize..5,
+        ops in proptest::collection::vec((any::<bool>(), 0u32..60), 1..24),
+        round in 0u64..50,
+    ) {
+        let mut m = Membership::with_uniform_nodes(session, n, fanout, fanout);
+        let mut expected_epoch = 0u64;
+        for (is_join, id) in ops {
+            let id = NodeId(id);
+            if is_join {
+                if m.join(id) {
+                    expected_epoch += 1;
+                }
+            } else if id == m.source() {
+                prop_assert!(m.leave(id).is_err(), "source leave must be rejected");
+                prop_assert!(m.contains(id));
+            } else if m.leave(id).expect("non-source leave") {
+                expected_epoch += 1;
+            }
+            prop_assert_eq!(m.epoch(), expected_epoch);
+
+            // Full cross-consistency of the three view queries at this
+            // epoch, plus the topology's epoch stamp.
+            let topo = m.topology(round);
+            prop_assert_eq!(topo.epoch(), m.epoch());
+            let want = fanout.min(m.len() - 1);
+            for &node in m.nodes() {
+                let succ = m.successors(node, round);
+                prop_assert_eq!(succ.len(), want);
+                prop_assert!(!succ.contains(&node));
+                let distinct: BTreeSet<_> = succ.iter().collect();
+                prop_assert_eq!(distinct.len(), succ.len());
+                let monitors = m.monitors_of(node, round);
+                prop_assert_eq!(monitors.len(), want);
+                prop_assert!(!monitors.contains(&node));
+                prop_assert!(monitors.iter().all(|x| m.contains(*x)));
+                // Duality: successor lists and predecessor lists are
+                // inverse relations, point queries agree with the
+                // materialized topology.
+                for &s in &succ {
+                    prop_assert!(m.predecessors(s, round).contains(&node));
+                    prop_assert!(topo.predecessors(s).contains(&node));
+                }
+                for p in m.predecessors(node, round) {
+                    prop_assert!(m.successors(p, round).contains(&node));
+                }
+            }
         }
     }
 }

@@ -16,14 +16,25 @@ use pag_simnet::{Context, Protocol, SimDuration, TrafficClass as SimClass};
 pub struct SimnetPag {
     engine: PagEngine,
     effects: Vec<Effect>,
+    /// Membership-service inputs this node must receive, keyed by the
+    /// round they are pumped in (= effective round - 1, so the
+    /// announcement propagates before the change takes effect).
+    churn: Vec<(u64, Input)>,
 }
 
 impl SimnetPag {
     /// Wraps an engine for simulation.
     pub fn new(engine: PagEngine) -> Self {
+        Self::with_churn(engine, Vec::new())
+    }
+
+    /// Wraps an engine together with its scheduled churn inputs
+    /// (`(announce round, input)` pairs).
+    pub fn with_churn(engine: PagEngine, churn: Vec<(u64, Input)>) -> Self {
         SimnetPag {
             engine,
             effects: Vec::new(),
+            churn,
         }
     }
 
@@ -65,6 +76,17 @@ impl Protocol for SimnetPag {
 
     fn on_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
         self.pump(Input::RoundStart(round), ctx);
+        // Churn announcements scheduled for this round follow the round
+        // start, exactly like the threaded driver's round phase.
+        let due: Vec<Input> = self
+            .churn
+            .iter()
+            .filter(|&&(announce, _)| announce == round)
+            .map(|(_, input)| input.clone())
+            .collect();
+        for input in due {
+            self.pump(input, ctx);
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {

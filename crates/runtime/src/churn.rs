@@ -1,0 +1,304 @@
+//! Churn scenario generation: seeded join/leave traces fed to both
+//! drivers.
+//!
+//! A [`ChurnSchedule`] is a deterministic list of [`ChurnEvent`]s — who
+//! joins or leaves at the start of which round. The session harness
+//! hands each event to the subject node's engine one round early (as
+//! `pag_core::engine::Input::{Join, Leave}`); the engine announces it on
+//! the wire and every membership view applies it at the effective round
+//! boundary. Because the schedule, the announcements and the apply order
+//! are all deterministic, a churned session is exactly as reproducible
+//! as a static one — the churned driver-equivalence test holds the
+//! simulator and the threaded runtime to identical outcomes.
+//!
+//! Three generators cover the workloads the ROADMAP names:
+//!
+//! * [`ChurnSchedule::steady`] — a constant join/leave rate per round,
+//!   the steady-state of a deployed system;
+//! * [`ChurnSchedule::flash_crowd`] — a burst of joiners at one round;
+//! * [`ChurnSchedule::mass_departure`] — a fraction of the membership
+//!   leaving at one round (a popular stream ending, a correlated
+//!   failure).
+
+use pag_core::engine::Input;
+use pag_membership::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The direction of one membership change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The node joins the session.
+    Join,
+    /// The node leaves the session.
+    Leave,
+}
+
+/// One scheduled membership change, effective at the start of `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// First round the change is in force (must be ≥ 1: the change is
+    /// announced during `round - 1`).
+    pub round: u64,
+    /// The subject node.
+    pub node: NodeId,
+    /// Join or leave.
+    pub kind: ChurnKind,
+}
+
+/// The `(announce round, input)` pairs the membership service feeds
+/// `node`: each event reaches its subject's engine one round before it
+/// takes effect, so the announcement propagates first. Both drivers
+/// build their feeds through this one translation — changing the
+/// announce lead time here changes it everywhere, keeping them
+/// equivalent by construction.
+pub fn inputs_for(events: &[ChurnEvent], node: NodeId) -> Vec<(u64, Input)> {
+    events
+        .iter()
+        .filter(|e| e.node == node)
+        .map(|e| {
+            let input = match e.kind {
+                ChurnKind::Join => Input::Join {
+                    node: e.node,
+                    round: e.round,
+                },
+                ChurnKind::Leave => Input::Leave {
+                    node: e.node,
+                    round: e.round,
+                },
+            };
+            (e.round - 1, input)
+        })
+        .collect()
+}
+
+/// A deterministic join/leave trace over a session.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Wraps an explicit event list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is effective before round 1 (there is no
+    /// round `-1` to announce it in).
+    pub fn from_events(events: Vec<ChurnEvent>) -> Self {
+        assert!(
+            events.iter().all(|e| e.round >= 1),
+            "churn events need an announcement round before they take effect"
+        );
+        ChurnSchedule { events }
+    }
+
+    /// A steady churn rate: every round from 1 to `rounds - 1`,
+    /// `joins_per_round` fresh nodes join and `leaves_per_round` current
+    /// members (never the source, never a joiner of the same round)
+    /// leave. Fresh identifiers start at `initial_nodes`.
+    pub fn steady(
+        seed: u64,
+        initial_nodes: usize,
+        rounds: u64,
+        joins_per_round: usize,
+        leaves_per_round: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4_52_4E);
+        let mut alive: Vec<NodeId> = (0..initial_nodes as u32).map(NodeId).collect();
+        let mut next_id = initial_nodes as u32;
+        let mut events = Vec::new();
+        for round in 1..rounds {
+            for _ in 0..joins_per_round {
+                let node = NodeId(next_id);
+                next_id += 1;
+                events.push(ChurnEvent {
+                    round,
+                    node,
+                    kind: ChurnKind::Join,
+                });
+                alive.push(node);
+            }
+            for _ in 0..leaves_per_round {
+                // Leave the source (index 0 stays NodeId(0) — the
+                // smallest id is always the source) and this round's
+                // joiners alone; keep at least a quorum of 4 nodes.
+                let eligible: Vec<usize> = (1..alive.len())
+                    .filter(|&i| {
+                        !events
+                            .iter()
+                            .any(|e| e.round == round && e.node == alive[i])
+                    })
+                    .collect();
+                if alive.len() <= 4 || eligible.is_empty() {
+                    break;
+                }
+                let pick = eligible[rng.random_range(0..eligible.len())];
+                let node = alive.remove(pick);
+                events.push(ChurnEvent {
+                    round,
+                    node,
+                    kind: ChurnKind::Leave,
+                });
+            }
+        }
+        ChurnSchedule { events }
+    }
+
+    /// A flash crowd: `crowd` fresh nodes all join at `round`.
+    pub fn flash_crowd(initial_nodes: usize, round: u64, crowd: usize) -> Self {
+        assert!(round >= 1, "joins need an announcement round");
+        let events = (0..crowd as u32)
+            .map(|i| ChurnEvent {
+                round,
+                node: NodeId(initial_nodes as u32 + i),
+                kind: ChurnKind::Join,
+            })
+            .collect();
+        ChurnSchedule { events }
+    }
+
+    /// A mass departure: `fraction` of the initial non-source membership
+    /// (selected by seed) leaves at `round`.
+    pub fn mass_departure(seed: u64, initial_nodes: usize, round: u64, fraction: f64) -> Self {
+        assert!(round >= 1, "leaves need an announcement round");
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDE_9A_47);
+        let mut candidates: Vec<NodeId> = (1..initial_nodes as u32).map(NodeId).collect();
+        let count = ((initial_nodes - 1) as f64 * fraction).floor() as usize;
+        // Partial Fisher-Yates over the non-source members.
+        for i in 0..count.min(candidates.len()) {
+            let j = i + rng.random_range(0..candidates.len() - i);
+            candidates.swap(i, j);
+        }
+        let events = candidates
+            .into_iter()
+            .take(count)
+            .map(|node| ChurnEvent {
+                round,
+                node,
+                kind: ChurnKind::Leave,
+            })
+            .collect();
+        ChurnSchedule { events }
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// True if no churn is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All nodes that join mid-session (the roster extension the session
+    /// must derive keys for).
+    pub fn joiners(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join)
+            .map(|e| e.node)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Membership size at the start of every round in `0..rounds`, given
+    /// `initial` members — the per-epoch series churn reports print.
+    /// Source-leave events are ignored, like the protocol ignores them.
+    pub fn membership_sizes(&self, initial: usize, rounds: u64) -> Vec<(u64, usize)> {
+        let mut size = initial as i64;
+        (0..rounds)
+            .map(|round| {
+                for e in self.events.iter().filter(|e| e.round == round) {
+                    match e.kind {
+                        ChurnKind::Join => size += 1,
+                        ChurnKind::Leave => {
+                            if e.node != NodeId(0) {
+                                size -= 1;
+                            }
+                        }
+                    }
+                }
+                (round, size as usize)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_schedule_is_deterministic_and_balanced() {
+        let a = ChurnSchedule::steady(7, 20, 10, 2, 2);
+        let b = ChurnSchedule::steady(7, 20, 10, 2, 2);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.joiners().len(), 9 * 2, "two joiners per round 1..=9");
+        assert!(a.events().iter().all(|e| (1..10).contains(&e.round)));
+        assert!(
+            a.events()
+                .iter()
+                .all(|e| e.kind == ChurnKind::Join || e.node != NodeId(0)),
+            "the source never leaves"
+        );
+    }
+
+    #[test]
+    fn leaves_never_target_same_round_joiners() {
+        let s = ChurnSchedule::steady(3, 8, 12, 3, 3);
+        for e in s.events().iter().filter(|e| e.kind == ChurnKind::Leave) {
+            assert!(
+                !s.events()
+                    .iter()
+                    .any(|j| j.kind == ChurnKind::Join && j.round == e.round && j.node == e.node),
+                "join+leave of {} in round {}",
+                e.node,
+                e.round
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_and_mass_departure_shapes() {
+        let fc = ChurnSchedule::flash_crowd(50, 3, 20);
+        assert_eq!(fc.events().len(), 20);
+        assert!(fc.events().iter().all(|e| e.round == 3 && e.kind == ChurnKind::Join));
+        assert_eq!(fc.joiners().first(), Some(&NodeId(50)));
+
+        let md = ChurnSchedule::mass_departure(1, 40, 5, 0.5);
+        assert_eq!(md.events().len(), 19, "half of the 39 non-source members");
+        assert!(md.events().iter().all(|e| e.node != NodeId(0)));
+        let distinct: std::collections::BTreeSet<_> =
+            md.events().iter().map(|e| e.node).collect();
+        assert_eq!(distinct.len(), md.events().len());
+    }
+
+    #[test]
+    fn membership_sizes_track_events() {
+        let s = ChurnSchedule::from_events(vec![
+            ChurnEvent { round: 1, node: NodeId(10), kind: ChurnKind::Join },
+            ChurnEvent { round: 2, node: NodeId(3), kind: ChurnKind::Leave },
+            ChurnEvent { round: 2, node: NodeId(0), kind: ChurnKind::Leave }, // rejected
+        ]);
+        assert_eq!(
+            s.membership_sizes(10, 4),
+            vec![(0, 10), (1, 11), (2, 10), (3, 10)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "announcement round")]
+    fn round_zero_events_rejected() {
+        ChurnSchedule::from_events(vec![ChurnEvent {
+            round: 0,
+            node: NodeId(9),
+            kind: ChurnKind::Join,
+        }]);
+    }
+}

@@ -13,7 +13,10 @@
 //!   (deterministic) or wall-clock timers;
 //! * [`Session`] / [`run_session`] — the one-call harness that builds a
 //!   session, runs it on a selected [`Driver`] and collects verdicts,
-//!   metrics and a driver-neutral [`TrafficReport`].
+//!   metrics and a driver-neutral [`TrafficReport`];
+//! * [`ChurnSchedule`] — seeded join/leave traces (steady rate, flash
+//!   crowd, mass departure) both drivers replay identically, feeding the
+//!   engine's `Join`/`Leave` inputs (DESIGN.md §9).
 //!
 //! The two drivers execute the same engine byte-for-byte; the
 //! driver-equivalence test in `tests/` holds their verdicts, deliveries
@@ -23,13 +26,15 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod churn;
 pub mod report;
 pub mod session;
 pub mod threaded;
 
 pub use adapter::SimnetPag;
+pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
 pub use session::{
     run_session, Driver, Session, SessionBuilder, SessionConfig, SessionOutcome,
 };
-pub use threaded::{run_threaded, ThreadedConfig, ThreadedRun};
+pub use threaded::{run_threaded, NetEmulation, ThreadedConfig, ThreadedRun};

@@ -37,10 +37,11 @@ use pag_core::shared::SharedContext;
 use pag_core::update::UpdateId;
 use pag_core::verdict::Verdict;
 use pag_core::PagConfig;
-use pag_membership::NodeId;
+use pag_membership::{Membership, NodeId};
 use pag_simnet::{SimConfig, Simulation};
 
 use crate::adapter::SimnetPag;
+use crate::churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 use crate::report::TrafficReport;
 use crate::threaded::{run_threaded, ThreadedConfig};
 
@@ -86,6 +87,9 @@ pub struct SessionConfig {
     pub selfish: Vec<(NodeId, SelfishStrategy)>,
     /// Fail-stop crashes: (node, round).
     pub crashes: Vec<(NodeId, u64)>,
+    /// Scheduled membership changes (see [`crate::churn`]). Joiner ids
+    /// must not collide with `0..nodes`; every event needs `round >= 1`.
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl SessionConfig {
@@ -98,6 +102,7 @@ impl SessionConfig {
             driver: Driver::default(),
             selfish: Vec::new(),
             crashes: Vec::new(),
+            churn: Vec::new(),
         }
     }
 }
@@ -161,6 +166,12 @@ impl SessionBuilder {
     /// Crashes `node` at the start of `round`.
     pub fn crash(mut self, node: NodeId, round: u64) -> Self {
         self.config.crashes.push((node, round));
+        self
+    }
+
+    /// Applies a churn schedule (joins/leaves mid-session).
+    pub fn churn(mut self, schedule: ChurnSchedule) -> Self {
+        self.config.churn.extend(schedule.events().iter().copied());
         self
     }
 
@@ -262,14 +273,13 @@ impl SessionOutcome {
     }
 }
 
-/// Builds the per-node engines for a session.
+/// Builds one engine per roster node (members and future joiners — a
+/// joiner's engine idles, tracking announcements, until its join round).
 fn build_engines(sc: &SessionConfig, shared: &Arc<SharedContext>) -> Vec<PagEngine> {
     let seed = sc.driver.seed();
     shared
-        .membership
-        .nodes()
-        .iter()
-        .map(|&id| {
+        .roster()
+        .map(|id| {
             let strategy = sc
                 .selfish
                 .iter()
@@ -280,6 +290,7 @@ fn build_engines(sc: &SessionConfig, shared: &Arc<SharedContext>) -> Vec<PagEngi
         })
         .collect()
 }
+
 
 /// Harvests verdicts, metrics and creations from final engine states.
 fn collect_outcome(
@@ -307,14 +318,37 @@ fn collect_outcome(
 /// Builds and runs a complete session on its configured driver.
 pub fn run_session(sc: SessionConfig) -> SessionOutcome {
     let rounds = sc.rounds;
-    let shared = SharedContext::new(sc.pag.clone(), sc.nodes);
+    assert!(
+        sc.churn.iter().all(|e| e.round >= 1),
+        "churn events need an announcement round before they take effect"
+    );
+    let membership = Membership::with_uniform_nodes(
+        sc.pag.session_id,
+        sc.nodes,
+        sc.pag.fanout,
+        sc.pag.monitor_count,
+    );
+    let joiners: Vec<NodeId> = {
+        let mut j: Vec<NodeId> = sc
+            .churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join)
+            .map(|e| e.node)
+            .filter(|n| !membership.contains(*n))
+            .collect();
+        j.sort();
+        j.dedup();
+        j
+    };
+    let shared = SharedContext::with_roster(sc.pag.clone(), membership, &joiners);
     let engines = build_engines(&sc, &shared);
 
     match &sc.driver {
         Driver::Simnet(sim_cfg) => {
             let mut sim = Simulation::new(sim_cfg.clone());
             for engine in engines {
-                sim.add_node(engine.id(), SimnetPag::new(engine));
+                let churn = crate::churn::inputs_for(&sc.churn, engine.id());
+                sim.add_node(engine.id(), SimnetPag::with_churn(engine, churn));
             }
             for &(node, round) in &sc.crashes {
                 sim.schedule_crash(node, round);
@@ -329,7 +363,7 @@ pub fn run_session(sc: SessionConfig) -> SessionOutcome {
             )
         }
         Driver::Threaded(tc) => {
-            let run = run_threaded(&shared, engines, rounds, &sc.crashes, tc);
+            let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, tc);
             collect_outcome(run.engines, run.report, rounds)
         }
     }

@@ -26,8 +26,23 @@
 //!   fired by `recv_timeout` deadlines on each node thread.
 //!
 //! The driver supports fail-stop crashes (a crashed node drops every
-//! envelope from its crash round on, like the simulator) but models no
-//! latency or loss — it is a transport, not a network emulator.
+//! envelope from its crash round on, like the simulator), membership
+//! churn (scheduled joins/leaves fed to the subject engine one round
+//! early; see `crate::churn`), and — since the [`NetEmulation`] knob —
+//! latency and loss injection on the channel links, reusing the
+//! simulator's fault parameters:
+//!
+//! * **loss** applies in both clock modes, decided after send-side
+//!   accounting (like simnet: bytes are charged, the frame silently
+//!   vanishes). The decision is a pure function of the seed and the
+//!   frame bytes — not a draw sequence — because within a lockstep
+//!   phase the *order* of a node's sends depends on scheduler
+//!   interleaving; content-keyed loss drops the same frames whatever
+//!   the order, keeping lossy lockstep runs deterministic;
+//! * **latency** applies in real-time mode only — a received frame is
+//!   held in a delay queue until its deadline. Lockstep mode ignores it:
+//!   its quiescence barriers already guarantee same-phase delivery, and
+//!   reordering within a phase is unobservable by design.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -36,15 +51,66 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use pag_core::engine::{Effect, Input, PagEngine};
-use pag_core::wire::{decode_frame, encode_frame};
+use pag_core::messages::CLASS_MEMBERSHIP;
+use pag_core::wire::{decode_frame, encode_frame, TrafficClass};
 use pag_core::{SharedContext, WireConfig};
 use pag_membership::NodeId;
+use pag_simnet::SimConfig;
 
+use crate::churn::ChurnEvent;
 use crate::report::{NodeTraffic, TrafficReport};
 
 /// Virtual milliseconds per round in lockstep mode — the one-second
 /// rounds the protocol's timer offsets assume (§VII-A).
 const VIRTUAL_ROUND_MS: u64 = 1000;
+
+/// Network-fault injection on the channel links, mirroring the
+/// simulator's `SimConfig` fields (latency range in protocol
+/// milliseconds, loss probability per frame).
+#[derive(Clone, Debug)]
+pub struct NetEmulation {
+    /// Minimum one-way latency in protocol milliseconds (scaled by
+    /// `round_ms / 1000` like engine timers). Real-time mode only.
+    pub latency_min_ms: u64,
+    /// Maximum one-way latency in protocol milliseconds (uniform in
+    /// `[min, max]`). Real-time mode only.
+    pub latency_max_ms: u64,
+    /// Probability that a frame is silently lost after send-side
+    /// accounting. Applies in both clock modes. Membership
+    /// announcements (`CLASS_MEMBERSHIP`) are exempt: the paper
+    /// assumes a reliable membership substrate, and a lost announce
+    /// would permanently split views (DESIGN.md §9).
+    pub loss_probability: f64,
+}
+
+impl NetEmulation {
+    /// Copies the fault fields of a simulator configuration, so one
+    /// scenario description drives both substrates.
+    pub fn from_sim(sim: &SimConfig) -> Self {
+        NetEmulation {
+            latency_min_ms: (sim.latency_min.as_micros() / 1000) as u64,
+            latency_max_ms: (sim.latency_max.as_micros() / 1000) as u64,
+            loss_probability: sim.loss_probability,
+        }
+    }
+}
+
+/// FNV-1a over the frame bytes folded with the session seed: the
+/// order-independent randomness behind per-frame loss and latency
+/// decisions (frames already carry sender, receiver, type and round in
+/// their header, so distinct frames mix differently).
+fn frame_mix(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    pag_membership::mix(h)
+}
+
+/// Maps a 64-bit mix to a uniform float in `[0, 1)`.
+fn mix_unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// Configuration of the threaded driver.
 #[derive(Clone, Debug)]
@@ -57,6 +123,8 @@ pub struct ThreadedConfig {
     pub lockstep: bool,
     /// Session seed for the engines' deterministic randomness.
     pub seed: u64,
+    /// Optional latency/loss injection on the links.
+    pub net: Option<NetEmulation>,
 }
 
 impl Default for ThreadedConfig {
@@ -65,6 +133,7 @@ impl Default for ThreadedConfig {
             round_ms: 1000,
             lockstep: true,
             seed: 0,
+            net: None,
         }
     }
 }
@@ -73,8 +142,15 @@ impl Default for ThreadedConfig {
 enum Envelope {
     /// The gossip clock entered this round.
     Round(u64),
-    /// An encoded protocol frame.
-    Frame(Vec<u8>),
+    /// An encoded protocol frame. `due_ms` is the emulated-latency
+    /// delivery deadline (scaled ms since the epoch; 0 = immediate —
+    /// always 0 in lockstep mode).
+    Frame {
+        /// Encoded bytes.
+        bytes: Vec<u8>,
+        /// Delivery deadline under latency emulation.
+        due_ms: u64,
+    },
     /// Lockstep only: release the frames stashed during the last
     /// round-start or timer phase.
     ///
@@ -199,11 +275,22 @@ struct Worker {
     crashed: bool,
     effects: Vec<Effect>,
     /// Lockstep: frames produced during round start, held for `Flush`.
-    stash: Vec<(NodeId, Vec<u8>)>,
+    stash: Vec<(NodeId, Vec<u8>, TrafficClass)>,
     buffering: bool,
     /// Real-time mode: wall-clock epoch and per-round milliseconds.
     epoch: Instant,
     round_ms: u64,
+    /// Churn inputs this node must announce, keyed by announce round
+    /// (= effective round - 1).
+    churn: Vec<(u64, Input)>,
+    /// Link-fault injection (see [`NetEmulation`]).
+    net: Option<NetEmulation>,
+    /// Seed for the content-keyed loss/latency decisions.
+    net_seed: u64,
+    /// Real-time mode: frames held back by latency emulation, as
+    /// (due, arrival order, bytes).
+    delayed: Vec<(u64, u64, Vec<u8>)>,
+    delay_seq: u64,
 }
 
 impl Worker {
@@ -222,6 +309,33 @@ impl Worker {
 
     fn next_deadline(&self) -> Option<u64> {
         self.timers.iter().map(|&(due, _, _)| due).min()
+    }
+
+    /// Earliest wake-up in real-time mode: a timer or a delayed frame.
+    fn next_wake(&self) -> Option<u64> {
+        let frames = self.delayed.iter().map(|&(due, _, _)| due).min();
+        match (self.next_deadline(), frames) {
+            (Some(t), Some(f)) => Some(t.min(f)),
+            (t, f) => t.or(f),
+        }
+    }
+
+    /// Delivers every delayed frame due at or before `upto`, in (due,
+    /// arrival) order. Crashed nodes drop them, like live envelopes.
+    fn release_delayed(&mut self, upto: u64) {
+        while let Some(pos) = self
+            .delayed
+            .iter()
+            .enumerate()
+            .filter(|(_, &(due, _, _))| due <= upto)
+            .min_by_key(|(_, &(due, seq, _))| (due, seq))
+            .map(|(i, _)| i)
+        {
+            let (_, _, bytes) = self.delayed.swap_remove(pos);
+            if !self.crashed {
+                self.deliver(bytes);
+            }
+        }
     }
 
     /// Runs one engine input and executes the effects: encode + ship
@@ -243,9 +357,9 @@ impl Worker {
                     debug_assert_eq!(frame.len(), bytes, "codec/accounting divergence");
                     self.traffic.record_send(frame.len(), class);
                     if self.buffering {
-                        self.stash.push((to, frame));
+                        self.stash.push((to, frame, class));
                     } else {
-                        self.ship(to, frame);
+                        self.ship(to, frame, class);
                     }
                 }
                 Effect::SetTimer { tag, after_ms } => {
@@ -260,13 +374,38 @@ impl Worker {
         self.effects = fx;
     }
 
-    /// Enqueues one frame on a peer's link.
-    fn ship(&self, to: NodeId, frame: Vec<u8>) {
+    /// Enqueues one frame on a peer's link, applying loss and latency
+    /// emulation. Sends are already accounted by the caller, so a lost
+    /// frame is charged like a frame a dead TCP peer never reads.
+    fn ship(&mut self, to: NodeId, frame: Vec<u8>, class: TrafficClass) {
+        let mut due_ms = 0;
+        if let Some(net) = &self.net {
+            let h = frame_mix(self.net_seed, &frame);
+            if net.loss_probability > 0.0
+                && class != CLASS_MEMBERSHIP
+                && mix_unit(h) < net.loss_probability
+            {
+                return;
+            }
+            if !self.lockstep() && net.latency_max_ms > 0 {
+                // Uniform in the inclusive range [min, max].
+                let draw = net.latency_min_ms
+                    + pag_membership::mix(h)
+                        % (net.latency_max_ms.saturating_sub(net.latency_min_ms) + 1);
+                due_ms = (Instant::now() - self.epoch).as_millis() as u64 + self.scale(draw);
+            }
+        }
         if let Some(coord) = &self.coord {
             coord.add(1);
         }
         // A receiver that already stopped is fine to lose.
-        if self.peers[&to].send(Envelope::Frame(frame)).is_err() {
+        if self.peers[&to]
+            .send(Envelope::Frame {
+                bytes: frame,
+                due_ms,
+            })
+            .is_err()
+        {
             if let Some(coord) = &self.coord {
                 coord.done();
             }
@@ -315,10 +454,23 @@ impl Worker {
             self.crashed = true;
             self.timers.clear();
         }
-        if !self.crashed {
+        if self.crashed {
+            self.delayed.clear();
+        } else {
             // Lockstep holds round-start frames until the Flush barrier.
+            // Churn announcements scheduled for this round ride in the
+            // same phase, right after the round-start cascade.
             self.buffering = self.lockstep();
             self.feed(Input::RoundStart(round));
+            let due: Vec<Input> = self
+                .churn
+                .iter()
+                .filter(|&&(announce, _)| announce == round)
+                .map(|(_, input)| input.clone())
+                .collect();
+            for input in due {
+                self.feed(input);
+            }
             self.buffering = false;
         }
     }
@@ -353,14 +505,15 @@ impl Worker {
         while let Ok(envelope) = self.rx.recv() {
             match envelope {
                 Envelope::Round(round) => self.enter_round(round),
-                Envelope::Frame(frame) => {
+                Envelope::Frame { bytes, .. } => {
+                    // Lockstep: latency is not emulated; deliver in-phase.
                     if !self.crashed {
-                        self.deliver(frame);
+                        self.deliver(bytes);
                     }
                 }
                 Envelope::Flush => {
-                    for (to, frame) in std::mem::take(&mut self.stash) {
-                        self.ship(to, frame);
+                    for (to, frame, class) in std::mem::take(&mut self.stash) {
+                        self.ship(to, frame, class);
                     }
                 }
                 Envelope::TimersUpTo(upto) => {
@@ -379,15 +532,16 @@ impl Worker {
 
     fn run_realtime(&mut self) {
         loop {
-            let envelope = match self.next_deadline() {
+            let envelope = match self.next_wake() {
                 Some(due) => {
                     let due_at = self.epoch + Duration::from_millis(due);
                     let now = Instant::now();
                     if due_at <= now {
+                        let upto = (now - self.epoch).as_millis() as u64;
+                        self.release_delayed(upto);
                         if self.crashed {
                             self.timers.clear();
                         } else {
-                            let upto = (now - self.epoch).as_millis() as u64;
                             self.fire_due(upto);
                         }
                         continue;
@@ -405,9 +559,13 @@ impl Worker {
             };
             match envelope {
                 Envelope::Round(round) => self.enter_round(round),
-                Envelope::Frame(frame) => {
-                    if !self.crashed {
-                        self.deliver(frame);
+                Envelope::Frame { bytes, due_ms } => {
+                    let now = (Instant::now() - self.epoch).as_millis() as u64;
+                    if due_ms > now {
+                        self.delayed.push((due_ms, self.delay_seq, bytes));
+                        self.delay_seq += 1;
+                    } else if !self.crashed {
+                        self.deliver(bytes);
                     }
                 }
                 Envelope::Flush | Envelope::TimersUpTo(_) => {}
@@ -419,14 +577,18 @@ impl Worker {
 
 /// Runs `engines` for `rounds` rounds on per-node threads.
 ///
-/// Every engine's node must belong to `shared`'s membership; `crashes`
-/// are fail-stop rounds per node. Returns the traffic report (protocol
-/// seconds; see [`crate::report`]) and the final engines.
+/// Every engine's node must belong to `shared`'s key roster (initial
+/// members plus scheduled joiners); `crashes` are fail-stop rounds per
+/// node and `churn` the scheduled membership changes (each fed to its
+/// subject's engine one round before it takes effect). Returns the
+/// traffic report (protocol seconds; see [`crate::report`]) and the
+/// final engines.
 pub fn run_threaded(
     shared: &Arc<SharedContext>,
     engines: Vec<PagEngine>,
     rounds: u64,
     crashes: &[(NodeId, u64)],
+    churn: &[ChurnEvent],
     cfg: &ThreadedConfig,
 ) -> ThreadedRun {
     let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
@@ -468,6 +630,11 @@ pub fn run_threaded(
             buffering: false,
             epoch,
             round_ms: cfg.round_ms.max(1),
+            churn: crate::churn::inputs_for(churn, id),
+            net: cfg.net.clone(),
+            net_seed: cfg.seed ^ 0x4E45_5445_4D55,
+            delayed: Vec::new(),
+            delay_seq: 0,
         };
         let handle = thread::Builder::new()
             .name(format!("pag-{id}"))

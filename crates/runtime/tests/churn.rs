@@ -1,0 +1,189 @@
+//! Churn scenario tests: flash crowds, mass departures and steady
+//! turnover through the session harness, plus the threaded driver's
+//! latency/loss emulation.
+
+use pag_membership::NodeId;
+use pag_runtime::{
+    run_session, ChurnSchedule, Driver, NetEmulation, Session, SessionConfig, ThreadedConfig,
+};
+use pag_simnet::SimConfig;
+
+fn base(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.stream_rate_kbps = 30.0;
+    sc
+}
+
+#[test]
+fn flash_crowd_joiners_catch_the_stream() {
+    // 10 initial nodes; 5 more arrive together at round 3 and must start
+    // receiving updates from their join round on.
+    let mut sc = base(10, 9);
+    let schedule = ChurnSchedule::flash_crowd(10, 3, 5);
+    sc.churn = schedule.events().to_vec();
+    let outcome = run_session(sc);
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    for joiner in schedule.joiners() {
+        let m = &outcome.metrics[&joiner];
+        assert!(
+            m.delivered_count() > 0,
+            "joiner {joiner} never received an update"
+        );
+        assert!(
+            m.delivered.values().all(|&r| r >= 3),
+            "joiner {joiner} has deliveries before its join round"
+        );
+    }
+}
+
+#[test]
+fn mass_departure_leaves_survivors_streaming_and_unconvicted() {
+    // A third of the membership walks out at round 4. The survivors keep
+    // the stream alive and nobody — leaver or survivor — is convicted.
+    let mut sc = base(15, 10);
+    let schedule = ChurnSchedule::mass_departure(9, 15, 4, 0.34);
+    assert!(!schedule.is_empty());
+    sc.churn = schedule.events().to_vec();
+    let outcome = run_session(sc);
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    // Updates injected after the departure still reach the survivors.
+    let late_update = outcome
+        .creations
+        .iter()
+        .find(|(_, &created)| created == 5)
+        .map(|(&id, _)| id)
+        .expect("source injects every round");
+    let leavers: Vec<NodeId> = schedule.events().iter().map(|e| e.node).collect();
+    let survivors_with_late = outcome
+        .metrics
+        .iter()
+        .filter(|(id, m)| !leavers.contains(id) && m.delivered.contains_key(&late_update))
+        .count();
+    assert!(
+        survivors_with_late > 10 - 1,
+        "only {survivors_with_late} survivors saw the post-departure update"
+    );
+}
+
+#[test]
+fn steady_churn_runs_on_builder_with_threaded_driver() {
+    let schedule = ChurnSchedule::steady(11, 10, 8, 1, 1);
+    let outcome = Session::builder(10, 8)
+        .stream_rate_kbps(30.0)
+        .driver(Driver::Threaded(ThreadedConfig::default()))
+        .churn(schedule.clone())
+        .run();
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    // The membership-size series the schedule predicts matches what the
+    // run produced: every joiner shows up in the per-node metrics.
+    assert!(outcome.metrics.len() >= 10 + schedule.joiners().len());
+    let sizes = schedule.membership_sizes(10, 8);
+    assert_eq!(sizes.first(), Some(&(0, 10)));
+}
+
+#[test]
+fn lockstep_loss_is_deterministic_and_lossy() {
+    // Loss on the channel links, deterministic under the lockstep clock:
+    // two runs agree byte-for-byte, and total loss silences reception.
+    let run = |loss: f64| {
+        let mut sc = base(10, 5);
+        sc.driver = Driver::Threaded(ThreadedConfig {
+            seed: 3,
+            net: Some(NetEmulation {
+                latency_min_ms: 0,
+                latency_max_ms: 0,
+                loss_probability: loss,
+            }),
+            ..ThreadedConfig::default()
+        });
+        run_session(sc)
+    };
+    let a = run(0.2);
+    let b = run(0.2);
+    for (id, t) in &a.report.per_node {
+        assert_eq!(t.sent_bytes, b.report.per_node[id].sent_bytes);
+        assert_eq!(t.recv_bytes, b.report.per_node[id].recv_bytes);
+    }
+    let sent: u64 = a.report.per_node.values().map(|t| t.sent_bytes).sum();
+    let recv: u64 = a.report.per_node.values().map(|t| t.recv_bytes).sum();
+    assert!(recv < sent, "20% loss must drop bytes: sent {sent}, recv {recv}");
+
+    let dead = run(1.0);
+    assert!(dead.report.per_node.values().all(|t| t.recv_bytes == 0));
+    assert!(dead.report.per_node.values().any(|t| t.sent_bytes > 0));
+}
+
+#[test]
+fn churn_under_loss_keeps_views_consistent() {
+    // Membership announcements are exempt from loss emulation (the
+    // paper assumes a reliable membership substrate), so a churned
+    // lossy session still applies every join/leave on every engine:
+    // the run completes, stays deterministic, and joiners receive
+    // updates despite 15% protocol-frame loss.
+    let schedule = ChurnSchedule::steady(5, 10, 6, 1, 1);
+    let run = || {
+        let mut sc = base(10, 6);
+        sc.churn = schedule.events().to_vec();
+        sc.driver = Driver::Threaded(ThreadedConfig {
+            seed: 4,
+            net: Some(NetEmulation {
+                latency_min_ms: 0,
+                latency_max_ms: 0,
+                loss_probability: 0.15,
+            }),
+            ..ThreadedConfig::default()
+        });
+        run_session(sc)
+    };
+    let a = run();
+    let b = run();
+    for (id, t) in &a.report.per_node {
+        assert_eq!(t.sent_bytes, b.report.per_node[id].sent_bytes, "at {id}");
+    }
+    let delivered_to_joiners: usize = schedule
+        .joiners()
+        .iter()
+        .filter_map(|j| a.metrics.get(j))
+        .map(|m| m.delivered_count())
+        .sum();
+    assert!(delivered_to_joiners > 0, "joins applied under loss");
+}
+
+#[test]
+fn realtime_latency_emulation_delivers_within_rounds() {
+    // The simulator's default fault profile (10–60 protocol ms latency)
+    // replayed on real channel links: scaled to 200 ms rounds that is
+    // 2–12 ms of real delay, well inside every protocol deadline, so the
+    // run stays conviction-free and the stream flows.
+    let mut sc = base(8, 5);
+    sc.driver = Driver::Threaded(ThreadedConfig {
+        round_ms: 200,
+        lockstep: false,
+        seed: 2,
+        net: Some(NetEmulation::from_sim(&SimConfig::default())),
+    });
+    let outcome = run_session(sc);
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    let delivered: usize = outcome
+        .metrics
+        .iter()
+        .filter(|(id, _)| **id != NodeId(0))
+        .map(|(_, m)| m.delivered_count())
+        .sum();
+    assert!(delivered > 0, "updates flowed through delayed links");
+}
+
+#[test]
+fn source_leave_in_schedule_is_ignored() {
+    // A schedule that (incorrectly) asks the source to leave: the engine
+    // rejects it, the session completes, the source stays.
+    let mut sc = base(8, 5);
+    sc.churn = vec![pag_runtime::ChurnEvent {
+        round: 2,
+        node: NodeId(0),
+        kind: pag_runtime::ChurnKind::Leave,
+    }];
+    let outcome = run_session(sc);
+    assert!(outcome.verdicts.is_empty());
+    assert_eq!(outcome.creations.len(), 5 * 4, "source streamed every round");
+}

@@ -8,7 +8,9 @@ use std::collections::BTreeSet;
 
 use pag_core::selfish::SelfishStrategy;
 use pag_membership::NodeId;
-use pag_runtime::{run_session, Driver, SessionConfig, SessionOutcome, ThreadedConfig};
+use pag_runtime::{
+    run_session, ChurnSchedule, Driver, SessionConfig, SessionOutcome, ThreadedConfig,
+};
 use pag_simnet::SimConfig;
 
 const SEED: u64 = 0xE0_1D;
@@ -122,6 +124,62 @@ fn no_ack_session_is_driver_equivalent() {
 }
 
 #[test]
+fn churned_session_is_driver_equivalent() {
+    // The acceptance bar for the churn subsystem: a session with joins
+    // AND leaves mid-session runs to completion on both drivers with
+    // identical verdict sets, deliveries and traffic totals — including
+    // the announcement frames, whose wire size is codec-backed on the
+    // threaded path. Clean churn convicts nobody.
+    let mut sc = base(12, 8);
+    sc.churn = ChurnSchedule::steady(SEED, 12, 8, 1, 1).events().to_vec();
+    assert!(
+        sc.churn.iter().any(|e| e.kind == pag_runtime::ChurnKind::Join)
+            && sc.churn.iter().any(|e| e.kind == pag_runtime::ChurnKind::Leave),
+        "schedule exercises both directions"
+    );
+    let sim = on_simnet(sc.clone());
+    let thr = on_threads(sc);
+    assert!(
+        sim.verdicts.is_empty(),
+        "clean churn convicted: {:?}",
+        sim.verdicts
+    );
+    assert_equivalent(&sim, &thr);
+}
+
+#[test]
+fn churned_selfish_session_is_driver_equivalent() {
+    // Detection keeps working under churn: a freerider among joiners and
+    // leavers is still convicted — identically on both drivers — while
+    // honest leavers stay clean.
+    let mut sc = base(14, 8);
+    sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
+    sc.churn = ChurnSchedule::steady(SEED ^ 1, 14, 8, 1, 1)
+        .events()
+        .to_vec();
+    // Keep the freerider in the session: drop any scheduled leave of 5.
+    sc.churn.retain(|e| e.node != NodeId(5));
+    let sim = on_simnet(sc.clone());
+    let thr = on_threads(sc.clone());
+    assert_eq!(sim.convicted(), vec![NodeId(5)]);
+    assert_eq!(thr.convicted(), vec![NodeId(5)]);
+    let leavers: Vec<NodeId> = sc
+        .churn
+        .iter()
+        .filter(|e| e.kind == pag_runtime::ChurnKind::Leave)
+        .map(|e| e.node)
+        .collect();
+    assert!(!leavers.is_empty());
+    for v in &sim.verdicts {
+        assert!(
+            !leavers.contains(&v.accused),
+            "honest leaver convicted: {v}"
+        );
+    }
+    assert_equivalent(&sim, &thr);
+}
+
+#[test]
 fn threaded_lockstep_is_self_deterministic() {
     let a = on_threads(base(10, 5));
     let b = on_threads(base(10, 5));
@@ -141,6 +199,7 @@ fn threaded_realtime_smoke() {
         round_ms: 200,
         lockstep: false,
         seed: 1,
+        ..ThreadedConfig::default()
     });
     let outcome = run_session(sc);
     assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);

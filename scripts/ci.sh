@@ -6,17 +6,21 @@
 #      clean; only pag-core itself is recompiled for this check)
 #   3. full test suite (unit, integration, doctests, codec properties,
 #      driver equivalence)
-#   4. bench_snapshot --quick smoke run (honest, real RSA-512 crypto;
-#      writes to a scratch path, never over the committed snapshot)
+#   4. churned driver-equivalence, run explicitly: a session with joins
+#      and leaves mid-session must produce identical verdicts,
+#      deliveries and traffic on both drivers (DESIGN.md §9)
+#   5. bench_snapshot --quick smoke run (honest static + churned
+#      scenarios, real RSA-512 crypto; writes to a scratch path, never
+#      over the committed snapshot)
 #
 # Run from anywhere: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] workspace release build =="
+echo "== [1/5] workspace release build =="
 cargo build --release --workspace
 
-echo "== [2/4] pag-core, deny warnings =="
+echo "== [2/5] pag-core, deny warnings =="
 # Force only pag-core itself to recompile (its dependencies stay cached
 # from step 1 — no RUSTFLAGS flip, no double build) and fail on any
 # warning the fresh compile prints.
@@ -28,10 +32,13 @@ if grep -E "^warning" <<<"$core_out" >/dev/null; then
     exit 1
 fi
 
-echo "== [3/4] test suite =="
+echo "== [3/5] test suite =="
 cargo test -q --workspace
 
-echo "== [4/4] bench snapshot smoke (--quick) =="
+echo "== [4/5] churned driver equivalence =="
+cargo test -q -p pag-runtime --test driver_equivalence churned
+
+echo "== [5/5] bench snapshot smoke (--quick) =="
 out="${TMPDIR:-/tmp}/pag_bench_quick.json"
 cargo run --release -p pag-bench --bin bench_snapshot -- "$out" --quick
 rm -f "$out"

@@ -5,7 +5,7 @@
 use pag::analysis::{pag_discovery_monte_carlo, theoretical_minimum, CoalitionParams};
 use pag::baselines::{run_acting, ActingConfig, CostModel};
 use pag::core::selfish::SelfishStrategy;
-use pag::runtime::{run_session, SessionConfig};
+use pag::runtime::{run_session, ChurnSchedule, SessionConfig};
 use pag::membership::NodeId;
 use pag::simnet::SimConfig;
 use pag::streaming::{stream_over_pag, StreamingConfig, VideoQuality};
@@ -108,6 +108,41 @@ fn capacity_ordering_pag_acting_rac() {
         assert!(acting < pag, "{q}");
         assert!(pag < rac, "{q}: RAC is always the most expensive");
     }
+}
+
+/// Smoke test of `examples/churn_session.rs`, shrunk for `cargo test`:
+/// a steadily churning session with a freerider still delivers to
+/// joiners, convicts exactly the freerider and never an honest leaver.
+#[test]
+fn churn_session_end_to_end() {
+    let nodes = 20;
+    let rounds = 8;
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.stream_rate_kbps = 30.0;
+    sc.selfish.push((NodeId(4), SelfishStrategy::DropForward));
+    let schedule = ChurnSchedule::steady(7, nodes, rounds, 1, 1);
+    sc.churn = schedule.events().to_vec();
+    sc.churn.retain(|e| e.node != NodeId(4)); // keep the freerider in
+    let leavers: Vec<NodeId> = sc
+        .churn
+        .iter()
+        .filter(|e| e.kind == pag::runtime::ChurnKind::Leave)
+        .map(|e| e.node)
+        .collect();
+    assert!(!leavers.is_empty());
+
+    let outcome = run_session(sc);
+    assert_eq!(outcome.convicted(), vec![NodeId(4)]);
+    for v in &outcome.verdicts {
+        assert!(!leavers.contains(&v.accused), "honest leaver convicted: {v}");
+    }
+    let delivered_to_joiners: usize = schedule
+        .joiners()
+        .iter()
+        .filter_map(|j| outcome.metrics.get(j))
+        .map(|m| m.delivered_count())
+        .sum();
+    assert!(delivered_to_joiners > 0, "joiners caught the stream");
 }
 
 /// Determinism across the whole stack: identical configurations give
