@@ -1,9 +1,11 @@
-//! Perf-trajectory snapshot: runs two frozen PAG scenarios — the static
-//! 20-node / 5-round session and the churned 50-node `churn_steady_50`
-//! session — and writes wall-clock plus crypto-operation counts as JSON
-//! to `BENCH_protocol.json` (repo root, committed), so successive PRs
-//! have a comparable record of protocol-level cost, with and without
-//! membership churn.
+//! Perf-trajectory snapshot: runs three frozen PAG scenarios — the
+//! static 20-node / 5-round session, the churned 50-node
+//! `churn_steady_50` session, and the same static session on the TCP
+//! socket driver (`tcp_session_20`) — and writes wall-clock plus
+//! crypto-operation counts as JSON to `BENCH_protocol.json` (repo
+//! root, committed), so successive PRs have a comparable record of
+//! protocol-level cost, with and without membership churn, and of the
+//! socket transport's overhead over the simulator.
 //!
 //! The scenarios are deliberately frozen — same node counts, rounds,
 //! churn seed, stream rate and crypto profile — and each wall-clock
@@ -19,7 +21,7 @@
 
 use std::time::Instant;
 
-use pag_bench::{churn_steady_session, quick_mode, real_crypto_session};
+use pag_bench::{churn_steady_session, quick_mode, real_crypto_session, tcp_session};
 use pag_runtime::{run_session, ChurnKind, SessionConfig, SessionOutcome};
 
 const NODES: usize = 20;
@@ -87,9 +89,31 @@ fn main() {
         .count();
     let leaves = churn_sc.churn.len() - joins;
 
+    // The static scenario again, but over real loopback sockets
+    // (lockstep TCP driver): driver equivalence means the crypto ops
+    // must match the simulator run bit for bit — assert it — so the
+    // wall-clock delta is pure transport overhead.
+    let (tcp_ms, tcp_outcome) = measure(runs, || tcp_session(nodes, rounds));
+    assert!(
+        tcp_outcome.verdicts.is_empty(),
+        "honest TCP run convicted; regression: {:?}",
+        tcp_outcome.verdicts
+    );
+    assert_eq!(
+        tcp_outcome.total_ops(),
+        ops,
+        "TCP driver diverged from the simulator on crypto ops"
+    );
+    let tcp_rejected: u64 = tcp_outcome
+        .metrics
+        .values()
+        .map(|m| m.frames_rejected)
+        .sum();
+    assert_eq!(tcp_rejected, 0, "clean session rejected frames");
+
     let json = format!(
         r#"{{
-  "schema": 2,
+  "schema": 3,
   "scenario": {{
     "nodes": {nodes},
     "rounds": {rounds},
@@ -131,6 +155,18 @@ fn main() {
       "mean_bandwidth_kbps": {c_bw:.2},
       "exchanges_completed": {c_exchanges}
     }}
+  }},
+  "tcp_session_20": {{
+    "scenario": {{
+      "nodes": {nodes},
+      "rounds": {rounds},
+      "driver": "tcp-lockstep",
+      "crypto_ops_identical_to_simnet": true
+    }},
+    "wall_clock_ms": {tcp_ms:.2},
+    "derived": {{
+      "mean_bandwidth_kbps": {t_bw:.2}
+    }}
   }}
 }}
 "#,
@@ -156,6 +192,10 @@ fn main() {
             .values()
             .map(|m| m.exchanges_completed)
             .sum::<u64>(),
+        // Transport overhead vs the simulator is tcp/static wall_clock_ms;
+        // not emitted as a field so everything but wall clocks stays
+        // bit-deterministic across runs.
+        t_bw = tcp_outcome.report.mean_bandwidth_kbps(),
     );
 
     std::fs::write(&out_path, &json).expect("write snapshot");

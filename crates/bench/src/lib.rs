@@ -18,7 +18,7 @@
 //! (fewer nodes/rounds/trials) for smoke-testing.
 
 use pag_core::config::CryptoProfile;
-use pag_runtime::{ChurnSchedule, SessionConfig};
+use pag_runtime::{ChurnSchedule, Driver, SessionConfig, TcpConfig};
 
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
@@ -58,6 +58,18 @@ pub fn churn_steady_session(
     sc.churn = ChurnSchedule::steady(50, nodes, rounds, joins, leaves)
         .events()
         .to_vec();
+    sc
+}
+
+/// The frozen socket-transport scenario behind the `tcp_session_20`
+/// entry of `BENCH_protocol.json`: the real-crypto session of
+/// [`real_crypto_session`] executed on the TCP driver in lockstep mode
+/// (deterministic, so the only variable across PRs is the cost of the
+/// transport itself: stream framing, loopback socket transit, reader
+/// threads, and the reject-don't-panic decode path).
+pub fn tcp_session(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = real_crypto_session(nodes, rounds);
+    sc.driver = Driver::Tcp(TcpConfig::default());
     sc
 }
 

@@ -157,6 +157,15 @@ pub enum MetricEvent {
         /// The round the change would have taken effect.
         round: u64,
     },
+    /// The driver dropped an incoming frame before delivery: the bytes
+    /// failed [`crate::wire::decode_frame`], violated stream framing, or
+    /// were addressed to another node. Recorded via
+    /// [`PagEngine::note_frame_rejected`] — malformed input from a real
+    /// transport is a counted event, never a crash.
+    FrameRejected {
+        /// The round the frame arrived in (driver clock).
+        round: u64,
+    },
 }
 
 /// The effect sink handed to protocol handlers: buffered sends, timers
@@ -257,6 +266,19 @@ impl PagEngine {
             out.push(Effect::Verdict(v.clone()));
         }
         self.verdicts_reported = verdicts.len();
+    }
+
+    /// Records a frame the driver rejected before delivery (decode
+    /// failure, framing violation or misrouting on an untrusted
+    /// transport) and returns the [`Effect::Metric`] it folded into
+    /// [`PagEngine::metrics`], in case the driver streams metrics.
+    ///
+    /// The engine never sees the rejected bytes: rejection happens below
+    /// the protocol, this merely keeps the count with the rest of the
+    /// node's measurements so session outcomes surface it uniformly.
+    pub fn note_frame_rejected(&mut self, round: u64) -> Effect {
+        self.node.metrics_mut().frames_rejected += 1;
+        Effect::Metric(MetricEvent::FrameRejected { round })
     }
 
     /// This engine's node identifier.

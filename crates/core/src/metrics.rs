@@ -46,6 +46,12 @@ pub struct NodeMetrics {
     pub accusations_sent: u64,
     /// Exchanges that completed (served and acknowledged).
     pub exchanges_completed: u64,
+    /// Incoming frames the driver rejected before delivery — bytes that
+    /// failed to decode, violated stream framing, or were addressed to
+    /// another node. Always zero on in-process transports fed only by
+    /// peer engines; a real socket transport counts hostile or corrupt
+    /// traffic here instead of crashing (DESIGN.md §10).
+    pub frames_rejected: u64,
 }
 
 impl NodeMetrics {

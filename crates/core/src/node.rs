@@ -247,6 +247,12 @@ impl PagNode {
         &self.metrics
     }
 
+    /// Mutable metrics access for driver-side accounting (frame
+    /// rejections happen below the protocol, so no handler records them).
+    pub(crate) fn metrics_mut(&mut self) -> &mut NodeMetrics {
+        &mut self.metrics
+    }
+
     /// Verdicts this node emitted in its monitor role.
     pub fn verdicts(&self) -> &[Verdict] {
         self.monitor.verdicts()

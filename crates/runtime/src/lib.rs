@@ -11,16 +11,25 @@
 //!   runtime: one thread per node, channel links carrying byte frames
 //!   produced by the `pag_core::wire` codec, and either lockstep
 //!   (deterministic) or wall-clock timers;
+//! * [`tcp::run_tcp`] — the same per-node runtime over **real TCP
+//!   sockets on loopback**: length-prefixed codec frames, per-stream
+//!   reader threads, and a frame path that rejects (never panics on)
+//!   malformed bytes;
+//! * [`worker`] — the transport-generic node loop both real-time
+//!   drivers share, parameterized over a [`worker::Link`]; new
+//!   transports implement that one trait and inherit timers, lockstep
+//!   barriers, churn, crashes and traffic accounting;
 //! * [`Session`] / [`run_session`] — the one-call harness that builds a
 //!   session, runs it on a selected [`Driver`] and collects verdicts,
 //!   metrics and a driver-neutral [`TrafficReport`];
 //! * [`ChurnSchedule`] — seeded join/leave traces (steady rate, flash
-//!   crowd, mass departure) both drivers replay identically, feeding the
+//!   crowd, mass departure) all drivers replay identically, feeding the
 //!   engine's `Join`/`Leave` inputs (DESIGN.md §9).
 //!
-//! The two drivers execute the same engine byte-for-byte; the
-//! driver-equivalence test in `tests/` holds their verdicts, deliveries
-//! and traffic totals equal. See DESIGN.md §8 for the architecture.
+//! The three drivers execute the same engine byte-for-byte; the
+//! driver-equivalence tests in `tests/` hold their verdicts, deliveries
+//! and traffic totals equal. See DESIGN.md §8 and §10 for the
+//! architecture.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +38,9 @@ pub mod adapter;
 pub mod churn;
 pub mod report;
 pub mod session;
+pub mod tcp;
 pub mod threaded;
+pub mod worker;
 
 pub use adapter::SimnetPag;
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
@@ -37,4 +48,6 @@ pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
 pub use session::{
     run_session, Driver, Session, SessionBuilder, SessionConfig, SessionOutcome,
 };
-pub use threaded::{run_threaded, NetEmulation, ThreadedConfig, ThreadedRun};
+pub use tcp::{run_tcp, TcpConfig, TcpRun};
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedRun};
+pub use worker::{DriverRun, Link, NetEmulation, NetEmulationError};

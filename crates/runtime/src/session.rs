@@ -43,6 +43,7 @@ use pag_simnet::{SimConfig, Simulation};
 use crate::adapter::SimnetPag;
 use crate::churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 use crate::report::TrafficReport;
+use crate::tcp::{run_tcp, TcpConfig};
 use crate::threaded::{run_threaded, ThreadedConfig};
 
 /// The execution substrate a session runs on.
@@ -54,6 +55,10 @@ pub enum Driver {
     /// The multi-threaded in-process runtime (per-node threads, channel
     /// links shipping encoded frames, lockstep or wall-clock timers).
     Threaded(ThreadedConfig),
+    /// The TCP transport: per-node threads linked by real loopback
+    /// sockets carrying length-prefixed codec frames, same lockstep or
+    /// wall-clock timer machinery (see `crate::tcp`).
+    Tcp(TcpConfig),
 }
 
 impl Default for Driver {
@@ -68,6 +73,7 @@ impl Driver {
         match self {
             Driver::Simnet(sim) => sim.seed,
             Driver::Threaded(tc) => tc.seed,
+            Driver::Tcp(tc) => tc.seed,
         }
     }
 }
@@ -364,6 +370,10 @@ pub fn run_session(sc: SessionConfig) -> SessionOutcome {
         }
         Driver::Threaded(tc) => {
             let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, tc);
+            collect_outcome(run.engines, run.report, rounds)
+        }
+        Driver::Tcp(tc) => {
+            let run = run_tcp(&shared, engines, rounds, &sc.crashes, &sc.churn, tc);
             collect_outcome(run.engines, run.report, rounds)
         }
     }

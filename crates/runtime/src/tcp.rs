@@ -1,0 +1,360 @@
+//! The TCP driver: the sans-IO engine on real loopback sockets.
+//!
+//! Same per-node worker as the threaded driver (`crate::worker`), but
+//! the [`Link`] writes **length-prefixed codec frames to TCP streams**
+//! (`pag_core::wire::encode_stream_frame`) and per-stream reader
+//! threads reassemble them with `pag_core::wire::StreamFramer` before
+//! funnelling them back into the worker's envelope queue. Every byte a
+//! node is charged for crosses the kernel's loopback path; nothing
+//! about the protocol, timers, churn or crash semantics changes —
+//! which is the point, and what the three-driver equivalence suite
+//! pins down (verdicts, deliveries and traffic totals identical to the
+//! simulator and the channel driver, lockstep mode).
+//!
+//! # Topology and lifecycle
+//!
+//! Each node binds a listener on `127.0.0.1:0`; the harness then
+//! establishes a **full mesh of duplex streams** (one per node pair,
+//! the lower id connecting) before any worker starts, so session
+//! traffic never races connection setup. After the mesh, each listener
+//! keeps accepting: late connections are untrusted byte sources whose
+//! frames travel the same framer → `decode_frame` → deliver path — and
+//! fail it safely. Malformed or truncated input is dropped and counted
+//! ([`pag_core::engine::MetricEvent::FrameRejected`]); an oversized
+//! length prefix kills the connection (stream sync is lost) after
+//! counting one rejection. No input bytes can panic a node thread.
+//!
+//! Lockstep mode works unchanged over sockets because the quiescence
+//! ledger brackets the socket transit: a sender registers its frame
+//! with the coordinator *before* the `write`, and the receiving worker
+//! marks it done only after processing, so barrier phases wait for
+//! bytes still sitting in kernel buffers.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use pag_core::engine::PagEngine;
+use pag_core::wire::{encode_stream_frame, StreamFramer, MAX_STREAM_FRAME_BYTES};
+use pag_core::SharedContext;
+use pag_membership::NodeId;
+
+use crate::churn::ChurnEvent;
+use crate::report::NodeTraffic;
+use crate::worker::{
+    drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link, NetEmulation, Worker,
+};
+
+/// Outcome of a TCP run (same shape as every real-time driver).
+pub type TcpRun = DriverRun;
+
+/// Configuration of the TCP driver.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Wall-clock round duration in real-time mode (engine timer offsets
+    /// scale by `round_ms / 1000`). Ignored in lockstep mode.
+    pub round_ms: u64,
+    /// Deterministic timer mode: virtual time with quiescence barriers
+    /// instead of the wall clock (works over sockets; see module docs).
+    pub lockstep: bool,
+    /// Session seed for the engines' deterministic randomness.
+    pub seed: u64,
+    /// Optional latency/loss injection, applied in the worker exactly
+    /// like the channel driver's (loss before the socket write, latency
+    /// as a receive-side delay queue).
+    pub net: Option<NetEmulation>,
+    /// Upper bound on one stream frame; a length prefix above it is a
+    /// framing violation that drops the connection. Senders enforce the
+    /// same bound, so conforming peers never trip it.
+    pub max_frame_bytes: usize,
+    /// Test/diagnostics hook: each node's bound listener address is sent
+    /// here **after** the session mesh is fully established (so probes
+    /// connecting in response can never be mistaken for mesh peers).
+    pub addr_probe: Option<Sender<(NodeId, SocketAddr)>>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            round_ms: 1000,
+            lockstep: true,
+            seed: 0,
+            net: None,
+            max_frame_bytes: MAX_STREAM_FRAME_BYTES,
+            addr_probe: None,
+        }
+    }
+}
+
+/// The socket transport: one established write-half per peer.
+struct TcpLink {
+    peers: BTreeMap<NodeId, TcpStream>,
+    max_frame: usize,
+}
+
+impl Link for TcpLink {
+    fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool {
+        let Some(stream) = self.peers.get_mut(&to) else {
+            return false;
+        };
+        // Over-bound frames cannot be produced by a correctly configured
+        // session (the bound is shared with the receive side); treat one
+        // like a closed link rather than poisoning the peer's stream.
+        let Ok(encoded) = encode_stream_frame(&frame, self.max_frame) else {
+            return false;
+        };
+        stream.write_all(&encoded).is_ok()
+    }
+}
+
+impl Drop for TcpLink {
+    fn drop(&mut self) {
+        // Half-close every outbound stream so peer reader threads see
+        // EOF and exit; the read halves of the same sockets stay open
+        // until those peers half-close in turn.
+        for stream in self.peers.values() {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// Reads length-prefixed frames off one stream and forwards them to the
+/// owning node's worker. Truncated input simply waits (and EOF discards
+/// it); a framing violation forwards one [`Envelope::Malformed`] so the
+/// rejection is counted, then drops the connection — reframing after a
+/// bogus length prefix is impossible.
+///
+/// `registered` distinguishes the lockstep ledger's two cases. Mesh
+/// streams (`true`) carry frames a peer worker registered with the
+/// coordinator *before* its socket write, so forwarding must not add
+/// again. Late, untrusted connections (`false`) were registered by
+/// nobody — the reader adds each envelope itself right before
+/// forwarding, so the worker's unconditional `done()` stays balanced
+/// and hostile bytes can never consume a legitimate frame's credit and
+/// release a quiescence barrier early.
+fn read_loop(
+    mut stream: TcpStream,
+    tx: Sender<Envelope>,
+    coord: Option<Arc<Coordination>>,
+    max_frame: usize,
+    registered: bool,
+) {
+    let mut framer = StreamFramer::new(max_frame);
+    let mut chunk = [0u8; 16 * 1024];
+    let forward = |envelope: Envelope| -> bool {
+        if !registered {
+            if let Some(coord) = &coord {
+                coord.add(1);
+            }
+        }
+        if tx.send(envelope).is_ok() {
+            return true;
+        }
+        // The worker is gone; balance the ledger for the envelope it
+        // will never process (a peer's registration or the add above).
+        if let Some(coord) = &coord {
+            coord.done();
+        }
+        false
+    };
+    loop {
+        loop {
+            match framer.next_frame() {
+                Ok(Some(frame)) => {
+                    if !forward(Envelope::Frame { bytes: frame }) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // On a mesh stream this consumes the garbled frame's
+                    // own registration; on an untrusted one `forward`
+                    // adds first.
+                    let _ = forward(Envelope::Malformed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => framer.push(&chunk[..n]),
+        }
+    }
+}
+
+/// Runs `engines` for `rounds` rounds on per-node threads linked by
+/// real TCP streams over loopback.
+///
+/// Contract identical to [`crate::threaded::run_threaded`]: every
+/// engine's node must belong to `shared`'s key roster, `crashes` are
+/// fail-stop rounds and `churn` the scheduled membership changes.
+pub fn run_tcp(
+    shared: &Arc<SharedContext>,
+    engines: Vec<PagEngine>,
+    rounds: u64,
+    crashes: &[(NodeId, u64)],
+    churn: &[ChurnEvent],
+    cfg: &TcpConfig,
+) -> TcpRun {
+    let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
+    let n = ids.len();
+    let coord = cfg.lockstep.then(|| Arc::new(Coordination::new(n)));
+
+    let mut senders: BTreeMap<NodeId, Sender<Envelope>> = BTreeMap::new();
+    let mut receivers = Vec::with_capacity(n);
+    for &id in &ids {
+        let (tx, rx) = channel();
+        senders.insert(id, tx);
+        receivers.push(rx);
+    }
+
+    // One loopback listener per node.
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: BTreeMap<NodeId, SocketAddr> = BTreeMap::new();
+    for &id in &ids {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        addrs.insert(id, listener.local_addr().expect("listener address"));
+        listeners.push(listener);
+    }
+
+    // Full mesh of duplex streams, one per unordered node pair, paired
+    // synchronously on this thread: connect i -> j, then accept on j's
+    // listener — connects are sequential, so the accepted stream is
+    // exactly the one just initiated and no identity handshake is
+    // needed. Each side keeps a cloned write-half (for its TcpLink) and
+    // the original as read-half (for its reader thread).
+    let mut writes: Vec<BTreeMap<NodeId, TcpStream>> =
+        (0..n).map(|_| BTreeMap::new()).collect();
+    let mut reads: Vec<Vec<TcpStream>> = (0..n).map(|_| Vec::new()).collect();
+    for j in 0..n {
+        for i in 0..j {
+            let initiated = TcpStream::connect(addrs[&ids[j]]).expect("connect mesh stream");
+            let (accepted, _) = listeners[j].accept().expect("accept mesh stream");
+            initiated.set_nodelay(true).expect("set nodelay");
+            accepted.set_nodelay(true).expect("set nodelay");
+            writes[i].insert(ids[j], initiated.try_clone().expect("clone write half"));
+            reads[i].push(initiated);
+            writes[j].insert(ids[i], accepted.try_clone().expect("clone write half"));
+            reads[j].push(accepted);
+        }
+    }
+
+    // The mesh is closed; only now advertise addresses (probes that
+    // connect in response land on the accept threads below, never in
+    // the mesh pairing above).
+    if let Some(probe) = &cfg.addr_probe {
+        for (&id, &addr) in &addrs {
+            let _ = probe.send((id, addr));
+        }
+    }
+
+    // Reader threads: one per established inbound stream.
+    for (idx, streams) in reads.into_iter().enumerate() {
+        for stream in streams {
+            let tx = senders[&ids[idx]].clone();
+            let coord = coord.clone();
+            let max = cfg.max_frame_bytes;
+            thread::Builder::new()
+                .name(format!("pag-tcp-read-{}", ids[idx]))
+                .spawn(move || read_loop(stream, tx, coord, max, true))
+                .expect("spawn reader thread");
+        }
+    }
+
+    // Accept threads: keep each listener open for late (untrusted)
+    // connections; their bytes go through the same reject-don't-panic
+    // frame path. A stop flag plus a wake-up connection ends them.
+    let stop_accepting = Arc::new(AtomicBool::new(false));
+    let mut accept_handles = Vec::with_capacity(n);
+    for (idx, listener) in listeners.into_iter().enumerate() {
+        let tx = senders[&ids[idx]].clone();
+        let coord = coord.clone();
+        let stop = Arc::clone(&stop_accepting);
+        let max = cfg.max_frame_bytes;
+        let handle = thread::Builder::new()
+            .name(format!("pag-tcp-accept-{}", ids[idx]))
+            .spawn(move || loop {
+                let Ok((conn, _)) = listener.accept() else {
+                    return;
+                };
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = conn.set_nodelay(true);
+                let tx = tx.clone();
+                let coord = coord.clone();
+                thread::spawn(move || read_loop(conn, tx, coord, max, false));
+            })
+            .expect("spawn accept thread");
+        accept_handles.push(handle);
+    }
+
+    // Workers: identical to the channel driver except for the link.
+    // The epoch starts after mesh setup so connection establishment
+    // never eats into round 0's real-time budget.
+    let epoch = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (idx, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
+        let id = ids[idx];
+        let worker = Worker {
+            idx,
+            id,
+            engine,
+            wire: shared.config.wire.clone(),
+            rx,
+            link: TcpLink {
+                peers: std::mem::take(&mut writes[idx]),
+                max_frame: cfg.max_frame_bytes,
+            },
+            coord: coord.clone(),
+            traffic: NodeTraffic::default(),
+            timers: Vec::new(),
+            timer_seq: 0,
+            now_ms: 0,
+            round: 0,
+            crash_round: crashes
+                .iter()
+                .filter(|(node, _)| *node == id)
+                .map(|&(_, round)| round)
+                .min(),
+            crashed: false,
+            effects: Vec::new(),
+            stash: Vec::new(),
+            buffering: false,
+            epoch,
+            round_ms: cfg.round_ms.max(1),
+            churn: crate::churn::inputs_for(churn, id),
+            net: cfg.net.clone(),
+            net_seed: cfg.seed ^ 0x4E45_5445_4D55,
+            delayed: Vec::new(),
+            delay_seq: 0,
+        };
+        let handle = thread::Builder::new()
+            .name(format!("pag-tcp-{id}"))
+            .spawn(move || worker.run())
+            .expect("spawn node thread");
+        handles.push((id, handle));
+    }
+
+    drive_rounds(&senders, coord.as_ref(), epoch, rounds, cfg.round_ms.max(1));
+    drop(senders);
+
+    // Unblock and retire the accept threads — before joining workers,
+    // whose join re-raises worker panics: the error path must not leak
+    // n blocked accept threads and their bound listeners.
+    stop_accepting.store(true, Ordering::SeqCst);
+    for addr in addrs.values() {
+        let _ = TcpStream::connect(addr);
+    }
+    for handle in accept_handles {
+        let _ = handle.join();
+    }
+
+    join_workers(handles, rounds)
+}

@@ -1,11 +1,19 @@
 //! The threaded driver: a real-time multi-threaded in-process runtime
-//! for the sans-IO engine.
+//! for the sans-IO engine, on **channel** links.
 //!
 //! One OS thread per node; links are unbounded channels carrying
 //! **encoded frames** (`pag_core::wire::encode_frame`), so every byte a
 //! node is charged for actually crosses a thread boundary and is parsed
 //! back with `decode_frame` on arrival — the codec is load-bearing, not
 //! decorative.
+//!
+//! The per-node loop — engine feed, traffic accounting, timers,
+//! [`NetEmulation`] faults, churn announcements, lockstep barriers — is
+//! the transport-generic [`crate::worker`] module; this file only
+//! supplies the [`Link`] implementation (an `mpsc::Sender` per peer)
+//! and the session assembly. The TCP driver (`crate::tcp`) plugs real
+//! sockets into the same worker, which is why the driver-equivalence
+//! suite can hold all transports to identical outcomes.
 //!
 //! Two clock modes:
 //!
@@ -28,89 +36,34 @@
 //! The driver supports fail-stop crashes (a crashed node drops every
 //! envelope from its crash round on, like the simulator), membership
 //! churn (scheduled joins/leaves fed to the subject engine one round
-//! early; see `crate::churn`), and — since the [`NetEmulation`] knob —
-//! latency and loss injection on the channel links, reusing the
-//! simulator's fault parameters:
-//!
-//! * **loss** applies in both clock modes, decided after send-side
-//!   accounting (like simnet: bytes are charged, the frame silently
-//!   vanishes). The decision is a pure function of the seed and the
-//!   frame bytes — not a draw sequence — because within a lockstep
-//!   phase the *order* of a node's sends depends on scheduler
-//!   interleaving; content-keyed loss drops the same frames whatever
-//!   the order, keeping lossy lockstep runs deterministic;
-//! * **latency** applies in real-time mode only — a received frame is
-//!   held in a delay queue until its deadline. Lockstep mode ignores it:
-//!   its quiescence barriers already guarantee same-phase delivery, and
-//!   reordering within a phase is unobservable by design.
+//! early; see `crate::churn`), and latency/loss injection on the links
+//! ([`NetEmulation`]): loss applies in both clock modes, decided after
+//! send-side accounting from a content-keyed hash of the frame bytes
+//! (so lossy lockstep runs stay deterministic whatever the scheduler
+//! interleaving); latency applies in real-time mode only, as a
+//! receive-side delay queue keyed by the same hash.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use pag_core::engine::{Effect, Input, PagEngine};
-use pag_core::messages::CLASS_MEMBERSHIP;
-use pag_core::wire::{decode_frame, encode_frame, TrafficClass};
-use pag_core::{SharedContext, WireConfig};
+use pag_core::engine::PagEngine;
+use pag_core::SharedContext;
 use pag_membership::NodeId;
-use pag_simnet::SimConfig;
 
 use crate::churn::ChurnEvent;
-use crate::report::{NodeTraffic, TrafficReport};
+use crate::report::NodeTraffic;
+use crate::worker::{
+    drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link, Worker,
+};
 
-/// Virtual milliseconds per round in lockstep mode — the one-second
-/// rounds the protocol's timer offsets assume (§VII-A).
-const VIRTUAL_ROUND_MS: u64 = 1000;
+pub use crate::worker::{NetEmulation, NetEmulationError};
 
-/// Network-fault injection on the channel links, mirroring the
-/// simulator's `SimConfig` fields (latency range in protocol
-/// milliseconds, loss probability per frame).
-#[derive(Clone, Debug)]
-pub struct NetEmulation {
-    /// Minimum one-way latency in protocol milliseconds (scaled by
-    /// `round_ms / 1000` like engine timers). Real-time mode only.
-    pub latency_min_ms: u64,
-    /// Maximum one-way latency in protocol milliseconds (uniform in
-    /// `[min, max]`). Real-time mode only.
-    pub latency_max_ms: u64,
-    /// Probability that a frame is silently lost after send-side
-    /// accounting. Applies in both clock modes. Membership
-    /// announcements (`CLASS_MEMBERSHIP`) are exempt: the paper
-    /// assumes a reliable membership substrate, and a lost announce
-    /// would permanently split views (DESIGN.md §9).
-    pub loss_probability: f64,
-}
-
-impl NetEmulation {
-    /// Copies the fault fields of a simulator configuration, so one
-    /// scenario description drives both substrates.
-    pub fn from_sim(sim: &SimConfig) -> Self {
-        NetEmulation {
-            latency_min_ms: (sim.latency_min.as_micros() / 1000) as u64,
-            latency_max_ms: (sim.latency_max.as_micros() / 1000) as u64,
-            loss_probability: sim.loss_probability,
-        }
-    }
-}
-
-/// FNV-1a over the frame bytes folded with the session seed: the
-/// order-independent randomness behind per-frame loss and latency
-/// decisions (frames already carry sender, receiver, type and round in
-/// their header, so distinct frames mix differently).
-fn frame_mix(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
-    for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    pag_membership::mix(h)
-}
-
-/// Maps a 64-bit mix to a uniform float in `[0, 1)`.
-fn mix_unit(h: u64) -> f64 {
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
+/// Outcome of a threaded run (alias of the transport-neutral
+/// [`DriverRun`]; the TCP driver returns the same shape).
+pub type ThreadedRun = DriverRun;
 
 /// Configuration of the threaded driver.
 #[derive(Clone, Debug)]
@@ -138,444 +91,23 @@ impl Default for ThreadedConfig {
     }
 }
 
-/// What node threads exchange: protocol frames and clock commands.
-enum Envelope {
-    /// The gossip clock entered this round.
-    Round(u64),
-    /// An encoded protocol frame. `due_ms` is the emulated-latency
-    /// delivery deadline (scaled ms since the epoch; 0 = immediate —
-    /// always 0 in lockstep mode).
-    Frame {
-        /// Encoded bytes.
-        bytes: Vec<u8>,
-        /// Delivery deadline under latency emulation.
-        due_ms: u64,
-    },
-    /// Lockstep only: release the frames stashed during the last
-    /// round-start or timer phase.
-    ///
-    /// Phase outputs are buffered until every node has processed its own
-    /// phase envelope — otherwise a fast node's `KeyRequest` could reach
-    /// a peer that has not minted its round primes yet, or an eval-phase
-    /// `Nack` could overtake a peer monitor's own evaluation. The
-    /// simulator cannot interleave these either: events at one instant
-    /// all precede any same-instant send's delivery (latency > 0).
-    Flush,
-    /// Lockstep only: fire every timer due at or before this virtual ms.
-    TimersUpTo(u64),
-    /// Shut down and report.
-    Stop,
-}
-
-/// Quiescence tracking for lockstep mode: a count of outstanding
-/// envelopes plus each node's next timer deadline.
-struct Coordination {
-    pending: Mutex<u64>,
-    quiet: Condvar,
-    deadlines: Mutex<Vec<Option<u64>>>,
-    /// Set when a worker panics, so `wait_quiet` unblocks instead of
-    /// waiting forever on work the dead thread can no longer drain; the
-    /// coordinator then joins and propagates the original panic.
-    aborted: std::sync::atomic::AtomicBool,
-}
-
-impl Coordination {
-    fn new(nodes: usize) -> Self {
-        Coordination {
-            pending: Mutex::new(0),
-            quiet: Condvar::new(),
-            deadlines: Mutex::new(vec![None; nodes]),
-            aborted: std::sync::atomic::AtomicBool::new(false),
-        }
-    }
-
-    fn abort(&self) {
-        self.aborted
-            .store(true, std::sync::atomic::Ordering::SeqCst);
-        let _unused = self.pending.lock().expect("pending lock");
-        self.quiet.notify_all();
-    }
-
-    fn is_aborted(&self) -> bool {
-        self.aborted.load(std::sync::atomic::Ordering::SeqCst)
-    }
-
-    /// Registers `n` envelopes about to be enqueued. Always called
-    /// *before* the matching `send`, so the counter can never observe
-    /// zero while work is in flight.
-    fn add(&self, n: u64) {
-        *self.pending.lock().expect("pending lock") += n;
-    }
-
-    /// Marks one envelope fully processed (all its own sends already
-    /// registered).
-    fn done(&self) {
-        let mut p = self.pending.lock().expect("pending lock");
-        *p -= 1;
-        if *p == 0 {
-            self.quiet.notify_all();
-        }
-    }
-
-    /// Blocks until every envelope (and the cascades it spawned) is
-    /// processed, or until a worker aborted.
-    fn wait_quiet(&self) {
-        let mut p = self.pending.lock().expect("pending lock");
-        while *p != 0 && !self.is_aborted() {
-            p = self.quiet.wait(p).expect("pending wait");
-        }
-    }
-
-    fn publish_deadline(&self, idx: usize, deadline: Option<u64>) {
-        self.deadlines.lock().expect("deadline lock")[idx] = deadline;
-    }
-
-    fn min_deadline(&self) -> Option<u64> {
-        self.deadlines
-            .lock()
-            .expect("deadline lock")
-            .iter()
-            .flatten()
-            .copied()
-            .min()
-    }
-}
-
-/// Final state a node thread reports.
-struct WorkerResult {
-    id: NodeId,
-    engine: PagEngine,
-    traffic: NodeTraffic,
-}
-
-/// Outcome of a threaded run: per-node traffic plus the final engines
-/// (verdicts, metrics, stores).
-pub struct ThreadedRun {
-    /// Traffic accounted from real encoded frames.
-    pub report: TrafficReport,
-    /// Final engine states by node.
-    pub engines: BTreeMap<NodeId, PagEngine>,
-}
-
-struct Worker {
-    idx: usize,
-    id: NodeId,
-    engine: PagEngine,
-    wire: WireConfig,
-    rx: Receiver<Envelope>,
+/// The channel transport: one unbounded `mpsc::Sender` per peer, the
+/// same queue the coordinator uses for clock envelopes.
+struct ChannelLink {
     peers: BTreeMap<NodeId, Sender<Envelope>>,
-    coord: Option<Arc<Coordination>>,
-    traffic: NodeTraffic,
-    /// Pending timers: (due, sequence, tag). `due` is virtual ms in
-    /// lockstep mode, scaled ms since `epoch` in real-time mode.
-    timers: Vec<(u64, u64, u64)>,
-    timer_seq: u64,
-    now_ms: u64,
-    crash_round: Option<u64>,
-    crashed: bool,
-    effects: Vec<Effect>,
-    /// Lockstep: frames produced during round start, held for `Flush`.
-    stash: Vec<(NodeId, Vec<u8>, TrafficClass)>,
-    buffering: bool,
-    /// Real-time mode: wall-clock epoch and per-round milliseconds.
-    epoch: Instant,
-    round_ms: u64,
-    /// Churn inputs this node must announce, keyed by announce round
-    /// (= effective round - 1).
-    churn: Vec<(u64, Input)>,
-    /// Link-fault injection (see [`NetEmulation`]).
-    net: Option<NetEmulation>,
-    /// Seed for the content-keyed loss/latency decisions.
-    net_seed: u64,
-    /// Real-time mode: frames held back by latency emulation, as
-    /// (due, arrival order, bytes).
-    delayed: Vec<(u64, u64, Vec<u8>)>,
-    delay_seq: u64,
 }
 
-impl Worker {
-    fn lockstep(&self) -> bool {
-        self.coord.is_some()
-    }
-
-    /// Scales a protocol-ms delay to this driver's clock.
-    fn scale(&self, after_ms: u64) -> u64 {
-        if self.lockstep() {
-            after_ms
-        } else {
-            after_ms * self.round_ms / VIRTUAL_ROUND_MS
-        }
-    }
-
-    fn next_deadline(&self) -> Option<u64> {
-        self.timers.iter().map(|&(due, _, _)| due).min()
-    }
-
-    /// Earliest wake-up in real-time mode: a timer or a delayed frame.
-    fn next_wake(&self) -> Option<u64> {
-        let frames = self.delayed.iter().map(|&(due, _, _)| due).min();
-        match (self.next_deadline(), frames) {
-            (Some(t), Some(f)) => Some(t.min(f)),
-            (t, f) => t.or(f),
-        }
-    }
-
-    /// Delivers every delayed frame due at or before `upto`, in (due,
-    /// arrival) order. Crashed nodes drop them, like live envelopes.
-    fn release_delayed(&mut self, upto: u64) {
-        while let Some(pos) = self
-            .delayed
-            .iter()
-            .enumerate()
-            .filter(|(_, &(due, _, _))| due <= upto)
-            .min_by_key(|(_, &(due, seq, _))| (due, seq))
-            .map(|(i, _)| i)
-        {
-            let (_, _, bytes) = self.delayed.swap_remove(pos);
-            if !self.crashed {
-                self.deliver(bytes);
-            }
-        }
-    }
-
-    /// Runs one engine input and executes the effects: encode + ship
-    /// frames, arm timers.
-    fn feed(&mut self, input: Input) {
-        let mut fx = std::mem::take(&mut self.effects);
-        fx.clear();
-        self.engine.handle_into(input, &mut fx);
-        for effect in fx.drain(..) {
-            match effect {
-                Effect::Send {
-                    to,
-                    msg,
-                    bytes,
-                    class,
-                } => {
-                    let frame = encode_frame(self.id, to, &msg, &self.wire)
-                        .expect("session messages encode under the session wire profile");
-                    debug_assert_eq!(frame.len(), bytes, "codec/accounting divergence");
-                    self.traffic.record_send(frame.len(), class);
-                    if self.buffering {
-                        self.stash.push((to, frame, class));
-                    } else {
-                        self.ship(to, frame, class);
-                    }
-                }
-                Effect::SetTimer { tag, after_ms } => {
-                    let due = self.now_ms + self.scale(after_ms);
-                    self.timers.push((due, self.timer_seq, tag));
-                    self.timer_seq += 1;
-                }
-                // Retained inside the engine; harvested after the run.
-                Effect::Verdict(_) | Effect::Metric(_) => {}
-            }
-        }
-        self.effects = fx;
-    }
-
-    /// Enqueues one frame on a peer's link, applying loss and latency
-    /// emulation. Sends are already accounted by the caller, so a lost
-    /// frame is charged like a frame a dead TCP peer never reads.
-    fn ship(&mut self, to: NodeId, frame: Vec<u8>, class: TrafficClass) {
-        let mut due_ms = 0;
-        if let Some(net) = &self.net {
-            let h = frame_mix(self.net_seed, &frame);
-            if net.loss_probability > 0.0
-                && class != CLASS_MEMBERSHIP
-                && mix_unit(h) < net.loss_probability
-            {
-                return;
-            }
-            if !self.lockstep() && net.latency_max_ms > 0 {
-                // Uniform in the inclusive range [min, max].
-                let draw = net.latency_min_ms
-                    + pag_membership::mix(h)
-                        % (net.latency_max_ms.saturating_sub(net.latency_min_ms) + 1);
-                due_ms = (Instant::now() - self.epoch).as_millis() as u64 + self.scale(draw);
-            }
-        }
-        if let Some(coord) = &self.coord {
-            coord.add(1);
-        }
-        // A receiver that already stopped is fine to lose.
-        if self.peers[&to]
-            .send(Envelope::Frame {
-                bytes: frame,
-                due_ms,
-            })
-            .is_err()
-        {
-            if let Some(coord) = &self.coord {
-                coord.done();
-            }
-        }
-    }
-
-    /// Decodes an incoming frame, accounts it, and delivers it.
-    fn deliver(&mut self, frame: Vec<u8>) {
-        let parsed = decode_frame(&frame, &self.wire).expect("peer frames decode");
-        debug_assert_eq!(parsed.to, self.id, "misrouted frame");
-        self.traffic
-            .record_recv(frame.len(), parsed.msg.body.traffic_class());
-        self.feed(Input::Deliver {
-            from: parsed.from,
-            msg: parsed.msg,
-        });
-    }
-
-    /// Fires every pending timer due at or before `upto`, in (due,
-    /// arming-order) order.
-    fn fire_due(&mut self, upto: u64) {
-        loop {
-            let Some(pos) = self
-                .timers
-                .iter()
-                .enumerate()
-                .filter(|(_, &(due, _, _))| due <= upto)
-                .min_by_key(|(_, &(due, seq, _))| (due, seq))
-                .map(|(i, _)| i)
-            else {
-                return;
-            };
-            let (due, _, tag) = self.timers.swap_remove(pos);
-            self.now_ms = due.max(self.now_ms);
-            self.feed(Input::TimerFired { tag });
-        }
-    }
-
-    fn enter_round(&mut self, round: u64) {
-        if self.lockstep() {
-            self.now_ms = round * VIRTUAL_ROUND_MS;
-        } else {
-            self.now_ms = round * self.round_ms;
-        }
-        if self.crash_round.is_some_and(|cr| round >= cr) {
-            self.crashed = true;
-            self.timers.clear();
-        }
-        if self.crashed {
-            self.delayed.clear();
-        } else {
-            // Lockstep holds round-start frames until the Flush barrier.
-            // Churn announcements scheduled for this round ride in the
-            // same phase, right after the round-start cascade.
-            self.buffering = self.lockstep();
-            self.feed(Input::RoundStart(round));
-            let due: Vec<Input> = self
-                .churn
-                .iter()
-                .filter(|&&(announce, _)| announce == round)
-                .map(|(_, input)| input.clone())
-                .collect();
-            for input in due {
-                self.feed(input);
-            }
-            self.buffering = false;
-        }
-    }
-
-    fn run(mut self) -> WorkerResult {
-        if self.lockstep() {
-            // Unblock the coordinator if this thread dies mid-phase —
-            // the join then surfaces the worker's panic instead of a
-            // deadlocked wait_quiet.
-            struct AbortOnPanic(Arc<Coordination>);
-            impl Drop for AbortOnPanic {
-                fn drop(&mut self) {
-                    if thread::panicking() {
-                        self.0.abort();
-                    }
-                }
-            }
-            let _guard = AbortOnPanic(Arc::clone(self.coord.as_ref().expect("lockstep")));
-            self.run_lockstep();
-        } else {
-            self.run_realtime();
-        }
-        WorkerResult {
-            id: self.id,
-            engine: self.engine,
-            traffic: self.traffic,
-        }
-    }
-
-    fn run_lockstep(&mut self) {
-        let coord = Arc::clone(self.coord.as_ref().expect("lockstep coordination"));
-        while let Ok(envelope) = self.rx.recv() {
-            match envelope {
-                Envelope::Round(round) => self.enter_round(round),
-                Envelope::Frame { bytes, .. } => {
-                    // Lockstep: latency is not emulated; deliver in-phase.
-                    if !self.crashed {
-                        self.deliver(bytes);
-                    }
-                }
-                Envelope::Flush => {
-                    for (to, frame, class) in std::mem::take(&mut self.stash) {
-                        self.ship(to, frame, class);
-                    }
-                }
-                Envelope::TimersUpTo(upto) => {
-                    if !self.crashed {
-                        self.buffering = true;
-                        self.fire_due(upto);
-                        self.buffering = false;
-                    }
-                }
-                Envelope::Stop => break,
-            }
-            coord.publish_deadline(self.idx, self.next_deadline());
-            coord.done();
-        }
-    }
-
-    fn run_realtime(&mut self) {
-        loop {
-            let envelope = match self.next_wake() {
-                Some(due) => {
-                    let due_at = self.epoch + Duration::from_millis(due);
-                    let now = Instant::now();
-                    if due_at <= now {
-                        let upto = (now - self.epoch).as_millis() as u64;
-                        self.release_delayed(upto);
-                        if self.crashed {
-                            self.timers.clear();
-                        } else {
-                            self.fire_due(upto);
-                        }
-                        continue;
-                    }
-                    match self.rx.recv_timeout(due_at - now) {
-                        Ok(envelope) => envelope,
-                        Err(RecvTimeoutError::Timeout) => continue,
-                        Err(RecvTimeoutError::Disconnected) => return,
-                    }
-                }
-                None => match self.rx.recv() {
-                    Ok(envelope) => envelope,
-                    Err(_) => return,
-                },
-            };
-            match envelope {
-                Envelope::Round(round) => self.enter_round(round),
-                Envelope::Frame { bytes, due_ms } => {
-                    let now = (Instant::now() - self.epoch).as_millis() as u64;
-                    if due_ms > now {
-                        self.delayed.push((due_ms, self.delay_seq, bytes));
-                        self.delay_seq += 1;
-                    } else if !self.crashed {
-                        self.deliver(bytes);
-                    }
-                }
-                Envelope::Flush | Envelope::TimersUpTo(_) => {}
-                Envelope::Stop => return,
-            }
+impl Link for ChannelLink {
+    fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool {
+        match self.peers.get(&to) {
+            Some(tx) => tx.send(Envelope::Frame { bytes: frame }).is_ok(),
+            None => false,
         }
     }
 }
 
-/// Runs `engines` for `rounds` rounds on per-node threads.
+/// Runs `engines` for `rounds` rounds on per-node threads with channel
+/// links.
 ///
 /// Every engine's node must belong to `shared`'s key roster (initial
 /// members plus scheduled joiners); `crashes` are fail-stop rounds per
@@ -613,12 +145,15 @@ pub fn run_threaded(
             engine,
             wire: shared.config.wire.clone(),
             rx,
-            peers: senders.clone(),
+            link: ChannelLink {
+                peers: senders.clone(),
+            },
             coord: coord.clone(),
             traffic: NodeTraffic::default(),
             timers: Vec::new(),
             timer_seq: 0,
             now_ms: 0,
+            round: 0,
             crash_round: crashes
                 .iter()
                 .filter(|(node, _)| *node == id)
@@ -640,75 +175,10 @@ pub fn run_threaded(
             .name(format!("pag-{id}"))
             .spawn(move || worker.run())
             .expect("spawn node thread");
-        handles.push(handle);
+        handles.push((id, handle));
     }
 
-    let broadcast = |envelope_of: &dyn Fn() -> Envelope| {
-        for tx in senders.values() {
-            let _ = tx.send(envelope_of());
-        }
-    };
-
-    match &coord {
-        Some(coord) => {
-            // Deterministic lockstep: barrier per round start, then one
-            // barrier per distinct timer deadline within the round.
-            'rounds: for round in 0..rounds {
-                coord.add(n as u64);
-                broadcast(&|| Envelope::Round(round));
-                coord.wait_quiet();
-                // Every node started the round; now release the stashed
-                // round-start frames and let the cascades settle.
-                coord.add(n as u64);
-                broadcast(&|| Envelope::Flush);
-                coord.wait_quiet();
-                let round_end = (round + 1) * VIRTUAL_ROUND_MS;
-                while let Some(deadline) = coord.min_deadline() {
-                    if deadline >= round_end || coord.is_aborted() {
-                        break;
-                    }
-                    coord.add(n as u64);
-                    broadcast(&|| Envelope::TimersUpTo(deadline));
-                    coord.wait_quiet();
-                    coord.add(n as u64);
-                    broadcast(&|| Envelope::Flush);
-                    coord.wait_quiet();
-                }
-                if coord.is_aborted() {
-                    break 'rounds;
-                }
-            }
-        }
-        None => {
-            // Real time: rounds tick on the wall clock; one trailing
-            // round lets late timers (offsets < 1 round) fire.
-            let round_ms = cfg.round_ms.max(1);
-            for round in 0..rounds {
-                broadcast(&|| Envelope::Round(round));
-                let next = epoch + Duration::from_millis((round + 1) * round_ms);
-                thread::sleep(next.saturating_duration_since(Instant::now()));
-            }
-            thread::sleep(Duration::from_millis(round_ms));
-        }
-    }
-
-    broadcast(&|| Envelope::Stop);
+    drive_rounds(&senders, coord.as_ref(), epoch, rounds, cfg.round_ms.max(1));
     drop(senders);
-
-    let mut per_node = BTreeMap::new();
-    let mut engines = BTreeMap::new();
-    for handle in handles {
-        let result = handle.join().expect("node thread panicked");
-        per_node.insert(result.id, result.traffic);
-        engines.insert(result.id, result.engine);
-    }
-
-    ThreadedRun {
-        report: TrafficReport {
-            duration: rounds as f64,
-            rounds,
-            per_node,
-        },
-        engines,
-    }
+    join_workers(handles, rounds)
 }

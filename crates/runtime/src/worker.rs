@@ -1,0 +1,803 @@
+//! The transport-generic per-node worker behind every real-time driver.
+//!
+//! PR 2's threaded driver and PR 4's TCP driver run the *same* node
+//! loop: feed the sans-IO engine, account traffic from encoded frames,
+//! apply [`NetEmulation`] faults, announce churn, and participate in
+//! the lockstep barrier protocol. This module owns that loop — a
+//! [`Worker`] parameterized over a [`Link`], the one trait a transport
+//! implements to join the family:
+//!
+//! * the **channel** link (`threaded.rs`) pushes encoded frames onto a
+//!   peer's unbounded in-process channel;
+//! * the **socket** link (`tcp.rs`) writes length-prefixed frames to a
+//!   real TCP stream on loopback, with reader threads funnelling
+//!   incoming frames back into the worker's envelope queue.
+//!
+//! Because timers, barriers, crash semantics, churn feeds and traffic
+//! accounting all live here, driver equivalence (identical verdicts,
+//! deliveries and traffic totals across Simnet, Threaded and Tcp) is a
+//! property of one code path, enforced for all transports by
+//! `tests/driver_equivalence.rs`.
+//!
+//! **The frame path never panics on input.** Incoming bytes that fail
+//! [`decode_frame`], violate stream framing (surfaced by the transport
+//! as [`Envelope::Malformed`]) or address another node are dropped and
+//! counted via [`PagEngine::note_frame_rejected`] — mandatory the
+//! moment bytes arrive from a socket rather than a peer engine.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use pag_core::engine::{Effect, Input, PagEngine};
+use pag_core::messages::CLASS_MEMBERSHIP;
+use pag_core::wire::{decode_frame, encode_frame, TrafficClass};
+use pag_core::WireConfig;
+use pag_membership::NodeId;
+use pag_simnet::SimConfig;
+
+use crate::report::{NodeTraffic, TrafficReport};
+
+/// Virtual milliseconds per round in lockstep mode — the one-second
+/// rounds the protocol's timer offsets assume (§VII-A).
+pub(crate) const VIRTUAL_ROUND_MS: u64 = 1000;
+
+/// A misconfigured [`NetEmulation`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetEmulationError {
+    /// `latency_max_ms` is below `latency_min_ms` — an empty jitter
+    /// range the driver refuses to silently collapse.
+    LatencyRange {
+        /// Configured minimum (protocol ms).
+        min: u64,
+        /// Configured maximum (protocol ms).
+        max: u64,
+    },
+    /// The loss probability is not a finite value in `[0, 1]`.
+    LossProbability(
+        /// The offending value.
+        f64,
+    ),
+}
+
+impl std::fmt::Display for NetEmulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetEmulationError::LatencyRange { min, max } => write!(
+                f,
+                "latency range is empty: max {max} ms < min {min} ms"
+            ),
+            NetEmulationError::LossProbability(p) => {
+                write!(f, "loss probability {p} is not a finite value in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetEmulationError {}
+
+/// Network-fault injection on the links, mirroring the simulator's
+/// `SimConfig` fields (latency range in protocol milliseconds, loss
+/// probability per frame). Construct via [`NetEmulation::new`] or
+/// [`NetEmulation::from_sim`] — both validate, so an emulation that
+/// exists is well-formed.
+#[derive(Clone, Debug)]
+pub struct NetEmulation {
+    /// Minimum one-way latency in protocol milliseconds (scaled by
+    /// `round_ms / 1000` like engine timers). Real-time mode only.
+    pub(crate) latency_min_ms: u64,
+    /// Maximum one-way latency in protocol milliseconds (uniform in
+    /// `[min, max]`). Real-time mode only.
+    pub(crate) latency_max_ms: u64,
+    /// Probability that a frame is silently lost after send-side
+    /// accounting. Applies in both clock modes. Membership
+    /// announcements (`CLASS_MEMBERSHIP`) are exempt: the paper
+    /// assumes a reliable membership substrate, and a lost announce
+    /// would permanently split views (DESIGN.md §9).
+    pub(crate) loss_probability: f64,
+}
+
+impl NetEmulation {
+    /// Validates and builds an emulation profile: uniform one-way
+    /// latency in `[latency_min_ms, latency_max_ms]` (protocol ms,
+    /// real-time mode only) and per-frame `loss_probability` in
+    /// `[0, 1]`.
+    pub fn new(
+        latency_min_ms: u64,
+        latency_max_ms: u64,
+        loss_probability: f64,
+    ) -> Result<Self, NetEmulationError> {
+        if latency_max_ms < latency_min_ms {
+            return Err(NetEmulationError::LatencyRange {
+                min: latency_min_ms,
+                max: latency_max_ms,
+            });
+        }
+        if !loss_probability.is_finite() || !(0.0..=1.0).contains(&loss_probability) {
+            return Err(NetEmulationError::LossProbability(loss_probability));
+        }
+        Ok(NetEmulation {
+            latency_min_ms,
+            latency_max_ms,
+            loss_probability,
+        })
+    }
+
+    /// A loss-only profile (no latency emulation).
+    pub fn loss(probability: f64) -> Result<Self, NetEmulationError> {
+        NetEmulation::new(0, 0, probability)
+    }
+
+    /// Copies the fault fields of a simulator configuration, so one
+    /// scenario description drives every substrate. Fails like
+    /// [`NetEmulation::new`] when the simulator profile itself is
+    /// inverted or out of range.
+    pub fn from_sim(sim: &SimConfig) -> Result<Self, NetEmulationError> {
+        NetEmulation::new(
+            (sim.latency_min.as_micros() / 1000) as u64,
+            (sim.latency_max.as_micros() / 1000) as u64,
+            sim.loss_probability,
+        )
+    }
+
+    /// Minimum emulated one-way latency (protocol ms).
+    pub fn latency_min_ms(&self) -> u64 {
+        self.latency_min_ms
+    }
+
+    /// Maximum emulated one-way latency (protocol ms).
+    pub fn latency_max_ms(&self) -> u64 {
+        self.latency_max_ms
+    }
+
+    /// Per-frame loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+}
+
+/// FNV-1a over the frame bytes folded with the session seed: the
+/// order-independent randomness behind per-frame loss and latency
+/// decisions (frames already carry sender, receiver, type and round in
+/// their header, so distinct frames mix differently).
+pub(crate) fn frame_mix(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    pag_membership::mix(h)
+}
+
+/// Maps a 64-bit mix to a uniform float in `[0, 1)`.
+pub(crate) fn mix_unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One transport's outbound half: ships an encoded frame to a peer.
+///
+/// Loss emulation, lockstep bookkeeping and traffic accounting all
+/// happen in the [`Worker`] *before* this is called — an implementation
+/// only moves bytes. Returning `false` means the peer's link is gone (a
+/// stopped worker, a closed socket); the worker then balances the
+/// lockstep ledger for the frame that will never be processed.
+pub trait Link: Send {
+    /// Ships one encoded frame to `to`; `false` when the link is closed.
+    fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool;
+}
+
+/// What node workers receive: protocol frames and clock commands.
+pub(crate) enum Envelope {
+    /// The gossip clock entered this round.
+    Round(u64),
+    /// An encoded protocol frame, exactly as it crossed the link. The
+    /// worker decodes it (rejecting undecodable bytes) and applies
+    /// receive-side latency emulation.
+    Frame {
+        /// Encoded bytes.
+        bytes: Vec<u8>,
+    },
+    /// The transport detected a framing violation on this node's inbound
+    /// path (oversized length prefix on a socket): no frame bytes exist
+    /// to decode, but the rejection must still be counted.
+    Malformed,
+    /// Lockstep only: release the frames stashed during the last
+    /// round-start or timer phase.
+    ///
+    /// Phase outputs are buffered until every node has processed its own
+    /// phase envelope — otherwise a fast node's `KeyRequest` could reach
+    /// a peer that has not minted its round primes yet, or an eval-phase
+    /// `Nack` could overtake a peer monitor's own evaluation. The
+    /// simulator cannot interleave these either: events at one instant
+    /// all precede any same-instant send's delivery (latency > 0).
+    Flush,
+    /// Lockstep only: fire every timer due at or before this virtual ms.
+    TimersUpTo(u64),
+    /// Shut down and report.
+    Stop,
+}
+
+/// Quiescence tracking for lockstep mode: a count of outstanding
+/// envelopes plus each node's next timer deadline.
+pub(crate) struct Coordination {
+    pending: Mutex<u64>,
+    quiet: Condvar,
+    deadlines: Mutex<Vec<Option<u64>>>,
+    /// Set when a worker panics, so `wait_quiet` unblocks instead of
+    /// waiting forever on work the dead thread can no longer drain; the
+    /// coordinator then joins and propagates the original panic.
+    aborted: std::sync::atomic::AtomicBool,
+}
+
+impl Coordination {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Coordination {
+            pending: Mutex::new(0),
+            quiet: Condvar::new(),
+            deadlines: Mutex::new(vec![None; nodes]),
+            aborted: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn abort(&self) {
+        self.aborted
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let _unused = self.pending.lock().expect("pending lock");
+        self.quiet.notify_all();
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Registers `n` envelopes about to be enqueued. Always called
+    /// *before* the matching `send`, so the counter can never observe
+    /// zero while work is in flight.
+    pub(crate) fn add(&self, n: u64) {
+        *self.pending.lock().expect("pending lock") += n;
+    }
+
+    /// Marks one envelope fully processed (all its own sends already
+    /// registered). Every forwarding path registers its envelopes
+    /// (senders before the link write, transports before forwarding
+    /// unsolicited input), so the counter is balanced by construction;
+    /// saturating arithmetic is a backstop so a bookkeeping bug in a
+    /// future transport degrades determinism instead of wrapping the
+    /// ledger and deadlocking `wait_quiet`.
+    pub(crate) fn done(&self) {
+        let mut p = self.pending.lock().expect("pending lock");
+        *p = p.saturating_sub(1);
+        if *p == 0 {
+            self.quiet.notify_all();
+        }
+    }
+
+    /// Blocks until every envelope (and the cascades it spawned) is
+    /// processed, or until a worker aborted.
+    pub(crate) fn wait_quiet(&self) {
+        let mut p = self.pending.lock().expect("pending lock");
+        while *p != 0 && !self.is_aborted() {
+            p = self.quiet.wait(p).expect("pending wait");
+        }
+    }
+
+    fn publish_deadline(&self, idx: usize, deadline: Option<u64>) {
+        self.deadlines.lock().expect("deadline lock")[idx] = deadline;
+    }
+
+    fn min_deadline(&self) -> Option<u64> {
+        self.deadlines
+            .lock()
+            .expect("deadline lock")
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+    }
+}
+
+/// Final state a node worker reports.
+pub(crate) struct WorkerResult {
+    pub(crate) id: NodeId,
+    pub(crate) engine: PagEngine,
+    pub(crate) traffic: NodeTraffic,
+}
+
+/// Outcome of a real-time run on any transport: per-node traffic plus
+/// the final engines (verdicts, metrics, stores).
+pub struct DriverRun {
+    /// Traffic accounted from real encoded frames.
+    pub report: TrafficReport,
+    /// Final engine states by node.
+    pub engines: BTreeMap<NodeId, PagEngine>,
+}
+
+/// The per-node worker loop, generic over the outbound transport.
+pub(crate) struct Worker<L: Link> {
+    pub(crate) idx: usize,
+    pub(crate) id: NodeId,
+    pub(crate) engine: PagEngine,
+    pub(crate) wire: WireConfig,
+    pub(crate) rx: Receiver<Envelope>,
+    pub(crate) link: L,
+    pub(crate) coord: Option<Arc<Coordination>>,
+    pub(crate) traffic: NodeTraffic,
+    /// Pending timers: (due, sequence, tag). `due` is virtual ms in
+    /// lockstep mode, scaled ms since `epoch` in real-time mode.
+    pub(crate) timers: Vec<(u64, u64, u64)>,
+    pub(crate) timer_seq: u64,
+    pub(crate) now_ms: u64,
+    /// Last round entered (for the `FrameRejected` metric's timestamp).
+    pub(crate) round: u64,
+    pub(crate) crash_round: Option<u64>,
+    pub(crate) crashed: bool,
+    pub(crate) effects: Vec<Effect>,
+    /// Lockstep: frames produced during round start, held for `Flush`.
+    pub(crate) stash: Vec<(NodeId, Vec<u8>, TrafficClass)>,
+    pub(crate) buffering: bool,
+    /// Real-time mode: wall-clock epoch and per-round milliseconds.
+    pub(crate) epoch: Instant,
+    pub(crate) round_ms: u64,
+    /// Churn inputs this node must announce, keyed by announce round
+    /// (= effective round - 1).
+    pub(crate) churn: Vec<(u64, Input)>,
+    /// Link-fault injection (see [`NetEmulation`]).
+    pub(crate) net: Option<NetEmulation>,
+    /// Seed for the content-keyed loss/latency decisions.
+    pub(crate) net_seed: u64,
+    /// Real-time mode: frames held back by latency emulation, as
+    /// (due, arrival order, bytes).
+    pub(crate) delayed: Vec<(u64, u64, Vec<u8>)>,
+    pub(crate) delay_seq: u64,
+}
+
+impl<L: Link> Worker<L> {
+    fn lockstep(&self) -> bool {
+        self.coord.is_some()
+    }
+
+    /// Scales a protocol-ms delay to this driver's clock.
+    fn scale(&self, after_ms: u64) -> u64 {
+        if self.lockstep() {
+            after_ms
+        } else {
+            after_ms * self.round_ms / VIRTUAL_ROUND_MS
+        }
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        self.timers.iter().map(|&(due, _, _)| due).min()
+    }
+
+    /// Earliest wake-up in real-time mode: a timer or a delayed frame.
+    fn next_wake(&self) -> Option<u64> {
+        let frames = self.delayed.iter().map(|&(due, _, _)| due).min();
+        match (self.next_deadline(), frames) {
+            (Some(t), Some(f)) => Some(t.min(f)),
+            (t, f) => t.or(f),
+        }
+    }
+
+    /// Delivers every delayed frame due at or before `upto`, in (due,
+    /// arrival) order. Crashed nodes drop them, like live envelopes.
+    fn release_delayed(&mut self, upto: u64) {
+        while let Some(pos) = self
+            .delayed
+            .iter()
+            .enumerate()
+            .filter(|(_, &(due, _, _))| due <= upto)
+            .min_by_key(|(_, &(due, seq, _))| (due, seq))
+            .map(|(i, _)| i)
+        {
+            let (_, _, bytes) = self.delayed.swap_remove(pos);
+            if !self.crashed {
+                self.deliver(bytes);
+            }
+        }
+    }
+
+    /// Runs one engine input and executes the effects: encode + ship
+    /// frames, arm timers.
+    fn feed(&mut self, input: Input) {
+        let mut fx = std::mem::take(&mut self.effects);
+        fx.clear();
+        self.engine.handle_into(input, &mut fx);
+        for effect in fx.drain(..) {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    bytes,
+                    class,
+                } => {
+                    let frame = encode_frame(self.id, to, &msg, &self.wire)
+                        .expect("session messages encode under the session wire profile");
+                    debug_assert_eq!(frame.len(), bytes, "codec/accounting divergence");
+                    self.traffic.record_send(frame.len(), class);
+                    if self.buffering {
+                        self.stash.push((to, frame, class));
+                    } else {
+                        self.ship(to, frame, class);
+                    }
+                }
+                Effect::SetTimer { tag, after_ms } => {
+                    let due = self.now_ms + self.scale(after_ms);
+                    self.timers.push((due, self.timer_seq, tag));
+                    self.timer_seq += 1;
+                }
+                // Retained inside the engine; harvested after the run.
+                Effect::Verdict(_) | Effect::Metric(_) => {}
+            }
+        }
+        self.effects = fx;
+    }
+
+    /// Enqueues one frame on the peer link, applying loss emulation.
+    /// Sends are already accounted by the caller, so a lost frame is
+    /// charged like a frame a dead TCP peer never reads.
+    fn ship(&mut self, to: NodeId, frame: Vec<u8>, class: TrafficClass) {
+        if let Some(net) = &self.net {
+            if net.loss_probability > 0.0
+                && class != CLASS_MEMBERSHIP
+                && mix_unit(frame_mix(self.net_seed, &frame)) < net.loss_probability
+            {
+                return;
+            }
+        }
+        if let Some(coord) = &self.coord {
+            coord.add(1);
+        }
+        // A receiver that already stopped is fine to lose.
+        if !self.link.send_frame(to, frame) {
+            if let Some(coord) = &self.coord {
+                coord.done();
+            }
+        }
+    }
+
+    /// Receive-side latency emulation: the deadline (scaled ms since the
+    /// epoch) a just-arrived frame becomes deliverable at, or 0 for
+    /// immediate delivery. Content-keyed like loss, so the delay is the
+    /// same whatever the arrival interleaving; lockstep mode ignores
+    /// latency entirely (its quiescence barriers already guarantee
+    /// same-phase delivery, and reordering within a phase is
+    /// unobservable by design).
+    fn arrival_due_ms(&self, bytes: &[u8]) -> u64 {
+        let Some(net) = &self.net else { return 0 };
+        if self.lockstep() || net.latency_max_ms == 0 {
+            return 0;
+        }
+        let h = frame_mix(self.net_seed, bytes);
+        // Uniform in the inclusive range [min, max] (non-empty by
+        // construction: NetEmulation validates max >= min).
+        let draw = net.latency_min_ms
+            + pag_membership::mix(h) % (net.latency_max_ms - net.latency_min_ms + 1);
+        (Instant::now() - self.epoch).as_millis() as u64 + self.scale(draw)
+    }
+
+    /// Counts one rejected incoming frame (undecodable, misrouted, or a
+    /// transport-level framing violation) instead of delivering it.
+    fn reject_frame(&mut self) {
+        let _metric = self.engine.note_frame_rejected(self.round);
+    }
+
+    /// Decodes an incoming frame, accounts it, and delivers it. Bytes
+    /// that do not decode, or frames addressed to another node, are
+    /// dropped and counted — never a panic, whatever the transport
+    /// carried them.
+    fn deliver(&mut self, frame: Vec<u8>) {
+        let parsed = match decode_frame(&frame, &self.wire) {
+            Ok(parsed) if parsed.to == self.id => parsed,
+            Ok(_misrouted) => return self.reject_frame(),
+            Err(_) => return self.reject_frame(),
+        };
+        self.traffic
+            .record_recv(frame.len(), parsed.msg.body.traffic_class());
+        self.feed(Input::Deliver {
+            from: parsed.from,
+            msg: parsed.msg,
+        });
+    }
+
+    /// Fires every pending timer due at or before `upto`, in (due,
+    /// arming-order) order.
+    fn fire_due(&mut self, upto: u64) {
+        loop {
+            let Some(pos) = self
+                .timers
+                .iter()
+                .enumerate()
+                .filter(|(_, &(due, _, _))| due <= upto)
+                .min_by_key(|(_, &(due, seq, _))| (due, seq))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let (due, _, tag) = self.timers.swap_remove(pos);
+            self.now_ms = due.max(self.now_ms);
+            self.feed(Input::TimerFired { tag });
+        }
+    }
+
+    fn enter_round(&mut self, round: u64) {
+        self.round = round;
+        if self.lockstep() {
+            self.now_ms = round * VIRTUAL_ROUND_MS;
+        } else {
+            self.now_ms = round * self.round_ms;
+        }
+        if self.crash_round.is_some_and(|cr| round >= cr) {
+            self.crashed = true;
+            self.timers.clear();
+        }
+        if self.crashed {
+            self.delayed.clear();
+        } else {
+            // Lockstep holds round-start frames until the Flush barrier.
+            // Churn announcements scheduled for this round ride in the
+            // same phase, right after the round-start cascade.
+            self.buffering = self.lockstep();
+            self.feed(Input::RoundStart(round));
+            let due: Vec<Input> = self
+                .churn
+                .iter()
+                .filter(|&&(announce, _)| announce == round)
+                .map(|(_, input)| input.clone())
+                .collect();
+            for input in due {
+                self.feed(input);
+            }
+            self.buffering = false;
+        }
+    }
+
+    pub(crate) fn run(mut self) -> WorkerResult {
+        if self.lockstep() {
+            // Unblock the coordinator if this thread dies mid-phase —
+            // the join then surfaces the worker's panic instead of a
+            // deadlocked wait_quiet.
+            struct AbortOnPanic(Arc<Coordination>);
+            impl Drop for AbortOnPanic {
+                fn drop(&mut self) {
+                    if thread::panicking() {
+                        self.0.abort();
+                    }
+                }
+            }
+            let _guard = AbortOnPanic(Arc::clone(self.coord.as_ref().expect("lockstep")));
+            self.run_lockstep();
+        } else {
+            self.run_realtime();
+        }
+        WorkerResult {
+            id: self.id,
+            engine: self.engine,
+            traffic: self.traffic,
+        }
+    }
+
+    fn run_lockstep(&mut self) {
+        let coord = Arc::clone(self.coord.as_ref().expect("lockstep coordination"));
+        while let Ok(envelope) = self.rx.recv() {
+            match envelope {
+                Envelope::Round(round) => self.enter_round(round),
+                Envelope::Frame { bytes } => {
+                    // Lockstep: latency is not emulated; deliver in-phase.
+                    if !self.crashed {
+                        self.deliver(bytes);
+                    }
+                }
+                Envelope::Malformed => self.reject_frame(),
+                Envelope::Flush => {
+                    for (to, frame, class) in std::mem::take(&mut self.stash) {
+                        self.ship(to, frame, class);
+                    }
+                }
+                Envelope::TimersUpTo(upto) => {
+                    if !self.crashed {
+                        self.buffering = true;
+                        self.fire_due(upto);
+                        self.buffering = false;
+                    }
+                }
+                Envelope::Stop => break,
+            }
+            coord.publish_deadline(self.idx, self.next_deadline());
+            coord.done();
+        }
+    }
+
+    fn run_realtime(&mut self) {
+        loop {
+            let envelope = match self.next_wake() {
+                Some(due) => {
+                    let due_at = self.epoch + Duration::from_millis(due);
+                    let now = Instant::now();
+                    if due_at <= now {
+                        let upto = (now - self.epoch).as_millis() as u64;
+                        self.release_delayed(upto);
+                        if self.crashed {
+                            self.timers.clear();
+                        } else {
+                            self.fire_due(upto);
+                        }
+                        continue;
+                    }
+                    match self.rx.recv_timeout(due_at - now) {
+                        Ok(envelope) => envelope,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(envelope) => envelope,
+                    Err(_) => return,
+                },
+            };
+            match envelope {
+                Envelope::Round(round) => self.enter_round(round),
+                Envelope::Frame { bytes } => {
+                    let due_ms = self.arrival_due_ms(&bytes);
+                    let now = (Instant::now() - self.epoch).as_millis() as u64;
+                    if due_ms > now {
+                        self.delayed.push((due_ms, self.delay_seq, bytes));
+                        self.delay_seq += 1;
+                    } else if !self.crashed {
+                        self.deliver(bytes);
+                    }
+                }
+                Envelope::Malformed => self.reject_frame(),
+                Envelope::Flush | Envelope::TimersUpTo(_) => {}
+                Envelope::Stop => return,
+            }
+        }
+    }
+}
+
+/// Drives the session clock over already-spawned workers: lockstep
+/// barrier phases when `coord` is present, wall-clock round ticks
+/// otherwise, then a `Stop` broadcast. Shared verbatim by every
+/// transport — the barrier protocol is what makes lockstep runs
+/// deterministic, so there is exactly one copy of it.
+pub(crate) fn drive_rounds(
+    senders: &BTreeMap<NodeId, Sender<Envelope>>,
+    coord: Option<&Arc<Coordination>>,
+    epoch: Instant,
+    rounds: u64,
+    round_ms: u64,
+) {
+    let n = senders.len();
+    let broadcast = |envelope_of: &dyn Fn() -> Envelope| {
+        for tx in senders.values() {
+            let _ = tx.send(envelope_of());
+        }
+    };
+
+    match coord {
+        Some(coord) => {
+            // Deterministic lockstep: barrier per round start, then one
+            // barrier per distinct timer deadline within the round.
+            'rounds: for round in 0..rounds {
+                coord.add(n as u64);
+                broadcast(&|| Envelope::Round(round));
+                coord.wait_quiet();
+                // Every node started the round; now release the stashed
+                // round-start frames and let the cascades settle.
+                coord.add(n as u64);
+                broadcast(&|| Envelope::Flush);
+                coord.wait_quiet();
+                let round_end = (round + 1) * VIRTUAL_ROUND_MS;
+                while let Some(deadline) = coord.min_deadline() {
+                    if deadline >= round_end || coord.is_aborted() {
+                        break;
+                    }
+                    coord.add(n as u64);
+                    broadcast(&|| Envelope::TimersUpTo(deadline));
+                    coord.wait_quiet();
+                    coord.add(n as u64);
+                    broadcast(&|| Envelope::Flush);
+                    coord.wait_quiet();
+                }
+                if coord.is_aborted() {
+                    break 'rounds;
+                }
+            }
+        }
+        None => {
+            // Real time: rounds tick on the wall clock; one trailing
+            // round lets late timers (offsets < 1 round) fire.
+            for round in 0..rounds {
+                broadcast(&|| Envelope::Round(round));
+                let next = epoch + Duration::from_millis((round + 1) * round_ms);
+                thread::sleep(next.saturating_duration_since(Instant::now()));
+            }
+            thread::sleep(Duration::from_millis(round_ms));
+        }
+    }
+
+    broadcast(&|| Envelope::Stop);
+}
+
+/// Joins every worker thread and assembles the run outcome.
+///
+/// A panicking node no longer surfaces as an opaque
+/// `expect("node thread panicked")`: the join collects **which** nodes
+/// died and their panic payloads, and re-raises one message naming them
+/// all, so a crash in a 50-thread session points at the culprit.
+pub(crate) fn join_workers(
+    handles: Vec<(NodeId, JoinHandle<WorkerResult>)>,
+    rounds: u64,
+) -> DriverRun {
+    let mut per_node = BTreeMap::new();
+    let mut engines = BTreeMap::new();
+    let mut panics: Vec<String> = Vec::new();
+    for (id, handle) in handles {
+        match handle.join() {
+            Ok(result) => {
+                per_node.insert(result.id, result.traffic);
+                engines.insert(result.id, result.engine);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                panics.push(format!("node {id}: {msg}"));
+            }
+        }
+    }
+    if !panics.is_empty() {
+        panic!("node thread(s) panicked — {}", panics.join("; "));
+    }
+    DriverRun {
+        report: TrafficReport {
+            duration: rounds as f64,
+            rounds,
+            per_node,
+        },
+        engines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_emulation_rejects_inverted_latency_range() {
+        assert!(matches!(
+            NetEmulation::new(60, 10, 0.0),
+            Err(NetEmulationError::LatencyRange { min: 60, max: 10 })
+        ));
+        assert!(NetEmulation::new(10, 60, 0.0).is_ok());
+        assert!(NetEmulation::new(10, 10, 0.5).is_ok(), "degenerate range is fine");
+    }
+
+    #[test]
+    fn net_emulation_rejects_bad_loss_probability() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    NetEmulation::loss(bad),
+                    Err(NetEmulationError::LossProbability(_))
+                ),
+                "accepted loss probability {bad}"
+            );
+        }
+        assert!(NetEmulation::loss(0.0).is_ok());
+        assert!(NetEmulation::loss(1.0).is_ok());
+    }
+
+    #[test]
+    fn from_sim_validates_the_copied_fields() {
+        let mut sim = SimConfig::default();
+        assert!(NetEmulation::from_sim(&sim).is_ok());
+        std::mem::swap(&mut sim.latency_min, &mut sim.latency_max);
+        assert!(matches!(
+            NetEmulation::from_sim(&sim),
+            Err(NetEmulationError::LatencyRange { .. })
+        ));
+    }
+}

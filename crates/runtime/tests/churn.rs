@@ -89,11 +89,7 @@ fn lockstep_loss_is_deterministic_and_lossy() {
         let mut sc = base(10, 5);
         sc.driver = Driver::Threaded(ThreadedConfig {
             seed: 3,
-            net: Some(NetEmulation {
-                latency_min_ms: 0,
-                latency_max_ms: 0,
-                loss_probability: loss,
-            }),
+            net: Some(NetEmulation::loss(loss).expect("valid loss probability")),
             ..ThreadedConfig::default()
         });
         run_session(sc)
@@ -126,11 +122,7 @@ fn churn_under_loss_keeps_views_consistent() {
         sc.churn = schedule.events().to_vec();
         sc.driver = Driver::Threaded(ThreadedConfig {
             seed: 4,
-            net: Some(NetEmulation {
-                latency_min_ms: 0,
-                latency_max_ms: 0,
-                loss_probability: 0.15,
-            }),
+            net: Some(NetEmulation::loss(0.15).expect("valid loss probability")),
             ..ThreadedConfig::default()
         });
         run_session(sc)
@@ -160,7 +152,7 @@ fn realtime_latency_emulation_delivers_within_rounds() {
         round_ms: 200,
         lockstep: false,
         seed: 2,
-        net: Some(NetEmulation::from_sim(&SimConfig::default())),
+        net: Some(NetEmulation::from_sim(&SimConfig::default()).expect("sim fault profile is valid")),
     });
     let outcome = run_session(sc);
     assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);

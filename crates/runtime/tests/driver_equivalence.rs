@@ -1,15 +1,18 @@
-//! Driver equivalence: the same seeded session run on the simnet driver
-//! and on the threaded driver (deterministic lockstep timer mode) yields
-//! identical verdict sets, delivery metrics and traffic totals — the
-//! proof that `PagEngine` is genuinely sans-IO and both drivers execute
-//! it unmodified.
+//! Driver equivalence: the same seeded session run on the simnet
+//! driver, the threaded (channel) driver and the TCP socket driver —
+//! the latter two in deterministic lockstep timer mode — yields
+//! identical verdict sets, delivery metrics and traffic totals. This is
+//! the proof that `PagEngine` is genuinely sans-IO and all three
+//! drivers execute it unmodified, whether frames cross a function call,
+//! a thread boundary or a kernel socket buffer.
 
 use std::collections::BTreeSet;
 
 use pag_core::selfish::SelfishStrategy;
 use pag_membership::NodeId;
 use pag_runtime::{
-    run_session, ChurnSchedule, Driver, SessionConfig, SessionOutcome, ThreadedConfig,
+    run_session, ChurnSchedule, Driver, SessionConfig, SessionOutcome, TcpConfig,
+    ThreadedConfig,
 };
 use pag_simnet::SimConfig;
 
@@ -38,6 +41,15 @@ fn on_threads(mut sc: SessionConfig) -> SessionOutcome {
     run_session(sc)
 }
 
+fn on_tcp(mut sc: SessionConfig) -> SessionOutcome {
+    sc.driver = Driver::Tcp(TcpConfig {
+        lockstep: true,
+        seed: SEED,
+        ..TcpConfig::default()
+    });
+    run_session(sc)
+}
+
 /// Verdicts as an order-independent set.
 fn verdict_set(outcome: &SessionOutcome) -> BTreeSet<(NodeId, NodeId, u64, String)> {
     outcome
@@ -47,42 +59,49 @@ fn verdict_set(outcome: &SessionOutcome) -> BTreeSet<(NodeId, NodeId, u64, Strin
         .collect()
 }
 
-fn assert_equivalent(sim: &SessionOutcome, thr: &SessionOutcome) {
+fn assert_equivalent(sim: &SessionOutcome, other: &SessionOutcome) {
     // Identical verdict sets.
     assert_eq!(
         verdict_set(sim),
-        verdict_set(thr),
+        verdict_set(other),
         "verdict sets diverge between drivers"
     );
 
     // Identical delivery metrics, node by node.
-    assert_eq!(sim.metrics.len(), thr.metrics.len());
+    assert_eq!(sim.metrics.len(), other.metrics.len());
     for (id, m_sim) in &sim.metrics {
-        let m_thr = &thr.metrics[id];
+        let m_other = &other.metrics[id];
         assert_eq!(
-            m_sim.delivered, m_thr.delivered,
+            m_sim.delivered, m_other.delivered,
             "delivery map diverges at {id}"
         );
         assert_eq!(
-            m_sim.duplicate_payloads, m_thr.duplicate_payloads,
+            m_sim.duplicate_payloads, m_other.duplicate_payloads,
             "duplicate payloads diverge at {id}"
         );
         assert_eq!(
-            m_sim.exchanges_completed, m_thr.exchanges_completed,
+            m_sim.exchanges_completed, m_other.exchanges_completed,
             "exchange count diverges at {id}"
         );
-        assert_eq!(m_sim.ops, m_thr.ops, "crypto op counters diverge at {id}");
+        assert_eq!(m_sim.ops, m_other.ops, "crypto op counters diverge at {id}");
+        // Peer engines only produce well-formed frames: no driver may
+        // reject anything in a clean session, socket transport included.
+        assert_eq!(
+            m_sim.frames_rejected, m_other.frames_rejected,
+            "frame rejections diverge at {id}"
+        );
+        assert_eq!(m_other.frames_rejected, 0, "clean session rejected frames at {id}");
     }
-    assert_eq!(sim.creations, thr.creations, "source stream diverges");
+    assert_eq!(sim.creations, other.creations, "source stream diverges");
 
     // Identical traffic totals: same messages, same codec-backed sizes.
     for (id, t_sim) in &sim.report.per_node {
-        let t_thr = &thr.report.per_node[id];
-        assert_eq!(t_sim.sent_bytes, t_thr.sent_bytes, "sent bytes at {id}");
-        assert_eq!(t_sim.recv_bytes, t_thr.recv_bytes, "recv bytes at {id}");
-        assert_eq!(t_sim.sent_msgs, t_thr.sent_msgs, "sent msgs at {id}");
+        let t_other = &other.report.per_node[id];
+        assert_eq!(t_sim.sent_bytes, t_other.sent_bytes, "sent bytes at {id}");
+        assert_eq!(t_sim.recv_bytes, t_other.recv_bytes, "recv bytes at {id}");
+        assert_eq!(t_sim.sent_msgs, t_other.sent_msgs, "sent msgs at {id}");
         assert_eq!(
-            t_sim.sent_by_class, t_thr.sent_by_class,
+            t_sim.sent_by_class, t_other.sent_by_class,
             "class breakdown at {id}"
         );
     }
@@ -92,29 +111,35 @@ fn assert_equivalent(sim: &SessionOutcome, thr: &SessionOutcome) {
 fn honest_session_is_driver_equivalent() {
     let sim = on_simnet(base(10, 6));
     let thr = on_threads(base(10, 6));
+    let tcp = on_tcp(base(10, 6));
     assert!(sim.verdicts.is_empty(), "honest run convicted on simnet");
     assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
     assert!(thr.mean_on_time_ratio(10) > 0.95);
+    assert!(tcp.mean_on_time_ratio(10) > 0.95);
 }
 
 #[test]
 fn freerider_session_is_driver_equivalent() {
-    // A deviating node makes the verdict comparison non-vacuous: both
+    // A deviating node makes the verdict comparison non-vacuous: all
     // drivers must convict the same node, for the same rounds, with the
     // same fault kinds.
     let mut sc = base(12, 6);
     sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
     let sim = on_simnet(sc.clone());
-    let thr = on_threads(sc);
+    let thr = on_threads(sc.clone());
+    let tcp = on_tcp(sc);
     assert_eq!(sim.convicted(), vec![NodeId(5)]);
     assert_eq!(thr.convicted(), vec![NodeId(5)]);
+    assert_eq!(tcp.convicted(), vec![NodeId(5)]);
     assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
 }
 
 #[test]
 fn no_ack_session_is_driver_equivalent() {
     // Exercises the accusation / ReAsk / Nack path (timers after the
-    // serve phase) across both drivers.
+    // serve phase) across the drivers.
     let mut sc = base(12, 5);
     sc.selfish.push((NodeId(3), SelfishStrategy::NoAck));
     let sim = on_simnet(sc.clone());
@@ -124,12 +149,24 @@ fn no_ack_session_is_driver_equivalent() {
 }
 
 #[test]
+fn no_ack_session_is_tcp_equivalent() {
+    // The same accusation-path scenario over real sockets.
+    let mut sc = base(12, 5);
+    sc.selfish.push((NodeId(3), SelfishStrategy::NoAck));
+    let sim = on_simnet(sc.clone());
+    let tcp = on_tcp(sc);
+    assert_eq!(tcp.convicted(), vec![NodeId(3)]);
+    assert_equivalent(&sim, &tcp);
+}
+
+#[test]
 fn churned_session_is_driver_equivalent() {
-    // The acceptance bar for the churn subsystem: a session with joins
-    // AND leaves mid-session runs to completion on both drivers with
-    // identical verdict sets, deliveries and traffic totals — including
-    // the announcement frames, whose wire size is codec-backed on the
-    // threaded path. Clean churn convicts nobody.
+    // The acceptance bar for churn meeting the socket transport: a
+    // session with joins AND leaves mid-session runs to completion on
+    // all three drivers with identical verdict sets, deliveries and
+    // traffic totals — including the announcement frames, whose wire
+    // size is codec-backed on both real-time paths. Clean churn
+    // convicts nobody.
     let mut sc = base(12, 8);
     sc.churn = ChurnSchedule::steady(SEED, 12, 8, 1, 1).events().to_vec();
     assert!(
@@ -138,19 +175,21 @@ fn churned_session_is_driver_equivalent() {
         "schedule exercises both directions"
     );
     let sim = on_simnet(sc.clone());
-    let thr = on_threads(sc);
+    let thr = on_threads(sc.clone());
+    let tcp = on_tcp(sc);
     assert!(
         sim.verdicts.is_empty(),
         "clean churn convicted: {:?}",
         sim.verdicts
     );
     assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
 }
 
 #[test]
 fn churned_selfish_session_is_driver_equivalent() {
     // Detection keeps working under churn: a freerider among joiners and
-    // leavers is still convicted — identically on both drivers — while
+    // leavers is still convicted — identically on all drivers — while
     // honest leavers stay clean.
     let mut sc = base(14, 8);
     sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
@@ -161,8 +200,10 @@ fn churned_selfish_session_is_driver_equivalent() {
     sc.churn.retain(|e| e.node != NodeId(5));
     let sim = on_simnet(sc.clone());
     let thr = on_threads(sc.clone());
+    let tcp = on_tcp(sc.clone());
     assert_eq!(sim.convicted(), vec![NodeId(5)]);
     assert_eq!(thr.convicted(), vec![NodeId(5)]);
+    assert_eq!(tcp.convicted(), vec![NodeId(5)]);
     let leavers: Vec<NodeId> = sc
         .churn
         .iter()
@@ -177,12 +218,20 @@ fn churned_selfish_session_is_driver_equivalent() {
         );
     }
     assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
 }
 
 #[test]
 fn threaded_lockstep_is_self_deterministic() {
     let a = on_threads(base(10, 5));
     let b = on_threads(base(10, 5));
+    assert_equivalent(&a, &b);
+}
+
+#[test]
+fn tcp_lockstep_is_self_deterministic() {
+    let a = on_tcp(base(10, 5));
+    let b = on_tcp(base(10, 5));
     assert_equivalent(&a, &b);
 }
 
@@ -224,4 +273,18 @@ fn threaded_crash_goes_silent() {
     for v in &thr.verdicts {
         assert_eq!(v.accused, NodeId(7), "living node convicted: {v}");
     }
+}
+
+#[test]
+fn tcp_crash_goes_silent() {
+    let mut sc = base(10, 6);
+    sc.crashes.push((NodeId(7), 2));
+    let tcp = on_tcp(sc.clone());
+    let sim = on_simnet(sc);
+    for v in &tcp.verdicts {
+        assert_eq!(v.accused, NodeId(7), "living node convicted: {v}");
+    }
+    // Crash handling is worker-side, so the socket driver matches the
+    // simulator exactly too.
+    assert_equivalent(&sim, &tcp);
 }

@@ -1,0 +1,58 @@
+//! TCP transport: a full PAG session over real loopback sockets.
+//!
+//! ```sh
+//! cargo run --release --example tcp_session
+//! ```
+//!
+//! Each node binds a listener on `127.0.0.1`, the harness establishes a
+//! full mesh of TCP streams, and every protocol message crosses the
+//! kernel as a length-prefixed codec frame (`encode_stream_frame` /
+//! `StreamFramer`). Rounds tick on the wall clock — 200 ms per round,
+//! scaled protocol deadlines — so this is the closest thing in the
+//! repo to the paper's cluster deployment. Undecodable bytes on a link
+//! would be counted (`frames_rejected`), never crash a node; a clean
+//! session counts zero.
+
+use pag::membership::NodeId;
+use pag::runtime::{run_session, Driver, SessionConfig, TcpConfig};
+
+fn main() {
+    let nodes = 12;
+    let rounds = 8;
+    let mut config = SessionConfig::honest(nodes, rounds);
+    config.pag.stream_rate_kbps = 60.0;
+    config.driver = Driver::Tcp(TcpConfig {
+        round_ms: 200,
+        lockstep: false,
+        seed: 42,
+        ..TcpConfig::default()
+    });
+
+    let started = std::time::Instant::now();
+    let outcome = run_session(config);
+    let wall = started.elapsed();
+
+    let delivered: usize = outcome
+        .metrics
+        .iter()
+        .filter(|(id, _)| **id != NodeId(0))
+        .map(|(_, m)| m.delivered_count())
+        .sum();
+    let rejected: u64 = outcome.metrics.values().map(|m| m.frames_rejected).sum();
+
+    println!("== PAG session over TCP ({nodes} nodes, {rounds} x 200 ms rounds) ==");
+    println!("wall clock           : {:.2?}", wall);
+    println!("updates injected     : {}", outcome.creations.len());
+    println!("deliveries (non-src) : {delivered}");
+    println!(
+        "mean bandwidth       : {:.1} kbps/node (protocol seconds)",
+        outcome.report.mean_bandwidth_kbps()
+    );
+    println!("frames rejected      : {rejected}");
+    println!("verdicts             : {}", outcome.verdicts.len());
+    assert!(
+        outcome.verdicts.is_empty(),
+        "honest nodes are never convicted"
+    );
+    assert_eq!(rejected, 0, "peer engines only produce well-formed frames");
+}

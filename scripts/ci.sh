@@ -8,19 +8,22 @@
 #      driver equivalence)
 #   4. churned driver-equivalence, run explicitly: a session with joins
 #      and leaves mid-session must produce identical verdicts,
-#      deliveries and traffic on both drivers (DESIGN.md §9)
-#   5. bench_snapshot --quick smoke run (honest static + churned
-#      scenarios, real RSA-512 crypto; writes to a scratch path, never
-#      over the committed snapshot)
+#      deliveries and traffic on all three drivers (DESIGN.md §9)
+#   5. TCP transport, run explicitly: socket-driver equivalence with
+#      the simulator, and hostile bytes on live socket links rejected
+#      with metrics instead of panicking node threads (DESIGN.md §10)
+#   6. bench_snapshot --quick smoke run (honest static, churned and
+#      TCP scenarios, real RSA-512 crypto; writes to a scratch path,
+#      never over the committed snapshot)
 #
 # Run from anywhere: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] workspace release build =="
+echo "== [1/6] workspace release build =="
 cargo build --release --workspace
 
-echo "== [2/5] pag-core, deny warnings =="
+echo "== [2/6] pag-core, deny warnings =="
 # Force only pag-core itself to recompile (its dependencies stay cached
 # from step 1 — no RUSTFLAGS flip, no double build) and fail on any
 # warning the fresh compile prints.
@@ -32,13 +35,17 @@ if grep -E "^warning" <<<"$core_out" >/dev/null; then
     exit 1
 fi
 
-echo "== [3/5] test suite =="
+echo "== [3/6] test suite =="
 cargo test -q --workspace
 
-echo "== [4/5] churned driver equivalence =="
+echo "== [4/6] churned driver equivalence =="
 cargo test -q -p pag-runtime --test driver_equivalence churned
 
-echo "== [5/5] bench snapshot smoke (--quick) =="
+echo "== [5/6] TCP driver equivalence + hostile-input rejection =="
+cargo test -q -p pag-runtime --test driver_equivalence tcp
+cargo test -q -p pag-runtime --test tcp_transport
+
+echo "== [6/6] bench snapshot smoke (--quick) =="
 out="${TMPDIR:-/tmp}/pag_bench_quick.json"
 cargo run --release -p pag-bench --bin bench_snapshot -- "$out" --quick
 rm -f "$out"
