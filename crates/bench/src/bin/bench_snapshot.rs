@@ -1,27 +1,34 @@
-//! Perf-trajectory snapshot: runs three frozen PAG scenarios — the
+//! Perf-trajectory snapshot: runs four frozen PAG scenarios — the
 //! static 20-node / 5-round session, the churned 50-node
-//! `churn_steady_50` session, and the same static session on the TCP
-//! socket driver (`tcp_session_20`) — and writes wall-clock plus
+//! `churn_steady_50` session, the same static session on the TCP
+//! socket driver (`tcp_session_20`), and the 1000-node worker-pool
+//! session (`pool_session_1000`) — and writes wall-clock plus
 //! crypto-operation counts as JSON to `BENCH_protocol.json` (repo
 //! root, committed), so successive PRs have a comparable record of
-//! protocol-level cost, with and without membership churn, and of the
-//! socket transport's overhead over the simulator.
+//! protocol-level cost, with and without membership churn, of the
+//! socket transport's overhead over the simulator, and of the pooled
+//! scheduler's cost at gossip scale.
 //!
 //! The scenarios are deliberately frozen — same node counts, rounds,
 //! churn seed, stream rate and crypto profile — and each wall-clock
-//! figure is the best of three runs to damp scheduler noise. Run with:
+//! figure is the best of three runs to damp scheduler noise (the
+//! 1000-node pool entry is a single run; at ~25 s a run, best-of-three
+//! buys noise reduction nobody needs from a trend line). Run with:
 //!
 //! ```text
 //! cargo run --release -p pag-bench --bin bench_snapshot
 //! ```
 //!
 //! Pass an output path to write elsewhere (e.g. for comparisons).
-//! `--quick` shrinks both scenarios (8 nodes / 3 rounds / 1 run) for CI
-//! smoke runs — never commit a quick snapshot over the frozen one.
+//! `--quick` shrinks every scenario (8 nodes / 3 rounds / 1 run; the
+//! pool entry runs at 32 nodes) for CI smoke runs — never commit a
+//! quick snapshot over the frozen one.
 
 use std::time::Instant;
 
-use pag_bench::{churn_steady_session, quick_mode, real_crypto_session, tcp_session};
+use pag_bench::{
+    churn_steady_session, pooled_session, quick_mode, real_crypto_session, tcp_session,
+};
 use pag_runtime::{run_session, ChurnKind, SessionConfig, SessionOutcome};
 
 const NODES: usize = 20;
@@ -31,6 +38,10 @@ const RUNS: usize = 3;
 const CHURN_NODES: usize = 50;
 const CHURN_ROUNDS: u64 = 6;
 const CHURN_RATE: usize = 2;
+/// The worker-pool scenario: the scale the thread-per-node scheduler
+/// cannot host (ISSUE 5 / DESIGN.md §11).
+const POOL_NODES: usize = 1000;
+const POOL_ROUNDS: u64 = 3;
 
 /// Best-of-`runs` wall clock plus the last outcome of `make_session`.
 fn measure(runs: usize, make_session: impl Fn() -> SessionConfig) -> (f64, SessionOutcome) {
@@ -53,6 +64,7 @@ fn main() {
     } else {
         (CHURN_NODES, CHURN_ROUNDS, CHURN_RATE)
     };
+    let (pool_nodes, pool_rounds) = if quick { (32, 3) } else { (POOL_NODES, POOL_ROUNDS) };
     let out_path = std::env::args()
         .skip(1)
         .find(|a| a != "--quick")
@@ -111,9 +123,30 @@ fn main() {
         .sum();
     assert_eq!(tcp_rejected, 0, "clean session rejected frames");
 
+    // The pooled scheduler, twice. First at the static scenario's own
+    // size: its crypto ops must be bit-identical to the thread-per-node
+    // baseline (scheduler equivalence — assert it). Then at gossip
+    // scale, the session shape that motivates the pool: one run, since
+    // the 1000-node figure is a trend line, not a microbenchmark.
+    let (_, pooled_small) = measure(1, || pooled_session(nodes, rounds));
+    assert_eq!(
+        pooled_small.total_ops(),
+        ops,
+        "pooled scheduler diverged from thread-per-node on crypto ops"
+    );
+    let (pool_ms, pooled) = measure(1, || pooled_session(pool_nodes, pool_rounds));
+    let pool_ops = pooled.total_ops();
+    assert!(
+        pooled.verdicts.is_empty(),
+        "honest pooled run convicted; regression: {:?}",
+        pooled.verdicts
+    );
+    let pool_rejected: u64 = pooled.metrics.values().map(|m| m.frames_rejected).sum();
+    assert_eq!(pool_rejected, 0, "clean pooled session rejected frames");
+
     let json = format!(
         r#"{{
-  "schema": 3,
+  "schema": 4,
   "scenario": {{
     "nodes": {nodes},
     "rounds": {rounds},
@@ -167,6 +200,26 @@ fn main() {
     "derived": {{
       "mean_bandwidth_kbps": {t_bw:.2}
     }}
+  }},
+  "pool_session_1000": {{
+    "scenario": {{
+      "nodes": {pool_nodes},
+      "rounds": {pool_rounds},
+      "driver": "threaded-lockstep",
+      "scheduler": "pool-auto",
+      "crypto_ops_identical_to_thread_per_node": true
+    }},
+    "wall_clock_ms": {pool_ms:.2},
+    "crypto_ops": {{
+      "hashes": {p_hashes},
+      "signatures": {p_signatures},
+      "verifications": {p_verifications},
+      "primes": {p_primes}
+    }},
+    "derived": {{
+      "mean_bandwidth_kbps": {p_bw:.2},
+      "exchanges_completed": {p_exchanges}
+    }}
   }}
 }}
 "#,
@@ -196,6 +249,16 @@ fn main() {
         // not emitted as a field so everything but wall clocks stays
         // bit-deterministic across runs.
         t_bw = tcp_outcome.report.mean_bandwidth_kbps(),
+        p_hashes = pool_ops.hashes,
+        p_signatures = pool_ops.signatures,
+        p_verifications = pool_ops.verifications,
+        p_primes = pool_ops.primes,
+        p_bw = pooled.report.mean_bandwidth_kbps(),
+        p_exchanges = pooled
+            .metrics
+            .values()
+            .map(|m| m.exchanges_completed)
+            .sum::<u64>(),
     );
 
     std::fs::write(&out_path, &json).expect("write snapshot");

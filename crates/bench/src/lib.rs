@@ -18,7 +18,7 @@
 //! (fewer nodes/rounds/trials) for smoke-testing.
 
 use pag_core::config::CryptoProfile;
-use pag_runtime::{ChurnSchedule, Driver, SessionConfig, TcpConfig};
+use pag_runtime::{ChurnSchedule, Driver, Scheduler, SessionConfig, TcpConfig, ThreadedConfig};
 
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
@@ -70,6 +70,23 @@ pub fn churn_steady_session(
 pub fn tcp_session(nodes: usize, rounds: u64) -> SessionConfig {
     let mut sc = real_crypto_session(nodes, rounds);
     sc.driver = Driver::Tcp(TcpConfig::default());
+    sc
+}
+
+/// The frozen worker-pool scenario behind the `pool_session_1000`
+/// entry of `BENCH_protocol.json`: the real-crypto profile of
+/// [`real_crypto_session`] executed on the threaded driver's pooled
+/// scheduler (`Scheduler::Pool(0)` = one worker per CPU, lockstep).
+/// Run at the static scenario's size it must produce bit-identical
+/// crypto ops to every other driver — `bench_snapshot` asserts it —
+/// and at 1000 nodes it is the session shape the thread-per-node
+/// scheduler cannot host at all (DESIGN.md §11).
+pub fn pooled_session(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = real_crypto_session(nodes, rounds);
+    sc.driver = Driver::Threaded(ThreadedConfig {
+        scheduler: Scheduler::auto_pool(),
+        ..ThreadedConfig::default()
+    });
     sc
 }
 

@@ -166,6 +166,15 @@ pub enum MetricEvent {
         /// The round the frame arrived in (driver clock).
         round: u64,
     },
+    /// The driver severed an inbound connection that exceeded its
+    /// rejected-frame budget (a hostile flood of undecodable or
+    /// misrouted frames). Recorded via
+    /// [`PagEngine::note_connection_dropped`] — like frame rejection,
+    /// this happens below the protocol and is counted, never fatal.
+    ConnectionDropped {
+        /// The round the connection was cut (driver clock).
+        round: u64,
+    },
 }
 
 /// The effect sink handed to protocol handlers: buffered sends, timers
@@ -279,6 +288,42 @@ impl PagEngine {
     pub fn note_frame_rejected(&mut self, round: u64) -> Effect {
         self.node.metrics_mut().frames_rejected += 1;
         Effect::Metric(MetricEvent::FrameRejected { round })
+    }
+
+    /// Records an inbound connection the driver severed for flooding the
+    /// rejected-frame budget (see
+    /// [`crate::metrics::NodeMetrics::connections_dropped`]) and returns
+    /// the [`Effect::Metric`] it folded into [`PagEngine::metrics`].
+    ///
+    /// Like [`PagEngine::note_frame_rejected`], this is bookkeeping for
+    /// an event below the protocol: the engine never saw the hostile
+    /// bytes, it only keeps the count with the node's other metrics.
+    pub fn note_connection_dropped(&mut self, round: u64) -> Effect {
+        self.node.metrics_mut().connections_dropped += 1;
+        Effect::Metric(MetricEvent::ConnectionDropped { round })
+    }
+
+    /// Whether the node holds protocol state that awaits further driver
+    /// input: staged membership changes waiting for their effective
+    /// round boundary, or half-completed exchanges waiting for a peer's
+    /// serve or attestation. O(1) — schedulers that multiplex many
+    /// engines over few threads (`pag-runtime`'s worker pool) call this
+    /// per scheduling decision, so it must stay free of traversal.
+    ///
+    /// `false` means the engine is quiescent: absent new inputs it will
+    /// never emit another effect. A completed honest session ends with
+    /// every live engine quiescent — the pool's scale tests assert it.
+    pub fn has_pending_work(&self) -> bool {
+        self.node.has_pending_work()
+    }
+
+    /// Number of [`Input::RoundStart`]s this engine has processed —
+    /// idle joiners included (their round handling is inert but still
+    /// counted). Schedulers use this to prove no engine starves: after
+    /// a lockstep run every non-crashed engine must have entered every
+    /// round.
+    pub fn rounds_entered(&self) -> u64 {
+        self.node.rounds_entered()
     }
 
     /// This engine's node identifier.

@@ -52,6 +52,12 @@ pub struct NodeMetrics {
     /// peer engines; a real socket transport counts hostile or corrupt
     /// traffic here instead of crashing (DESIGN.md §10).
     pub frames_rejected: u64,
+    /// Connections a real transport severed because they exceeded the
+    /// per-connection rejected-frame budget — a flood of undecodable or
+    /// misrouted frames is cut off at the socket instead of burning a
+    /// rejection per frame forever (DESIGN.md §10). In-process
+    /// transports have no connections, so this stays zero there.
+    pub connections_dropped: u64,
 }
 
 impl NodeMetrics {

@@ -199,6 +199,10 @@ pub struct PagNode {
     exchanges: BTreeMap<(u64, NodeId), SenderExchange>,
     monitor: MonitorEngine,
     metrics: NodeMetrics,
+    /// Round starts processed (idle joiner rounds included) — the
+    /// scheduler-facing liveness counter behind
+    /// [`crate::engine::PagEngine::rounds_entered`].
+    rounds_entered: u64,
     /// Next update sequence number (source only).
     next_seq: u64,
     /// Creation rounds of injected updates (source only).
@@ -227,6 +231,7 @@ impl PagNode {
             exchanges: BTreeMap::new(),
             monitor,
             metrics: NodeMetrics::default(),
+            rounds_entered: 0,
             next_seq: 0,
             creations: BTreeMap::new(),
         }
@@ -271,6 +276,17 @@ impl PagNode {
     /// The node's current membership view.
     pub fn view(&self) -> &Membership {
         &self.view
+    }
+
+    /// Whether the node still awaits driver input (staged churn or
+    /// half-open receiver-side exchanges). O(1): two emptiness checks.
+    pub(crate) fn has_pending_work(&self) -> bool {
+        !self.staged_churn.is_empty() || !self.pending_serves.is_empty()
+    }
+
+    /// Round starts processed so far.
+    pub(crate) fn rounds_entered(&self) -> u64 {
+        self.rounds_entered
     }
 
     fn is_source(&self) -> bool {
@@ -1329,6 +1345,7 @@ enum PendingServePart {
 impl PagNode {
     /// [`crate::engine::Input::RoundStart`].
     pub(crate) fn handle_round(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
+        self.rounds_entered += 1;
         self.start_round(round, ctx);
     }
 

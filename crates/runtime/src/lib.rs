@@ -15,10 +15,15 @@
 //!   sockets on loopback**: length-prefixed codec frames, per-stream
 //!   reader threads, and a frame path that rejects (never panics on)
 //!   malformed bytes;
-//! * [`worker`] — the transport-generic node loop both real-time
-//!   drivers share, parameterized over a [`worker::Link`]; new
-//!   transports implement that one trait and inherit timers, lockstep
-//!   barriers, churn, crashes and traffic accounting;
+//! * [`worker`] — the transport-generic node state machine both
+//!   real-time drivers share, parameterized over a [`worker::Link`];
+//!   new transports implement that one trait and inherit timers,
+//!   lockstep barriers, churn, crashes and traffic accounting;
+//! * [`pool`] — the worker-pool [`Scheduler`]: a fixed thread pool
+//!   multiplexing thousands of node cores (run queue, shared timer
+//!   wheel), selected per driver via `ThreadedConfig::scheduler` /
+//!   `TcpConfig::scheduler`, with lockstep outcomes identical to
+//!   thread-per-node by test (DESIGN.md §11);
 //! * [`Session`] / [`run_session`] — the one-call harness that builds a
 //!   session, runs it on a selected [`Driver`] and collects verdicts,
 //!   metrics and a driver-neutral [`TrafficReport`];
@@ -36,6 +41,7 @@
 
 pub mod adapter;
 pub mod churn;
+pub mod pool;
 pub mod report;
 pub mod session;
 pub mod tcp;
@@ -44,6 +50,7 @@ pub mod worker;
 
 pub use adapter::SimnetPag;
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
+pub use pool::Scheduler;
 pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
 pub use session::{
     run_session, Driver, Session, SessionBuilder, SessionConfig, SessionOutcome,

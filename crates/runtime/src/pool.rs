@@ -1,0 +1,582 @@
+//! The worker-pool scheduler: many [`NodeCore`]s multiplexed over a
+//! fixed number of OS threads, for 1k–10k-node sessions.
+//!
+//! `Scheduler::ThreadPerNode` spends one OS thread (plus stack, plus a
+//! kernel scheduling slot) per node — fine at 50 nodes, hopeless at
+//! 5000, and PAG's accountability argument is statistical, so the
+//! reproduction *needs* gossip-scale sessions. This module replaces the
+//! thread with a slot:
+//!
+//! * every node is a [`NodeCore`] parked in a **slot** holding its
+//!   envelope inbox;
+//! * a **run queue** holds the indices of slots with ready input
+//!   (delivered frames, clock phases, timer-wheel wake-ups). A slot is
+//!   enqueued when its inbox goes non-empty and never twice — the
+//!   `Idle → Queued → Running` status in the slot makes scheduling
+//!   idempotent and guarantees a core is stepped by one thread at a
+//!   time;
+//! * `threads` **pool workers** pop slots and drain their inboxes
+//!   through the *same* envelope semantics as the dedicated-thread
+//!   loop ([`NodeCore::lockstep_envelope`] /
+//!   [`NodeCore::realtime_envelope`] — one copy of the code, shared);
+//! * in **lockstep** mode the coordinator drives the identical barrier
+//!   protocol over the identical quiescence ledger
+//!   (`worker::drive_rounds` + [`Coordination`]), so pooled runs settle
+//!   the same phases in the same order and produce bit-identical
+//!   verdicts, deliveries, crypto ops and traffic — whatever the pool
+//!   size (the scale suite pins `Pool(1) == Pool(n) == ThreadPerNode ==
+//!   Simnet`);
+//! * in **wall-clock** mode a shared **timer wheel** (one binary heap +
+//!   one timekeeper thread) replaces the per-thread `recv_timeout`:
+//!   after each step a core publishes its earliest deadline, and the
+//!   timekeeper enqueues a [`Envelope::Wake`] when it passes.
+//!
+//! Crashed nodes are **retired**: their slot refuses new envelopes
+//! (senders observe a closed link and balance the ledger, exactly like
+//! a dead TCP peer) and the clock stops charging them barrier credits —
+//! so a fail-stop crash can never wedge quiescence. Everything else —
+//! transports, codec accounting, churn feeds, `NetEmulation` — is
+//! untouched: the pool sits entirely behind the PR 4 `Link` boundary.
+//! Architecture notes: DESIGN.md §11.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use pag_membership::NodeId;
+
+use crate::report::TrafficReport;
+use crate::worker::{
+    drive_rounds, panic_message, ClockSink, Coordination, DriverRun, Envelope, Link, NodeCore,
+};
+
+/// How a real-time driver maps nodes onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// One dedicated OS thread per node (the PR 2/PR 4 model). Simple
+    /// and latency-optimal for small sessions; falls over around a
+    /// thousand nodes.
+    ThreadPerNode,
+    /// A fixed-size worker pool multiplexing every node. The value is
+    /// the thread count; `0` means "one per available CPU"
+    /// ([`Scheduler::auto_pool`]). Lockstep outcomes are independent of
+    /// the pool size.
+    Pool(usize),
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::ThreadPerNode
+    }
+}
+
+impl Scheduler {
+    /// The pool sized to the machine: one worker per available CPU.
+    pub fn auto_pool() -> Self {
+        Scheduler::Pool(0)
+    }
+
+    /// Resolves a configured pool size to an actual thread count for a
+    /// session of `nodes` nodes (0 = available parallelism; never more
+    /// threads than nodes, never fewer than one).
+    pub(crate) fn resolve_threads(size: usize, nodes: usize) -> usize {
+        let size = if size == 0 {
+            thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            size
+        };
+        size.min(nodes.max(1)).max(1)
+    }
+}
+
+/// Scheduling status of one slot. The transitions make enqueueing
+/// idempotent and stepping exclusive:
+/// `Idle -(enqueue)-> Queued -(pop)-> Running -(inbox empty)-> Idle`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotStatus {
+    Idle,
+    Queued,
+    Running,
+}
+
+/// The mutable half of a slot, behind one mutex so "push an envelope"
+/// and "decide whether to schedule" are a single atomic step.
+struct SlotInbox {
+    queue: VecDeque<Envelope>,
+    status: SlotStatus,
+    /// A retired slot refuses envelopes forever (crashed node): senders
+    /// see a closed link, the clock skips it.
+    retired: bool,
+    /// Wall-clock mode: the wake deadline currently published to the
+    /// timer wheel (stale heap entries are skipped by comparing here).
+    wake: Option<u64>,
+}
+
+struct Slot {
+    inbox: Mutex<SlotInbox>,
+}
+
+/// Everything the pool's threads share: slots, run queue, timer wheel
+/// and shutdown/abort state. Links and transport reader threads hold an
+/// `Arc` of this to inject envelopes; the cores themselves are owned by
+/// [`run_pool`], so dropping the run drops the nodes.
+pub(crate) struct PoolQueues {
+    slots: Vec<Slot>,
+    run_queue: Mutex<VecDeque<usize>>,
+    ready: Condvar,
+    stop: AtomicBool,
+    coord: Option<Arc<Coordination>>,
+    /// Wall-clock mode: min-heap of (due scaled-ms, slot index).
+    wheel: Mutex<BinaryHeap<Reverse<(u64, usize)>>>,
+    wheel_cv: Condvar,
+}
+
+impl PoolQueues {
+    pub(crate) fn new(nodes: usize, coord: Option<Arc<Coordination>>) -> Arc<Self> {
+        Arc::new(PoolQueues {
+            slots: (0..nodes)
+                .map(|_| Slot {
+                    inbox: Mutex::new(SlotInbox {
+                        queue: VecDeque::new(),
+                        status: SlotStatus::Idle,
+                        retired: false,
+                        wake: None,
+                    }),
+                })
+                .collect(),
+            run_queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            coord,
+            wheel: Mutex::new(BinaryHeap::new()),
+            wheel_cv: Condvar::new(),
+        })
+    }
+
+    /// Pushes one envelope into a slot's inbox and schedules the slot if
+    /// it was idle. `false` means the envelope will never be processed —
+    /// the slot is retired, or the pool has stopped (the channel
+    /// scheduler's analogue is a dropped `Receiver`; refusing here is
+    /// what makes a lingering TCP reader thread's `read_loop` return
+    /// instead of feeding a dead slot forever). Callers with a ledger
+    /// registration must balance it, exactly like a failed
+    /// channel/socket send.
+    pub(crate) fn enqueue(&self, idx: usize, envelope: Envelope) -> bool {
+        if self.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut inbox = self.slots[idx].inbox.lock().expect("slot inbox");
+        if inbox.retired {
+            return false;
+        }
+        inbox.queue.push_back(envelope);
+        let newly_ready = inbox.status == SlotStatus::Idle;
+        if newly_ready {
+            inbox.status = SlotStatus::Queued;
+        }
+        drop(inbox);
+        if newly_ready {
+            self.run_queue
+                .lock()
+                .expect("run queue")
+                .push_back(idx);
+            self.ready.notify_one();
+        }
+        true
+    }
+
+    /// Marks a slot retired (crashed node): no further envelopes are
+    /// accepted or charged. Called by the pool worker currently draining
+    /// the slot, which finishes the drain itself — so anything enqueued
+    /// before retirement is still processed (and ledger-balanced).
+    fn retire(&self, idx: usize) {
+        self.slots[idx].inbox.lock().expect("slot inbox").retired = true;
+    }
+
+    /// Publishes a wall-clock wake deadline for a slot onto the shared
+    /// timer wheel (keeping only the earliest pending one per slot).
+    fn publish_wake(&self, idx: usize, wake: Option<u64>) {
+        let Some(due) = wake else { return };
+        {
+            let mut inbox = self.slots[idx].inbox.lock().expect("slot inbox");
+            if inbox.retired || inbox.wake.is_some_and(|w| w <= due) {
+                return;
+            }
+            inbox.wake = Some(due);
+        }
+        // Inbox lock released before taking the wheel lock: the
+        // timekeeper locks in the opposite order (wheel, then inbox).
+        self.wheel
+            .lock()
+            .expect("timer wheel")
+            .push(Reverse((due, idx)));
+        self.wheel_cv.notify_one();
+    }
+
+    fn stop_now(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _rq = self.run_queue.lock().expect("run queue");
+        self.ready.notify_all();
+        drop(_rq);
+        let _wheel = self.wheel.lock().expect("timer wheel");
+        self.wheel_cv.notify_all();
+    }
+}
+
+/// The channel transport's pooled [`Link`]: frames go straight into the
+/// peer slot's inbox (no intermediate mpsc hop). Retired peers read as
+/// closed links, which is how a crashed node's mail stops wedging
+/// lockstep quiescence.
+pub(crate) struct PoolLink {
+    queues: Arc<PoolQueues>,
+    index: Arc<BTreeMap<NodeId, usize>>,
+}
+
+impl PoolLink {
+    pub(crate) fn new(queues: Arc<PoolQueues>, index: Arc<BTreeMap<NodeId, usize>>) -> Self {
+        PoolLink { queues, index }
+    }
+}
+
+impl Link for PoolLink {
+    fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool {
+        match self.index.get(&to) {
+            Some(&idx) => self.queues.enqueue(idx, Envelope::Frame { bytes: frame }),
+            None => false,
+        }
+    }
+}
+
+/// Where a transport reader thread forwards inbound envelopes: a
+/// per-node mpsc channel (thread-per-node) or a pool slot. This is what
+/// lets the TCP transport's per-stream readers feed either scheduler
+/// without knowing which is running.
+#[derive(Clone)]
+pub(crate) enum InboxHandle {
+    /// Thread-per-node: the worker's envelope channel.
+    Channel(Sender<Envelope>),
+    /// Pool: the shared queues plus this node's slot index.
+    Pool(Arc<PoolQueues>, usize),
+}
+
+impl InboxHandle {
+    /// Delivers one envelope; `false` when the node can no longer
+    /// process it (stopped worker / retired slot).
+    pub(crate) fn send(&self, envelope: Envelope) -> bool {
+        match self {
+            InboxHandle::Channel(tx) => tx.send(envelope).is_ok(),
+            InboxHandle::Pool(queues, idx) => queues.enqueue(*idx, envelope),
+        }
+    }
+}
+
+/// The clock's view of the pool: one snapshot of the unretired slots
+/// is both what the lockstep ledger is charged for and what the
+/// fan-out targets — a slot that retires *between* the two (a crashing
+/// node's `done()` releases the barrier before its pool thread flips
+/// the retired flag) was charged, so its refused enqueue is balanced
+/// with a `done()`; a slot retired at snapshot time is neither charged
+/// nor targeted. Any other pairing would desynchronize the ledger and
+/// either wedge `wait_quiet` or release a phase early. `Stop` is
+/// swallowed — pool shutdown is the scheduler's job ([`run_pool`]
+/// stops the threads once the clock returns), not a per-node envelope.
+struct PoolClock<'a> {
+    queues: &'a PoolQueues,
+}
+
+impl ClockSink for PoolClock<'_> {
+    fn broadcast(&self, coord: Option<&Arc<Coordination>>, make: &dyn Fn() -> Envelope) {
+        if matches!(make(), Envelope::Stop) {
+            return;
+        }
+        let live: Vec<usize> = (0..self.queues.slots.len())
+            .filter(|&idx| {
+                !self.queues.slots[idx]
+                    .inbox
+                    .lock()
+                    .expect("slot inbox")
+                    .retired
+            })
+            .collect();
+        if let Some(coord) = coord {
+            coord.add(live.len() as u64);
+        }
+        for idx in live {
+            if !self.queues.enqueue(idx, make()) {
+                // Retired after the snapshot: charged above, so balance.
+                if let Some(coord) = coord {
+                    coord.done();
+                }
+            }
+        }
+    }
+}
+
+/// One pool worker: pop a ready slot, drain its inbox through the
+/// shared envelope semantics, park it idle again.
+fn pool_worker<L: Link>(
+    queues: Arc<PoolQueues>,
+    cores: Arc<Vec<Mutex<Option<NodeCore<L>>>>>,
+    lockstep: bool,
+    panics: Arc<Mutex<Vec<String>>>,
+) {
+    /// If this thread dies mid-step, name the node and unwedge both the
+    /// lockstep coordinator (abort) and the sibling pool threads (stop),
+    /// so the failure surfaces as a join-time panic, not a hang.
+    struct AbortOnPanic {
+        queues: Arc<PoolQueues>,
+        panics: Arc<Mutex<Vec<String>>>,
+        current: Option<NodeId>,
+    }
+    impl Drop for AbortOnPanic {
+        fn drop(&mut self) {
+            if !thread::panicking() {
+                return;
+            }
+            if let Ok(mut log) = self.panics.lock() {
+                log.push(match self.current {
+                    Some(id) => format!("node {id}"),
+                    None => "no node being stepped".to_string(),
+                });
+            }
+            if let Some(coord) = &self.queues.coord {
+                coord.abort();
+            }
+            self.queues.stop_now();
+        }
+    }
+
+    let mut guard = AbortOnPanic {
+        queues: Arc::clone(&queues),
+        panics,
+        current: None,
+    };
+
+    loop {
+        let idx = {
+            let mut rq = queues.run_queue.lock().expect("run queue");
+            loop {
+                if let Some(idx) = rq.pop_front() {
+                    break idx;
+                }
+                if queues.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                rq = queues.ready.wait(rq).expect("ready wait");
+            }
+        };
+        queues.slots[idx].inbox.lock().expect("slot inbox").status = SlotStatus::Running;
+
+        let mut cell = cores[idx].lock().expect("core cell");
+        let core = cell
+            .as_mut()
+            .expect("scheduled slot holds its core until harvest");
+        guard.current = Some(core.id);
+        loop {
+            let envelope = {
+                let mut inbox = queues.slots[idx].inbox.lock().expect("slot inbox");
+                match inbox.queue.pop_front() {
+                    Some(envelope) => envelope,
+                    None => {
+                        // Empty-check and parking are one atomic step, so
+                        // a concurrent enqueue either lands before this
+                        // (and we keep draining) or finds Idle and
+                        // re-schedules the slot.
+                        inbox.status = SlotStatus::Idle;
+                        break;
+                    }
+                }
+            };
+            if lockstep {
+                core.lockstep_envelope(envelope);
+                let coord = queues.coord.as_ref().expect("lockstep coordination");
+                coord.publish_deadline(idx, core.next_deadline());
+                coord.done();
+            } else {
+                core.realtime_envelope(envelope);
+                queues.publish_wake(idx, core.next_wake());
+            }
+            if core.crashed {
+                // Fail-stop: off the run queue for good. The drain
+                // continues so already-charged envelopes are consumed.
+                queues.retire(idx);
+            }
+        }
+        guard.current = None;
+    }
+}
+
+/// The timekeeper behind wall-clock pooled runs: one thread sleeping on
+/// the shared wheel, waking slots whose earliest deadline passed. The
+/// slot's published `wake` disambiguates stale heap entries (a slot
+/// that re-armed earlier leaves its old entry to be skipped here).
+fn timekeeper(queues: Arc<PoolQueues>, epoch: Instant) {
+    let mut wheel = queues.wheel.lock().expect("timer wheel");
+    loop {
+        if queues.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match wheel.peek().copied() {
+            None => {
+                wheel = queues.wheel_cv.wait(wheel).expect("wheel wait");
+            }
+            Some(Reverse((due, _))) => {
+                let now = (Instant::now() - epoch).as_millis() as u64;
+                if due > now {
+                    let (w, _) = queues
+                        .wheel_cv
+                        .wait_timeout(wheel, Duration::from_millis(due - now))
+                        .expect("wheel wait");
+                    wheel = w;
+                    continue;
+                }
+                let Some(Reverse((due, idx))) = wheel.pop() else {
+                    continue;
+                };
+                let fire = {
+                    let mut inbox = queues.slots[idx].inbox.lock().expect("slot inbox");
+                    if inbox.wake == Some(due) {
+                        inbox.wake = None;
+                        true
+                    } else {
+                        false // stale entry: the slot re-armed or fired
+                    }
+                };
+                if fire {
+                    drop(wheel);
+                    queues.enqueue(idx, Envelope::Wake);
+                    wheel = queues.wheel.lock().expect("timer wheel");
+                }
+            }
+        }
+    }
+}
+
+/// Runs `cores` to completion on a pool of `threads` workers: spawns
+/// the pool (plus the timekeeper in wall-clock mode), drives the shared
+/// clock ([`drive_rounds`] — the same barrier protocol as
+/// thread-per-node), runs `before_join` once the clock returns (the TCP
+/// driver retires its accept threads there), then stops the pool and
+/// harvests every core into a [`DriverRun`].
+pub(crate) fn run_pool<L: Link + 'static>(
+    cores: Vec<NodeCore<L>>,
+    queues: Arc<PoolQueues>,
+    threads: usize,
+    epoch: Instant,
+    rounds: u64,
+    round_ms: u64,
+    before_join: impl FnOnce(),
+) -> DriverRun {
+    assert_eq!(cores.len(), queues.slots.len(), "one slot per core");
+    let lockstep = queues.coord.is_some();
+    let coord = queues.coord.clone();
+    let cores: Arc<Vec<Mutex<Option<NodeCore<L>>>>> = Arc::new(
+        cores
+            .into_iter()
+            .map(|core| Mutex::new(Some(core)))
+            .collect(),
+    );
+
+    let panic_nodes: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(threads + 1);
+    for t in 0..threads {
+        let queues = Arc::clone(&queues);
+        let cores = Arc::clone(&cores);
+        let panic_nodes = Arc::clone(&panic_nodes);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("pag-pool-{t}"))
+                .spawn(move || pool_worker(queues, cores, lockstep, panic_nodes))
+                .expect("spawn pool worker"),
+        );
+    }
+    if !lockstep {
+        let queues = Arc::clone(&queues);
+        handles.push(
+            thread::Builder::new()
+                .name("pag-pool-timer".to_string())
+                .spawn(move || timekeeper(queues, epoch))
+                .expect("spawn pool timekeeper"),
+        );
+    }
+
+    drive_rounds(
+        &PoolClock { queues: &queues },
+        coord.as_ref(),
+        epoch,
+        rounds,
+        round_ms,
+    );
+    before_join();
+    queues.stop_now();
+
+    let mut panics: Vec<String> = Vec::new();
+    for handle in handles {
+        if let Err(payload) = handle.join() {
+            panics.push(panic_message(payload.as_ref()));
+        }
+    }
+    if !panics.is_empty() {
+        let nodes = panic_nodes.lock().map(|v| v.join(", ")).unwrap_or_default();
+        panic!(
+            "pool worker thread(s) panicked (while stepping: {nodes}) — {}",
+            panics.join("; ")
+        );
+    }
+
+    let mut per_node = BTreeMap::new();
+    let mut engines = BTreeMap::new();
+    for cell in cores.iter() {
+        let core = cell
+            .lock()
+            .expect("core cell")
+            .take()
+            .expect("every core harvested exactly once");
+        let result = core.finish();
+        per_node.insert(result.id, result.traffic);
+        engines.insert(result.id, result.engine);
+    }
+    DriverRun {
+        report: TrafficReport {
+            duration: rounds as f64,
+            rounds,
+            per_node,
+        },
+        engines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_resolves_pool_sizes() {
+        assert_eq!(Scheduler::resolve_threads(4, 100), 4);
+        assert_eq!(Scheduler::resolve_threads(16, 3), 3, "never more threads than nodes");
+        assert_eq!(Scheduler::resolve_threads(5, 0), 1, "degenerate session still gets a thread");
+        assert!(Scheduler::resolve_threads(0, 1000) >= 1, "auto resolves to the machine");
+        assert_eq!(Scheduler::default(), Scheduler::ThreadPerNode);
+        assert_eq!(Scheduler::auto_pool(), Scheduler::Pool(0));
+    }
+
+    #[test]
+    fn enqueue_schedules_once_and_retirement_refuses() {
+        let queues = PoolQueues::new(2, None);
+        assert!(queues.enqueue(0, Envelope::Round(0)));
+        assert!(queues.enqueue(0, Envelope::Flush));
+        // One slot, two envelopes, one run-queue entry.
+        assert_eq!(queues.run_queue.lock().unwrap().len(), 1);
+        queues.retire(0);
+        assert!(!queues.enqueue(0, Envelope::Round(1)), "retired slots refuse mail");
+        assert!(queues.enqueue(1, Envelope::Round(1)), "other slots unaffected");
+        // After shutdown every slot refuses — that refusal is what sends
+        // a lingering transport reader thread home.
+        queues.stop.store(true, Ordering::SeqCst);
+        assert!(!queues.enqueue(1, Envelope::Round(2)), "stopped pools refuse mail");
+    }
+}

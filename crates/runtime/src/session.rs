@@ -52,12 +52,13 @@ pub enum Driver {
     /// The deterministic discrete-event simulator (latency, loss,
     /// per-class accounting).
     Simnet(SimConfig),
-    /// The multi-threaded in-process runtime (per-node threads, channel
-    /// links shipping encoded frames, lockstep or wall-clock timers).
+    /// The multi-threaded in-process runtime (channel links shipping
+    /// encoded frames, lockstep or wall-clock timers, per-node threads
+    /// or the worker pool via `ThreadedConfig::scheduler`).
     Threaded(ThreadedConfig),
-    /// The TCP transport: per-node threads linked by real loopback
-    /// sockets carrying length-prefixed codec frames, same lockstep or
-    /// wall-clock timer machinery (see `crate::tcp`).
+    /// The TCP transport: real loopback sockets carrying
+    /// length-prefixed codec frames, same lockstep or wall-clock timer
+    /// machinery and scheduler choice (see `crate::tcp`).
     Tcp(TcpConfig),
 }
 

@@ -1,15 +1,21 @@
 //! The TCP driver: the sans-IO engine on real loopback sockets.
 //!
-//! Same per-node worker as the threaded driver (`crate::worker`), but
+//! Same per-node core as the threaded driver (`crate::worker`), but
 //! the [`Link`] writes **length-prefixed codec frames to TCP streams**
 //! (`pag_core::wire::encode_stream_frame`) and per-stream reader
 //! threads reassemble them with `pag_core::wire::StreamFramer` before
-//! funnelling them back into the worker's envelope queue. Every byte a
+//! funnelling them back into the node's envelope queue. Every byte a
 //! node is charged for crosses the kernel's loopback path; nothing
 //! about the protocol, timers, churn or crash semantics changes —
 //! which is the point, and what the three-driver equivalence suite
 //! pins down (verdicts, deliveries and traffic totals identical to the
 //! simulator and the channel driver, lockstep mode).
+//!
+//! Like the channel driver, the node side runs under either
+//! [`Scheduler`]: dedicated worker threads, or the worker pool
+//! (`crate::pool`) with readers forwarding into pool inboxes. Reader
+//! and accept threads remain per-stream in both cases — the pool
+//! removes the *node* threads, which is what dominates at scale.
 //!
 //! # Topology and lifecycle
 //!
@@ -23,6 +29,15 @@
 //! ([`pag_core::engine::MetricEvent::FrameRejected`]); an oversized
 //! length prefix kills the connection (stream sync is lost) after
 //! counting one rejection. No input bytes can panic a node thread.
+//!
+//! Untrusted connections additionally carry a **rejected-frame budget**
+//! ([`TcpConfig::reject_limit`]): a connection that keeps producing
+//! undecodable or misrouted frames is severed once the budget is spent,
+//! and the cut is counted
+//! ([`pag_core::engine::MetricEvent::ConnectionDropped`]) — so a
+//! hostile flood costs the node a bounded number of rejections instead
+//! of one per hostile frame forever. Mesh streams carry only
+//! peer-engine frames and skip the screen entirely.
 //!
 //! Lockstep mode works unchanged over sockets because the quiescence
 //! ledger brackets the socket transit: a sender registers its frame
@@ -40,18 +55,26 @@ use std::thread;
 use std::time::Instant;
 
 use pag_core::engine::PagEngine;
-use pag_core::wire::{encode_stream_frame, StreamFramer, MAX_STREAM_FRAME_BYTES};
+use pag_core::wire::{
+    decode_frame, encode_stream_frame, StreamFramer, WireConfig, MAX_STREAM_FRAME_BYTES,
+};
 use pag_core::SharedContext;
 use pag_membership::NodeId;
 
 use crate::churn::ChurnEvent;
-use crate::report::NodeTraffic;
+use crate::pool::{run_pool, InboxHandle, PoolQueues, Scheduler};
 use crate::worker::{
-    drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link, NetEmulation, Worker,
+    crash_round_of, drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link,
+    NetEmulation, NodeCore, Worker,
 };
 
 /// Outcome of a TCP run (same shape as every real-time driver).
 pub type TcpRun = DriverRun;
+
+/// Default [`TcpConfig::reject_limit`]: enough rejections to diagnose a
+/// misbehaving peer in the metrics, small enough that a flood is cut
+/// off within one scheduling quantum.
+pub const DEFAULT_REJECT_LIMIT: u32 = 32;
 
 /// Configuration of the TCP driver.
 #[derive(Clone, Debug)]
@@ -72,6 +95,14 @@ pub struct TcpConfig {
     /// framing violation that drops the connection. Senders enforce the
     /// same bound, so conforming peers never trip it.
     pub max_frame_bytes: usize,
+    /// Rejected-frame budget per **untrusted** (post-mesh) connection:
+    /// after this many undecodable or misrouted frames the connection
+    /// is severed and counted as a
+    /// [`pag_core::engine::MetricEvent::ConnectionDropped`]. Mesh
+    /// streams are exempt (peer engines only produce clean frames).
+    pub reject_limit: u32,
+    /// Node-to-thread mapping: dedicated threads or a worker pool.
+    pub scheduler: Scheduler,
     /// Test/diagnostics hook: each node's bound listener address is sent
     /// here **after** the session mesh is fully established (so probes
     /// connecting in response can never be mistaken for mesh peers).
@@ -86,6 +117,8 @@ impl Default for TcpConfig {
             seed: 0,
             net: None,
             max_frame_bytes: MAX_STREAM_FRAME_BYTES,
+            reject_limit: DEFAULT_REJECT_LIMIT,
+            scheduler: Scheduler::ThreadPerNode,
             addr_probe: None,
         }
     }
@@ -123,8 +156,49 @@ impl Drop for TcpLink {
     }
 }
 
+/// The rejected-frame budget of one untrusted connection: the reader
+/// pre-decodes each well-framed frame and, once `limit` of them have
+/// proven undecodable or misrouted, cuts the connection instead of
+/// letting the flood buy a rejection per frame forever.
+struct RejectScreen {
+    owner: NodeId,
+    wire: WireConfig,
+    limit: u32,
+    rejected: u32,
+}
+
+/// One screened frame's verdict.
+enum Screened {
+    /// Decodes and is addressed to the owner: deliver normally.
+    Clean,
+    /// Undecodable or misrouted, budget not yet spent: count it (as a
+    /// pre-decoded rejection — the worker must not decode it again).
+    Bad,
+    /// Undecodable or misrouted and the budget is spent: sever the
+    /// connection.
+    Flood,
+}
+
+impl RejectScreen {
+    fn screen(&mut self, frame: &[u8]) -> Screened {
+        let bad = match decode_frame(frame, &self.wire) {
+            Ok(parsed) => parsed.to != self.owner,
+            Err(_) => true,
+        };
+        if !bad {
+            return Screened::Clean;
+        }
+        self.rejected += 1;
+        if self.rejected > self.limit {
+            Screened::Flood
+        } else {
+            Screened::Bad
+        }
+    }
+}
+
 /// Reads length-prefixed frames off one stream and forwards them to the
-/// owning node's worker. Truncated input simply waits (and EOF discards
+/// owning node's inbox. Truncated input simply waits (and EOF discards
 /// it); a framing violation forwards one [`Envelope::Malformed`] so the
 /// rejection is counted, then drops the connection — reframing after a
 /// bogus length prefix is impossible.
@@ -137,12 +211,17 @@ impl Drop for TcpLink {
 /// forwarding, so the worker's unconditional `done()` stays balanced
 /// and hostile bytes can never consume a legitimate frame's credit and
 /// release a quiescence barrier early.
+///
+/// `screen` is `Some` exactly on untrusted connections: the
+/// per-connection rejected-frame budget (see [`TcpConfig::reject_limit`]
+/// and the module docs).
 fn read_loop(
     mut stream: TcpStream,
-    tx: Sender<Envelope>,
+    inbox: InboxHandle,
     coord: Option<Arc<Coordination>>,
     max_frame: usize,
     registered: bool,
+    mut screen: Option<RejectScreen>,
 ) {
     let mut framer = StreamFramer::new(max_frame);
     let mut chunk = [0u8; 16 * 1024];
@@ -152,7 +231,7 @@ fn read_loop(
                 coord.add(1);
             }
         }
-        if tx.send(envelope).is_ok() {
+        if inbox.send(envelope) {
             return true;
         }
         // The worker is gone; balance the ledger for the envelope it
@@ -166,8 +245,28 @@ fn read_loop(
         loop {
             match framer.next_frame() {
                 Ok(Some(frame)) => {
-                    if !forward(Envelope::Frame { bytes: frame }) {
-                        return;
+                    match screen.as_mut().map_or(Screened::Clean, |s| s.screen(&frame)) {
+                        Screened::Flood => {
+                            // Budget spent: sever the flooding
+                            // connection, count the cut, and stop
+                            // forwarding its frames.
+                            let _ = forward(Envelope::ConnectionDropped);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                        Screened::Bad => {
+                            // Already proven undecodable/misrouted:
+                            // count the rejection without making the
+                            // worker decode the bytes a second time.
+                            if !forward(Envelope::Malformed) {
+                                return;
+                            }
+                        }
+                        Screened::Clean => {
+                            if !forward(Envelope::Frame { bytes: frame }) {
+                                return;
+                            }
+                        }
                     }
                 }
                 Ok(None) => break,
@@ -188,8 +287,8 @@ fn read_loop(
     }
 }
 
-/// Runs `engines` for `rounds` rounds on per-node threads linked by
-/// real TCP streams over loopback.
+/// Runs `engines` for `rounds` rounds linked by real TCP streams over
+/// loopback, under the configured [`Scheduler`].
 ///
 /// Contract identical to [`crate::threaded::run_threaded`]: every
 /// engine's node must belong to `shared`'s key roster, `crashes` are
@@ -205,13 +304,20 @@ pub fn run_tcp(
     let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
     let n = ids.len();
     let coord = cfg.lockstep.then(|| Arc::new(Coordination::new(n)));
+    let round_ms = cfg.round_ms.max(1);
+    let net_seed = cfg.seed ^ 0x4E45_5445_4D55;
 
+    // Node inboxes: per-node channels (thread-per-node) or pool slots
+    // (created after the mesh, alongside the epoch they are clocked by).
+    let pooled = matches!(cfg.scheduler, Scheduler::Pool(_));
     let mut senders: BTreeMap<NodeId, Sender<Envelope>> = BTreeMap::new();
-    let mut receivers = Vec::with_capacity(n);
-    for &id in &ids {
-        let (tx, rx) = channel();
-        senders.insert(id, tx);
-        receivers.push(rx);
+    let mut receivers = Vec::new();
+    if !pooled {
+        for &id in &ids {
+            let (tx, rx) = channel();
+            senders.insert(id, tx);
+            receivers.push(rx);
+        }
     }
 
     // One loopback listener per node.
@@ -254,29 +360,42 @@ pub fn run_tcp(
         }
     }
 
-    // Reader threads: one per established inbound stream.
+    let queues = pooled.then(|| PoolQueues::new(n, coord.clone()));
+    let inbox_of = |idx: usize| -> InboxHandle {
+        match &queues {
+            Some(queues) => InboxHandle::Pool(Arc::clone(queues), idx),
+            None => InboxHandle::Channel(senders[&ids[idx]].clone()),
+        }
+    };
+
+    // Reader threads: one per established inbound stream. Mesh peers
+    // are trusted engines — no reject screen.
     for (idx, streams) in reads.into_iter().enumerate() {
         for stream in streams {
-            let tx = senders[&ids[idx]].clone();
+            let inbox = inbox_of(idx);
             let coord = coord.clone();
             let max = cfg.max_frame_bytes;
             thread::Builder::new()
                 .name(format!("pag-tcp-read-{}", ids[idx]))
-                .spawn(move || read_loop(stream, tx, coord, max, true))
+                .spawn(move || read_loop(stream, inbox, coord, max, true, None))
                 .expect("spawn reader thread");
         }
     }
 
     // Accept threads: keep each listener open for late (untrusted)
     // connections; their bytes go through the same reject-don't-panic
-    // frame path. A stop flag plus a wake-up connection ends them.
+    // frame path, behind the per-connection rejected-frame budget. A
+    // stop flag plus a wake-up connection ends them.
     let stop_accepting = Arc::new(AtomicBool::new(false));
     let mut accept_handles = Vec::with_capacity(n);
     for (idx, listener) in listeners.into_iter().enumerate() {
-        let tx = senders[&ids[idx]].clone();
+        let inbox = inbox_of(idx);
+        let owner = ids[idx];
         let coord = coord.clone();
         let stop = Arc::clone(&stop_accepting);
         let max = cfg.max_frame_bytes;
+        let limit = cfg.reject_limit;
+        let wire = shared.config.wire.clone();
         let handle = thread::Builder::new()
             .name(format!("pag-tcp-accept-{}", ids[idx]))
             .spawn(move || loop {
@@ -287,74 +406,91 @@ pub fn run_tcp(
                     return;
                 }
                 let _ = conn.set_nodelay(true);
-                let tx = tx.clone();
+                let inbox = inbox.clone();
                 let coord = coord.clone();
-                thread::spawn(move || read_loop(conn, tx, coord, max, false));
+                let screen = RejectScreen {
+                    owner,
+                    wire: wire.clone(),
+                    limit,
+                    rejected: 0,
+                };
+                thread::spawn(move || {
+                    read_loop(conn, inbox, coord, max, false, Some(screen))
+                });
             })
             .expect("spawn accept thread");
         accept_handles.push(handle);
     }
 
-    // Workers: identical to the channel driver except for the link.
-    // The epoch starts after mesh setup so connection establishment
-    // never eats into round 0's real-time budget.
+    // The epoch starts only now — after mesh setup and thread spawning —
+    // so neither connection establishment nor spawning the ~n² reader
+    // threads eats into round 0's real-time budget. The pool's timer
+    // wheel is clocked by the same instant as the node cores (run_pool
+    // passes it to the timekeeper alongside the queues).
     let epoch = Instant::now();
-    let mut handles = Vec::with_capacity(n);
-    for (idx, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
-        let id = ids[idx];
-        let worker = Worker {
-            idx,
-            id,
-            engine,
-            wire: shared.config.wire.clone(),
-            rx,
-            link: TcpLink {
-                peers: std::mem::take(&mut writes[idx]),
-                max_frame: cfg.max_frame_bytes,
-            },
-            coord: coord.clone(),
-            traffic: NodeTraffic::default(),
-            timers: Vec::new(),
-            timer_seq: 0,
-            now_ms: 0,
-            round: 0,
-            crash_round: crashes
-                .iter()
-                .filter(|(node, _)| *node == id)
-                .map(|&(_, round)| round)
-                .min(),
-            crashed: false,
-            effects: Vec::new(),
-            stash: Vec::new(),
-            buffering: false,
-            epoch,
-            round_ms: cfg.round_ms.max(1),
-            churn: crate::churn::inputs_for(churn, id),
-            net: cfg.net.clone(),
-            net_seed: cfg.seed ^ 0x4E45_5445_4D55,
-            delayed: Vec::new(),
-            delay_seq: 0,
-        };
-        let handle = thread::Builder::new()
-            .name(format!("pag-tcp-{id}"))
-            .spawn(move || worker.run())
-            .expect("spawn node thread");
-        handles.push((id, handle));
-    }
 
-    drive_rounds(&senders, coord.as_ref(), epoch, rounds, cfg.round_ms.max(1));
-    drop(senders);
+    // Retires the accept threads: unblock each listener with a throwaway
+    // connection, then join. Runs before worker joins on both
+    // schedulers, so a panicking node cannot leak n blocked accept
+    // threads and their bound listeners.
+    let stop_accepts = move || {
+        stop_accepting.store(true, Ordering::SeqCst);
+        for addr in addrs.values() {
+            let _ = TcpStream::connect(addr);
+        }
+        for handle in accept_handles {
+            let _ = handle.join();
+        }
+    };
 
-    // Unblock and retire the accept threads — before joining workers,
-    // whose join re-raises worker panics: the error path must not leak
-    // n blocked accept threads and their bound listeners.
-    stop_accepting.store(true, Ordering::SeqCst);
-    for addr in addrs.values() {
-        let _ = TcpStream::connect(addr);
-    }
-    for handle in accept_handles {
-        let _ = handle.join();
-    }
+    // One core per node, identical initial state for both schedulers.
+    let cores: Vec<NodeCore<TcpLink>> = engines
+        .into_iter()
+        .enumerate()
+        .map(|(idx, engine)| {
+            let id = ids[idx];
+            NodeCore::new(
+                idx,
+                id,
+                engine,
+                shared.config.wire.clone(),
+                TcpLink {
+                    peers: std::mem::take(&mut writes[idx]),
+                    max_frame: cfg.max_frame_bytes,
+                },
+                coord.clone(),
+                crash_round_of(crashes, id),
+                crate::churn::inputs_for(churn, id),
+                epoch,
+                round_ms,
+                cfg.net.clone(),
+                net_seed,
+            )
+        })
+        .collect();
 
-    join_workers(handles, rounds)
+    match cfg.scheduler {
+        Scheduler::ThreadPerNode => {
+            let mut handles = Vec::with_capacity(n);
+            for (core, rx) in cores.into_iter().zip(receivers) {
+                let id = core.id;
+                let worker = Worker { core, rx };
+                let handle = thread::Builder::new()
+                    .name(format!("pag-tcp-{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn node thread");
+                handles.push((id, handle));
+            }
+
+            drive_rounds(&senders, coord.as_ref(), epoch, rounds, round_ms);
+            drop(senders);
+            stop_accepts();
+            join_workers(handles, rounds)
+        }
+        Scheduler::Pool(size) => {
+            let queues = queues.expect("pool queues exist for pooled scheduler");
+            let threads = Scheduler::resolve_threads(size, n);
+            run_pool(cores, queues, threads, epoch, rounds, round_ms, stop_accepts)
+        }
+    }
 }

@@ -1,19 +1,28 @@
 //! The threaded driver: a real-time multi-threaded in-process runtime
 //! for the sans-IO engine, on **channel** links.
 //!
-//! One OS thread per node; links are unbounded channels carrying
-//! **encoded frames** (`pag_core::wire::encode_frame`), so every byte a
-//! node is charged for actually crosses a thread boundary and is parsed
-//! back with `decode_frame` on arrival — the codec is load-bearing, not
+//! Links are unbounded channels carrying **encoded frames**
+//! (`pag_core::wire::encode_frame`), so every byte a node is charged
+//! for actually crosses a thread boundary and is parsed back with
+//! `decode_frame` on arrival — the codec is load-bearing, not
 //! decorative.
 //!
-//! The per-node loop — engine feed, traffic accounting, timers,
+//! The per-node logic — engine feed, traffic accounting, timers,
 //! [`NetEmulation`] faults, churn announcements, lockstep barriers — is
 //! the transport-generic [`crate::worker`] module; this file only
 //! supplies the [`Link`] implementation (an `mpsc::Sender` per peer)
 //! and the session assembly. The TCP driver (`crate::tcp`) plugs real
-//! sockets into the same worker, which is why the driver-equivalence
+//! sockets into the same node core, which is why the driver-equivalence
 //! suite can hold all transports to identical outcomes.
+//!
+//! Two execution **schedulers** ([`Scheduler`]):
+//!
+//! * `ThreadPerNode` — one OS thread per node, the PR 2 model;
+//! * `Pool(n)` — a fixed pool of `n` threads multiplexing every node
+//!   (`crate::pool`), the scheduler that makes 1000+ node sessions
+//!   practical. Pooled channel links skip the mpsc hop and deliver
+//!   frames straight into the peer's pool inbox. Lockstep outcomes are
+//!   identical across schedulers and pool sizes, by test.
 //!
 //! Two clock modes:
 //!
@@ -31,12 +40,14 @@
 //! * **Real time** (`lockstep: false`): rounds tick on the wall clock
 //!   every `round_ms` milliseconds and engine timers are armed at
 //!   proportionally scaled offsets (`after_ms * round_ms / 1000`),
-//!   fired by `recv_timeout` deadlines on each node thread.
+//!   fired by `recv_timeout` deadlines (thread-per-node) or the shared
+//!   timer wheel (pool).
 //!
 //! The driver supports fail-stop crashes (a crashed node drops every
-//! envelope from its crash round on, like the simulator), membership
-//! churn (scheduled joins/leaves fed to the subject engine one round
-//! early; see `crate::churn`), and latency/loss injection on the links
+//! envelope from its crash round on, like the simulator; the pool
+//! additionally retires it from the run queue), membership churn
+//! (scheduled joins/leaves fed to the subject engine one round early;
+//! see `crate::churn`), and latency/loss injection on the links
 //! ([`NetEmulation`]): loss applies in both clock modes, decided after
 //! send-side accounting from a content-keyed hash of the frame bytes
 //! (so lossy lockstep runs stay deterministic whatever the scheduler
@@ -54,9 +65,10 @@ use pag_core::SharedContext;
 use pag_membership::NodeId;
 
 use crate::churn::ChurnEvent;
-use crate::report::NodeTraffic;
+use crate::pool::{run_pool, PoolLink, PoolQueues, Scheduler};
 use crate::worker::{
-    drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link, Worker,
+    crash_round_of, drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link,
+    NodeCore, Worker,
 };
 
 pub use crate::worker::{NetEmulation, NetEmulationError};
@@ -78,6 +90,8 @@ pub struct ThreadedConfig {
     pub seed: u64,
     /// Optional latency/loss injection on the links.
     pub net: Option<NetEmulation>,
+    /// Node-to-thread mapping: dedicated threads or a worker pool.
+    pub scheduler: Scheduler,
 }
 
 impl Default for ThreadedConfig {
@@ -87,6 +101,7 @@ impl Default for ThreadedConfig {
             lockstep: true,
             seed: 0,
             net: None,
+            scheduler: Scheduler::ThreadPerNode,
         }
     }
 }
@@ -106,8 +121,8 @@ impl Link for ChannelLink {
     }
 }
 
-/// Runs `engines` for `rounds` rounds on per-node threads with channel
-/// links.
+/// Runs `engines` for `rounds` rounds on the channel transport, under
+/// the configured [`Scheduler`].
 ///
 /// Every engine's node must belong to `shared`'s key roster (initial
 /// members plus scheduled joiners); `crashes` are fail-stop rounds per
@@ -127,58 +142,77 @@ pub fn run_threaded(
     let n = ids.len();
     let coord = cfg.lockstep.then(|| Arc::new(Coordination::new(n)));
     let epoch = Instant::now();
+    let round_ms = cfg.round_ms.max(1);
+    let net_seed = cfg.seed ^ 0x4E45_5445_4D55;
 
-    let mut senders: BTreeMap<NodeId, Sender<Envelope>> = BTreeMap::new();
-    let mut receivers = Vec::with_capacity(n);
-    for &id in &ids {
-        let (tx, rx) = channel();
-        senders.insert(id, tx);
-        receivers.push(rx);
+    match cfg.scheduler {
+        Scheduler::ThreadPerNode => {
+            let mut senders: BTreeMap<NodeId, Sender<Envelope>> = BTreeMap::new();
+            let mut receivers = Vec::with_capacity(n);
+            for &id in &ids {
+                let (tx, rx) = channel();
+                senders.insert(id, tx);
+                receivers.push(rx);
+            }
+
+            let mut handles = Vec::with_capacity(n);
+            for (idx, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
+                let id = ids[idx];
+                let core = NodeCore::new(
+                    idx,
+                    id,
+                    engine,
+                    shared.config.wire.clone(),
+                    ChannelLink {
+                        peers: senders.clone(),
+                    },
+                    coord.clone(),
+                    crash_round_of(crashes, id),
+                    crate::churn::inputs_for(churn, id),
+                    epoch,
+                    round_ms,
+                    cfg.net.clone(),
+                    net_seed,
+                );
+                let worker = Worker { core, rx };
+                let handle = thread::Builder::new()
+                    .name(format!("pag-{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn node thread");
+                handles.push((id, handle));
+            }
+
+            drive_rounds(&senders, coord.as_ref(), epoch, rounds, round_ms);
+            drop(senders);
+            join_workers(handles, rounds)
+        }
+        Scheduler::Pool(size) => {
+            let queues = PoolQueues::new(n, coord.clone());
+            let index: Arc<BTreeMap<NodeId, usize>> =
+                Arc::new(ids.iter().enumerate().map(|(i, &id)| (id, i)).collect());
+            let cores: Vec<NodeCore<PoolLink>> = engines
+                .into_iter()
+                .enumerate()
+                .map(|(idx, engine)| {
+                    let id = ids[idx];
+                    NodeCore::new(
+                        idx,
+                        id,
+                        engine,
+                        shared.config.wire.clone(),
+                        PoolLink::new(Arc::clone(&queues), Arc::clone(&index)),
+                        coord.clone(),
+                        crash_round_of(crashes, id),
+                        crate::churn::inputs_for(churn, id),
+                        epoch,
+                        round_ms,
+                        cfg.net.clone(),
+                        net_seed,
+                    )
+                })
+                .collect();
+            let threads = Scheduler::resolve_threads(size, n);
+            run_pool(cores, queues, threads, epoch, rounds, round_ms, || {})
+        }
     }
-
-    let mut handles = Vec::with_capacity(n);
-    for (idx, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
-        let id = ids[idx];
-        let worker = Worker {
-            idx,
-            id,
-            engine,
-            wire: shared.config.wire.clone(),
-            rx,
-            link: ChannelLink {
-                peers: senders.clone(),
-            },
-            coord: coord.clone(),
-            traffic: NodeTraffic::default(),
-            timers: Vec::new(),
-            timer_seq: 0,
-            now_ms: 0,
-            round: 0,
-            crash_round: crashes
-                .iter()
-                .filter(|(node, _)| *node == id)
-                .map(|&(_, round)| round)
-                .min(),
-            crashed: false,
-            effects: Vec::new(),
-            stash: Vec::new(),
-            buffering: false,
-            epoch,
-            round_ms: cfg.round_ms.max(1),
-            churn: crate::churn::inputs_for(churn, id),
-            net: cfg.net.clone(),
-            net_seed: cfg.seed ^ 0x4E45_5445_4D55,
-            delayed: Vec::new(),
-            delay_seq: 0,
-        };
-        let handle = thread::Builder::new()
-            .name(format!("pag-{id}"))
-            .spawn(move || worker.run())
-            .expect("spawn node thread");
-        handles.push((id, handle));
-    }
-
-    drive_rounds(&senders, coord.as_ref(), epoch, rounds, cfg.round_ms.max(1));
-    drop(senders);
-    join_workers(handles, rounds)
 }

@@ -1,23 +1,35 @@
-//! The transport-generic per-node worker behind every real-time driver.
+//! The transport-generic per-node state machine behind every real-time
+//! driver, and the thread-per-node loop that historically ran it.
 //!
 //! PR 2's threaded driver and PR 4's TCP driver run the *same* node
-//! loop: feed the sans-IO engine, account traffic from encoded frames,
+//! logic: feed the sans-IO engine, account traffic from encoded frames,
 //! apply [`NetEmulation`] faults, announce churn, and participate in
-//! the lockstep barrier protocol. This module owns that loop — a
-//! [`Worker`] parameterized over a [`Link`], the one trait a transport
-//! implements to join the family:
+//! the lockstep barrier protocol. PR 5 split that logic in two:
+//!
+//! * [`NodeCore`] — the per-node state machine itself (engine, timers,
+//!   stash, delayed frames, crash/churn bookkeeping) with one method
+//!   per envelope kind. It is scheduler-neutral: it never blocks, never
+//!   owns a thread, and can be stepped by whoever holds it.
+//! * [`Worker`] — a `NodeCore` plus the receiving end of an envelope
+//!   channel, run on a dedicated OS thread (`Scheduler::ThreadPerNode`).
+//!   The worker-pool scheduler (`crate::pool`) steps the same cores
+//!   from a fixed thread pool instead, so 1k–10k-node sessions stop
+//!   costing one OS thread per node.
+//!
+//! Transports plug in through the [`Link`] trait, exactly as before:
 //!
 //! * the **channel** link (`threaded.rs`) pushes encoded frames onto a
-//!   peer's unbounded in-process channel;
+//!   peer's unbounded in-process channel (or, pooled, straight into the
+//!   peer's pool inbox);
 //! * the **socket** link (`tcp.rs`) writes length-prefixed frames to a
 //!   real TCP stream on loopback, with reader threads funnelling
 //!   incoming frames back into the worker's envelope queue.
 //!
 //! Because timers, barriers, crash semantics, churn feeds and traffic
 //! accounting all live here, driver equivalence (identical verdicts,
-//! deliveries and traffic totals across Simnet, Threaded and Tcp) is a
-//! property of one code path, enforced for all transports by
-//! `tests/driver_equivalence.rs`.
+//! deliveries and traffic totals across Simnet, Threaded and Tcp, on
+//! either scheduler) is a property of one code path, enforced for all
+//! transports by `tests/driver_equivalence.rs`.
 //!
 //! **The frame path never panics on input.** Incoming bytes that fail
 //! [`decode_frame`], violate stream framing (surfaced by the transport
@@ -178,10 +190,11 @@ pub(crate) fn mix_unit(h: u64) -> f64 {
 /// One transport's outbound half: ships an encoded frame to a peer.
 ///
 /// Loss emulation, lockstep bookkeeping and traffic accounting all
-/// happen in the [`Worker`] *before* this is called — an implementation
-/// only moves bytes. Returning `false` means the peer's link is gone (a
-/// stopped worker, a closed socket); the worker then balances the
-/// lockstep ledger for the frame that will never be processed.
+/// happen in the [`NodeCore`] *before* this is called — an
+/// implementation only moves bytes. Returning `false` means the peer's
+/// link is gone (a stopped worker, a closed socket, a retired pool
+/// slot); the core then balances the lockstep ledger for the frame
+/// that will never be processed.
 pub trait Link: Send {
     /// Ships one encoded frame to `to`; `false` when the link is closed.
     fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool;
@@ -202,6 +215,10 @@ pub(crate) enum Envelope {
     /// path (oversized length prefix on a socket): no frame bytes exist
     /// to decode, but the rejection must still be counted.
     Malformed,
+    /// The transport severed an inbound connection that exceeded its
+    /// rejected-frame budget (hostile flood); the drop is counted via
+    /// [`PagEngine::note_connection_dropped`].
+    ConnectionDropped,
     /// Lockstep only: release the frames stashed during the last
     /// round-start or timer phase.
     ///
@@ -214,6 +231,11 @@ pub(crate) enum Envelope {
     Flush,
     /// Lockstep only: fire every timer due at or before this virtual ms.
     TimersUpTo(u64),
+    /// Wall-clock pool mode only: the shared timer wheel says this
+    /// node's earliest deadline (timer or delayed frame) has passed.
+    /// Thread-per-node workers never receive this — their own
+    /// `recv_timeout` deadline plays the same role.
+    Wake,
     /// Shut down and report.
     Stop,
 }
@@ -282,7 +304,7 @@ impl Coordination {
         }
     }
 
-    fn publish_deadline(&self, idx: usize, deadline: Option<u64>) {
+    pub(crate) fn publish_deadline(&self, idx: usize, deadline: Option<u64>) {
         self.deadlines.lock().expect("deadline lock")[idx] = deadline;
     }
 
@@ -297,7 +319,7 @@ impl Coordination {
     }
 }
 
-/// Final state a node worker reports.
+/// Final state a node reports.
 pub(crate) struct WorkerResult {
     pub(crate) id: NodeId,
     pub(crate) engine: PagEngine,
@@ -313,13 +335,28 @@ pub struct DriverRun {
     pub engines: BTreeMap<NodeId, PagEngine>,
 }
 
-/// The per-node worker loop, generic over the outbound transport.
-pub(crate) struct Worker<L: Link> {
+/// The crash round scheduled for `id`, if any (earliest wins).
+pub(crate) fn crash_round_of(crashes: &[(NodeId, u64)], id: NodeId) -> Option<u64> {
+    crashes
+        .iter()
+        .filter(|(node, _)| *node == id)
+        .map(|&(_, round)| round)
+        .min()
+}
+
+/// The per-node protocol state machine, generic over the outbound
+/// transport and neutral to the scheduler stepping it.
+///
+/// A `NodeCore` never blocks: each method consumes one stimulus (an
+/// envelope, a timer pass) and returns. `Scheduler::ThreadPerNode`
+/// wraps one in a [`Worker`] on a dedicated thread;
+/// `Scheduler::Pool(_)` keeps thousands of them in slots and steps
+/// whichever have ready input (`crate::pool`).
+pub(crate) struct NodeCore<L: Link> {
     pub(crate) idx: usize,
     pub(crate) id: NodeId,
     pub(crate) engine: PagEngine,
     pub(crate) wire: WireConfig,
-    pub(crate) rx: Receiver<Envelope>,
     pub(crate) link: L,
     pub(crate) coord: Option<Arc<Coordination>>,
     pub(crate) traffic: NodeTraffic,
@@ -352,8 +389,53 @@ pub(crate) struct Worker<L: Link> {
     pub(crate) delay_seq: u64,
 }
 
-impl<L: Link> Worker<L> {
-    fn lockstep(&self) -> bool {
+impl<L: Link> NodeCore<L> {
+    /// Assembles a core; every driver (both schedulers) builds nodes
+    /// through this one constructor so the initial state cannot drift
+    /// between transports.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        idx: usize,
+        id: NodeId,
+        engine: PagEngine,
+        wire: WireConfig,
+        link: L,
+        coord: Option<Arc<Coordination>>,
+        crash_round: Option<u64>,
+        churn: Vec<(u64, Input)>,
+        epoch: Instant,
+        round_ms: u64,
+        net: Option<NetEmulation>,
+        net_seed: u64,
+    ) -> Self {
+        NodeCore {
+            idx,
+            id,
+            engine,
+            wire,
+            link,
+            coord,
+            traffic: NodeTraffic::default(),
+            timers: Vec::new(),
+            timer_seq: 0,
+            now_ms: 0,
+            round: 0,
+            crash_round,
+            crashed: false,
+            effects: Vec::new(),
+            stash: Vec::new(),
+            buffering: false,
+            epoch,
+            round_ms: round_ms.max(1),
+            churn,
+            net,
+            net_seed,
+            delayed: Vec::new(),
+            delay_seq: 0,
+        }
+    }
+
+    pub(crate) fn lockstep(&self) -> bool {
         self.coord.is_some()
     }
 
@@ -366,12 +448,12 @@ impl<L: Link> Worker<L> {
         }
     }
 
-    fn next_deadline(&self) -> Option<u64> {
+    pub(crate) fn next_deadline(&self) -> Option<u64> {
         self.timers.iter().map(|&(due, _, _)| due).min()
     }
 
     /// Earliest wake-up in real-time mode: a timer or a delayed frame.
-    fn next_wake(&self) -> Option<u64> {
+    pub(crate) fn next_wake(&self) -> Option<u64> {
         let frames = self.delayed.iter().map(|&(due, _, _)| due).min();
         match (self.next_deadline(), frames) {
             (Some(t), Some(f)) => Some(t.min(f)),
@@ -448,7 +530,7 @@ impl<L: Link> Worker<L> {
         if let Some(coord) = &self.coord {
             coord.add(1);
         }
-        // A receiver that already stopped is fine to lose.
+        // A receiver that already stopped (or retired) is fine to lose.
         if !self.link.send_frame(to, frame) {
             if let Some(coord) = &self.coord {
                 coord.done();
@@ -480,6 +562,11 @@ impl<L: Link> Worker<L> {
     /// transport-level framing violation) instead of delivering it.
     fn reject_frame(&mut self) {
         let _metric = self.engine.note_frame_rejected(self.round);
+    }
+
+    /// Counts one severed inbound connection (rejected-frame flood).
+    fn note_connection_dropped(&mut self) {
+        let _metric = self.engine.note_connection_dropped(self.round);
     }
 
     /// Decodes an incoming frame, accounts it, and delivers it. Bytes
@@ -552,8 +639,99 @@ impl<L: Link> Worker<L> {
         }
     }
 
+    /// Processes one lockstep envelope — the *entire* semantics of a
+    /// lockstep phase step, shared verbatim by the thread-per-node loop
+    /// and the pool scheduler so their runs cannot diverge. `Stop` and
+    /// `Wake` are scheduler-level commands and no-ops here.
+    pub(crate) fn lockstep_envelope(&mut self, envelope: Envelope) {
+        match envelope {
+            Envelope::Round(round) => self.enter_round(round),
+            Envelope::Frame { bytes } => {
+                // Lockstep: latency is not emulated; deliver in-phase.
+                if !self.crashed {
+                    self.deliver(bytes);
+                }
+            }
+            Envelope::Malformed => self.reject_frame(),
+            Envelope::ConnectionDropped => self.note_connection_dropped(),
+            Envelope::Flush => {
+                for (to, frame, class) in std::mem::take(&mut self.stash) {
+                    self.ship(to, frame, class);
+                }
+            }
+            Envelope::TimersUpTo(upto) => {
+                if !self.crashed {
+                    self.buffering = true;
+                    self.fire_due(upto);
+                    self.buffering = false;
+                }
+            }
+            Envelope::Wake | Envelope::Stop => {}
+        }
+    }
+
+    /// A just-arrived frame in real-time mode: apply receive-side
+    /// latency emulation, then deliver or park it.
+    fn realtime_frame(&mut self, bytes: Vec<u8>) {
+        let due_ms = self.arrival_due_ms(&bytes);
+        let now = (Instant::now() - self.epoch).as_millis() as u64;
+        if due_ms > now {
+            self.delayed.push((due_ms, self.delay_seq, bytes));
+            self.delay_seq += 1;
+        } else if !self.crashed {
+            self.deliver(bytes);
+        }
+    }
+
+    /// The wall clock reached `upto` (scaled ms since the epoch):
+    /// release delayed frames and fire due timers. Shared by the
+    /// thread-per-node `recv_timeout` path and the pool's timer wheel.
+    pub(crate) fn realtime_tick(&mut self, upto: u64) {
+        self.release_delayed(upto);
+        if self.crashed {
+            self.timers.clear();
+        } else {
+            self.fire_due(upto);
+        }
+    }
+
+    /// Processes one real-time envelope. `Flush`/`TimersUpTo` are
+    /// lockstep-only and ignored; `Wake` consults the wall clock
+    /// (pooled wall-clock mode); `Stop` is handled by the scheduler.
+    pub(crate) fn realtime_envelope(&mut self, envelope: Envelope) {
+        match envelope {
+            Envelope::Round(round) => self.enter_round(round),
+            Envelope::Frame { bytes } => self.realtime_frame(bytes),
+            Envelope::Malformed => self.reject_frame(),
+            Envelope::ConnectionDropped => self.note_connection_dropped(),
+            Envelope::Wake => {
+                let now = (Instant::now() - self.epoch).as_millis() as u64;
+                self.realtime_tick(now);
+            }
+            Envelope::Flush | Envelope::TimersUpTo(_) | Envelope::Stop => {}
+        }
+    }
+
+    /// Consumes the core into its final report.
+    pub(crate) fn finish(self) -> WorkerResult {
+        WorkerResult {
+            id: self.id,
+            engine: self.engine,
+            traffic: self.traffic,
+        }
+    }
+}
+
+/// A [`NodeCore`] on its own OS thread, fed by an envelope channel —
+/// the `Scheduler::ThreadPerNode` execution mode.
+pub(crate) struct Worker<L: Link> {
+    pub(crate) core: NodeCore<L>,
+    pub(crate) rx: Receiver<Envelope>,
+}
+
+impl<L: Link> Worker<L> {
     pub(crate) fn run(mut self) -> WorkerResult {
-        if self.lockstep() {
+        if self.core.lockstep() {
             // Unblock the coordinator if this thread dies mid-phase —
             // the join then surfaces the worker's panic instead of a
             // deadlocked wait_quiet.
@@ -565,63 +743,36 @@ impl<L: Link> Worker<L> {
                     }
                 }
             }
-            let _guard = AbortOnPanic(Arc::clone(self.coord.as_ref().expect("lockstep")));
+            let _guard =
+                AbortOnPanic(Arc::clone(self.core.coord.as_ref().expect("lockstep")));
             self.run_lockstep();
         } else {
             self.run_realtime();
         }
-        WorkerResult {
-            id: self.id,
-            engine: self.engine,
-            traffic: self.traffic,
-        }
+        self.core.finish()
     }
 
     fn run_lockstep(&mut self) {
-        let coord = Arc::clone(self.coord.as_ref().expect("lockstep coordination"));
+        let coord = Arc::clone(self.core.coord.as_ref().expect("lockstep coordination"));
         while let Ok(envelope) = self.rx.recv() {
-            match envelope {
-                Envelope::Round(round) => self.enter_round(round),
-                Envelope::Frame { bytes } => {
-                    // Lockstep: latency is not emulated; deliver in-phase.
-                    if !self.crashed {
-                        self.deliver(bytes);
-                    }
-                }
-                Envelope::Malformed => self.reject_frame(),
-                Envelope::Flush => {
-                    for (to, frame, class) in std::mem::take(&mut self.stash) {
-                        self.ship(to, frame, class);
-                    }
-                }
-                Envelope::TimersUpTo(upto) => {
-                    if !self.crashed {
-                        self.buffering = true;
-                        self.fire_due(upto);
-                        self.buffering = false;
-                    }
-                }
-                Envelope::Stop => break,
+            if matches!(envelope, Envelope::Stop) {
+                break;
             }
-            coord.publish_deadline(self.idx, self.next_deadline());
+            self.core.lockstep_envelope(envelope);
+            coord.publish_deadline(self.core.idx, self.core.next_deadline());
             coord.done();
         }
     }
 
     fn run_realtime(&mut self) {
         loop {
-            let envelope = match self.next_wake() {
+            let envelope = match self.core.next_wake() {
                 Some(due) => {
-                    let due_at = self.epoch + Duration::from_millis(due);
+                    let due_at = self.core.epoch + Duration::from_millis(due);
                     let now = Instant::now();
                     if due_at <= now {
-                        let upto = (now - self.epoch).as_millis() as u64;
-                        self.release_delayed(upto);
-                        if self.crashed {
-                            self.timers.clear();
-                        } else {
-                            self.fire_due(upto);
-                        }
+                        let upto = (now - self.core.epoch).as_millis() as u64;
+                        self.core.realtime_tick(upto);
                         continue;
                     }
                     match self.rx.recv_timeout(due_at - now) {
@@ -635,68 +786,81 @@ impl<L: Link> Worker<L> {
                     Err(_) => return,
                 },
             };
-            match envelope {
-                Envelope::Round(round) => self.enter_round(round),
-                Envelope::Frame { bytes } => {
-                    let due_ms = self.arrival_due_ms(&bytes);
-                    let now = (Instant::now() - self.epoch).as_millis() as u64;
-                    if due_ms > now {
-                        self.delayed.push((due_ms, self.delay_seq, bytes));
-                        self.delay_seq += 1;
-                    } else if !self.crashed {
-                        self.deliver(bytes);
-                    }
+            if matches!(envelope, Envelope::Stop) {
+                return;
+            }
+            self.core.realtime_envelope(envelope);
+        }
+    }
+}
+
+/// The clock's view of a scheduler: one broadcast primitive that, in
+/// lockstep mode, registers with the quiescence ledger **exactly** the
+/// envelopes it then delivers. Thread-per-node drivers implement it
+/// over their sender map; the pool implements it over its slots.
+///
+/// Count-then-send must be a single operation on a single snapshot of
+/// the live set: a slot can retire *concurrently* with a phase
+/// broadcast (a crashing node's `done()` releases the barrier before
+/// its pool thread flips the retired flag), and any mismatch between
+/// what was registered and what will be processed either wedges
+/// `wait_quiet` forever or — worse — releases a phase a credit early
+/// and lets cascade frames leak across the barrier.
+pub(crate) trait ClockSink {
+    /// Sends `make()` to every live node; with `coord`, registers the
+    /// envelopes before any send and balances any send that a
+    /// concurrent retirement refuses.
+    fn broadcast(&self, coord: Option<&Arc<Coordination>>, make: &dyn Fn() -> Envelope);
+}
+
+impl ClockSink for BTreeMap<NodeId, Sender<Envelope>> {
+    fn broadcast(&self, coord: Option<&Arc<Coordination>>, make: &dyn Fn() -> Envelope) {
+        // Channel workers never retire: every sender stays live for the
+        // whole run, so the whole map is the snapshot.
+        if let Some(coord) = coord {
+            coord.add(self.len() as u64);
+        }
+        for tx in self.values() {
+            if tx.send(make()).is_err() {
+                if let Some(coord) = coord {
+                    coord.done();
                 }
-                Envelope::Malformed => self.reject_frame(),
-                Envelope::Flush | Envelope::TimersUpTo(_) => {}
-                Envelope::Stop => return,
             }
         }
     }
 }
 
-/// Drives the session clock over already-spawned workers: lockstep
+/// Drives the session clock over an already-running scheduler: lockstep
 /// barrier phases when `coord` is present, wall-clock round ticks
 /// otherwise, then a `Stop` broadcast. Shared verbatim by every
-/// transport — the barrier protocol is what makes lockstep runs
-/// deterministic, so there is exactly one copy of it.
+/// transport and both schedulers — the barrier protocol is what makes
+/// lockstep runs deterministic, so there is exactly one copy of it.
 pub(crate) fn drive_rounds(
-    senders: &BTreeMap<NodeId, Sender<Envelope>>,
+    sink: &dyn ClockSink,
     coord: Option<&Arc<Coordination>>,
     epoch: Instant,
     rounds: u64,
     round_ms: u64,
 ) {
-    let n = senders.len();
-    let broadcast = |envelope_of: &dyn Fn() -> Envelope| {
-        for tx in senders.values() {
-            let _ = tx.send(envelope_of());
-        }
-    };
-
     match coord {
         Some(coord) => {
             // Deterministic lockstep: barrier per round start, then one
             // barrier per distinct timer deadline within the round.
             'rounds: for round in 0..rounds {
-                coord.add(n as u64);
-                broadcast(&|| Envelope::Round(round));
+                sink.broadcast(Some(coord), &|| Envelope::Round(round));
                 coord.wait_quiet();
                 // Every node started the round; now release the stashed
                 // round-start frames and let the cascades settle.
-                coord.add(n as u64);
-                broadcast(&|| Envelope::Flush);
+                sink.broadcast(Some(coord), &|| Envelope::Flush);
                 coord.wait_quiet();
                 let round_end = (round + 1) * VIRTUAL_ROUND_MS;
                 while let Some(deadline) = coord.min_deadline() {
                     if deadline >= round_end || coord.is_aborted() {
                         break;
                     }
-                    coord.add(n as u64);
-                    broadcast(&|| Envelope::TimersUpTo(deadline));
+                    sink.broadcast(Some(coord), &|| Envelope::TimersUpTo(deadline));
                     coord.wait_quiet();
-                    coord.add(n as u64);
-                    broadcast(&|| Envelope::Flush);
+                    sink.broadcast(Some(coord), &|| Envelope::Flush);
                     coord.wait_quiet();
                 }
                 if coord.is_aborted() {
@@ -708,7 +872,7 @@ pub(crate) fn drive_rounds(
             // Real time: rounds tick on the wall clock; one trailing
             // round lets late timers (offsets < 1 round) fire.
             for round in 0..rounds {
-                broadcast(&|| Envelope::Round(round));
+                sink.broadcast(None, &|| Envelope::Round(round));
                 let next = epoch + Duration::from_millis((round + 1) * round_ms);
                 thread::sleep(next.saturating_duration_since(Instant::now()));
             }
@@ -716,7 +880,8 @@ pub(crate) fn drive_rounds(
         }
     }
 
-    broadcast(&|| Envelope::Stop);
+    // Stop is a scheduler command, not phase work: never ledger-counted.
+    sink.broadcast(None, &|| Envelope::Stop);
 }
 
 /// Joins every worker thread and assembles the run outcome.
@@ -739,12 +904,7 @@ pub(crate) fn join_workers(
                 engines.insert(result.id, result.engine);
             }
             Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&'static str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                panics.push(format!("node {id}: {msg}"));
+                panics.push(format!("node {id}: {}", panic_message(payload.as_ref())));
             }
         }
     }
@@ -759,6 +919,15 @@ pub(crate) fn join_workers(
         },
         engines,
     }
+}
+
+/// Best-effort text of a `JoinHandle` panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]

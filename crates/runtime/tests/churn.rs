@@ -153,6 +153,7 @@ fn realtime_latency_emulation_delivers_within_rounds() {
         lockstep: false,
         seed: 2,
         net: Some(NetEmulation::from_sim(&SimConfig::default()).expect("sim fault profile is valid")),
+        ..ThreadedConfig::default()
     });
     let outcome = run_session(sc);
     assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use pag_core::selfish::SelfishStrategy;
 use pag_membership::NodeId;
 use pag_runtime::{
-    run_session, ChurnSchedule, Driver, SessionConfig, SessionOutcome, TcpConfig,
+    run_session, ChurnSchedule, Driver, Scheduler, SessionConfig, SessionOutcome, TcpConfig,
     ThreadedConfig,
 };
 use pag_simnet::SimConfig;
@@ -45,6 +45,28 @@ fn on_tcp(mut sc: SessionConfig) -> SessionOutcome {
     sc.driver = Driver::Tcp(TcpConfig {
         lockstep: true,
         seed: SEED,
+        ..TcpConfig::default()
+    });
+    run_session(sc)
+}
+
+/// The channel transport on the worker-pool scheduler (lockstep).
+fn on_pool(mut sc: SessionConfig, threads: usize) -> SessionOutcome {
+    sc.driver = Driver::Threaded(ThreadedConfig {
+        lockstep: true,
+        seed: SEED,
+        scheduler: Scheduler::Pool(threads),
+        ..ThreadedConfig::default()
+    });
+    run_session(sc)
+}
+
+/// The socket transport on the worker-pool scheduler (lockstep).
+fn on_tcp_pool(mut sc: SessionConfig) -> SessionOutcome {
+    sc.driver = Driver::Tcp(TcpConfig {
+        lockstep: true,
+        seed: SEED,
+        scheduler: Scheduler::auto_pool(),
         ..TcpConfig::default()
     });
     run_session(sc)
@@ -219,6 +241,102 @@ fn churned_selfish_session_is_driver_equivalent() {
     }
     assert_equivalent(&sim, &thr);
     assert_equivalent(&sim, &tcp);
+}
+
+#[test]
+fn honest_session_is_pool_equivalent() {
+    // The worker-pool scheduler against the simulator: multiplexing
+    // every node over few threads must not change a single verdict,
+    // delivery, crypto op or traffic byte.
+    let sim = on_simnet(base(10, 6));
+    let pool = on_pool(base(10, 6), 0);
+    assert_equivalent(&sim, &pool);
+    assert!(pool.mean_on_time_ratio(10) > 0.95);
+}
+
+#[test]
+fn freerider_session_is_pool_equivalent() {
+    let mut sc = base(12, 6);
+    sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
+    let sim = on_simnet(sc.clone());
+    let pool = on_pool(sc, 3);
+    assert_eq!(pool.convicted(), vec![NodeId(5)]);
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn no_ack_session_is_pool_equivalent() {
+    // The accusation / ReAsk / Nack path (timer phases after the serve
+    // phase) under the pooled scheduler.
+    let mut sc = base(12, 5);
+    sc.selfish.push((NodeId(3), SelfishStrategy::NoAck));
+    let sim = on_simnet(sc.clone());
+    let pool = on_pool(sc, 2);
+    assert_eq!(pool.convicted(), vec![NodeId(3)]);
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn churned_session_is_pool_equivalent() {
+    // Joins and leaves mid-session on the pooled scheduler: identical
+    // to the simulator, including the announcement traffic, and clean
+    // churn convicts nobody.
+    let mut sc = base(12, 8);
+    sc.churn = ChurnSchedule::steady(SEED, 12, 8, 1, 1).events().to_vec();
+    let sim = on_simnet(sc.clone());
+    let pool = on_pool(sc, 0);
+    assert!(sim.verdicts.is_empty(), "clean churn convicted: {:?}", sim.verdicts);
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn churned_selfish_session_is_pool_equivalent() {
+    // Detection keeps working when churn meets the pool: the freerider
+    // is convicted identically, honest leavers stay clean.
+    let mut sc = base(14, 8);
+    sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
+    sc.churn = ChurnSchedule::steady(SEED ^ 1, 14, 8, 1, 1)
+        .events()
+        .to_vec();
+    sc.churn.retain(|e| e.node != NodeId(5));
+    let sim = on_simnet(sc.clone());
+    let pool = on_pool(sc.clone(), 4);
+    assert_eq!(pool.convicted(), vec![NodeId(5)]);
+    let leavers: Vec<NodeId> = sc
+        .churn
+        .iter()
+        .filter(|e| e.kind == pag_runtime::ChurnKind::Leave)
+        .map(|e| e.node)
+        .collect();
+    assert!(!leavers.is_empty());
+    for v in &pool.verdicts {
+        assert!(!leavers.contains(&v.accused), "honest leaver convicted: {v}");
+    }
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn crash_session_is_pool_equivalent() {
+    // A fail-stop crash retires the engine from the pool's run queue;
+    // quiescence must not wedge and the outcome must still match the
+    // simulator exactly (only the crashed node may be convicted).
+    let mut sc = base(10, 6);
+    sc.crashes.push((NodeId(7), 2));
+    let sim = on_simnet(sc.clone());
+    let pool = on_pool(sc, 2);
+    for v in &pool.verdicts {
+        assert_eq!(v.accused, NodeId(7), "living node convicted: {v}");
+    }
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn tcp_session_is_pool_equivalent() {
+    // The pool sits behind the Link abstraction: real sockets plug into
+    // the pooled scheduler unchanged and stay simulator-equivalent.
+    let sim = on_simnet(base(10, 5));
+    let tcp_pool = on_tcp_pool(base(10, 5));
+    assert_equivalent(&sim, &tcp_pool);
 }
 
 #[test]

@@ -14,7 +14,7 @@ use pag_core::messages::{MessageBody, SignedMessage};
 use pag_core::wire::{encode_frame, encode_stream_frame, WireConfig, MAX_STREAM_FRAME_BYTES};
 use pag_crypto::Signature;
 use pag_membership::NodeId;
-use pag_runtime::{run_session, Driver, NetEmulation, SessionConfig, TcpConfig};
+use pag_runtime::{run_session, Driver, NetEmulation, Scheduler, SessionConfig, TcpConfig};
 use pag_simnet::SimConfig;
 
 fn base(nodes: usize, rounds: u64) -> SessionConfig {
@@ -251,6 +251,129 @@ fn hostile_bytes_in_lockstep_stay_simnet_equivalent() {
     }
     let rejected: u64 = tcp.metrics.values().map(|m| m.frames_rejected).sum();
     assert!(rejected > 0, "the attack left a trace in the rejection counters");
+}
+
+/// Socket-hardening satellite (ROADMAP): a connection that floods a
+/// node with rejected frames is **rate-limited** — after
+/// `reject_limit` undecodable frames the connection is severed and the
+/// cut counted (`MetricEvent::ConnectionDropped`), so the flood buys a
+/// bounded number of rejections instead of one per frame forever.
+/// Clean mesh peers share no fate with the attacker: the session keeps
+/// delivering and convicts nobody.
+#[test]
+fn rejected_frame_flood_drops_the_connection() {
+    let nodes = 8;
+    let limit = 5u32;
+    let flood = 200usize; // frames sprayed per attacked node, >> limit
+    let (probe_tx, probe_rx) = channel();
+    let mut sc = base(nodes, 6);
+    sc.driver = Driver::Tcp(TcpConfig {
+        round_ms: 200,
+        lockstep: false,
+        seed: 9,
+        reject_limit: limit,
+        addr_probe: Some(probe_tx),
+        ..TcpConfig::default()
+    });
+
+    let injector = std::thread::spawn(move || {
+        let mut attacked = 0usize;
+        for (_, addr) in probe_rx.iter().take(nodes) {
+            let addr: SocketAddr = addr;
+            let mut conn = TcpStream::connect(addr).expect("connect to node listener");
+            // A sustained flood of well-framed garbage on one
+            // connection. Each frame is framing-valid (so the stream
+            // stays in sync) but fails decode_frame.
+            for i in 0..flood {
+                let payload = vec![0xC3u8 ^ (i as u8); 40];
+                if conn
+                    .write_all(&encode_stream_frame(&payload, MAX_STREAM_FRAME_BYTES).unwrap())
+                    .is_err()
+                {
+                    break; // the node already cut us off mid-flood
+                }
+            }
+            attacked += 1;
+        }
+        attacked
+    });
+
+    let outcome = run_session(sc);
+    let attacked = injector.join().expect("injector thread");
+    assert_eq!(attacked, nodes, "every node was flooded");
+
+    // The protocol was unaffected: stream flowed, nobody convicted.
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    let delivered: usize = outcome
+        .metrics
+        .iter()
+        .filter(|(id, _)| **id != NodeId(0))
+        .map(|(_, m)| m.delivered_count())
+        .sum();
+    assert!(delivered > 0, "protocol kept delivering under the flood");
+
+    // Every flooded node cut the hostile connection...
+    for (id, m) in &outcome.metrics {
+        assert!(
+            m.connections_dropped >= 1,
+            "node {id} never dropped the flooding connection"
+        );
+        // ...and paid at most the budget for it: `limit` forwarded
+        // rejections per dropped connection, never one per flood frame.
+        assert!(
+            m.frames_rejected <= (limit as u64) * m.connections_dropped,
+            "node {id} counted {} rejections for {} dropped connections — the flood was not cut off",
+            m.frames_rejected,
+            m.connections_dropped
+        );
+        assert!(
+            m.frames_rejected < flood as u64,
+            "node {id} processed the whole flood"
+        );
+    }
+}
+
+/// The rate limit composes with the pooled scheduler: same flood, node
+/// side multiplexed on a 2-thread pool, same containment.
+#[test]
+fn rejected_frame_flood_is_contained_under_the_pool() {
+    let nodes = 6;
+    let limit = 4u32;
+    let (probe_tx, probe_rx) = channel();
+    let mut sc = base(nodes, 5);
+    sc.driver = Driver::Tcp(TcpConfig {
+        round_ms: 200,
+        lockstep: false,
+        seed: 10,
+        reject_limit: limit,
+        scheduler: Scheduler::Pool(2),
+        addr_probe: Some(probe_tx),
+        ..TcpConfig::default()
+    });
+    let injector = std::thread::spawn(move || {
+        for (_, addr) in probe_rx.iter().take(nodes) {
+            let mut conn = TcpStream::connect(addr).expect("connect to node listener");
+            for i in 0..120usize {
+                let payload = vec![0x7Eu8 ^ (i as u8); 32];
+                if conn
+                    .write_all(&encode_stream_frame(&payload, MAX_STREAM_FRAME_BYTES).unwrap())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    });
+    let outcome = run_session(sc);
+    injector.join().expect("injector thread");
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    for (id, m) in &outcome.metrics {
+        assert!(m.connections_dropped >= 1, "node {id} kept the flooding connection");
+        assert!(
+            m.frames_rejected <= (limit as u64) * m.connections_dropped,
+            "node {id}: flood not contained under the pool"
+        );
+    }
 }
 
 /// De-panic satellite: when a node thread *does* die (forced here via a

@@ -11,19 +11,27 @@
 #      deliveries and traffic on all three drivers (DESIGN.md §9)
 #   5. TCP transport, run explicitly: socket-driver equivalence with
 #      the simulator, and hostile bytes on live socket links rejected
-#      with metrics instead of panicking node threads (DESIGN.md §10)
-#   6. bench_snapshot --quick smoke run (honest static, churned and
-#      TCP scenarios, real RSA-512 crypto; writes to a scratch path,
-#      never over the committed snapshot)
+#      with metrics — including rejected-frame floods cut off by the
+#      per-connection rate limit — instead of panicking node threads
+#      (DESIGN.md §10)
+#   6. worker-pool scheduler, run explicitly: pooled-vs-simnet
+#      equivalence for honest/freerider/no-ack/churned/crashed
+#      sessions, pool-size invariance and starvation-freedom
+#      properties, then the 1000-node pooled lockstep smoke in release
+#      mode (`--ignored`: a thousand engines belong in an optimized
+#      build; DESIGN.md §11)
+#   7. bench_snapshot --quick smoke run (honest static, churned, TCP
+#      and pooled scenarios, real RSA-512 crypto; writes to a scratch
+#      path, never over the committed snapshot)
 #
 # Run from anywhere: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] workspace release build =="
+echo "== [1/7] workspace release build =="
 cargo build --release --workspace
 
-echo "== [2/6] pag-core, deny warnings =="
+echo "== [2/7] pag-core, deny warnings =="
 # Force only pag-core itself to recompile (its dependencies stay cached
 # from step 1 — no RUSTFLAGS flip, no double build) and fail on any
 # warning the fresh compile prints.
@@ -35,17 +43,22 @@ if grep -E "^warning" <<<"$core_out" >/dev/null; then
     exit 1
 fi
 
-echo "== [3/6] test suite =="
+echo "== [3/7] test suite =="
 cargo test -q --workspace
 
-echo "== [4/6] churned driver equivalence =="
+echo "== [4/7] churned driver equivalence =="
 cargo test -q -p pag-runtime --test driver_equivalence churned
 
-echo "== [5/6] TCP driver equivalence + hostile-input rejection =="
+echo "== [5/7] TCP driver equivalence + hostile-input rejection =="
 cargo test -q -p pag-runtime --test driver_equivalence tcp
 cargo test -q -p pag-runtime --test tcp_transport
 
-echo "== [6/6] bench snapshot smoke (--quick) =="
+echo "== [6/7] worker-pool scheduler: equivalence, properties, 1000-node smoke =="
+cargo test -q -p pag-runtime --test driver_equivalence pool
+cargo test -q -p pag-runtime --test pool_scheduler
+cargo test --release -q -p pag-runtime --test pool_scheduler -- --ignored
+
+echo "== [7/7] bench snapshot smoke (--quick) =="
 out="${TMPDIR:-/tmp}/pag_bench_quick.json"
 cargo run --release -p pag-bench --bin bench_snapshot -- "$out" --quick
 rm -f "$out"
