@@ -1,13 +1,15 @@
-//! Perf-trajectory snapshot: runs four frozen PAG scenarios — the
+//! Perf-trajectory snapshot: runs five frozen PAG scenarios — the
 //! static 20-node / 5-round session, the churned 50-node
 //! `churn_steady_50` session, the same static session on the TCP
-//! socket driver (`tcp_session_20`), and the 1000-node worker-pool
-//! session (`pool_session_1000`) — and writes wall-clock plus
-//! crypto-operation counts as JSON to `BENCH_protocol.json` (repo
-//! root, committed), so successive PRs have a comparable record of
-//! protocol-level cost, with and without membership churn, of the
-//! socket transport's overhead over the simulator, and of the pooled
-//! scheduler's cost at gossip scale.
+//! socket driver (`tcp_session_20`), the 1000-node worker-pool
+//! session (`pool_session_1000`), and the fault-injected
+//! `faulted_session` (split-brain partition plus a crash-recovery
+//! rejoin) — and writes wall-clock plus crypto-operation counts as
+//! JSON to `BENCH_protocol.json` (repo root, committed), so successive
+//! PRs have a comparable record of protocol-level cost, with and
+//! without membership churn, of the socket transport's overhead over
+//! the simulator, of the pooled scheduler's cost at gossip scale, and
+//! of the fault plan's per-frame checks plus recovery machinery.
 //!
 //! The scenarios are deliberately frozen — same node counts, rounds,
 //! churn seed, stream rate and crypto profile — and each wall-clock
@@ -27,8 +29,10 @@
 use std::time::Instant;
 
 use pag_bench::{
-    churn_steady_session, pooled_session, quick_mode, real_crypto_session, tcp_session,
+    churn_steady_session, faulted_session, pooled_session, quick_mode, real_crypto_session,
+    tcp_session,
 };
+use pag_membership::NodeId;
 use pag_runtime::{run_session, ChurnKind, SessionConfig, SessionOutcome};
 
 const NODES: usize = 20;
@@ -144,9 +148,30 @@ fn main() {
     let pool_rejected: u64 = pooled.metrics.values().map(|m| m.frames_rejected).sum();
     assert_eq!(pool_rejected, 0, "clean pooled session rejected frames");
 
+    // The fault-injected scenario: a transient split-brain partition
+    // plus one crash-recovery rejoin, on the simulator. Honest by
+    // construction — verdicts indicate a regression — and the restarted
+    // node must actually have recovered (snapshot round-trip plus
+    // membership re-announce), not idled.
+    // Needs at least 5 rounds so the round-4 restart actually happens,
+    // quick mode included.
+    let fault_rounds = rounds.max(5);
+    let (fault_ms, faulted) = measure(runs, || faulted_session(nodes, fault_rounds));
+    let fault_ops = faulted.total_ops();
+    assert!(
+        faulted.verdicts.is_empty(),
+        "faulted-but-honest run convicted; regression: {:?}",
+        faulted.verdicts
+    );
+    let restarted = NodeId(nodes as u32 - 1);
+    assert_eq!(
+        faulted.metrics[&restarted].recoveries, 1,
+        "the crash-restarted node never went through recovery"
+    );
+
     let json = format!(
         r#"{{
-  "schema": 4,
+  "schema": 5,
   "scenario": {{
     "nodes": {nodes},
     "rounds": {rounds},
@@ -201,6 +226,27 @@ fn main() {
       "mean_bandwidth_kbps": {t_bw:.2}
     }}
   }},
+  "faulted_session": {{
+    "scenario": {{
+      "nodes": {nodes},
+      "rounds": {fault_rounds},
+      "partition": "split-brain rounds [2,4), seed 60",
+      "crash_restart": "node {restarted_id} crashes at 2, restarts at 4",
+      "convicts_nobody": true
+    }},
+    "wall_clock_ms": {fault_ms:.2},
+    "crypto_ops": {{
+      "hashes": {f_hashes},
+      "signatures": {f_signatures},
+      "verifications": {f_verifications},
+      "primes": {f_primes}
+    }},
+    "derived": {{
+      "mean_bandwidth_kbps": {f_bw:.2},
+      "exchanges_completed": {f_exchanges},
+      "recoveries": 1
+    }}
+  }},
   "pool_session_1000": {{
     "scenario": {{
       "nodes": {pool_nodes},
@@ -249,6 +295,17 @@ fn main() {
         // not emitted as a field so everything but wall clocks stays
         // bit-deterministic across runs.
         t_bw = tcp_outcome.report.mean_bandwidth_kbps(),
+        restarted_id = restarted.0,
+        f_hashes = fault_ops.hashes,
+        f_signatures = fault_ops.signatures,
+        f_verifications = fault_ops.verifications,
+        f_primes = fault_ops.primes,
+        f_bw = faulted.report.mean_bandwidth_kbps(),
+        f_exchanges = faulted
+            .metrics
+            .values()
+            .map(|m| m.exchanges_completed)
+            .sum::<u64>(),
         p_hashes = pool_ops.hashes,
         p_signatures = pool_ops.signatures,
         p_verifications = pool_ops.verifications,

@@ -18,7 +18,11 @@
 //! (fewer nodes/rounds/trials) for smoke-testing.
 
 use pag_core::config::CryptoProfile;
-use pag_runtime::{ChurnSchedule, Driver, Scheduler, SessionConfig, TcpConfig, ThreadedConfig};
+use pag_membership::NodeId;
+use pag_runtime::{
+    ChurnSchedule, Driver, FaultEvent, FaultSchedule, Scheduler, SessionConfig, TcpConfig,
+    ThreadedConfig,
+};
 
 /// Returns true when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
@@ -86,6 +90,27 @@ pub fn pooled_session(nodes: usize, rounds: u64) -> SessionConfig {
     sc.driver = Driver::Threaded(ThreadedConfig {
         scheduler: Scheduler::auto_pool(),
         ..ThreadedConfig::default()
+    });
+    sc
+}
+
+/// The frozen fault-injection scenario behind the `faulted_session`
+/// entry of `BENCH_protocol.json`: the real-crypto profile of
+/// [`real_crypto_session`] plus a transient split-brain partition over
+/// rounds `[2, 4)` (seed 60, fixed forever for comparability) and a
+/// crash of the highest-numbered node at round 2 that restarts at
+/// round 4 — so the wall-clock figure tracks the cost of the fault
+/// plan's send-side checks plus a full crash-recovery rejoin (snapshot
+/// round-trip and membership re-announce). The scenario is honest: it
+/// must convict nobody, on any driver (the driver-equivalence suite
+/// pins the outcome bit for bit).
+pub fn faulted_session(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = real_crypto_session(nodes, rounds);
+    sc.faults = FaultSchedule::split_brain(60, nodes, 2, 4).events().to_vec();
+    sc.faults.push(FaultEvent::CrashRestart {
+        node: NodeId(nodes as u32 - 1),
+        crash_round: 2,
+        restart_round: 4,
     });
     sc
 }

@@ -96,6 +96,28 @@ pub enum Input {
         /// First round out of the membership.
         round: u64,
     },
+    /// `node` restarts after a crash and rejoins at the start of
+    /// `round`. Drivers feed this during round `round - 1`, after the
+    /// node's downtime was announced as an [`Input::Leave`] (see
+    /// DESIGN.md §12: crash-recovery models an announced shutdown).
+    ///
+    /// When `node` is this engine's own id, the engine discards the
+    /// in-flight exchange state its crash lost (pending serves,
+    /// half-open exchanges, cached accumulators), proves the surviving
+    /// state snapshot round-trips through
+    /// [`crate::snapshot::NodeSnapshot`], emits
+    /// [`MetricEvent::Recovered`], and re-announces itself through the
+    /// exact join machinery of [`Input::Join`] — so peers admit it back
+    /// at `round` with fresh monitor state and it is never convicted
+    /// for its downtime. For other ids the input is equivalent to
+    /// [`Input::Join`]: the restart reaches peers on the wire as a
+    /// `JoinAnnounce`.
+    Recover {
+        /// The restarting node.
+        node: NodeId,
+        /// First round back in the membership.
+        round: u64,
+    },
 }
 
 /// One action the engine asks its driver to perform.
@@ -173,6 +195,28 @@ pub enum MetricEvent {
     /// this happens below the protocol and is counted, never fatal.
     ConnectionDropped {
         /// The round the connection was cut (driver clock).
+        round: u64,
+    },
+    /// A peer link went down mid-session (fault-schedule sever, remote
+    /// crash, or socket failure). Recorded via
+    /// [`PagEngine::note_link_severed`] — transport health events live
+    /// below the protocol and are counted, never fatal (DESIGN.md §12).
+    LinkSevered {
+        /// The round the link went down (driver clock).
+        round: u64,
+    },
+    /// A severed peer link was re-established by the transport's
+    /// supervised reconnect (realtime TCP backoff; DESIGN.md §12).
+    /// Recorded via [`PagEngine::note_link_reconnected`].
+    LinkReconnected {
+        /// The round the link came back (driver clock).
+        round: u64,
+    },
+    /// This node restarted after a crash: it dropped the in-flight state
+    /// its downtime lost, round-tripped its recoverable snapshot, and
+    /// re-announced itself ([`Input::Recover`]).
+    Recovered {
+        /// The first round back in the membership.
         round: u64,
     },
 }
@@ -267,6 +311,7 @@ impl PagEngine {
                 Input::TimerFired { tag } => self.node.handle_timer(tag, &mut ctx),
                 Input::Join { node, round } => self.node.handle_join(node, round, &mut ctx),
                 Input::Leave { node, round } => self.node.handle_leave(node, round, &mut ctx),
+                Input::Recover { node, round } => self.node.handle_recover(node, round, &mut ctx),
             }
         }
         // Surface verdicts the monitor emitted while handling this input.
@@ -301,6 +346,35 @@ impl PagEngine {
     pub fn note_connection_dropped(&mut self, round: u64) -> Effect {
         self.node.metrics_mut().connections_dropped += 1;
         Effect::Metric(MetricEvent::ConnectionDropped { round })
+    }
+
+    /// Records a peer link the transport observed going down (a
+    /// fault-schedule sever or a failed socket) and returns the
+    /// [`Effect::Metric`] it folded into [`PagEngine::metrics`].
+    ///
+    /// Link health is a transport concern: the engine never acts on it
+    /// (monitoring traffic rides the resilient control path, DESIGN.md
+    /// §12), it only keeps the count with the node's other metrics.
+    pub fn note_link_severed(&mut self, round: u64) -> Effect {
+        self.node.metrics_mut().links_severed += 1;
+        Effect::Metric(MetricEvent::LinkSevered { round })
+    }
+
+    /// Records a severed peer link the transport re-established (the
+    /// realtime TCP driver's supervised reconnect with bounded backoff)
+    /// and returns the [`Effect::Metric`] it folded into
+    /// [`PagEngine::metrics`].
+    pub fn note_link_reconnected(&mut self, round: u64) -> Effect {
+        self.node.metrics_mut().links_reconnected += 1;
+        Effect::Metric(MetricEvent::LinkReconnected { round })
+    }
+
+    /// Captures the node's recoverable state as a
+    /// [`crate::snapshot::NodeSnapshot`] — what a crash-restart path
+    /// persists so the host rejoins instead of being convicted
+    /// (ROADMAP item 3, DESIGN.md §12).
+    pub fn snapshot(&self) -> crate::snapshot::NodeSnapshot {
+        self.node.snapshot()
     }
 
     /// Whether the node holds protocol state that awaits further driver

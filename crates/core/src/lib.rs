@@ -59,6 +59,7 @@ pub mod monitor;
 pub mod node;
 pub mod selfish;
 pub mod shared;
+pub mod snapshot;
 pub mod update;
 pub mod verdict;
 pub mod wire;
@@ -70,6 +71,7 @@ pub use metrics::{NodeMetrics, OpCounters};
 pub use node::PagNode;
 pub use selfish::SelfishStrategy;
 pub use shared::SharedContext;
+pub use snapshot::{NodeSnapshot, SnapshotError};
 pub use update::{UpdateId, UpdateStore};
 pub use verdict::{Fault, Verdict};
 pub use wire::{decode_frame, encode_frame, CodecError, Frame, TrafficClass, WireConfig};

@@ -58,6 +58,19 @@ pub struct NodeMetrics {
     /// rejection per frame forever (DESIGN.md §10). In-process
     /// transports have no connections, so this stays zero there.
     pub connections_dropped: u64,
+    /// Peer links this node observed going down mid-session — a socket
+    /// severed by a fault schedule or by the remote end. Counted below
+    /// the protocol via [`crate::engine::PagEngine::note_link_severed`];
+    /// in-process transports without real links keep this at zero
+    /// (DESIGN.md §12).
+    pub links_severed: u64,
+    /// Severed peer links the transport re-established (realtime TCP's
+    /// supervised reconnect with bounded backoff; DESIGN.md §12).
+    /// Always ≤ [`NodeMetrics::links_severed`] on an honest transport.
+    pub links_reconnected: u64,
+    /// Times this node restarted after a crash and re-announced itself
+    /// through the membership machinery ([`crate::engine::Input::Recover`]).
+    pub recoveries: u64,
 }
 
 impl NodeMetrics {

@@ -28,6 +28,7 @@ use crate::metrics::NodeMetrics;
 use crate::monitor::{designated_monitor, MonitorEngine};
 use crate::selfish::SelfishStrategy;
 use crate::shared::SharedContext;
+use crate::snapshot::NodeSnapshot;
 use crate::update::{synthetic_payload, StoredUpdate, UpdateId, UpdateStore};
 use crate::verdict::Verdict;
 
@@ -318,6 +319,53 @@ impl PagNode {
             self.announce(ctx, MessageBody::LeaveAnnounce { round, node });
         }
         self.staged_churn.insert((round, ChurnStage::Leave, node));
+    }
+
+    /// [`crate::engine::Input::Recover`]: a crash-restarted node rejoins.
+    ///
+    /// For the restarting node itself, the crash lost every piece of
+    /// in-flight exchange state — pending serves, half-open exchanges,
+    /// minted keys, cached accumulators. The recovery path snapshots the
+    /// surviving state ([`PagNode::snapshot`]), proves the persistence
+    /// codec round-trips, drops the lost state so round `round` opens
+    /// clean, and then re-announces through the ordinary join machinery:
+    /// peers staged the node's departure when its downtime was announced
+    /// (which retired all monitoring state, so downtime is never
+    /// convicted), and this join re-admits it at the same boundary
+    /// discipline as any newcomer. For other ids the input is a plain
+    /// join — the restart reaches peers on the wire as a `JoinAnnounce`.
+    pub(crate) fn handle_recover(&mut self, node: NodeId, round: u64, ctx: &mut EngineCtx<'_>) {
+        if node == self.id {
+            let snap = self.snapshot();
+            let decoded = NodeSnapshot::decode(&snap.encode())
+                .expect("snapshot codec round-trips");
+            assert_eq!(decoded, snap, "snapshot survives persistence");
+            self.recv_keys.clear();
+            self.received_fresh.clear();
+            self.processed_exchanges.clear();
+            self.pending_serves.clear();
+            self.buffermaps_sent.clear();
+            self.acks_sent.clear();
+            self.sa_cache.clear();
+            self.exchanges.clear();
+            self.metrics.recoveries += 1;
+            ctx.metric(MetricEvent::Recovered { round });
+        }
+        self.handle_join(node, round, ctx);
+    }
+
+    /// Captures the node's recoverable state (identity, epoch, round
+    /// progress, in-flight exchange keys, monitor assignments) — see
+    /// [`crate::snapshot`] for what is and is not persisted.
+    pub(crate) fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            id: self.id,
+            epoch: self.view.epoch(),
+            rounds_entered: self.rounds_entered,
+            open_sends: self.exchanges.keys().copied().collect(),
+            open_receives: self.pending_serves.keys().copied().collect(),
+            monitored: self.monitor.watched().to_vec(),
+        }
     }
 
     /// Sends a membership announcement to every roster node but self.

@@ -1,0 +1,224 @@
+//! Crash-recoverable node state (DESIGN.md §12, ROADMAP item 3).
+//!
+//! A [`NodeSnapshot`] is the part of a node's protocol state a host
+//! would persist so that a crash is survivable: identity, membership
+//! epoch, round progress, the keys of in-flight exchanges, and the
+//! monitor watch assignments. It deliberately excludes everything a
+//! restart cannot or should not resurrect — cryptographic contexts
+//! (rebuilt from the shared session parameters), received primes and
+//! half-open serve payloads (the peers' retransmission/monitoring
+//! machinery covers the gap), and the update store payloads (re-served
+//! by gossip after the rejoin).
+//!
+//! The snapshot carries its own versioned byte codec — hand-rolled
+//! little-endian framing like `pag_core::wire`, no serde — and the
+//! recovery path ([`crate::engine::Input::Recover`]) proves the
+//! round-trip on every restart: encode, decode, compare. A snapshot
+//! that cannot be re-read is a persistence bug surfaced at recovery
+//! time, not a silently corrupted rejoin.
+
+use std::fmt;
+
+use pag_membership::NodeId;
+
+/// Codec version stamped into every encoded snapshot. Bump on layout
+/// changes; [`NodeSnapshot::decode`] refuses versions it does not know.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// The recoverable state of one node at a crash boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Membership epoch of the node's view when the snapshot was taken.
+    pub epoch: u64,
+    /// Round starts the node had processed.
+    pub rounds_entered: u64,
+    /// Keys `(round, successor)` of sender-side exchanges still open —
+    /// serves sent, acks not yet received.
+    pub open_sends: Vec<(u64, NodeId)>,
+    /// Keys `(round, predecessor)` of receiver-side exchanges still
+    /// assembling — a serve or its attestation has arrived, not both.
+    pub open_receives: Vec<(u64, NodeId)>,
+    /// Nodes this node was assigned to monitor.
+    pub monitored: Vec<NodeId>,
+}
+
+/// Why a snapshot failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes ended before the layout was complete.
+    Truncated,
+    /// The version byte names a layout this build does not know.
+    Version(u8),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot bytes truncated"),
+            SnapshotError::Version(v) => {
+                write!(f, "unknown snapshot version {v} (supported: {SNAPSHOT_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl NodeSnapshot {
+    /// Serializes the snapshot: a version byte followed by little-endian
+    /// fixed-width integers and `u32`-length-prefixed lists.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            1 + 4
+                + 8
+                + 8
+                + 4
+                + self.open_sends.len() * 12
+                + 4
+                + self.open_receives.len() * 12
+                + 4
+                + self.monitored.len() * 4,
+        );
+        out.push(SNAPSHOT_VERSION);
+        out.extend_from_slice(&self.id.value().to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.rounds_entered.to_le_bytes());
+        let put_pairs = |out: &mut Vec<u8>, pairs: &[(u64, NodeId)]| {
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for &(round, node) in pairs {
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&node.value().to_le_bytes());
+            }
+        };
+        put_pairs(&mut out, &self.open_sends);
+        put_pairs(&mut out, &self.open_receives);
+        out.extend_from_slice(&(self.monitored.len() as u32).to_le_bytes());
+        for &node in &self.monitored {
+            out.extend_from_slice(&node.value().to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a snapshot from [`NodeSnapshot::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<NodeSnapshot, SnapshotError> {
+        let mut r = Reader { bytes, at: 0 };
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version(version));
+        }
+        let id = NodeId(r.u32()?);
+        let epoch = r.u64()?;
+        let rounds_entered = r.u64()?;
+        let pairs = |r: &mut Reader<'_>| -> Result<Vec<(u64, NodeId)>, SnapshotError> {
+            let n = r.u32()? as usize;
+            let mut v = Vec::with_capacity(n.min(bytes.len() / 12 + 1));
+            for _ in 0..n {
+                let round = r.u64()?;
+                let node = NodeId(r.u32()?);
+                v.push((round, node));
+            }
+            Ok(v)
+        };
+        let open_sends = pairs(&mut r)?;
+        let open_receives = pairs(&mut r)?;
+        let n = r.u32()? as usize;
+        let mut monitored = Vec::with_capacity(n.min(bytes.len() / 4 + 1));
+        for _ in 0..n {
+            monitored.push(NodeId(r.u32()?));
+        }
+        Ok(NodeSnapshot {
+            id,
+            epoch,
+            rounds_entered,
+            open_sends,
+            open_receives,
+            monitored,
+        })
+    }
+}
+
+/// Little-endian cursor over the encoded bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self.at.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let slice = self.bytes.get(self.at..end).ok_or(SnapshotError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeSnapshot {
+        NodeSnapshot {
+            id: NodeId(7),
+            epoch: 3,
+            rounds_entered: 11,
+            open_sends: vec![(10, NodeId(2)), (11, NodeId(5))],
+            open_receives: vec![(11, NodeId(1))],
+            monitored: vec![NodeId(0), NodeId(4), NodeId(9)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = sample();
+        assert_eq!(NodeSnapshot::decode(&snap.encode()), Ok(snap));
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let snap = NodeSnapshot {
+            id: NodeId(0),
+            epoch: 0,
+            rounds_entered: 0,
+            open_sends: vec![],
+            open_receives: vec![],
+            monitored: vec![],
+        };
+        assert_eq!(NodeSnapshot::decode(&snap.encode()), Ok(snap));
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_length() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                NodeSnapshot::decode(&bytes[..cut]),
+                Err(SnapshotError::Truncated),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_refused() {
+        let mut bytes = sample().encode();
+        bytes[0] = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            NodeSnapshot::decode(&bytes),
+            Err(SnapshotError::Version(_))
+        ));
+    }
+}

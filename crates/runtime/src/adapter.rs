@@ -4,12 +4,23 @@
 //!
 //! This is deliberately thin — the protocol lives entirely in
 //! [`PagEngine`]; everything here is plumbing, which is the point of the
-//! sans-IO split (DESIGN.md §8).
+//! sans-IO split (DESIGN.md §8). Fault injection rides the same seam:
+//! the adapter consults the session's [`FaultPlan`] with the identical
+//! send-side checks the transport workers apply (`crate::worker`), so a
+//! faulted simulation and a faulted socket run drop exactly the same
+//! frames (DESIGN.md §12). Corruption windows degrade to drops here —
+//! the simulator carries typed messages, not bytes, so there is nothing
+//! to mangle; corrupted scenarios therefore compare verdicts and
+//! deliveries across drivers, not raw traffic.
+
+use std::sync::Arc;
 
 use pag_core::engine::{Effect, Input, PagEngine};
 use pag_core::SignedMessage;
 use pag_membership::NodeId;
 use pag_simnet::{Context, Protocol, SimDuration, TrafficClass as SimClass};
+
+use crate::faults::FaultPlan;
 
 /// A [`PagEngine`] speaking the simulator's [`Protocol`] trait.
 #[derive(Debug)]
@@ -18,8 +29,13 @@ pub struct SimnetPag {
     effects: Vec<Effect>,
     /// Membership-service inputs this node must receive, keyed by the
     /// round they are pumped in (= effective round - 1, so the
-    /// announcement propagates before the change takes effect).
+    /// announcement propagates before the change takes effect). Fault
+    /// crash-restart feeds (leave/recover) merge into the same list.
     churn: Vec<(u64, Input)>,
+    /// The session's compiled fault plan (shared, possibly empty).
+    faults: Arc<FaultPlan>,
+    /// Last round entered — the clock for the plan's per-frame checks.
+    round: u64,
 }
 
 impl SimnetPag {
@@ -31,10 +47,23 @@ impl SimnetPag {
     /// Wraps an engine together with its scheduled churn inputs
     /// (`(announce round, input)` pairs).
     pub fn with_churn(engine: PagEngine, churn: Vec<(u64, Input)>) -> Self {
+        Self::with_faults(engine, churn, Arc::new(FaultPlan::default()))
+    }
+
+    /// Wraps an engine with its scheduled inputs *and* the session's
+    /// fault plan, whose down windows and link cuts this adapter applies
+    /// exactly like the transport workers do.
+    pub fn with_faults(
+        engine: PagEngine,
+        churn: Vec<(u64, Input)>,
+        faults: Arc<FaultPlan>,
+    ) -> Self {
         SimnetPag {
             engine,
             effects: Vec::new(),
             churn,
+            faults,
+            round: 0,
         }
     }
 
@@ -48,10 +77,18 @@ impl SimnetPag {
         self.engine
     }
 
+    /// True while this node sits in one of its fault-plan down windows:
+    /// a crashed node pumps nothing — no round starts, deliveries or
+    /// timers — mirroring the worker cores' `crashed` handling.
+    fn down(&self) -> bool {
+        self.faults.is_down(self.engine.id(), self.round)
+    }
+
     /// Feeds one input and executes the effects against the simulator.
     fn pump(&mut self, input: Input, ctx: &mut Context<'_, SignedMessage>) {
         self.effects.clear();
         self.engine.handle_into(input, &mut self.effects);
+        let me = self.engine.id();
         for effect in self.effects.drain(..) {
             match effect {
                 Effect::Send {
@@ -59,7 +96,18 @@ impl SimnetPag {
                     msg,
                     bytes,
                     class,
-                } => ctx.send_classified(to, msg, bytes, SimClass(class.0)),
+                } => {
+                    // Send-side fault checks, identical to the worker
+                    // cores': cut/corrupt frames and frames to down
+                    // peers vanish before any accounting.
+                    if self.faults.cuts_frame(self.round, me, to, class)
+                        || self.faults.corrupts_frame(self.round, me, to, class)
+                        || self.faults.is_down(to, self.round)
+                    {
+                        continue;
+                    }
+                    ctx.send_classified(to, msg, bytes, SimClass(class.0))
+                }
                 Effect::SetTimer { tag, after_ms } => {
                     ctx.set_timer(SimDuration::from_millis(after_ms), tag)
                 }
@@ -75,6 +123,10 @@ impl Protocol for SimnetPag {
     type Message = SignedMessage;
 
     fn on_round(&mut self, round: u64, ctx: &mut Context<'_, SignedMessage>) {
+        self.round = round;
+        if self.down() {
+            return;
+        }
         self.pump(Input::RoundStart(round), ctx);
         // Churn announcements scheduled for this round follow the round
         // start, exactly like the threaded driver's round phase.
@@ -90,10 +142,16 @@ impl Protocol for SimnetPag {
     }
 
     fn on_message(&mut self, from: NodeId, msg: SignedMessage, ctx: &mut Context<'_, SignedMessage>) {
+        if self.down() {
+            return;
+        }
         self.pump(Input::Deliver { from, msg }, ctx);
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, SignedMessage>) {
+        if self.down() {
+            return;
+        }
         self.pump(Input::TimerFired { tag }, ctx);
     }
 }

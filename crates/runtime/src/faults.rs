@@ -1,0 +1,580 @@
+//! Fault scenario generation: seeded link severs, transient partitions,
+//! frame-corruption bursts and crash-restarts, fed to every driver
+//! (DESIGN.md §12).
+//!
+//! A [`FaultSchedule`] is the fault-injection peer of
+//! [`crate::ChurnSchedule`]: a deterministic list of [`FaultEvent`]s —
+//! which links go down over which round windows, which node groups are
+//! partitioned, which frames are corrupted, and which nodes crash and
+//! later restart. The session harness compiles the schedule into a
+//! [`FaultPlan`] shared by all four drivers; because every decision is
+//! keyed on `(round, sender, receiver, class)` with no per-frame
+//! randomness, a faulted session is exactly as reproducible as a clean
+//! one, and the fault driver-equivalence tests hold Simnet, Threaded,
+//! Tcp and Pool to bit-identical verdicts.
+//!
+//! # What a cut cuts
+//!
+//! Severs, partitions and corruption target the **data plane** only —
+//! the `Control`, `Updates` and `Buffermap` traffic classes that carry
+//! the Fig. 5 exchange. Monitoring, accusation and membership traffic
+//! (classes 3–5) rides a resilient control path and is never cut:
+//! the paper assumes a reliable membership service, and PAG's own
+//! exoneration machinery (the monitor's ReAsk relay) must reach across
+//! a partition, otherwise every transient partition would convict
+//! honest nodes on both sides. See DESIGN.md §12 for the full argument.
+//!
+//! # Crash-restart
+//!
+//! [`FaultEvent::CrashRestart`] models an *announced* shutdown: the
+//! crashing node's engine is fed `Input::Leave` one round before the
+//! crash (peers retire its monitoring state, so downtime is never
+//! convicted), the node is down — no sends, receives or timers — for
+//! `[crash_round, restart_round - 1)`, and one round before the restart
+//! it is fed [`pag_core::engine::Input::Recover`]: the engine snapshots
+//! and round-trips its recoverable state, drops what the crash lost,
+//! and re-announces through the ordinary join machinery.
+
+use std::collections::BTreeMap;
+
+use pag_core::engine::Input;
+use pag_core::wire::TrafficClass;
+use pag_membership::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Highest traffic class a fault may touch: classes 0–2 (control,
+/// updates, buffermaps) are the data plane; 3–5 (monitoring,
+/// accusation, membership) ride the resilient control path.
+const LAST_FAULTABLE_CLASS: u8 = 2;
+
+/// True if faults may drop or corrupt frames of `class`.
+pub fn class_is_faultable(class: TrafficClass) -> bool {
+    class.0 <= LAST_FAULTABLE_CLASS
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The link between `a` and `b` drops every data-plane frame, both
+    /// directions, for rounds `[from_round, heal_round)`.
+    Sever {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// First faulted round.
+        from_round: u64,
+        /// First healed round (`u64::MAX` = never heals).
+        heal_round: u64,
+    },
+    /// Every data-plane frame between `group` and the rest of the
+    /// membership is dropped for rounds `[from_round, heal_round)` —
+    /// a transient network partition that later heals.
+    Partition {
+        /// One side of the split (the other side is everyone else).
+        group: Vec<NodeId>,
+        /// First partitioned round.
+        from_round: u64,
+        /// First healed round (`u64::MAX` = never heals).
+        heal_round: u64,
+    },
+    /// Every data-plane frame from `a` to `b` is corrupted in flight
+    /// for rounds `[from_round, heal_round)`: byte transports mangle
+    /// the bytes (the receiver counts a rejected frame), in-process
+    /// transports drop the frame outright.
+    Corrupt {
+        /// Sending endpoint.
+        a: NodeId,
+        /// Receiving endpoint.
+        b: NodeId,
+        /// First corrupted round.
+        from_round: u64,
+        /// First clean round.
+        heal_round: u64,
+    },
+    /// `node` crashes at the start of `crash_round` and restarts at the
+    /// start of `restart_round` (see the module docs for the announce /
+    /// down / recover timeline).
+    CrashRestart {
+        /// The crashing node.
+        node: NodeId,
+        /// First round down.
+        crash_round: u64,
+        /// First round back (must be ≥ `crash_round + 2`: the restart
+        /// is announced during `restart_round - 1`, which must itself
+        /// be a down round).
+        restart_round: u64,
+    },
+}
+
+/// A deterministic fault trace over a session.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Wraps an explicit event list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is empty (`heal_round <= from_round`), if a
+    /// cut starts before round 1, or if a crash-restart violates its
+    /// timeline (`crash_round < 1` — the shutdown is announced during
+    /// `crash_round - 1` — or `restart_round < crash_round + 2`).
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        for e in &events {
+            match e {
+                FaultEvent::Sever { from_round, heal_round, .. }
+                | FaultEvent::Partition { from_round, heal_round, .. }
+                | FaultEvent::Corrupt { from_round, heal_round, .. } => {
+                    assert!(*from_round >= 1, "fault windows start at round 1 or later");
+                    assert!(heal_round > from_round, "fault window must be non-empty");
+                }
+                FaultEvent::CrashRestart { crash_round, restart_round, .. } => {
+                    assert!(*crash_round >= 1, "a crash needs an announcement round before it");
+                    assert!(
+                        *restart_round >= crash_round + 2,
+                        "restart_round must be >= crash_round + 2 (the restart is announced \
+                         during a down round)"
+                    );
+                }
+            }
+        }
+        FaultSchedule { events }
+    }
+
+    /// `count` random link severs over a `nodes`-member session: each
+    /// picks a distinct unordered pair and a non-empty round window
+    /// inside `[1, rounds)`, healing before the session ends.
+    pub fn random_severs(seed: u64, nodes: usize, rounds: u64, count: usize) -> Self {
+        assert!(nodes >= 2 && rounds >= 3, "need links and a window to cut");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E_7E_12);
+        let mut events = Vec::new();
+        let mut used: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..count {
+            let pair = loop {
+                let a = rng.random_range(0..nodes as u32);
+                let b = rng.random_range(0..nodes as u32);
+                if a == b {
+                    continue;
+                }
+                let key = (a.min(b), a.max(b));
+                if !used.contains(&key) {
+                    used.push(key);
+                    break key;
+                }
+                if used.len() >= nodes * (nodes - 1) / 2 {
+                    break key; // every pair already cut once; allow repeats
+                }
+            };
+            let from_round = rng.random_range(1..rounds - 1);
+            let heal_round = rng.random_range(from_round + 1..=rounds - 1);
+            events.push(FaultEvent::Sever {
+                a: NodeId(pair.0),
+                b: NodeId(pair.1),
+                from_round,
+                heal_round,
+            });
+        }
+        FaultSchedule { events }
+    }
+
+    /// A seeded split-brain: a random half of the `nodes`-member
+    /// session (source side excluded from the minority by construction:
+    /// the split is over ids 1..) is partitioned from the rest for
+    /// `[from_round, heal_round)`.
+    pub fn split_brain(seed: u64, nodes: usize, from_round: u64, heal_round: u64) -> Self {
+        assert!(nodes >= 4, "a split needs two viable sides");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5B_11_7B);
+        // Partial Fisher-Yates over the non-source members, like
+        // ChurnSchedule::mass_departure.
+        let mut candidates: Vec<NodeId> = (1..nodes as u32).map(NodeId).collect();
+        let count = (nodes - 1) / 2;
+        for i in 0..count {
+            let j = i + rng.random_range(0..candidates.len() - i);
+            candidates.swap(i, j);
+        }
+        let mut group: Vec<NodeId> = candidates.into_iter().take(count).collect();
+        group.sort();
+        FaultSchedule::from_events(vec![FaultEvent::Partition {
+            group,
+            from_round,
+            heal_round,
+        }])
+    }
+
+    /// `count` random single-round corruption bursts: each picks an
+    /// ordered `(sender, receiver)` pair and one round in `[1, rounds)`
+    /// whose data-plane frames arrive mangled.
+    pub fn corruption_bursts(seed: u64, nodes: usize, rounds: u64, count: usize) -> Self {
+        assert!(nodes >= 2 && rounds >= 2, "need links and a round to corrupt");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_44_07);
+        let events = (0..count)
+            .map(|_| {
+                let a = rng.random_range(0..nodes as u32);
+                let b = loop {
+                    let b = rng.random_range(0..nodes as u32);
+                    if b != a {
+                        break b;
+                    }
+                };
+                let from_round = rng.random_range(1..rounds);
+                FaultEvent::Corrupt {
+                    a: NodeId(a),
+                    b: NodeId(b),
+                    from_round,
+                    heal_round: from_round + 1,
+                }
+            })
+            .collect();
+        FaultSchedule { events }
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Compiles the schedule into the per-frame decision table drivers
+    /// consult (re-validates the events, so schedules assembled by hand
+    /// from raw `Vec<FaultEvent>` pass through the same checks).
+    pub fn plan(&self) -> FaultPlan {
+        FaultSchedule::from_events(self.events.clone());
+        let mut cuts = Vec::new();
+        let mut partitions = Vec::new();
+        let mut corruptions = Vec::new();
+        let mut downs: BTreeMap<NodeId, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut crashes = Vec::new();
+        for e in &self.events {
+            match e {
+                FaultEvent::Sever { a, b, from_round, heal_round } => {
+                    cuts.push(CutWindow {
+                        a: *a.min(b),
+                        b: *a.max(b),
+                        from_round: *from_round,
+                        heal_round: *heal_round,
+                    });
+                }
+                FaultEvent::Partition { group, from_round, heal_round } => {
+                    partitions.push(PartitionWindow {
+                        group: group.clone(),
+                        from_round: *from_round,
+                        heal_round: *heal_round,
+                    });
+                }
+                FaultEvent::Corrupt { a, b, from_round, heal_round } => {
+                    corruptions.push(CorruptWindow {
+                        from: *a,
+                        to: *b,
+                        from_round: *from_round,
+                        heal_round: *heal_round,
+                    });
+                }
+                FaultEvent::CrashRestart { node, crash_round, restart_round } => {
+                    // The node wakes one round early (`restart_round - 1`)
+                    // to announce its recovery, mirroring the one-round
+                    // announce lead of every membership change.
+                    let until = if *restart_round == u64::MAX {
+                        u64::MAX
+                    } else {
+                        restart_round - 1
+                    };
+                    downs.entry(*node).or_default().push((*crash_round, until));
+                    crashes.push((*node, *crash_round, *restart_round));
+                }
+            }
+        }
+        cuts.sort();
+        cuts.dedup();
+        FaultPlan {
+            cuts,
+            partitions,
+            corruptions,
+            downs,
+            crashes,
+        }
+    }
+}
+
+/// One normalized link-cut window (unordered endpoints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct CutWindow {
+    a: NodeId,
+    b: NodeId,
+    from_round: u64,
+    heal_round: u64,
+}
+
+/// One partition window: `group` vs everyone else.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PartitionWindow {
+    group: Vec<NodeId>,
+    from_round: u64,
+    heal_round: u64,
+}
+
+/// One directed corruption window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CorruptWindow {
+    from: NodeId,
+    to: NodeId,
+    from_round: u64,
+    heal_round: u64,
+}
+
+/// The compiled, driver-facing form of a [`FaultSchedule`]: pure
+/// `(round, sender, receiver, class)` predicates with no interior
+/// state, shared read-only by every worker of a session.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    cuts: Vec<CutWindow>,
+    partitions: Vec<PartitionWindow>,
+    corruptions: Vec<CorruptWindow>,
+    /// Down windows `[crash, restart)` per crashing node.
+    downs: BTreeMap<NodeId, Vec<(u64, u64)>>,
+    /// `(node, crash_round, restart_round)` triples, schedule order.
+    crashes: Vec<(NodeId, u64, u64)>,
+}
+
+impl FaultPlan {
+    /// True if no fault is compiled in.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+            && self.partitions.is_empty()
+            && self.corruptions.is_empty()
+            && self.downs.is_empty()
+    }
+
+    /// True if any corruption window is compiled in (corrupted sessions
+    /// compare verdicts and deliveries across drivers, not raw traffic;
+    /// DESIGN.md §12).
+    pub fn has_corruption(&self) -> bool {
+        !self.corruptions.is_empty()
+    }
+
+    /// Whether the frame `from -> to` of `class` sent during `round` is
+    /// cut (dropped before it costs any bandwidth). Only data-plane
+    /// classes are ever cut; see the module docs.
+    pub fn cuts_frame(&self, round: u64, from: NodeId, to: NodeId, class: TrafficClass) -> bool {
+        if !class_is_faultable(class) {
+            return false;
+        }
+        let (lo, hi) = (from.min(to), from.max(to));
+        self.cuts.iter().any(|w| {
+            w.a == lo && w.b == hi && round >= w.from_round && round < w.heal_round
+        }) || self.partitions.iter().any(|w| {
+            // A partition cuts exactly the pairs whose endpoints fall
+            // on different sides of the split.
+            round >= w.from_round
+                && round < w.heal_round
+                && w.group.contains(&from) != w.group.contains(&to)
+        })
+    }
+
+    /// Whether the frame `from -> to` of `class` sent during `round`
+    /// arrives corrupted (byte transports mangle it and count a
+    /// rejection at the receiver; in-process transports drop it).
+    pub fn corrupts_frame(&self, round: u64, from: NodeId, to: NodeId, class: TrafficClass) -> bool {
+        class_is_faultable(class)
+            && self.corruptions.iter().any(|w| {
+                w.from == from && w.to == to && round >= w.from_round && round < w.heal_round
+            })
+    }
+
+    /// True while `node` is crashed: down nodes neither send, receive
+    /// nor run timers, and frames addressed to them are dropped at the
+    /// sender (all classes — a dead host has no resilient path either).
+    /// The window is `[crash_round, restart_round - 1)`: the node is
+    /// back up one round before its membership restarts, to announce
+    /// the recovery.
+    pub fn is_down(&self, node: NodeId, round: u64) -> bool {
+        self.downs
+            .get(&node)
+            .is_some_and(|ws| ws.iter().any(|&(c, r)| round >= c && round < r))
+    }
+
+    /// The down windows `[crash_round, restart_round - 1)` of `node`
+    /// (empty for nodes that never crash).
+    pub fn down_windows_for(&self, node: NodeId) -> Vec<(u64, u64)> {
+        self.downs.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// The `(round, input)` feeds the fault service hands `node`'s own
+    /// engine: the announced shutdown (`Input::Leave` during
+    /// `crash_round - 1`) and the recovery (`Input::Recover` during
+    /// `restart_round - 1`) of each of its crash-restart events. Merge
+    /// with the churn feeds — both use the same announce-one-round-early
+    /// discipline.
+    pub fn feeds_for(&self, node: NodeId) -> Vec<(u64, Input)> {
+        let mut out = Vec::new();
+        for &(who, crash_round, restart_round) in &self.crashes {
+            if who != node {
+                continue;
+            }
+            out.push((
+                crash_round - 1,
+                Input::Leave { node, round: crash_round },
+            ));
+            if restart_round != u64::MAX {
+                out.push((
+                    restart_round - 1,
+                    Input::Recover { node, round: restart_round },
+                ));
+            }
+        }
+        out.sort_by_key(|&(round, _)| round);
+        out
+    }
+
+    /// Every node with at least one crash-restart event, sorted.
+    pub fn crashing_nodes(&self) -> Vec<NodeId> {
+        self.downs.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pag_core::messages::{CLASS_ACCUSATION, CLASS_MEMBERSHIP, CLASS_MONITORING, CLASS_UPDATES};
+
+    #[test]
+    fn sever_cuts_both_directions_inside_window_only() {
+        let plan = FaultSchedule::from_events(vec![FaultEvent::Sever {
+            a: NodeId(3),
+            b: NodeId(1),
+            from_round: 2,
+            heal_round: 4,
+        }])
+        .plan();
+        for round in [2, 3] {
+            assert!(plan.cuts_frame(round, NodeId(1), NodeId(3), CLASS_UPDATES));
+            assert!(plan.cuts_frame(round, NodeId(3), NodeId(1), CLASS_UPDATES));
+        }
+        assert!(!plan.cuts_frame(1, NodeId(1), NodeId(3), CLASS_UPDATES), "before");
+        assert!(!plan.cuts_frame(4, NodeId(1), NodeId(3), CLASS_UPDATES), "healed");
+        assert!(!plan.cuts_frame(2, NodeId(1), NodeId(2), CLASS_UPDATES), "other link");
+    }
+
+    #[test]
+    fn control_path_classes_are_never_faulted() {
+        let plan = FaultSchedule::from_events(vec![
+            FaultEvent::Sever { a: NodeId(0), b: NodeId(1), from_round: 1, heal_round: 9 },
+            FaultEvent::Corrupt { a: NodeId(0), b: NodeId(1), from_round: 1, heal_round: 9 },
+        ])
+        .plan();
+        for class in [CLASS_MONITORING, CLASS_ACCUSATION, CLASS_MEMBERSHIP] {
+            assert!(!plan.cuts_frame(2, NodeId(0), NodeId(1), class));
+            assert!(!plan.corrupts_frame(2, NodeId(0), NodeId(1), class));
+        }
+        assert!(plan.cuts_frame(2, NodeId(0), NodeId(1), CLASS_UPDATES));
+        assert!(plan.corrupts_frame(2, NodeId(0), NodeId(1), CLASS_UPDATES));
+    }
+
+    #[test]
+    fn partition_cuts_across_the_split_not_within() {
+        let plan = FaultSchedule::from_events(vec![FaultEvent::Partition {
+            group: vec![NodeId(1), NodeId(2)],
+            from_round: 3,
+            heal_round: 5,
+        }])
+        .plan();
+        // Across the split, both directions.
+        assert!(plan.cuts_frame(3, NodeId(1), NodeId(0), CLASS_UPDATES));
+        assert!(plan.cuts_frame(4, NodeId(0), NodeId(2), CLASS_UPDATES));
+        // Within either side: untouched.
+        assert!(!plan.cuts_frame(3, NodeId(1), NodeId(2), CLASS_UPDATES));
+        assert!(!plan.cuts_frame(3, NodeId(0), NodeId(3), CLASS_UPDATES));
+        // Healed.
+        assert!(!plan.cuts_frame(5, NodeId(1), NodeId(0), CLASS_UPDATES));
+    }
+
+    #[test]
+    fn corruption_is_directed() {
+        let plan = FaultSchedule::from_events(vec![FaultEvent::Corrupt {
+            a: NodeId(2),
+            b: NodeId(4),
+            from_round: 1,
+            heal_round: 2,
+        }])
+        .plan();
+        assert!(plan.corrupts_frame(1, NodeId(2), NodeId(4), CLASS_UPDATES));
+        assert!(!plan.corrupts_frame(1, NodeId(4), NodeId(2), CLASS_UPDATES), "reverse direction clean");
+        assert!(plan.has_corruption());
+    }
+
+    #[test]
+    fn crash_restart_downs_and_feeds() {
+        let plan = FaultSchedule::from_events(vec![FaultEvent::CrashRestart {
+            node: NodeId(5),
+            crash_round: 3,
+            restart_round: 6,
+        }])
+        .plan();
+        assert!(!plan.is_down(NodeId(5), 2));
+        assert!(plan.is_down(NodeId(5), 3));
+        assert!(plan.is_down(NodeId(5), 4));
+        assert!(
+            !plan.is_down(NodeId(5), 5),
+            "up one round early to announce the recovery"
+        );
+        assert!(!plan.is_down(NodeId(5), 6), "member again at restart_round");
+        assert_eq!(plan.down_windows_for(NodeId(5)), vec![(3, 5)]);
+        assert_eq!(plan.crashing_nodes(), vec![NodeId(5)]);
+
+        let feeds = plan.feeds_for(NodeId(5));
+        assert_eq!(feeds.len(), 2);
+        assert!(matches!(
+            feeds[0],
+            (2, Input::Leave { node: NodeId(5), round: 3 })
+        ));
+        assert!(matches!(
+            feeds[1],
+            (5, Input::Recover { node: NodeId(5), round: 6 })
+        ));
+        assert!(plan.feeds_for(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            FaultSchedule::random_severs(9, 12, 8, 3).events(),
+            FaultSchedule::random_severs(9, 12, 8, 3).events()
+        );
+        assert_eq!(
+            FaultSchedule::split_brain(4, 10, 2, 5).events(),
+            FaultSchedule::split_brain(4, 10, 2, 5).events()
+        );
+        assert_eq!(
+            FaultSchedule::corruption_bursts(2, 10, 6, 4).events(),
+            FaultSchedule::corruption_bursts(2, 10, 6, 4).events()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "restart_round")]
+    fn too_fast_restart_rejected() {
+        FaultSchedule::from_events(vec![FaultEvent::CrashRestart {
+            node: NodeId(1),
+            crash_round: 3,
+            restart_round: 4,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        FaultSchedule::from_events(vec![FaultEvent::Sever {
+            a: NodeId(0),
+            b: NodeId(1),
+            from_round: 3,
+            heal_round: 3,
+        }]);
+    }
+}

@@ -29,7 +29,12 @@
 //!   metrics and a driver-neutral [`TrafficReport`];
 //! * [`ChurnSchedule`] — seeded join/leave traces (steady rate, flash
 //!   crowd, mass departure) all drivers replay identically, feeding the
-//!   engine's `Join`/`Leave` inputs (DESIGN.md §9).
+//!   engine's `Join`/`Leave` inputs (DESIGN.md §9);
+//! * [`FaultSchedule`] — seeded fault traces (link severs, transient
+//!   partitions, corruption bursts, crash-restarts) compiled to one
+//!   [`faults::FaultPlan`] all drivers consult identically, plus the
+//!   crash-recovery feeds that let a restarted node rejoin without
+//!   being convicted (DESIGN.md §12).
 //!
 //! The three drivers execute the same engine byte-for-byte; the
 //! driver-equivalence tests in `tests/` hold their verdicts, deliveries
@@ -41,6 +46,7 @@
 
 pub mod adapter;
 pub mod churn;
+pub mod faults;
 pub mod pool;
 pub mod report;
 pub mod session;
@@ -50,11 +56,13 @@ pub mod worker;
 
 pub use adapter::SimnetPag;
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
+pub use faults::{FaultEvent, FaultPlan, FaultSchedule};
 pub use pool::Scheduler;
 pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
 pub use session::{
-    run_session, Driver, Session, SessionBuilder, SessionConfig, SessionOutcome,
+    run_session, try_run_session, Driver, Session, SessionBuilder, SessionConfig, SessionError,
+    SessionOutcome,
 };
-pub use tcp::{run_tcp, TcpConfig, TcpRun};
+pub use tcp::{run_tcp, TcpConfig, TcpRun, TcpSetupError};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedRun};
 pub use worker::{DriverRun, Link, NetEmulation, NetEmulationError};

@@ -400,9 +400,12 @@ fn pool_worker<L: Link>(
                 core.realtime_envelope(envelope);
                 queues.publish_wake(idx, core.next_wake());
             }
-            if core.crashed {
+            if core.crashed && core.down_forever() {
                 // Fail-stop: off the run queue for good. The drain
                 // continues so already-charged envelopes are consumed.
+                // A node in a *transient* down window (fault-plan
+                // crash-restart) keeps its slot: it must still receive
+                // the clock's round envelopes to notice its restart.
                 queues.retire(idx);
             }
         }

@@ -42,9 +42,11 @@ use pag_simnet::{SimConfig, Simulation};
 
 use crate::adapter::SimnetPag;
 use crate::churn::{ChurnEvent, ChurnKind, ChurnSchedule};
+use crate::faults::{FaultEvent, FaultSchedule};
 use crate::report::TrafficReport;
-use crate::tcp::{run_tcp, TcpConfig};
+use crate::tcp::{run_tcp, TcpConfig, TcpSetupError};
 use crate::threaded::{run_threaded, ThreadedConfig};
+use crate::worker::merged_feeds;
 
 /// The execution substrate a session runs on.
 #[derive(Clone, Debug)]
@@ -97,6 +99,11 @@ pub struct SessionConfig {
     /// Scheduled membership changes (see [`crate::churn`]). Joiner ids
     /// must not collide with `0..nodes`; every event needs `round >= 1`.
     pub churn: Vec<ChurnEvent>,
+    /// Scheduled faults (see [`crate::faults`]): link severs, transient
+    /// partitions, corruption windows and crash-restarts, applied
+    /// identically by every driver. Crash-restarts must not target the
+    /// session source (it anchors the membership and cannot leave).
+    pub faults: Vec<FaultEvent>,
 }
 
 impl SessionConfig {
@@ -110,6 +117,7 @@ impl SessionConfig {
             selfish: Vec::new(),
             crashes: Vec::new(),
             churn: Vec::new(),
+            faults: Vec::new(),
         }
     }
 }
@@ -179,6 +187,13 @@ impl SessionBuilder {
     /// Applies a churn schedule (joins/leaves mid-session).
     pub fn churn(mut self, schedule: ChurnSchedule) -> Self {
         self.config.churn.extend(schedule.events().iter().copied());
+        self
+    }
+
+    /// Applies a fault schedule (link severs, partitions, corruption
+    /// bursts, crash-restarts mid-session).
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.config.faults.extend(schedule.events().iter().cloned());
         self
     }
 
@@ -322,8 +337,52 @@ fn collect_outcome(
     }
 }
 
+/// Why a session could not run.
+///
+/// Only environment failures surface here — misconfiguration (bad churn
+/// or fault rounds) is a caller bug and still panics. Today the sole
+/// source is TCP transport establishment (DESIGN.md §12); the in-process
+/// drivers cannot fail to start.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The TCP mesh could not be established.
+    TcpSetup(TcpSetupError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::TcpSetup(e) => write!(f, "tcp transport setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::TcpSetup(e) => Some(e),
+        }
+    }
+}
+
+impl From<TcpSetupError> for SessionError {
+    fn from(e: TcpSetupError) -> Self {
+        SessionError::TcpSetup(e)
+    }
+}
+
 /// Builds and runs a complete session on its configured driver.
+///
+/// Panics if the environment refuses to cooperate (e.g. the TCP driver
+/// cannot bind loopback sockets); use [`try_run_session`] to handle
+/// that as a typed error instead.
 pub fn run_session(sc: SessionConfig) -> SessionOutcome {
+    try_run_session(sc).unwrap_or_else(|e| panic!("session failed to start: {e}"))
+}
+
+/// Builds and runs a complete session, surfacing transport setup
+/// failures as a [`SessionError`] instead of panicking.
+pub fn try_run_session(sc: SessionConfig) -> Result<SessionOutcome, SessionError> {
     let rounds = sc.rounds;
     assert!(
         sc.churn.iter().all(|e| e.round >= 1),
@@ -335,6 +394,15 @@ pub fn run_session(sc: SessionConfig) -> SessionOutcome {
         sc.pag.fanout,
         sc.pag.monitor_count,
     );
+    for e in &sc.faults {
+        if let FaultEvent::CrashRestart { node, .. } = e {
+            assert!(
+                *node != membership.source(),
+                "the source anchors the membership and cannot crash-restart"
+            );
+        }
+    }
+    let faults = Arc::new(FaultSchedule::from_events(sc.faults.clone()).plan());
     let joiners: Vec<NodeId> = {
         let mut j: Vec<NodeId> = sc
             .churn
@@ -350,12 +418,15 @@ pub fn run_session(sc: SessionConfig) -> SessionOutcome {
     let shared = SharedContext::with_roster(sc.pag.clone(), membership, &joiners);
     let engines = build_engines(&sc, &shared);
 
-    match &sc.driver {
+    Ok(match &sc.driver {
         Driver::Simnet(sim_cfg) => {
             let mut sim = Simulation::new(sim_cfg.clone());
             for engine in engines {
-                let churn = crate::churn::inputs_for(&sc.churn, engine.id());
-                sim.add_node(engine.id(), SimnetPag::with_churn(engine, churn));
+                let feeds = merged_feeds(&sc.churn, &faults, engine.id());
+                sim.add_node(
+                    engine.id(),
+                    SimnetPag::with_faults(engine, feeds, Arc::clone(&faults)),
+                );
             }
             for &(node, round) in &sc.crashes {
                 sim.schedule_crash(node, round);
@@ -370,14 +441,14 @@ pub fn run_session(sc: SessionConfig) -> SessionOutcome {
             )
         }
         Driver::Threaded(tc) => {
-            let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, tc);
+            let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, tc);
             collect_outcome(run.engines, run.report, rounds)
         }
         Driver::Tcp(tc) => {
-            let run = run_tcp(&shared, engines, rounds, &sc.crashes, &sc.churn, tc);
+            let run = run_tcp(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, tc)?;
             collect_outcome(run.engines, run.report, rounds)
         }
-    }
+    })
 }
 
 #[cfg(test)]

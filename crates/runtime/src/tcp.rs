@@ -7,9 +7,9 @@
 //! funnelling them back into the node's envelope queue. Every byte a
 //! node is charged for crosses the kernel's loopback path; nothing
 //! about the protocol, timers, churn or crash semantics changes —
-//! which is the point, and what the three-driver equivalence suite
-//! pins down (verdicts, deliveries and traffic totals identical to the
-//! simulator and the channel driver, lockstep mode).
+//! which is the point, and what the driver-equivalence suite pins down
+//! (verdicts, deliveries and traffic totals identical to the simulator
+//! and the channel driver, lockstep mode).
 //!
 //! Like the channel driver, the node side runs under either
 //! [`Scheduler`]: dedicated worker threads, or the worker pool
@@ -22,13 +22,19 @@
 //! Each node binds a listener on `127.0.0.1:0`; the harness then
 //! establishes a **full mesh of duplex streams** (one per node pair,
 //! the lower id connecting) before any worker starts, so session
-//! traffic never races connection setup. After the mesh, each listener
-//! keeps accepting: late connections are untrusted byte sources whose
-//! frames travel the same framer → `decode_frame` → deliver path — and
-//! fail it safely. Malformed or truncated input is dropped and counted
+//! traffic never races connection setup. Establishment is fallible, not
+//! panicking: every bind / connect / accept / configure step surfaces
+//! as a typed [`TcpSetupError`] from [`run_tcp`] (and as
+//! [`crate::session::SessionError`] one level up). After the mesh, each
+//! listener keeps accepting: late connections are untrusted byte
+//! sources whose frames travel the same framer → `decode_frame` →
+//! deliver path — and fail it safely. Malformed or truncated input is
+//! dropped and counted
 //! ([`pag_core::engine::MetricEvent::FrameRejected`]); an oversized
 //! length prefix kills the connection (stream sync is lost) after
-//! counting one rejection. No input bytes can panic a node thread.
+//! counting one rejection. No input bytes can panic a node thread, and
+//! a reader or accept thread that fails to *spawn* is logged and
+//! counted (as a severed link), never a panic.
 //!
 //! Untrusted connections additionally carry a **rejected-frame budget**
 //! ([`TcpConfig::reject_limit`]): a connection that keeps producing
@@ -39,6 +45,27 @@
 //! of one per hostile frame forever. Mesh streams carry only
 //! peer-engine frames and skip the screen entirely.
 //!
+//! # Self-healing links (DESIGN.md §12)
+//!
+//! Each peer's write-half lives in a supervised **slot**. Severing a
+//! link — via a scheduled [`TcpConfig::link_kills`] entry, or a failed
+//! socket write — empties the slot, counts a
+//! [`pag_core::engine::MetricEvent::LinkSevered`], and (in real-time
+//! mode) spawns a reconnect supervisor: bounded exponential backoff
+//! with seeded jitter, redialing the peer's listener. The redialed
+//! stream arrives through the peer's accept thread as an untrusted
+//! connection — same screen, same reject-don't-panic path — and the
+//! healed slot counts a
+//! [`pag_core::engine::MetricEvent::LinkReconnected`]. In **lockstep**
+//! mode reconnection is disabled: a revived stream would inject frames
+//! the quiescence ledger never registered and wedge (or corrupt) the
+//! barrier accounting. Lockstep kills still work — both endpoints sever
+//! at their own round entry, a quiescent point, so no registered frame
+//! is ever in flight across the dying socket, and later sends to the
+//! dead slot are refused and balanced by the worker's done-on-refused
+//! path. That is how a lockstep session tolerates a down link without
+//! wedging.
+//!
 //! Lockstep mode works unchanged over sockets because the quiescence
 //! ledger brackets the socket transit: a sender registers its frame
 //! with the coordinator *before* the `write`, and the receiving worker
@@ -48,11 +75,11 @@
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pag_core::engine::PagEngine;
 use pag_core::wire::{
@@ -62,10 +89,11 @@ use pag_core::SharedContext;
 use pag_membership::NodeId;
 
 use crate::churn::ChurnEvent;
+use crate::faults::FaultPlan;
 use crate::pool::{run_pool, InboxHandle, PoolQueues, Scheduler};
 use crate::worker::{
-    crash_round_of, drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link,
-    NetEmulation, NodeCore, Worker,
+    down_windows, drive_rounds, join_workers, merged_feeds, Coordination, DriverRun, Envelope,
+    Link, NetEmulation, NodeCore, Worker,
 };
 
 /// Outcome of a TCP run (same shape as every real-time driver).
@@ -76,6 +104,61 @@ pub type TcpRun = DriverRun;
 /// off within one scheduling quantum.
 pub const DEFAULT_REJECT_LIMIT: u32 = 32;
 
+/// First wait of the reconnect supervisor's backoff ladder (ms).
+const RECONNECT_BASE_MS: u64 = 8;
+
+/// Ceiling of the reconnect backoff ladder (ms).
+const RECONNECT_MAX_MS: u64 = 256;
+
+/// Redial attempts per sever before the supervisor gives up.
+const RECONNECT_ATTEMPTS: u32 = 8;
+
+/// Why TCP transport establishment failed. Surfaced by [`run_tcp`]
+/// instead of panicking mid-setup; the session layer wraps it in
+/// [`crate::session::SessionError`].
+#[derive(Debug)]
+pub enum TcpSetupError {
+    /// Binding a node's loopback listener failed.
+    Bind(std::io::Error),
+    /// Reading a bound listener's local address failed.
+    LocalAddr(std::io::Error),
+    /// Dialing a peer's listener while pairing the mesh failed.
+    Connect(std::io::Error),
+    /// Accepting the matching mesh connection failed.
+    Accept(std::io::Error),
+    /// Configuring an established mesh stream (nodelay, or cloning the
+    /// write half) failed.
+    Configure(std::io::Error),
+    /// Spawning a node worker thread failed.
+    SpawnNode(std::io::Error),
+}
+
+impl std::fmt::Display for TcpSetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpSetupError::Bind(e) => write!(f, "could not bind loopback listener: {e}"),
+            TcpSetupError::LocalAddr(e) => write!(f, "could not read listener address: {e}"),
+            TcpSetupError::Connect(e) => write!(f, "could not connect mesh stream: {e}"),
+            TcpSetupError::Accept(e) => write!(f, "could not accept mesh stream: {e}"),
+            TcpSetupError::Configure(e) => write!(f, "could not configure mesh stream: {e}"),
+            TcpSetupError::SpawnNode(e) => write!(f, "could not spawn node thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpSetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TcpSetupError::Bind(e)
+            | TcpSetupError::LocalAddr(e)
+            | TcpSetupError::Connect(e)
+            | TcpSetupError::Accept(e)
+            | TcpSetupError::Configure(e)
+            | TcpSetupError::SpawnNode(e) => Some(e),
+        }
+    }
+}
+
 /// Configuration of the TCP driver.
 #[derive(Clone, Debug)]
 pub struct TcpConfig {
@@ -84,8 +167,10 @@ pub struct TcpConfig {
     pub round_ms: u64,
     /// Deterministic timer mode: virtual time with quiescence barriers
     /// instead of the wall clock (works over sockets; see module docs).
+    /// Disables link self-healing — see the module docs' fault section.
     pub lockstep: bool,
-    /// Session seed for the engines' deterministic randomness.
+    /// Session seed for the engines' deterministic randomness (and the
+    /// reconnect supervisors' jitter).
     pub seed: u64,
     /// Optional latency/loss injection, applied in the worker exactly
     /// like the channel driver's (loss before the socket write, latency
@@ -103,6 +188,13 @@ pub struct TcpConfig {
     pub reject_limit: u32,
     /// Node-to-thread mapping: dedicated threads or a worker pool.
     pub scheduler: Scheduler,
+    /// Scheduled transport-level link kills: `(a, b, round)` severs the
+    /// socket between `a` and `b` when each endpoint enters `round` (a
+    /// quiescent point in lockstep mode). Both directions die; in
+    /// real-time mode each endpoint's supervisor then redials. This is
+    /// a *transport* fault — unlike [`crate::faults`] cut windows it is
+    /// invisible to the other drivers and excluded from equivalence.
+    pub link_kills: Vec<(NodeId, NodeId, u64)>,
     /// Test/diagnostics hook: each node's bound listener address is sent
     /// here **after** the session mesh is fully established (so probes
     /// connecting in response can never be mistaken for mesh peers).
@@ -119,20 +211,120 @@ impl Default for TcpConfig {
             max_frame_bytes: MAX_STREAM_FRAME_BYTES,
             reject_limit: DEFAULT_REJECT_LIMIT,
             scheduler: Scheduler::ThreadPerNode,
+            link_kills: Vec::new(),
             addr_probe: None,
         }
     }
 }
 
-/// The socket transport: one established write-half per peer.
+/// One peer's supervised connection: the write half lives in a slot
+/// that severing empties and (real-time mode) a reconnect supervisor
+/// refills by redialing `addr`.
+struct PeerLink {
+    slot: Arc<Mutex<Option<TcpStream>>>,
+    addr: SocketAddr,
+}
+
+/// Locks a slot, riding out poisoning (a reader panicking elsewhere
+/// must not cascade into the link).
+fn lock_slot(slot: &Mutex<Option<TcpStream>>) -> std::sync::MutexGuard<'_, Option<TcpStream>> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The socket transport: one supervised write-half slot per peer, plus
+/// the sever/reconnect counters the node core folds into its engine
+/// metrics via `health_delta`.
 struct TcpLink {
-    peers: BTreeMap<NodeId, TcpStream>,
+    owner: NodeId,
+    peers: BTreeMap<NodeId, PeerLink>,
     max_frame: usize,
+    /// Real-time mode only: severed slots get a reconnect supervisor.
+    /// Off in lockstep — see the module docs' fault section.
+    self_heal: bool,
+    severed: Arc<AtomicU64>,
+    reconnected: Arc<AtomicU64>,
+    /// Session teardown flag (shared with the accept threads): stops
+    /// supervisors from redialing a session that is over.
+    stop: Arc<AtomicBool>,
+    /// Deterministically seeded state for the supervisors' jitter.
+    jitter_seed: u64,
+}
+
+impl TcpLink {
+    /// Empties `to`'s slot (shutting the socket down), counts the
+    /// sever, and in self-healing mode starts a reconnect supervisor.
+    fn sever_slot(&mut self, to: NodeId) {
+        let Some(peer) = self.peers.get(&to) else {
+            return;
+        };
+        let Some(stream) = lock_slot(&peer.slot).take() else {
+            return;
+        };
+        let _ = stream.shutdown(Shutdown::Both);
+        self.severed.fetch_add(1, Ordering::SeqCst);
+        if self.self_heal {
+            self.supervise_reconnect(to);
+        }
+    }
+
+    /// Spawns the detached reconnect supervisor for `to`: bounded
+    /// exponential backoff (base 8ms, ceiling 256ms, 8 attempts) with
+    /// seeded jitter, redialing the peer's listener. The redialed
+    /// stream lands on the peer's accept thread as an untrusted
+    /// connection; our side refills the slot and counts the heal.
+    fn supervise_reconnect(&mut self, to: NodeId) {
+        let Some(peer) = self.peers.get(&to) else {
+            return;
+        };
+        let slot = Arc::clone(&peer.slot);
+        let addr = peer.addr;
+        let reconnected = Arc::clone(&self.reconnected);
+        let stop = Arc::clone(&self.stop);
+        // Advance the link's jitter state so consecutive severs of the
+        // same pair don't retry in phase.
+        self.jitter_seed = self
+            .jitter_seed
+            .rotate_left(17)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(to.0);
+        let mut jitter = self.jitter_seed | 1;
+        let spawned = thread::Builder::new()
+            .name(format!("pag-tcp-heal-{}-{to}", self.owner))
+            .spawn(move || {
+                let mut backoff = RECONNECT_BASE_MS;
+                for _ in 0..RECONNECT_ATTEMPTS {
+                    // xorshift64 step: cheap, deterministic per seed.
+                    jitter ^= jitter << 13;
+                    jitter ^= jitter >> 7;
+                    jitter ^= jitter << 17;
+                    let wait = backoff + jitter % (backoff / 2 + 1);
+                    thread::sleep(Duration::from_millis(wait));
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match TcpStream::connect(addr) {
+                        Ok(stream) => {
+                            let _ = stream.set_nodelay(true);
+                            *lock_slot(&slot) = Some(stream);
+                            reconnected.fetch_add(1, Ordering::SeqCst);
+                            return;
+                        }
+                        Err(_) => backoff = (backoff * 2).min(RECONNECT_MAX_MS),
+                    }
+                }
+            });
+        if spawned.is_err() {
+            eprintln!(
+                "pag-tcp: node {} could not spawn reconnect supervisor for peer {to}",
+                self.owner
+            );
+        }
+    }
 }
 
 impl Link for TcpLink {
     fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool {
-        let Some(stream) = self.peers.get_mut(&to) else {
+        let Some(peer) = self.peers.get(&to) else {
             return false;
         };
         // Over-bound frames cannot be produced by a correctly configured
@@ -141,7 +333,30 @@ impl Link for TcpLink {
         let Ok(encoded) = encode_stream_frame(&frame, self.max_frame) else {
             return false;
         };
-        stream.write_all(&encoded).is_ok()
+        let mut slot = lock_slot(&peer.slot);
+        let Some(stream) = slot.as_mut() else {
+            // Severed and not (yet) healed: refuse, the worker's
+            // done-on-refused path balances the lockstep ledger.
+            return false;
+        };
+        if stream.write_all(&encoded).is_ok() {
+            return true;
+        }
+        // The write half died under us: that is a sever, observed here.
+        drop(slot);
+        self.sever_slot(to);
+        false
+    }
+
+    fn sever(&mut self, to: NodeId) {
+        self.sever_slot(to);
+    }
+
+    fn health_delta(&mut self) -> (u64, u64) {
+        (
+            self.severed.swap(0, Ordering::SeqCst),
+            self.reconnected.swap(0, Ordering::SeqCst),
+        )
     }
 }
 
@@ -150,8 +365,10 @@ impl Drop for TcpLink {
         // Half-close every outbound stream so peer reader threads see
         // EOF and exit; the read halves of the same sockets stay open
         // until those peers half-close in turn.
-        for stream in self.peers.values() {
-            let _ = stream.shutdown(Shutdown::Write);
+        for peer in self.peers.values() {
+            if let Some(stream) = lock_slot(&peer.slot).as_ref() {
+                let _ = stream.shutdown(Shutdown::Write);
+            }
         }
     }
 }
@@ -292,15 +509,18 @@ fn read_loop(
 ///
 /// Contract identical to [`crate::threaded::run_threaded`]: every
 /// engine's node must belong to `shared`'s key roster, `crashes` are
-/// fail-stop rounds and `churn` the scheduled membership changes.
+/// fail-stop rounds, `churn` the scheduled membership changes, and
+/// `faults` the session's compiled fault plan. Transport establishment
+/// failures come back as a typed [`TcpSetupError`] instead of a panic.
 pub fn run_tcp(
     shared: &Arc<SharedContext>,
     engines: Vec<PagEngine>,
     rounds: u64,
     crashes: &[(NodeId, u64)],
     churn: &[ChurnEvent],
+    faults: &Arc<FaultPlan>,
     cfg: &TcpConfig,
-) -> TcpRun {
+) -> Result<TcpRun, TcpSetupError> {
     let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
     let n = ids.len();
     let coord = cfg.lockstep.then(|| Arc::new(Coordination::new(n)));
@@ -309,10 +529,13 @@ pub fn run_tcp(
 
     // Node inboxes: per-node channels (thread-per-node) or pool slots
     // (created after the mesh, alongside the epoch they are clocked by).
-    let pooled = matches!(cfg.scheduler, Scheduler::Pool(_));
+    let pool_size = match cfg.scheduler {
+        Scheduler::ThreadPerNode => None,
+        Scheduler::Pool(size) => Some(size),
+    };
     let mut senders: BTreeMap<NodeId, Sender<Envelope>> = BTreeMap::new();
     let mut receivers = Vec::new();
-    if !pooled {
+    if pool_size.is_none() {
         for &id in &ids {
             let (tx, rx) = channel();
             senders.insert(id, tx);
@@ -324,8 +547,11 @@ pub fn run_tcp(
     let mut listeners = Vec::with_capacity(n);
     let mut addrs: BTreeMap<NodeId, SocketAddr> = BTreeMap::new();
     for &id in &ids {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-        addrs.insert(id, listener.local_addr().expect("listener address"));
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(TcpSetupError::Bind)?;
+        addrs.insert(
+            id,
+            listener.local_addr().map_err(TcpSetupError::LocalAddr)?,
+        );
         listeners.push(listener);
     }
 
@@ -335,18 +561,24 @@ pub fn run_tcp(
     // exactly the one just initiated and no identity handshake is
     // needed. Each side keeps a cloned write-half (for its TcpLink) and
     // the original as read-half (for its reader thread).
-    let mut writes: Vec<BTreeMap<NodeId, TcpStream>> =
-        (0..n).map(|_| BTreeMap::new()).collect();
+    let mut writes: Vec<BTreeMap<NodeId, TcpStream>> = (0..n).map(|_| BTreeMap::new()).collect();
     let mut reads: Vec<Vec<TcpStream>> = (0..n).map(|_| Vec::new()).collect();
     for j in 0..n {
         for i in 0..j {
-            let initiated = TcpStream::connect(addrs[&ids[j]]).expect("connect mesh stream");
-            let (accepted, _) = listeners[j].accept().expect("accept mesh stream");
-            initiated.set_nodelay(true).expect("set nodelay");
-            accepted.set_nodelay(true).expect("set nodelay");
-            writes[i].insert(ids[j], initiated.try_clone().expect("clone write half"));
+            let initiated =
+                TcpStream::connect(addrs[&ids[j]]).map_err(TcpSetupError::Connect)?;
+            let (accepted, _) = listeners[j].accept().map_err(TcpSetupError::Accept)?;
+            initiated.set_nodelay(true).map_err(TcpSetupError::Configure)?;
+            accepted.set_nodelay(true).map_err(TcpSetupError::Configure)?;
+            writes[i].insert(
+                ids[j],
+                initiated.try_clone().map_err(TcpSetupError::Configure)?,
+            );
             reads[i].push(initiated);
-            writes[j].insert(ids[i], accepted.try_clone().expect("clone write half"));
+            writes[j].insert(
+                ids[i],
+                accepted.try_clone().map_err(TcpSetupError::Configure)?,
+            );
             reads[j].push(accepted);
         }
     }
@@ -360,32 +592,49 @@ pub fn run_tcp(
         }
     }
 
-    let queues = pooled.then(|| PoolQueues::new(n, coord.clone()));
+    let queues = pool_size.map(|size| (size, PoolQueues::new(n, coord.clone())));
     let inbox_of = |idx: usize| -> InboxHandle {
         match &queues {
-            Some(queues) => InboxHandle::Pool(Arc::clone(queues), idx),
+            Some((_, queues)) => InboxHandle::Pool(Arc::clone(queues), idx),
             None => InboxHandle::Channel(senders[&ids[idx]].clone()),
         }
     };
 
+    // Per-node link health counters, shared between each node's TcpLink
+    // and (for spawn failures) this setup path; the node core drains
+    // them into its engine metrics every round.
+    let severed: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let reconnected: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
     // Reader threads: one per established inbound stream. Mesh peers
-    // are trusted engines — no reject screen.
+    // are trusted engines — no reject screen. A spawn failure is not a
+    // panic: the inbound half of that link is simply dead, which we log
+    // and count as a sever (the write half keeps working).
     for (idx, streams) in reads.into_iter().enumerate() {
         for stream in streams {
             let inbox = inbox_of(idx);
             let coord = coord.clone();
             let max = cfg.max_frame_bytes;
-            thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name(format!("pag-tcp-read-{}", ids[idx]))
-                .spawn(move || read_loop(stream, inbox, coord, max, true, None))
-                .expect("spawn reader thread");
+                .spawn(move || read_loop(stream, inbox, coord, max, true, None));
+            if spawned.is_err() {
+                eprintln!(
+                    "pag-tcp: node {} could not spawn a mesh reader thread; \
+                     counting the inbound link as severed",
+                    ids[idx]
+                );
+                severed[idx].fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 
     // Accept threads: keep each listener open for late (untrusted)
     // connections; their bytes go through the same reject-don't-panic
     // frame path, behind the per-connection rejected-frame budget. A
-    // stop flag plus a wake-up connection ends them.
+    // stop flag plus a wake-up connection ends them. Spawn failures —
+    // of an accept thread, or of one of its per-connection readers —
+    // are logged and counted, never panics.
     let stop_accepting = Arc::new(AtomicBool::new(false));
     let mut accept_handles = Vec::with_capacity(n);
     for (idx, listener) in listeners.into_iter().enumerate() {
@@ -396,7 +645,7 @@ pub fn run_tcp(
         let max = cfg.max_frame_bytes;
         let limit = cfg.reject_limit;
         let wire = shared.config.wire.clone();
-        let handle = thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name(format!("pag-tcp-accept-{}", ids[idx]))
             .spawn(move || loop {
                 let Ok((conn, _)) = listener.accept() else {
@@ -414,12 +663,31 @@ pub fn run_tcp(
                     limit,
                     rejected: 0,
                 };
-                thread::spawn(move || {
-                    read_loop(conn, inbox, coord, max, false, Some(screen))
-                });
-            })
-            .expect("spawn accept thread");
-        accept_handles.push(handle);
+                let closer = conn.try_clone().ok();
+                let reader = thread::Builder::new()
+                    .name(format!("pag-tcp-late-{owner}"))
+                    .spawn(move || read_loop(conn, inbox, coord, max, false, Some(screen)));
+                if reader.is_err() {
+                    eprintln!(
+                        "pag-tcp: node {owner} could not spawn a reader for a late \
+                         connection; dropping it"
+                    );
+                    if let Some(closer) = closer {
+                        let _ = closer.shutdown(Shutdown::Both);
+                    }
+                }
+            });
+        match spawned {
+            Ok(handle) => accept_handles.push(handle),
+            Err(_) => {
+                eprintln!(
+                    "pag-tcp: node {} could not spawn its accept thread; late \
+                     connections to it will be refused",
+                    ids[idx]
+                );
+                severed[idx].fetch_add(1, Ordering::SeqCst);
+            }
+        }
     }
 
     // The epoch starts only now — after mesh setup and thread spawning —
@@ -432,10 +700,13 @@ pub fn run_tcp(
     // Retires the accept threads: unblock each listener with a throwaway
     // connection, then join. Runs before worker joins on both
     // schedulers, so a panicking node cannot leak n blocked accept
-    // threads and their bound listeners.
+    // threads and their bound listeners. Setting the stop flag also
+    // retires any in-flight reconnect supervisors.
+    let probe_addrs: Vec<SocketAddr> = addrs.values().copied().collect();
+    let stop_flag = Arc::clone(&stop_accepting);
     let stop_accepts = move || {
-        stop_accepting.store(true, Ordering::SeqCst);
-        for addr in addrs.values() {
+        stop_flag.store(true, Ordering::SeqCst);
+        for addr in &probe_addrs {
             let _ = TcpStream::connect(addr);
         }
         for handle in accept_handles {
@@ -449,28 +720,62 @@ pub fn run_tcp(
         .enumerate()
         .map(|(idx, engine)| {
             let id = ids[idx];
+            let peers = std::mem::take(&mut writes[idx])
+                .into_iter()
+                .map(|(peer, stream)| {
+                    (
+                        peer,
+                        PeerLink {
+                            slot: Arc::new(Mutex::new(Some(stream))),
+                            addr: addrs[&peer],
+                        },
+                    )
+                })
+                .collect();
+            let mut kills: Vec<(u64, NodeId)> = cfg
+                .link_kills
+                .iter()
+                .filter_map(|&(a, b, round)| {
+                    if a == id {
+                        Some((round, b))
+                    } else if b == id {
+                        Some((round, a))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            kills.sort_unstable();
             NodeCore::new(
                 idx,
                 id,
                 engine,
                 shared.config.wire.clone(),
                 TcpLink {
-                    peers: std::mem::take(&mut writes[idx]),
+                    owner: id,
+                    peers,
                     max_frame: cfg.max_frame_bytes,
+                    self_heal: !cfg.lockstep,
+                    severed: Arc::clone(&severed[idx]),
+                    reconnected: Arc::clone(&reconnected[idx]),
+                    stop: Arc::clone(&stop_accepting),
+                    jitter_seed: cfg.seed ^ 0x5E1F_4EA1 ^ (u64::from(id.0) << 32),
                 },
                 coord.clone(),
-                crash_round_of(crashes, id),
-                crate::churn::inputs_for(churn, id),
+                down_windows(crashes, faults, id),
+                merged_feeds(churn, faults, id),
                 epoch,
                 round_ms,
                 cfg.net.clone(),
                 net_seed,
+                Arc::clone(faults),
+                kills,
             )
         })
         .collect();
 
-    match cfg.scheduler {
-        Scheduler::ThreadPerNode => {
+    Ok(match queues {
+        None => {
             let mut handles = Vec::with_capacity(n);
             for (core, rx) in cores.into_iter().zip(receivers) {
                 let id = core.id;
@@ -478,7 +783,7 @@ pub fn run_tcp(
                 let handle = thread::Builder::new()
                     .name(format!("pag-tcp-{id}"))
                     .spawn(move || worker.run())
-                    .expect("spawn node thread");
+                    .map_err(TcpSetupError::SpawnNode)?;
                 handles.push((id, handle));
             }
 
@@ -487,10 +792,9 @@ pub fn run_tcp(
             stop_accepts();
             join_workers(handles, rounds)
         }
-        Scheduler::Pool(size) => {
-            let queues = queues.expect("pool queues exist for pooled scheduler");
+        Some((size, queues)) => {
             let threads = Scheduler::resolve_threads(size, n);
             run_pool(cores, queues, threads, epoch, rounds, round_ms, stop_accepts)
         }
-    }
+    })
 }

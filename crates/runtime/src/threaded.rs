@@ -65,10 +65,11 @@ use pag_core::SharedContext;
 use pag_membership::NodeId;
 
 use crate::churn::ChurnEvent;
+use crate::faults::FaultPlan;
 use crate::pool::{run_pool, PoolLink, PoolQueues, Scheduler};
 use crate::worker::{
-    crash_round_of, drive_rounds, join_workers, Coordination, DriverRun, Envelope, Link,
-    NodeCore, Worker,
+    down_windows, drive_rounds, join_workers, merged_feeds, Coordination, DriverRun, Envelope,
+    Link, NodeCore, Worker,
 };
 
 pub use crate::worker::{NetEmulation, NetEmulationError};
@@ -126,16 +127,19 @@ impl Link for ChannelLink {
 ///
 /// Every engine's node must belong to `shared`'s key roster (initial
 /// members plus scheduled joiners); `crashes` are fail-stop rounds per
-/// node and `churn` the scheduled membership changes (each fed to its
-/// subject's engine one round before it takes effect). Returns the
-/// traffic report (protocol seconds; see [`crate::report`]) and the
-/// final engines.
+/// node, `churn` the scheduled membership changes (each fed to its
+/// subject's engine one round before it takes effect), and `faults` the
+/// session's compiled fault plan (link cuts, partitions, corruption
+/// windows, crash-restarts; pass a default plan for a clean run).
+/// Returns the traffic report (protocol seconds; see [`crate::report`])
+/// and the final engines.
 pub fn run_threaded(
     shared: &Arc<SharedContext>,
     engines: Vec<PagEngine>,
     rounds: u64,
     crashes: &[(NodeId, u64)],
     churn: &[ChurnEvent],
+    faults: &Arc<FaultPlan>,
     cfg: &ThreadedConfig,
 ) -> ThreadedRun {
     let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
@@ -167,12 +171,14 @@ pub fn run_threaded(
                         peers: senders.clone(),
                     },
                     coord.clone(),
-                    crash_round_of(crashes, id),
-                    crate::churn::inputs_for(churn, id),
+                    down_windows(crashes, faults, id),
+                    merged_feeds(churn, faults, id),
                     epoch,
                     round_ms,
                     cfg.net.clone(),
                     net_seed,
+                    Arc::clone(faults),
+                    Vec::new(),
                 );
                 let worker = Worker { core, rx };
                 let handle = thread::Builder::new()
@@ -202,12 +208,14 @@ pub fn run_threaded(
                         shared.config.wire.clone(),
                         PoolLink::new(Arc::clone(&queues), Arc::clone(&index)),
                         coord.clone(),
-                        crash_round_of(crashes, id),
-                        crate::churn::inputs_for(churn, id),
+                        down_windows(crashes, faults, id),
+                        merged_feeds(churn, faults, id),
                         epoch,
                         round_ms,
                         cfg.net.clone(),
                         net_seed,
+                        Arc::clone(faults),
+                        Vec::new(),
                     )
                 })
                 .collect();

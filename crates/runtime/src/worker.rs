@@ -50,6 +50,8 @@ use pag_core::WireConfig;
 use pag_membership::NodeId;
 use pag_simnet::SimConfig;
 
+use crate::churn::ChurnEvent;
+use crate::faults::FaultPlan;
 use crate::report::{NodeTraffic, TrafficReport};
 
 /// Virtual milliseconds per round in lockstep mode — the one-second
@@ -198,6 +200,26 @@ pub(crate) fn mix_unit(h: u64) -> f64 {
 pub trait Link: Send {
     /// Ships one encoded frame to `to`; `false` when the link is closed.
     fn send_frame(&mut self, to: NodeId, frame: Vec<u8>) -> bool;
+
+    /// Tears down the physical link to `to`, if this transport has one
+    /// — the fault-injection hook behind `TcpConfig::link_kills`.
+    /// Subsequent sends to `to` fail (and are ledger-balanced like any
+    /// closed link) until the transport heals the connection, if its
+    /// mode allows reconnection. In-process transports have no physical
+    /// links to cut; the default does nothing.
+    fn sever(&mut self, to: NodeId) {
+        let _ = to;
+    }
+
+    /// Drains the transport's link-health counters accumulated since
+    /// the last poll: `(severed, reconnected)` event counts. The core
+    /// folds them into the engine's metrics via
+    /// [`PagEngine::note_link_severed`] /
+    /// [`PagEngine::note_link_reconnected`]. A transport without health
+    /// tracking reports nothing.
+    fn health_delta(&mut self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// What node workers receive: protocol frames and clock commands.
@@ -344,6 +366,37 @@ pub(crate) fn crash_round_of(crashes: &[(NodeId, u64)], id: NodeId) -> Option<u6
         .min()
 }
 
+/// The down windows of `id`: the fault plan's crash-restart windows
+/// plus an open-ended window for a legacy fail-stop crash
+/// (`SessionConfig::crashes`). One helper shared by every driver, so
+/// the two crash vocabularies merge identically everywhere.
+pub(crate) fn down_windows(
+    crashes: &[(NodeId, u64)],
+    faults: &FaultPlan,
+    id: NodeId,
+) -> Vec<(u64, u64)> {
+    let mut downs = faults.down_windows_for(id);
+    if let Some(cr) = crash_round_of(crashes, id) {
+        downs.push((cr, u64::MAX));
+    }
+    downs
+}
+
+/// The announce-round input feeds of `id`: churn joins/leaves merged
+/// with the fault plan's crash-restart leave/recover pairs, sorted by
+/// announce round (stable, so same-round churn precedes fault feeds on
+/// every driver alike).
+pub(crate) fn merged_feeds(
+    churn: &[ChurnEvent],
+    faults: &FaultPlan,
+    id: NodeId,
+) -> Vec<(u64, Input)> {
+    let mut feeds = crate::churn::inputs_for(churn, id);
+    feeds.extend(faults.feeds_for(id));
+    feeds.sort_by_key(|&(round, _)| round);
+    feeds
+}
+
 /// The per-node protocol state machine, generic over the outbound
 /// transport and neutral to the scheduler stepping it.
 ///
@@ -367,8 +420,20 @@ pub(crate) struct NodeCore<L: Link> {
     pub(crate) now_ms: u64,
     /// Last round entered (for the `FrameRejected` metric's timestamp).
     pub(crate) round: u64,
-    pub(crate) crash_round: Option<u64>,
+    /// Rounds this node is down, as `[from, until)` windows: legacy
+    /// fail-stop crashes are `(round, u64::MAX)`, fault-plan
+    /// crash-restarts end one round before the membership restart.
+    pub(crate) downs: Vec<(u64, u64)>,
+    /// Whether the current round falls in a down window (recomputed at
+    /// every round entry, so a restart flips it back off).
     pub(crate) crashed: bool,
+    /// The session's compiled fault plan (shared, possibly empty):
+    /// send-side link cuts, partitions, corruption windows and peer
+    /// down-checks, consulted per outgoing frame.
+    pub(crate) faults: Arc<FaultPlan>,
+    /// Scheduled physical link kills `(round, peer)` — executed via
+    /// [`Link::sever`] when the round is entered (TCP fault injection).
+    pub(crate) kills: Vec<(u64, NodeId)>,
     pub(crate) effects: Vec<Effect>,
     /// Lockstep: frames produced during round start, held for `Flush`.
     pub(crate) stash: Vec<(NodeId, Vec<u8>, TrafficClass)>,
@@ -401,12 +466,14 @@ impl<L: Link> NodeCore<L> {
         wire: WireConfig,
         link: L,
         coord: Option<Arc<Coordination>>,
-        crash_round: Option<u64>,
+        downs: Vec<(u64, u64)>,
         churn: Vec<(u64, Input)>,
         epoch: Instant,
         round_ms: u64,
         net: Option<NetEmulation>,
         net_seed: u64,
+        faults: Arc<FaultPlan>,
+        kills: Vec<(u64, NodeId)>,
     ) -> Self {
         NodeCore {
             idx,
@@ -420,8 +487,10 @@ impl<L: Link> NodeCore<L> {
             timer_seq: 0,
             now_ms: 0,
             round: 0,
-            crash_round,
+            downs,
             crashed: false,
+            faults,
+            kills,
             effects: Vec::new(),
             stash: Vec::new(),
             buffering: false,
@@ -493,10 +562,32 @@ impl<L: Link> NodeCore<L> {
                     bytes,
                     class,
                 } => {
-                    let frame = encode_frame(self.id, to, &msg, &self.wire)
+                    // Fault-plan cuts happen *before* accounting or
+                    // encoding, so a cut frame costs nothing on any
+                    // driver — the simulator applies the identical check
+                    // before charging its own send, keeping faulted
+                    // traffic totals bit-identical (DESIGN.md §12).
+                    if self.faults.cuts_frame(self.round, self.id, to, class)
+                        || self.faults.is_down(to, self.round)
+                    {
+                        continue;
+                    }
+                    let mut frame = encode_frame(self.id, to, &msg, &self.wire)
                         .expect("session messages encode under the session wire profile");
                     debug_assert_eq!(frame.len(), bytes, "codec/accounting divergence");
                     self.traffic.record_send(frame.len(), class);
+                    // Corruption happens *after* accounting: the bytes
+                    // cross the link and the receiver pays a rejected
+                    // frame, exactly like hostile socket input. The
+                    // flipped byte is the type tag — decode_frame's
+                    // validation is structural, so mangling a payload
+                    // byte could still parse and change semantics; a
+                    // bogus tag is guaranteed to be rejected, keeping
+                    // the receiver's view identical to the simulator's
+                    // drop of the same frame.
+                    if self.faults.corrupts_frame(self.round, self.id, to, class) {
+                        frame[0] ^= 0xA5;
+                    }
                     if self.buffering {
                         self.stash.push((to, frame, class));
                     } else {
@@ -607,6 +698,31 @@ impl<L: Link> NodeCore<L> {
         }
     }
 
+    /// True while the current round is inside a down window.
+    pub(crate) fn down_now(&self, round: u64) -> bool {
+        self.downs.iter().any(|&(c, r)| round >= c && round < r)
+    }
+
+    /// True once this node is down for good (a legacy fail-stop crash):
+    /// only then may a pool scheduler retire its slot — a node in a
+    /// transient down window still needs its slot to receive the clock.
+    pub(crate) fn down_forever(&self) -> bool {
+        self.downs
+            .iter()
+            .any(|&(c, r)| self.round >= c && r == u64::MAX)
+    }
+
+    /// Folds the transport's link-health deltas into the engine metrics.
+    fn poll_link_health(&mut self) {
+        let (severed, reconnected) = self.link.health_delta();
+        for _ in 0..severed {
+            let _metric = self.engine.note_link_severed(self.round);
+        }
+        for _ in 0..reconnected {
+            let _metric = self.engine.note_link_reconnected(self.round);
+        }
+    }
+
     fn enter_round(&mut self, round: u64) {
         self.round = round;
         if self.lockstep() {
@@ -614,13 +730,24 @@ impl<L: Link> NodeCore<L> {
         } else {
             self.now_ms = round * self.round_ms;
         }
-        if self.crash_round.is_some_and(|cr| round >= cr) {
-            self.crashed = true;
-            self.timers.clear();
-        }
+        self.crashed = self.down_now(round);
         if self.crashed {
+            self.timers.clear();
             self.delayed.clear();
         } else {
+            // Scheduled physical link kills due this round execute at
+            // the round boundary — a quiescent point in lockstep mode,
+            // so the teardown never races a stashed frame.
+            let kills: Vec<NodeId> = self
+                .kills
+                .iter()
+                .filter(|&&(r, _)| r == round)
+                .map(|&(_, to)| to)
+                .collect();
+            for to in kills {
+                self.link.sever(to);
+            }
+            self.poll_link_health();
             // Lockstep holds round-start frames until the Flush barrier.
             // Churn announcements scheduled for this round ride in the
             // same phase, right after the round-start cascade.
@@ -713,7 +840,10 @@ impl<L: Link> NodeCore<L> {
     }
 
     /// Consumes the core into its final report.
-    pub(crate) fn finish(self) -> WorkerResult {
+    pub(crate) fn finish(mut self) -> WorkerResult {
+        // Pick up link events since the last round entry (a reconnect
+        // landing during the final round would otherwise go uncounted).
+        self.poll_link_health();
         WorkerResult {
             id: self.id,
             engine: self.engine,

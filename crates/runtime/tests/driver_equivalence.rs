@@ -11,8 +11,8 @@ use std::collections::BTreeSet;
 use pag_core::selfish::SelfishStrategy;
 use pag_membership::NodeId;
 use pag_runtime::{
-    run_session, ChurnSchedule, Driver, Scheduler, SessionConfig, SessionOutcome, TcpConfig,
-    ThreadedConfig,
+    run_session, ChurnSchedule, Driver, FaultEvent, FaultSchedule, Scheduler, SessionConfig,
+    SessionOutcome, TcpConfig, ThreadedConfig,
 };
 use pag_simnet::SimConfig;
 
@@ -391,6 +391,96 @@ fn threaded_crash_goes_silent() {
     for v in &thr.verdicts {
         assert_eq!(v.accused, NodeId(7), "living node convicted: {v}");
     }
+}
+
+#[test]
+fn severed_links_session_is_driver_equivalent() {
+    // Scheduled link severs (heal built into the window) are part of
+    // the session description, so every driver must apply them at the
+    // same rounds to the same frames — bit-identical verdicts,
+    // deliveries AND traffic (the cut happens before accounting
+    // everywhere). Data-plane cuts never convict an honest node: the
+    // monitoring/accusation control path is never cut, so exoneration
+    // completes (DESIGN.md §12).
+    let mut sc = base(10, 8);
+    sc.faults = FaultSchedule::random_severs(SEED, 10, 8, 3)
+        .events()
+        .to_vec();
+    assert!(!sc.faults.is_empty());
+    let sim = on_simnet(sc.clone());
+    let thr = on_threads(sc.clone());
+    let tcp = on_tcp(sc.clone());
+    let pool = on_pool(sc, 2);
+    assert!(
+        sim.verdicts.is_empty(),
+        "honest severed session convicted: {:?}",
+        sim.verdicts
+    );
+    assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn partition_heal_session_is_driver_equivalent() {
+    // A transient split-brain partition (all data-plane frames between
+    // the two groups cut for rounds [3, 5), then healed) converges back
+    // to the unfaulted verdict set — nobody is convicted for frames the
+    // network ate — and the faulted run itself is bit-identical across
+    // all four driver configurations.
+    let mut sc = base(10, 10);
+    sc.faults = FaultSchedule::split_brain(SEED, 10, 3, 5).events().to_vec();
+    let unfaulted = on_simnet(base(10, 10));
+    let sim = on_simnet(sc.clone());
+    let thr = on_threads(sc.clone());
+    let tcp = on_tcp(sc.clone());
+    let pool = on_pool(sc, 3);
+    assert_eq!(
+        verdict_set(&sim),
+        verdict_set(&unfaulted),
+        "partition-heal diverged from the unfaulted verdicts"
+    );
+    assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
+    assert_equivalent(&sim, &pool);
+}
+
+#[test]
+fn crash_restart_session_is_driver_equivalent() {
+    // The tentpole recovery guarantee: a node crashes mid-session, its
+    // state snapshot round-trips through the codec, and it rejoins via
+    // the ordinary membership machinery — an honest restart is *never*
+    // convicted, on any driver, and the whole faulted session stays
+    // bit-identical across all four driver configurations.
+    let restarted = NodeId(6);
+    let mut sc = base(10, 10);
+    sc.faults = vec![FaultEvent::CrashRestart {
+        node: restarted,
+        crash_round: 3,
+        restart_round: 6,
+    }];
+    let sim = on_simnet(sc.clone());
+    let thr = on_threads(sc.clone());
+    let tcp = on_tcp(sc.clone());
+    let pool = on_pool(sc, 3);
+    for outcome in [&sim, &thr, &tcp, &pool] {
+        assert!(
+            !outcome.convicted().contains(&restarted),
+            "honest restart convicted: {:?}",
+            outcome.verdicts
+        );
+        assert!(
+            outcome.verdicts.is_empty(),
+            "crash-restart session convicted someone: {:?}",
+            outcome.verdicts
+        );
+        // The node actually went through recovery (snapshot round-trip
+        // + re-announce), it did not just idle.
+        assert_eq!(outcome.metrics[&restarted].recoveries, 1);
+    }
+    assert_equivalent(&sim, &thr);
+    assert_equivalent(&sim, &tcp);
+    assert_equivalent(&sim, &pool);
 }
 
 #[test]

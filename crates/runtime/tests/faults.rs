@@ -1,0 +1,155 @@
+//! Property-based tests of the fault-injection subsystem: schedule
+//! generators are seed-deterministic, transient faults heal back to
+//! unfaulted outcomes, and corruption is counted — not fatal — on the
+//! byte-carrying drivers.
+
+use std::collections::BTreeSet;
+
+use pag_membership::NodeId;
+use pag_runtime::{
+    run_session, Driver, FaultEvent, FaultSchedule, SessionConfig, SessionOutcome, ThreadedConfig,
+};
+use pag_simnet::SimConfig;
+use proptest::prelude::*;
+
+fn tiny_session(nodes: usize, rounds: u64, session_id: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.session_id = session_id;
+    sc.pag.stream_rate_kbps = 16.0; // 2 updates per round
+    sc
+}
+
+fn on_simnet(mut sc: SessionConfig, seed: u64) -> SessionOutcome {
+    sc.driver = Driver::Simnet(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
+    run_session(sc)
+}
+
+/// Verdicts as an order-independent set.
+fn verdict_set(outcome: &SessionOutcome) -> BTreeSet<(NodeId, NodeId, u64, String)> {
+    outcome
+        .verdicts
+        .iter()
+        .map(|v| (v.monitor, v.accused, v.round, format!("{:?}", v.fault)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Determinism: every schedule generator is a pure function of its
+    /// seed and shape parameters — same seed, same event sequence, so a
+    /// faulted session is exactly reproducible from its config.
+    #[test]
+    fn fault_schedules_are_seed_deterministic(
+        seed in 0u64..u64::MAX,
+        nodes in 4usize..40,
+        rounds in 4u64..20,
+        count in 1usize..6,
+    ) {
+        let a = FaultSchedule::random_severs(seed, nodes, rounds, count);
+        let b = FaultSchedule::random_severs(seed, nodes, rounds, count);
+        prop_assert_eq!(a.events(), b.events());
+
+        let a = FaultSchedule::split_brain(seed, nodes, 2, rounds.max(3) - 1);
+        let b = FaultSchedule::split_brain(seed, nodes, 2, rounds.max(3) - 1);
+        prop_assert_eq!(a.events(), b.events());
+
+        let a = FaultSchedule::corruption_bursts(seed, nodes, rounds, count);
+        let b = FaultSchedule::corruption_bursts(seed, nodes, rounds, count);
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    /// A different seed changes at least one generated event (with the
+    /// generous event space here, collisions would indicate the seed is
+    /// not actually feeding the generator).
+    #[test]
+    fn fault_schedules_vary_with_the_seed(seed in 0u64..u64::MAX) {
+        let a = FaultSchedule::random_severs(seed, 30, 50, 5);
+        let b = FaultSchedule::random_severs(seed ^ 0x1, 30, 50, 5);
+        prop_assert_ne!(a.events(), b.events());
+    }
+
+    /// Transient severs heal: an honest session with random sever
+    /// windows produces the unfaulted verdict set (empty) — the
+    /// monitoring/accusation control path is never cut, so no honest
+    /// node is convicted for frames the network ate (DESIGN.md §12).
+    #[test]
+    fn sever_then_heal_matches_unfaulted_verdicts(
+        seed in 0u64..1000,
+        session_id in 0u64..1000,
+    ) {
+        let mut faulted = tiny_session(10, 8, session_id);
+        faulted.faults = FaultSchedule::random_severs(seed, 10, 8, 2)
+            .events()
+            .to_vec();
+        let clean = on_simnet(tiny_session(10, 8, session_id), seed);
+        let hurt = on_simnet(faulted, seed);
+        prop_assert_eq!(verdict_set(&hurt), verdict_set(&clean));
+        prop_assert!(hurt.verdicts.is_empty(), "{:?}", hurt.verdicts);
+    }
+}
+
+#[test]
+fn corruption_burst_is_counted_not_fatal() {
+    // Corruption bursts mangle one byte per data-plane frame in the
+    // window on the byte-carrying drivers; the receiver's decode
+    // rejects the frame and counts it (FrameRejected) instead of
+    // panicking or convicting anyone. The simulator carries typed
+    // messages, so the same window degrades to a drop there: verdicts
+    // and deliveries still agree, traffic does not (which is why this
+    // scenario is not in the bit-identical equivalence suite).
+    let mut sc = tiny_session(10, 8, 7);
+    // Corrupt everything the source sends for two rounds: the source
+    // injects updates every round, so the window reliably hits frames
+    // whatever the fanout topology picks.
+    sc.faults = (1..10)
+        .map(|b| FaultEvent::Corrupt {
+            a: NodeId(0),
+            b: NodeId(b),
+            from_round: 2,
+            heal_round: 4,
+        })
+        .collect();
+    let sim = on_simnet(sc.clone(), 3);
+    sc.driver = Driver::Threaded(ThreadedConfig {
+        lockstep: true,
+        seed: 3,
+        ..ThreadedConfig::default()
+    });
+    let thr = run_session(sc);
+    assert_eq!(verdict_set(&sim), verdict_set(&thr));
+    assert!(thr.verdicts.is_empty(), "{:?}", thr.verdicts);
+    for (id, m) in &sim.metrics {
+        assert_eq!(
+            m.delivered, thr.metrics[id].delivered,
+            "delivery map diverges at {id}"
+        );
+        // The simulator drops instead of mangling: no rejections there.
+        assert_eq!(m.frames_rejected, 0);
+    }
+    let rejected: u64 = thr.metrics.values().map(|m| m.frames_rejected).sum();
+    assert!(rejected > 0, "corruption window never hit a frame");
+}
+
+#[test]
+fn crash_restart_without_restart_round_stays_down() {
+    // `restart_round == u64::MAX` is the "never comes back" form: the
+    // node leaves at its crash round and stays gone, like a legacy
+    // fail-stop crash routed through the fault plan.
+    let mut sc = tiny_session(10, 8, 11);
+    sc.faults = vec![FaultEvent::CrashRestart {
+        node: NodeId(6),
+        crash_round: 3,
+        restart_round: u64::MAX,
+    }];
+    let outcome = on_simnet(sc, 5);
+    assert!(
+        !outcome.convicted().contains(&NodeId(6)),
+        "announced leave convicted: {:?}",
+        outcome.verdicts
+    );
+    assert_eq!(outcome.metrics[&NodeId(6)].recoveries, 0);
+}

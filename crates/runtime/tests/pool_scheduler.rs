@@ -139,7 +139,8 @@ proptest! {
             scheduler: Scheduler::Pool(threads),
             ..ThreadedConfig::default()
         };
-        let run = run_threaded(&shared, engines, rounds, &[], churn.events(), &cfg);
+        let faults = Arc::new(pag_runtime::FaultPlan::default());
+        let run = run_threaded(&shared, engines, rounds, &[], churn.events(), &faults, &cfg);
         prop_assert_eq!(run.engines.len(), nodes + 1);
         for (id, engine) in &run.engines {
             prop_assert_eq!(

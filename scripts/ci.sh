@@ -2,8 +2,9 @@
 # Tier-1 CI gate (documented in ROADMAP.md and DESIGN.md §1):
 #
 #   1. release build of the whole workspace (warms the cache)
-#   2. pag-core builds warning-free (the sans-IO engine crate stays
-#      clean; only pag-core itself is recompiled for this check)
+#   2. pag-core and pag-runtime build warning-free (the sans-IO engine
+#      and the driver crate stay clean; only those crates themselves
+#      are recompiled for this check)
 #   3. full test suite (unit, integration, doctests, codec properties,
 #      driver equivalence)
 #   4. churned driver-equivalence, run explicitly: a session with joins
@@ -12,53 +13,66 @@
 #   5. TCP transport, run explicitly: socket-driver equivalence with
 #      the simulator, and hostile bytes on live socket links rejected
 #      with metrics — including rejected-frame floods cut off by the
-#      per-connection rate limit — instead of panicking node threads
-#      (DESIGN.md §10)
+#      per-connection rate limit, and realtime/lockstep link kills
+#      that self-heal or drain without wedging — instead of panicking
+#      node threads (DESIGN.md §10, §12)
 #   6. worker-pool scheduler, run explicitly: pooled-vs-simnet
 #      equivalence for honest/freerider/no-ack/churned/crashed
 #      sessions, pool-size invariance and starvation-freedom
 #      properties, then the 1000-node pooled lockstep smoke in release
 #      mode (`--ignored`: a thousand engines belong in an optimized
 #      build; DESIGN.md §11)
-#   7. bench_snapshot --quick smoke run (honest static, churned, TCP
-#      and pooled scenarios, real RSA-512 crypto; writes to a scratch
-#      path, never over the committed snapshot)
+#   7. fault scenarios, run explicitly: severed/partitioned and
+#      crash-restart sessions bit-identical on all four drivers (an
+#      honest restart is never convicted; a healed partition converges
+#      to the unfaulted verdict set), plus the fault-schedule property
+#      suite (seed determinism, sever-then-heal, corruption counted
+#      not fatal; DESIGN.md §12)
+#   8. bench_snapshot --quick smoke run (honest static, churned, TCP,
+#      pooled and faulted scenarios, real RSA-512 crypto; writes to a
+#      scratch path, never over the committed snapshot)
 #
 # Run from anywhere: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/7] workspace release build =="
+echo "== [1/8] workspace release build =="
 cargo build --release --workspace
 
-echo "== [2/7] pag-core, deny warnings =="
-# Force only pag-core itself to recompile (its dependencies stay cached
-# from step 1 — no RUSTFLAGS flip, no double build) and fail on any
-# warning the fresh compile prints.
-touch crates/core/src/lib.rs
-core_out=$(cargo build --release -p pag-core 2>&1)
-echo "$core_out"
-if grep -E "^warning" <<<"$core_out" >/dev/null; then
-    echo "pag-core emitted warnings; tier-1 gate denies them" >&2
-    exit 1
-fi
+echo "== [2/8] pag-core + pag-runtime, deny warnings =="
+# Force only the gated crates themselves to recompile (their
+# dependencies stay cached from step 1 — no RUSTFLAGS flip, no double
+# build) and fail on any warning the fresh compiles print.
+touch crates/core/src/lib.rs crates/runtime/src/lib.rs
+for crate in pag-core pag-runtime; do
+    crate_out=$(cargo build --release -p "$crate" 2>&1)
+    echo "$crate_out"
+    if grep -E "^warning" <<<"$crate_out" >/dev/null; then
+        echo "$crate emitted warnings; tier-1 gate denies them" >&2
+        exit 1
+    fi
+done
 
-echo "== [3/7] test suite =="
+echo "== [3/8] test suite =="
 cargo test -q --workspace
 
-echo "== [4/7] churned driver equivalence =="
+echo "== [4/8] churned driver equivalence =="
 cargo test -q -p pag-runtime --test driver_equivalence churned
 
-echo "== [5/7] TCP driver equivalence + hostile-input rejection =="
+echo "== [5/8] TCP driver equivalence + hostile-input rejection =="
 cargo test -q -p pag-runtime --test driver_equivalence tcp
 cargo test -q -p pag-runtime --test tcp_transport
 
-echo "== [6/7] worker-pool scheduler: equivalence, properties, 1000-node smoke =="
+echo "== [6/8] worker-pool scheduler: equivalence, properties, 1000-node smoke =="
 cargo test -q -p pag-runtime --test driver_equivalence pool
 cargo test -q -p pag-runtime --test pool_scheduler
 cargo test --release -q -p pag-runtime --test pool_scheduler -- --ignored
 
-echo "== [7/7] bench snapshot smoke (--quick) =="
+echo "== [7/8] fault scenarios: four-driver equivalence + schedule properties =="
+cargo test -q -p pag-runtime --test driver_equivalence -- severed_links partition_heal crash_restart
+cargo test -q -p pag-runtime --test faults
+
+echo "== [8/8] bench snapshot smoke (--quick) =="
 out="${TMPDIR:-/tmp}/pag_bench_quick.json"
 cargo run --release -p pag-bench --bin bench_snapshot -- "$out" --quick
 rm -f "$out"
