@@ -1,15 +1,18 @@
-//! Perf-trajectory snapshot: runs five frozen PAG scenarios — the
+//! Perf-trajectory snapshot: runs six frozen PAG scenarios — the
 //! static 20-node / 5-round session, the churned 50-node
 //! `churn_steady_50` session, the same static session on the TCP
 //! socket driver (`tcp_session_20`), the 1000-node worker-pool
-//! session (`pool_session_1000`), and the fault-injected
+//! session (`pool_session_1000`), the fault-injected
 //! `faulted_session` (split-brain partition plus a crash-recovery
-//! rejoin) — and writes wall-clock plus crypto-operation counts as
-//! JSON to `BENCH_protocol.json` (repo root, committed), so successive
-//! PRs have a comparable record of protocol-level cost, with and
-//! without membership churn, of the socket transport's overhead over
-//! the simulator, of the pooled scheduler's cost at gossip scale, and
-//! of the fault plan's per-frame checks plus recovery machinery.
+//! rejoin), and the hosted pair `host_multi_session` (two concurrent
+//! authenticated 10-node TCP sessions multiplexed on one `pag-host`)
+//! — and writes wall-clock plus crypto-operation counts as JSON to
+//! `BENCH_protocol.json` (repo root, committed), so successive PRs
+//! have a comparable record of protocol-level cost, with and without
+//! membership churn, of the socket transport's overhead over the
+//! simulator, of the pooled scheduler's cost at gossip scale, of the
+//! fault plan's per-frame checks plus recovery machinery, and of the
+//! host layer's session-multiplexing overhead.
 //!
 //! The scenarios are deliberately frozen — same node counts, rounds,
 //! churn seed, stream rate and crypto profile — and each wall-clock
@@ -29,9 +32,10 @@
 use std::time::Instant;
 
 use pag_bench::{
-    churn_steady_session, faulted_session, pooled_session, quick_mode, real_crypto_session,
-    tcp_session,
+    churn_steady_session, faulted_session, host_session, pooled_session, quick_mode,
+    real_crypto_session, tcp_session,
 };
+use pag_host::Host;
 use pag_membership::NodeId;
 use pag_runtime::{run_session, ChurnKind, SessionConfig, SessionOutcome};
 
@@ -46,6 +50,13 @@ const CHURN_RATE: usize = 2;
 /// cannot host (ISSUE 5 / DESIGN.md §11).
 const POOL_NODES: usize = 1000;
 const POOL_ROUNDS: u64 = 3;
+/// The hosted scenario: two concurrent authenticated TCP sessions on
+/// one `pag-host` (ISSUE 7 / DESIGN.md §13). Frozen protocol session
+/// ids — they key the rosters and the snapshot store directories.
+const HOST_NODES: usize = 10;
+const HOST_ROUNDS: u64 = 5;
+const HOST_SESSION_A: u64 = 71;
+const HOST_SESSION_B: u64 = 72;
 
 /// Best-of-`runs` wall clock plus the last outcome of `make_session`.
 fn measure(runs: usize, make_session: impl Fn() -> SessionConfig) -> (f64, SessionOutcome) {
@@ -169,9 +180,49 @@ fn main() {
         "the crash-restarted node never went through recovery"
     );
 
+    // The hosted pair: two concurrent authenticated TCP sessions
+    // multiplexed on one `pag-host` (each mesh link established by the
+    // signed handshake, snapshot vault and status watch wired in). The
+    // hooks must be observably free: crypto ops bit-identical to the
+    // same two sessions run standalone — assert it — so the wall-clock
+    // figure is pure host/concurrency overhead.
+    let (host_nodes, host_rounds) = if quick { (8, 3) } else { (HOST_NODES, HOST_ROUNDS) };
+    let alone_a = run_session(host_session(HOST_SESSION_A, host_nodes, host_rounds));
+    let alone_b = run_session(host_session(HOST_SESSION_B, host_nodes, host_rounds));
+    let host_dir = std::env::temp_dir().join(format!("pag-bench-host-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&host_dir);
+    let host = Host::open(&host_dir).expect("host scratch directory");
+    let host_start = Instant::now();
+    let ha = host
+        .spawn(host_session(HOST_SESSION_A, host_nodes, host_rounds))
+        .expect("spawn hosted session a");
+    let hb = host
+        .spawn(host_session(HOST_SESSION_B, host_nodes, host_rounds))
+        .expect("spawn hosted session b");
+    let hosted_a = host.join(ha).expect("known id").expect("hosted session a");
+    let hosted_b = host.join(hb).expect("known id").expect("hosted session b");
+    let host_ms = host_start.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&host_dir);
+    assert!(
+        hosted_a.verdicts.is_empty() && hosted_b.verdicts.is_empty(),
+        "honest hosted sessions convicted; regression"
+    );
+    assert_eq!(
+        hosted_a.total_ops(),
+        alone_a.total_ops(),
+        "hosted session A diverged from its standalone run on crypto ops"
+    );
+    assert_eq!(
+        hosted_b.total_ops(),
+        alone_b.total_ops(),
+        "hosted session B diverged from its standalone run on crypto ops"
+    );
+    let mut host_ops = hosted_a.total_ops();
+    host_ops.merge(&hosted_b.total_ops());
+
     let json = format!(
         r#"{{
-  "schema": 5,
+  "schema": 6,
   "scenario": {{
     "nodes": {nodes},
     "rounds": {rounds},
@@ -266,6 +317,27 @@ fn main() {
       "mean_bandwidth_kbps": {p_bw:.2},
       "exchanges_completed": {p_exchanges}
     }}
+  }},
+  "host_multi_session": {{
+    "scenario": {{
+      "sessions": 2,
+      "nodes_per_session": {host_nodes},
+      "rounds": {host_rounds},
+      "driver": "tcp-lockstep-hosted",
+      "authenticated_handshake": true,
+      "crypto_ops_identical_to_standalone": true
+    }},
+    "wall_clock_ms": {host_ms:.2},
+    "crypto_ops": {{
+      "hashes": {h_hashes},
+      "signatures": {h_signatures},
+      "verifications": {h_verifications},
+      "primes": {h_primes}
+    }},
+    "derived": {{
+      "mean_bandwidth_kbps": {h_bw:.2},
+      "exchanges_completed": {h_exchanges}
+    }}
   }}
 }}
 "#,
@@ -314,6 +386,20 @@ fn main() {
         p_exchanges = pooled
             .metrics
             .values()
+            .map(|m| m.exchanges_completed)
+            .sum::<u64>(),
+        h_hashes = host_ops.hashes,
+        h_signatures = host_ops.signatures,
+        h_verifications = host_ops.verifications,
+        h_primes = host_ops.primes,
+        // Mean over the two hosted sessions (same node count each).
+        h_bw = (hosted_a.report.mean_bandwidth_kbps()
+            + hosted_b.report.mean_bandwidth_kbps())
+            / 2.0,
+        h_exchanges = hosted_a
+            .metrics
+            .values()
+            .chain(hosted_b.metrics.values())
             .map(|m| m.exchanges_completed)
             .sum::<u64>(),
     );

@@ -115,6 +115,21 @@ pub fn faulted_session(nodes: usize, rounds: u64) -> SessionConfig {
     sc
 }
 
+/// One of the frozen sessions behind the `host_multi_session` entry of
+/// `BENCH_protocol.json`: the real-crypto profile of
+/// [`real_crypto_session`] on the lockstep TCP driver (every mesh link
+/// authenticated by the signed handshake), under an explicit protocol
+/// `session_id` so two of them can run concurrently on one `pag-host`
+/// with separate key rosters and snapshot stores. `bench_snapshot`
+/// runs the pair hosted and standalone and asserts the crypto ops are
+/// bit-identical — hosting must be observably free.
+pub fn host_session(session_id: u64, nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = real_crypto_session(nodes, rounds);
+    sc.pag.session_id = session_id;
+    sc.driver = Driver::Tcp(TcpConfig::default());
+    sc
+}
+
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

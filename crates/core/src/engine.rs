@@ -219,6 +219,16 @@ pub enum MetricEvent {
         /// The first round back in the membership.
         round: u64,
     },
+    /// The driver refused a connection handshake: the peer advertised an
+    /// unknown identity, presented a bad channel-binding proof, replayed
+    /// a stale nonce, or named the wrong session. Recorded via
+    /// [`PagEngine::note_handshake_rejected`] — authentication happens
+    /// below the protocol and a refusal is counted, never fatal
+    /// (DESIGN.md §13).
+    HandshakeRejected {
+        /// The round the handshake was refused in (driver clock).
+        round: u64,
+    },
 }
 
 /// The effect sink handed to protocol handlers: buffered sends, timers
@@ -346,6 +356,20 @@ impl PagEngine {
     pub fn note_connection_dropped(&mut self, round: u64) -> Effect {
         self.node.metrics_mut().connections_dropped += 1;
         Effect::Metric(MetricEvent::ConnectionDropped { round })
+    }
+
+    /// Records a connection handshake the driver refused (unknown
+    /// identity, bad channel-binding proof, replayed nonce, or wrong
+    /// session id — see [`crate::handshake`]) and returns the
+    /// [`Effect::Metric`] it folded into [`PagEngine::metrics`].
+    ///
+    /// Like [`PagEngine::note_frame_rejected`], this is bookkeeping for
+    /// an event below the protocol: the engine never saw the refused
+    /// connection, it only keeps the count with the node's other
+    /// metrics.
+    pub fn note_handshake_rejected(&mut self, round: u64) -> Effect {
+        self.node.metrics_mut().handshakes_rejected += 1;
+        Effect::Metric(MetricEvent::HandshakeRejected { round })
     }
 
     /// Records a peer link the transport observed going down (a

@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod handshake;
 pub mod messages;
 pub mod metrics;
 pub mod monitor;
@@ -66,6 +67,7 @@ pub mod wire;
 
 pub use config::{CryptoProfile, PagConfig};
 pub use engine::{Effect, Input, MetricEvent, PagEngine};
+pub use handshake::HandshakeError;
 pub use messages::{HashTriple, MessageBody, SignedMessage};
 pub use metrics::{NodeMetrics, OpCounters};
 pub use node::PagNode;

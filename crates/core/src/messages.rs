@@ -351,6 +351,52 @@ pub enum MessageBody {
         /// The departing node (must equal the frame's emitter).
         node: NodeId,
     },
+    /// Connection handshake, step 1: each endpoint opens by advertising
+    /// its identity and a fresh nonce for the session it wants to join
+    /// (DESIGN.md §13). Handshake frames are connection setup, not round
+    /// traffic — their round is always 0 and they never reach the
+    /// protocol dispatch of an established session.
+    HandshakeHello {
+        /// The session the endpoint wants to attach to.
+        session: u64,
+        /// The advertised identity (proven by the later proof frame).
+        node: NodeId,
+        /// Fresh challenge nonce minted by this endpoint.
+        nonce: u64,
+    },
+    /// Connection handshake, step 2: the endpoint signs the channel
+    /// binding — both nonces, its advertised identity and the session id
+    /// — with its RSA identity key. The outer [`SignedMessage`]
+    /// signature over [`MessageBody::signable_bytes`] *is* the proof.
+    HandshakeProof {
+        /// The session being attached to (must match the hello).
+        session: u64,
+        /// The prover's identity (must match its hello and the frame
+        /// emitter).
+        node: NodeId,
+        /// The challenge nonce the *listener* side minted.
+        listener_nonce: u64,
+        /// The challenge nonce the *dialing* side minted.
+        peer_nonce: u64,
+    },
+    /// Connection handshake, step 3: the verifier admits the peer.
+    HandshakeAccept {
+        /// The session the peer was admitted to.
+        session: u64,
+        /// The admitted identity.
+        node: NodeId,
+    },
+    /// Connection handshake, failure: the verifier refuses the peer and
+    /// severs the connection. `reason` is a [`crate::handshake`] error
+    /// discriminant for diagnostics; the refusal is counted
+    /// ([`crate::metrics::NodeMetrics::handshakes_rejected`]), never
+    /// trusted.
+    HandshakeReject {
+        /// The session the peer tried to attach to.
+        session: u64,
+        /// Why the proof was refused (diagnostic discriminant).
+        reason: u8,
+    },
 }
 
 /// A message body together with its emitter's signature.
@@ -591,6 +637,38 @@ impl MessageBody {
                 out.extend_from_slice(&round.to_be_bytes());
                 out.extend_from_slice(&node.value().to_be_bytes());
             }
+            MessageBody::HandshakeHello {
+                session,
+                node,
+                nonce,
+            } => {
+                out.push(22);
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&node.value().to_be_bytes());
+                out.extend_from_slice(&nonce.to_be_bytes());
+            }
+            MessageBody::HandshakeProof {
+                session,
+                node,
+                listener_nonce,
+                peer_nonce,
+            } => {
+                out.push(23);
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&node.value().to_be_bytes());
+                out.extend_from_slice(&listener_nonce.to_be_bytes());
+                out.extend_from_slice(&peer_nonce.to_be_bytes());
+            }
+            MessageBody::HandshakeAccept { session, node } => {
+                out.push(24);
+                out.extend_from_slice(&session.to_be_bytes());
+                out.extend_from_slice(&node.value().to_be_bytes());
+            }
+            MessageBody::HandshakeReject { session, reason } => {
+                out.push(25);
+                out.extend_from_slice(&session.to_be_bytes());
+                out.push(*reason);
+            }
         }
         out
     }
@@ -619,6 +697,12 @@ impl MessageBody {
             | MessageBody::SelfAccum { round, .. }
             | MessageBody::JoinAnnounce { round, .. }
             | MessageBody::LeaveAnnounce { round, .. } => *round,
+            // Handshake frames are connection setup: they exist outside
+            // round time and always travel in the round-0 header slot.
+            MessageBody::HandshakeHello { .. }
+            | MessageBody::HandshakeProof { .. }
+            | MessageBody::HandshakeAccept { .. }
+            | MessageBody::HandshakeReject { .. } => 0,
         }
     }
 
@@ -695,6 +779,10 @@ impl MessageBody {
             MessageBody::ExhibitNotice { .. } => h + 8 + 3 * wire.hash + wire.signature,
             MessageBody::SelfAccum { .. } => h + 3 * wire.hash,
             MessageBody::JoinAnnounce { .. } | MessageBody::LeaveAnnounce { .. } => h + 4,
+            MessageBody::HandshakeHello { .. } => h + 20,
+            MessageBody::HandshakeProof { .. } => h + 28,
+            MessageBody::HandshakeAccept { .. } => h + 12,
+            MessageBody::HandshakeReject { .. } => h + 9,
         }
     }
 
@@ -723,6 +811,10 @@ impl MessageBody {
             MessageBody::JoinAnnounce { .. } | MessageBody::LeaveAnnounce { .. } => {
                 CLASS_MEMBERSHIP
             }
+            MessageBody::HandshakeHello { .. }
+            | MessageBody::HandshakeProof { .. }
+            | MessageBody::HandshakeAccept { .. }
+            | MessageBody::HandshakeReject { .. } => CLASS_CONTROL,
         }
     }
 }

@@ -71,6 +71,12 @@ pub struct NodeMetrics {
     /// Times this node restarted after a crash and re-announced itself
     /// through the membership machinery ([`crate::engine::Input::Recover`]).
     pub recoveries: u64,
+    /// Connection handshakes this node refused — a peer that advertised
+    /// an unknown identity, presented a bad channel-binding signature,
+    /// replayed a stale nonce, or named the wrong session (DESIGN.md
+    /// §13). The connection is severed after the refusal; transports
+    /// without an authenticated accept path keep this at zero.
+    pub handshakes_rejected: u64,
 }
 
 impl NodeMetrics {

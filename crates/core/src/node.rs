@@ -1360,6 +1360,16 @@ impl PagNode {
                     self.staged_churn.insert((round, ChurnStage::Leave, node));
                 }
             }
+            MessageBody::HandshakeHello { .. }
+            | MessageBody::HandshakeProof { .. }
+            | MessageBody::HandshakeAccept { .. }
+            | MessageBody::HandshakeReject { .. } => {
+                // Handshake frames are connection setup, consumed by the
+                // transport before a connection is trusted (DESIGN.md
+                // §13). One reaching protocol dispatch means a peer sent
+                // it mid-session — a protocol violation ignored like any
+                // other out-of-context message.
+            }
         }
     }
 

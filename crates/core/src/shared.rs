@@ -183,6 +183,14 @@ impl SharedContext {
         self.signers.get(&node).expect("signer for member node")
     }
 
+    /// Whether `node` belongs to this session's key roster. Code
+    /// verifying claims from *untrusted* connections (the handshake
+    /// path) must check this before [`SharedContext::signer`], which
+    /// panics on unknown ids.
+    pub fn knows(&self, node: NodeId) -> bool {
+        self.signers.contains_key(&node)
+    }
+
     /// Signs a message body on behalf of `node`.
     pub fn sign(&self, node: NodeId, body: MessageBody) -> SignedMessage {
         let sig = self.signer(node).sign(&body.signable_bytes());

@@ -462,6 +462,10 @@ fn type_tag(body: &MessageBody) -> u8 {
         MessageBody::SelfAccum { .. } => 19,
         MessageBody::JoinAnnounce { .. } => 20,
         MessageBody::LeaveAnnounce { .. } => 21,
+        MessageBody::HandshakeHello { .. } => 22,
+        MessageBody::HandshakeProof { .. } => 23,
+        MessageBody::HandshakeAccept { .. } => 24,
+        MessageBody::HandshakeReject { .. } => 25,
     }
 }
 
@@ -646,6 +650,34 @@ pub fn encode_frame(
         }
         MessageBody::JoinAnnounce { node, .. } | MessageBody::LeaveAnnounce { node, .. } => {
             w.node(*node);
+        }
+        MessageBody::HandshakeHello {
+            session,
+            node,
+            nonce,
+        } => {
+            w.uint(*session, 8, "session")?;
+            w.node(*node);
+            w.uint(*nonce, 8, "nonce")?;
+        }
+        MessageBody::HandshakeProof {
+            session,
+            node,
+            listener_nonce,
+            peer_nonce,
+        } => {
+            w.uint(*session, 8, "session")?;
+            w.node(*node);
+            w.uint(*listener_nonce, 8, "listener_nonce")?;
+            w.uint(*peer_nonce, 8, "peer_nonce")?;
+        }
+        MessageBody::HandshakeAccept { session, node } => {
+            w.uint(*session, 8, "session")?;
+            w.node(*node);
+        }
+        MessageBody::HandshakeReject { session, reason } => {
+            w.uint(*session, 8, "session")?;
+            w.u8(*reason);
         }
     }
 
@@ -835,6 +867,25 @@ pub fn decode_frame(bytes: &[u8], wire: &WireConfig) -> Result<Frame, CodecError
         21 => MessageBody::LeaveAnnounce {
             round,
             node: r.node("node")?,
+        },
+        22 => MessageBody::HandshakeHello {
+            session: r.uint(8, "session")?,
+            node: r.node("node")?,
+            nonce: r.uint(8, "nonce")?,
+        },
+        23 => MessageBody::HandshakeProof {
+            session: r.uint(8, "session")?,
+            node: r.node("node")?,
+            listener_nonce: r.uint(8, "listener_nonce")?,
+            peer_nonce: r.uint(8, "peer_nonce")?,
+        },
+        24 => MessageBody::HandshakeAccept {
+            session: r.uint(8, "session")?,
+            node: r.node("node")?,
+        },
+        25 => MessageBody::HandshakeReject {
+            session: r.uint(8, "session")?,
+            reason: r.u8("reason")?,
         },
         other => return Err(CodecError::UnknownType(other)),
     };
@@ -1054,6 +1105,43 @@ mod tests {
             decode_frame(&[frame.clone(), vec![0]].concat(), &wire),
             Err(CodecError::TrailingBytes { extra: 1 })
         ));
+    }
+
+    #[test]
+    fn handshake_frames_roundtrip_at_accounted_length() {
+        let wire = WireConfig::default();
+        let bodies = [
+            MessageBody::HandshakeHello {
+                session: u64::MAX,
+                node: NodeId(7),
+                nonce: 0xDEAD_BEEF_0BAD_F00D,
+            },
+            MessageBody::HandshakeProof {
+                session: 3,
+                node: NodeId(4),
+                listener_nonce: u64::MAX - 1,
+                peer_nonce: 0,
+            },
+            MessageBody::HandshakeAccept {
+                session: 9,
+                node: NodeId(0),
+            },
+            MessageBody::HandshakeReject {
+                session: 1,
+                reason: 255,
+            },
+        ];
+        for body in bodies {
+            let msg = SignedMessage {
+                body,
+                sig: sig_of(&wire),
+            };
+            let frame = encode_frame(NodeId(5), NodeId(6), &msg, &wire).unwrap();
+            assert_eq!(frame.len(), msg.wire_size(&wire));
+            let decoded = decode_frame(&frame, &wire).unwrap();
+            assert_eq!(decoded.msg, msg);
+            assert_eq!(decoded.msg.body.round(), 0);
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ fn all_variants(
     buffermap: Vec<Vec<u8>>,
     sig_fill: u8,
     with_ack: bool,
+    session: u64,
+    nonce_a: u64,
+    nonce_b: u64,
+    reason: u8,
 ) -> Vec<MessageBody> {
     let t = triple(h1, h2, h3);
     let s = sig(wire, sig_fill);
@@ -182,6 +186,22 @@ fn all_variants(
         MessageBody::SelfAccum { round, value: t },
         MessageBody::JoinAnnounce { round, node: peer },
         MessageBody::LeaveAnnounce { round, node: peer2 },
+        MessageBody::HandshakeHello {
+            session,
+            node: peer,
+            nonce: nonce_a,
+        },
+        MessageBody::HandshakeProof {
+            session,
+            node: peer,
+            listener_nonce: nonce_a,
+            peer_nonce: nonce_b,
+        },
+        MessageBody::HandshakeAccept {
+            session,
+            node: peer2,
+        },
+        MessageBody::HandshakeReject { session, reason },
     ]
 }
 
@@ -209,14 +229,19 @@ proptest! {
         sig_fill in any::<u8>(),
         with_ack in any::<bool>(),
         outer_fill in any::<u8>(),
+        session in any::<u64>(),
+        nonce_a in any::<u64>(),
+        nonce_b in any::<u64>(),
+        reason in any::<u8>(),
     ) {
         let wire = WireConfig::default();
         let bodies = all_variants(
             &wire, round, NodeId(peer), NodeId(peer2),
             &h1, &h2, &h3, &prime, factors, count,
             payload, buffermap, sig_fill, with_ack,
+            session, nonce_a, nonce_b, reason,
         );
-        prop_assert_eq!(bodies.len(), 21, "one instance per variant");
+        prop_assert_eq!(bodies.len(), 25, "one instance per variant");
         for body in bodies {
             let msg = SignedMessage { body, sig: sig(&wire, outer_fill) };
             let frame = encode_frame(NodeId(from), NodeId(to), &msg, &wire)

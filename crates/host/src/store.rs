@@ -1,0 +1,177 @@
+//! The on-disk snapshot store (DESIGN.md §13).
+//!
+//! One directory per protocol session, one file per node:
+//! `n<id>.snap`, holding a 5-byte store header — the magic `PAGS`
+//! followed by a store-format version byte — and then the
+//! [`NodeSnapshot`] codec bytes (which carry their *own* version; the
+//! two version spaces evolve independently: the store header guards the
+//! file envelope, the snapshot version guards the state layout).
+//!
+//! Writes are atomic: the bytes go to `n<id>.snap.tmp` first and are
+//! renamed over the final name, so a crash mid-write leaves either the
+//! previous complete snapshot or a stray `.tmp` — never a torn file
+//! under the real name. [`SnapshotStore::open`] sweeps those strays on
+//! startup.
+//!
+//! Reads are paranoid: missing files are `Ok(None)` (a node that never
+//! crashed has nothing on disk), but short files, wrong magic, unknown
+//! versions and undecodable snapshot bytes are all typed
+//! [`StoreError`]s — a corrupt store degrades a restart to in-memory
+//! recovery, it never panics a host and never fabricates state.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pag_core::snapshot::{NodeSnapshot, SnapshotError};
+use pag_membership::NodeId;
+use pag_runtime::SnapshotVault;
+
+/// File magic every snapshot file starts with.
+pub const STORE_MAGIC: [u8; 4] = *b"PAGS";
+
+/// Store envelope version. Bump on header/layout changes of the *file*;
+/// the embedded snapshot codec versions itself separately.
+pub const STORE_VERSION: u8 = 1;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The filesystem refused (permissions, disk full, vanished dir...).
+    Io(io::Error),
+    /// The file does not start with [`STORE_MAGIC`] — not a snapshot.
+    BadMagic,
+    /// The store envelope version is one this build does not know.
+    Version(u8),
+    /// The file ended inside the 5-byte store header.
+    Truncated,
+    /// The header was fine but the snapshot bytes would not decode.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot store io: {e}"),
+            StoreError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            StoreError::Version(v) => {
+                write!(f, "unknown store version {v} (supported: {STORE_VERSION})")
+            }
+            StoreError::Truncated => write!(f, "snapshot file truncated inside the store header"),
+            StoreError::Snapshot(e) => write!(f, "snapshot bytes corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A directory of per-node snapshot files for one protocol session.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the store at `dir` and sweeps any
+    /// `.tmp` files a crashed writer left behind.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SnapshotStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                // A partial write from a previous incarnation: the
+                // rename never happened, so the real file (if any) is
+                // still the last complete snapshot. Drop the stray.
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The final path of `node`'s snapshot file.
+    pub fn path_of(&self, node: NodeId) -> PathBuf {
+        self.dir.join(format!("n{}.snap", node.value()))
+    }
+
+    /// Persists `snap` atomically: full bytes to a `.tmp` sibling, then
+    /// a rename over the final name.
+    pub fn persist(&self, snap: &NodeSnapshot) -> Result<(), StoreError> {
+        let mut bytes = Vec::with_capacity(5 + 64);
+        bytes.extend_from_slice(&STORE_MAGIC);
+        bytes.push(STORE_VERSION);
+        bytes.extend_from_slice(&snap.encode());
+        let target = self.path_of(snap.id);
+        let tmp = self.dir.join(format!("n{}.snap.tmp", snap.id.value()));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &target)?;
+        Ok(())
+    }
+
+    /// Reads back `node`'s snapshot. `Ok(None)` when no file exists;
+    /// every malformed file is a typed error, never a panic.
+    pub fn retrieve(&self, node: NodeId) -> Result<Option<NodeSnapshot>, StoreError> {
+        let bytes = match fs::read(self.path_of(node)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        if bytes.len() < 5 {
+            return Err(StoreError::Truncated);
+        }
+        if bytes[..4] != STORE_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes[4] != STORE_VERSION {
+            return Err(StoreError::Version(bytes[4]));
+        }
+        let snap = NodeSnapshot::decode(&bytes[5..]).map_err(StoreError::Snapshot)?;
+        Ok(Some(snap))
+    }
+}
+
+/// The vault boundary is infallible by contract (persistence trouble
+/// must never alter protocol behaviour), so errors are logged here and
+/// collapse to "nothing persisted" / "nothing found".
+impl SnapshotVault for SnapshotStore {
+    fn save(&self, snap: &NodeSnapshot) -> bool {
+        match self.persist(snap) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("[pag-host] persisting snapshot of {} failed: {e}", snap.id);
+                false
+            }
+        }
+    }
+
+    fn load(&self, node: NodeId) -> Option<NodeSnapshot> {
+        match self.retrieve(node) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("[pag-host] loading snapshot of {node} failed: {e}");
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The host acceptance suite (DESIGN.md §13):
+//!
+//! * two concurrent authenticated TCP sessions on one host produce
+//!   verdicts, deliveries, traffic and crypto ops **bit-identical** to
+//!   the same sessions run standalone — hosting (hooks, vault, watch)
+//!   is observably free;
+//! * a node's host process "killed" mid-session persists its snapshot,
+//!   and a *restarted* host over the same directory reloads it and
+//!   rejoins the session recovered, never convicted;
+//! * the registry lifecycle (spawn / list / watch / join / retire)
+//!   behaves.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pag_host::Host;
+use pag_membership::NodeId;
+use pag_runtime::{
+    try_run_session, Driver, FaultEvent, SessionConfig, SessionOutcome, TcpConfig,
+};
+
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pag-host-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An authenticated 10-node TCP lockstep session.
+fn tcp_session(session_id: u64, seed: u64, rounds: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(10, rounds);
+    sc.pag.stream_rate_kbps = 30.0;
+    sc.pag.session_id = session_id;
+    sc.driver = Driver::Tcp(TcpConfig {
+        lockstep: true,
+        seed,
+        ..TcpConfig::default()
+    });
+    sc
+}
+
+/// Full observable equality between a hosted and a standalone run.
+fn assert_same_outcome(hosted: &SessionOutcome, alone: &SessionOutcome, what: &str) {
+    let verdicts = |o: &SessionOutcome| -> BTreeSet<(NodeId, NodeId, u64, String)> {
+        o.verdicts
+            .iter()
+            .map(|v| (v.monitor, v.accused, v.round, format!("{:?}", v.fault)))
+            .collect()
+    };
+    assert_eq!(verdicts(hosted), verdicts(alone), "verdicts diverge: {what}");
+    assert_eq!(hosted.creations, alone.creations, "source stream diverges: {what}");
+    assert_eq!(hosted.metrics.len(), alone.metrics.len(), "node sets diverge: {what}");
+    for (id, m_hosted) in &hosted.metrics {
+        let m_alone = &alone.metrics[id];
+        assert_eq!(m_hosted.delivered, m_alone.delivered, "deliveries at {id}: {what}");
+        assert_eq!(m_hosted.ops, m_alone.ops, "crypto ops at {id}: {what}");
+        assert_eq!(m_hosted.recoveries, m_alone.recoveries, "recoveries at {id}: {what}");
+    }
+    for (id, t_hosted) in &hosted.report.per_node {
+        let t_alone = &alone.report.per_node[id];
+        assert_eq!(t_hosted.sent_bytes, t_alone.sent_bytes, "sent bytes at {id}: {what}");
+        assert_eq!(t_hosted.recv_bytes, t_alone.recv_bytes, "recv bytes at {id}: {what}");
+    }
+}
+
+/// Two authenticated sessions multiplexed on one host, concurrently,
+/// each bit-identical to its standalone run; the watch streams live
+/// per-node status while they run.
+#[test]
+fn two_concurrent_hosted_sessions_match_standalone_runs() {
+    let rounds = 6;
+    let alone_a = try_run_session(tcp_session(41, 0xA11CE, rounds)).expect("standalone a");
+    let alone_b = try_run_session(tcp_session(42, 0xB0B, rounds)).expect("standalone b");
+
+    let host = Host::open(scratch("pair")).expect("open host");
+    let id_a = host.spawn(tcp_session(41, 0xA11CE, rounds)).expect("spawn a");
+    let id_b = host.spawn(tcp_session(42, 0xB0B, rounds)).expect("spawn b");
+
+    // Registry reflects both, with their protocol session ids.
+    let listed = host.list();
+    assert_eq!(listed.len(), 2);
+    assert_eq!(
+        listed.iter().map(|s| (s.id, s.protocol_session)).collect::<Vec<_>>(),
+        vec![(id_a, 41), (id_b, 42)]
+    );
+
+    // The live status stream is pollable mid-run (the sessions are
+    // running right now, on their own threads).
+    let watch_a = host.watch(id_a).expect("watch a");
+
+    let hosted_a = host.join(id_a).expect("known id").expect("session a runs");
+    let hosted_b = host.join(id_b).expect("known id").expect("session b runs");
+
+    // After the run the watch holds every node's final published
+    // status: all 10 nodes, all at the last round.
+    let statuses = watch_a.snapshot();
+    assert_eq!(statuses.len(), 10, "every node published status");
+    for (id, status) in &statuses {
+        assert_eq!(status.round, rounds - 1, "node {id} stalled early");
+        // Status is published at round *entry*, so it trails the final
+        // outcome by at most the last round's deliveries.
+        assert!(
+            status.metrics.delivered.len() <= hosted_a.metrics[id].delivered.len(),
+            "watch metrics ahead of the outcome at {id}"
+        );
+    }
+    let delivered_live: usize = statuses
+        .iter()
+        .filter(|(id, _)| **id != NodeId(0))
+        .map(|(_, s)| s.metrics.delivered.len())
+        .sum();
+    assert!(delivered_live > 0, "the watch never saw deliveries");
+
+    assert_same_outcome(&hosted_a, &alone_a, "session a hosted vs standalone");
+    assert_same_outcome(&hosted_b, &alone_b, "session b hosted vs standalone");
+
+    // Joined sessions leave the registry.
+    assert!(host.list().is_empty());
+    assert!(host.watch(id_a).is_none());
+    let _ = fs::remove_dir_all(host.dir());
+}
+
+/// The crash-recovery tentpole: a node goes down mid-session, its
+/// snapshot lands on the host's disk, and a **restarted host** (a new
+/// `Host` over the same directory — the old one dropped, as a killed
+/// process would be) finds that snapshot and replays the session with
+/// the node recovering from disk — rejoining unconvicted, exactly one
+/// recovery, same verdict-free outcome.
+#[test]
+fn killed_and_restarted_host_rejoins_from_disk_unconvicted() {
+    let dir = scratch("restart");
+    let rounds = 8;
+    let crashed = NodeId(3);
+    let mut sc = tcp_session(77, 0xC4A5, rounds);
+    sc.faults = vec![FaultEvent::CrashRestart {
+        node: crashed,
+        crash_round: 2,
+        restart_round: 5,
+    }];
+
+    // First incarnation: the session runs, node 3 crashes at round 2
+    // and rejoins at round 5 — and the crash persisted a snapshot.
+    let host = Host::open(&dir).expect("open host");
+    let id = host.spawn(sc.clone()).expect("spawn");
+    let outcome = host.join(id).expect("known id").expect("session runs");
+    assert!(outcome.verdicts.is_empty(), "rejoin convicted: {:?}", outcome.verdicts);
+    assert_eq!(outcome.metrics[&crashed].recoveries, 1, "exactly one recovery");
+    let store = host.store(77).expect("session store");
+    assert!(store.path_of(crashed).exists(), "no snapshot persisted");
+    let snap = store.retrieve(crashed).expect("snapshot parses").expect("snapshot present");
+    assert_eq!(snap.id, crashed);
+    assert_eq!(snap.rounds_entered, 2, "snapshot taken at crash entry");
+
+    // The host dies: drop it. The directory is all that survives —
+    // exactly what a killed process leaves behind.
+    drop(host);
+
+    // Second incarnation over the same directory: the snapshot is
+    // still loadable, and rerunning the session has the recovering
+    // node load it from disk (the vault logs a load per Recover),
+    // completing verdict-free again.
+    let reborn = Host::open(&dir).expect("reopen host");
+    let store = reborn.store(77).expect("session store");
+    let snap = store.retrieve(crashed).expect("snapshot parses").expect("survived restart");
+    assert_eq!(snap.id, crashed);
+    let id = reborn.spawn(sc).expect("respawn");
+    let outcome = reborn.join(id).expect("known id").expect("session reruns");
+    assert!(outcome.verdicts.is_empty(), "restarted host convicted: {:?}", outcome.verdicts);
+    assert_eq!(outcome.metrics[&crashed].recoveries, 1);
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Retire drops a session from the registry without joining it; the
+/// detached session still runs to completion on its own thread.
+#[test]
+fn retire_detaches_a_session() {
+    let host = Host::open(scratch("retire")).expect("open host");
+    let id = host.spawn(tcp_session(55, 0x5E55, 4)).expect("spawn");
+    assert!(host.retire(id), "known session retires");
+    assert!(!host.retire(id), "already gone");
+    assert!(host.watch(id).is_none());
+    assert!(host.join(id).is_none());
+    let _ = fs::remove_dir_all(host.dir());
+}

@@ -1,0 +1,181 @@
+//! Snapshot-store hardening: the disk round-trip holds for arbitrary
+//! snapshots, and every way a file can be wrong — corrupt bytes, a
+//! truncated tail, an unknown version, a writer that died mid-write —
+//! is a typed [`StoreError`], never a panic and never fabricated state.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pag_core::snapshot::{NodeSnapshot, SnapshotError, SNAPSHOT_VERSION};
+use pag_host::{SnapshotStore, StoreError, STORE_VERSION};
+use pag_membership::NodeId;
+use pag_runtime::SnapshotVault;
+use proptest::prelude::*;
+
+/// A fresh scratch directory per call, unique within and across test
+/// processes.
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pag-store-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample(id: u32) -> NodeSnapshot {
+    NodeSnapshot {
+        id: NodeId(id),
+        epoch: 2,
+        rounds_entered: 9,
+        open_sends: vec![(8, NodeId(1)), (9, NodeId(4))],
+        open_receives: vec![(9, NodeId(2))],
+        monitored: vec![NodeId(0), NodeId(5)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary snapshots survive the full disk round-trip bit-exact.
+    #[test]
+    fn disk_round_trip(
+        id in 0u32..1000,
+        epoch in any::<u64>(),
+        rounds_entered in any::<u64>(),
+        open_sends in proptest::collection::vec((any::<u64>(), 0u32..1000), 0..10),
+        open_receives in proptest::collection::vec((any::<u64>(), 0u32..1000), 0..10),
+        monitored in proptest::collection::vec(0u32..1000, 0..10),
+    ) {
+        let snap = NodeSnapshot {
+            id: NodeId(id),
+            epoch,
+            rounds_entered,
+            open_sends: open_sends.into_iter().map(|(r, n)| (r, NodeId(n))).collect(),
+            open_receives: open_receives.into_iter().map(|(r, n)| (r, NodeId(n))).collect(),
+            monitored: monitored.into_iter().map(NodeId).collect(),
+        };
+        let store = SnapshotStore::open(scratch("rt")).expect("open store");
+        store.persist(&snap).expect("persist");
+        let back = store.retrieve(snap.id).expect("retrieve").expect("present");
+        prop_assert_eq!(back, snap);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}
+
+#[test]
+fn missing_file_is_none_not_an_error() {
+    let store = SnapshotStore::open(scratch("missing")).expect("open store");
+    assert!(store.retrieve(NodeId(3)).expect("clean miss").is_none());
+    let _ = fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn corrupt_magic_version_and_lengths_are_typed_errors() {
+    let store = SnapshotStore::open(scratch("corrupt")).expect("open store");
+    let snap = sample(7);
+    store.persist(&snap).expect("persist");
+    let path = store.path_of(snap.id);
+    let clean = fs::read(&path).expect("read back");
+
+    // Magic byte flipped: not a snapshot file.
+    let mut bad = clean.clone();
+    bad[0] ^= 0xFF;
+    fs::write(&path, &bad).unwrap();
+    assert!(matches!(store.retrieve(snap.id), Err(StoreError::BadMagic)));
+
+    // Unknown store envelope version.
+    let mut bad = clean.clone();
+    bad[4] = STORE_VERSION + 1;
+    fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        store.retrieve(snap.id),
+        Err(StoreError::Version(v)) if v == STORE_VERSION + 1
+    ));
+
+    // Unknown *snapshot* codec version inside a valid envelope.
+    let mut bad = clean.clone();
+    bad[5] = SNAPSHOT_VERSION + 1;
+    fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        store.retrieve(snap.id),
+        Err(StoreError::Snapshot(SnapshotError::Version(_)))
+    ));
+
+    // A list length prefix inflated to promise more entries than the
+    // file holds: the snapshot codec reports truncation, typed.
+    let mut bad = clean.clone();
+    let sends_len_at = 5 + 1 + 4 + 8 + 8; // header + version + id + epoch + rounds
+    bad[sends_len_at..sends_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        store.retrieve(snap.id),
+        Err(StoreError::Snapshot(SnapshotError::Truncated))
+    ));
+
+    let _ = fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    let store = SnapshotStore::open(scratch("trunc")).expect("open store");
+    let snap = sample(5);
+    store.persist(&snap).expect("persist");
+    let path = store.path_of(snap.id);
+    let clean = fs::read(&path).expect("read back");
+    for cut in 0..clean.len() {
+        fs::write(&path, &clean[..cut]).unwrap();
+        match store.retrieve(snap.id) {
+            Err(StoreError::Truncated) => assert!(cut < 5, "header error past the header at {cut}"),
+            Err(StoreError::Snapshot(SnapshotError::Truncated)) => {
+                assert!(cut >= 5, "snapshot error inside the header at {cut}")
+            }
+            other => panic!("prefix of {cut} bytes must not load: {other:?}"),
+        }
+    }
+    let _ = fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn partial_write_is_swept_and_never_shadows_the_real_snapshot() {
+    let dir = scratch("partial");
+    let store = SnapshotStore::open(&dir).expect("open store");
+    let snap = sample(9);
+    store.persist(&snap).expect("persist");
+    // A writer that died between `write` and `rename` leaves a .tmp
+    // sibling; the real file is still the last complete snapshot.
+    let stray = dir.join("n9.snap.tmp");
+    fs::write(&stray, b"PAGS\x01half a snapsh").unwrap();
+    drop(store);
+
+    // The restarted store sweeps the stray and still serves the real
+    // snapshot.
+    let store = SnapshotStore::open(&dir).expect("reopen store");
+    assert!(!stray.exists(), "stray tmp file survived the sweep");
+    let back = store.retrieve(snap.id).expect("retrieve").expect("present");
+    assert_eq!(back, snap);
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn vault_boundary_logs_and_degrades_instead_of_failing() {
+    let dir = scratch("vault");
+    let store = SnapshotStore::open(&dir).expect("open store");
+    let snap = sample(2);
+    assert!(SnapshotVault::save(&store, &snap), "healthy save succeeds");
+    assert_eq!(SnapshotVault::load(&store, snap.id), Some(snap.clone()));
+
+    // Corrupt file: the vault boundary answers None (logged), never Err
+    // and never a panic — a restarted node degrades to in-memory
+    // recovery.
+    fs::write(store.path_of(snap.id), b"garbage").unwrap();
+    assert_eq!(SnapshotVault::load(&store, snap.id), None);
+
+    // Store directory ripped out from under the vault: save reports
+    // false, the session keeps running.
+    fs::remove_dir_all(&dir).unwrap();
+    assert!(!SnapshotVault::save(&store, &snap), "doomed save reports false");
+}

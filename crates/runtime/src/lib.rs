@@ -47,6 +47,7 @@
 pub mod adapter;
 pub mod churn;
 pub mod faults;
+pub mod hooks;
 pub mod pool;
 pub mod report;
 pub mod session;
@@ -57,6 +58,7 @@ pub mod worker;
 pub use adapter::SimnetPag;
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use faults::{FaultEvent, FaultPlan, FaultSchedule};
+pub use hooks::{HostHooks, NodeStatus, SessionWatch, SnapshotVault};
 pub use pool::Scheduler;
 pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
 pub use session::{
@@ -64,5 +66,5 @@ pub use session::{
     SessionOutcome,
 };
 pub use tcp::{run_tcp, TcpConfig, TcpRun, TcpSetupError};
-pub use threaded::{run_threaded, ThreadedConfig, ThreadedRun};
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedRun, ThreadedSetupError};
 pub use worker::{DriverRun, Link, NetEmulation, NetEmulationError};

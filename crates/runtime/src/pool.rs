@@ -465,6 +465,12 @@ fn timekeeper(queues: Arc<PoolQueues>, epoch: Instant) {
 /// thread-per-node), runs `before_join` once the clock returns (the TCP
 /// driver retires its accept threads there), then stops the pool and
 /// harvests every core into a [`DriverRun`].
+///
+/// Worker-spawn refusals degrade gracefully: the pool runs on however
+/// many threads the OS granted, as long as that is at least one.
+/// `Err` (a typed setup error, never a panic) is reserved for a pool
+/// that cannot make progress at all — zero workers, or no timekeeper in
+/// wall-clock mode.
 pub(crate) fn run_pool<L: Link + 'static>(
     cores: Vec<NodeCore<L>>,
     queues: Arc<PoolQueues>,
@@ -473,7 +479,7 @@ pub(crate) fn run_pool<L: Link + 'static>(
     rounds: u64,
     round_ms: u64,
     before_join: impl FnOnce(),
-) -> DriverRun {
+) -> Result<DriverRun, std::io::Error> {
     assert_eq!(cores.len(), queues.slots.len(), "one slot per core");
     let lockstep = queues.coord.is_some();
     let coord = queues.coord.clone();
@@ -486,25 +492,49 @@ pub(crate) fn run_pool<L: Link + 'static>(
 
     let panic_nodes: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(threads + 1);
+    let mut spawn_err: Option<std::io::Error> = None;
     for t in 0..threads {
         let queues = Arc::clone(&queues);
         let cores = Arc::clone(&cores);
         let panic_nodes = Arc::clone(&panic_nodes);
-        handles.push(
-            thread::Builder::new()
-                .name(format!("pag-pool-{t}"))
-                .spawn(move || pool_worker(queues, cores, lockstep, panic_nodes))
-                .expect("spawn pool worker"),
+        match thread::Builder::new()
+            .name(format!("pag-pool-{t}"))
+            .spawn(move || pool_worker(queues, cores, lockstep, panic_nodes))
+        {
+            Ok(handle) => handles.push(handle),
+            Err(e) => spawn_err = Some(e),
+        }
+    }
+    if handles.is_empty() {
+        let e = spawn_err
+            .unwrap_or_else(|| std::io::Error::other("pool sized to zero worker threads"));
+        queues.stop_now();
+        return Err(e);
+    }
+    if let Some(e) = spawn_err {
+        eprintln!(
+            "[pag] pool degraded to {} of {threads} worker threads: {e}",
+            handles.len()
         );
     }
     if !lockstep {
-        let queues = Arc::clone(&queues);
-        handles.push(
-            thread::Builder::new()
-                .name("pag-pool-timer".to_string())
-                .spawn(move || timekeeper(queues, epoch))
-                .expect("spawn pool timekeeper"),
-        );
+        let queues_tk = Arc::clone(&queues);
+        match thread::Builder::new()
+            .name("pag-pool-timer".to_string())
+            .spawn(move || timekeeper(queues_tk, epoch))
+        {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                // Without a timekeeper no wall-clock timer ever fires;
+                // stop the workers and report instead of running a
+                // session that silently loses every timeout.
+                queues.stop_now();
+                for handle in handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
     }
 
     drive_rounds(
@@ -543,14 +573,14 @@ pub(crate) fn run_pool<L: Link + 'static>(
         per_node.insert(result.id, result.traffic);
         engines.insert(result.id, result.engine);
     }
-    DriverRun {
+    Ok(DriverRun {
         report: TrafficReport {
             duration: rounds as f64,
             rounds,
             per_node,
         },
         engines,
-    }
+    })
 }
 
 #[cfg(test)]

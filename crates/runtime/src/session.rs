@@ -45,7 +45,7 @@ use crate::churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 use crate::faults::{FaultEvent, FaultSchedule};
 use crate::report::TrafficReport;
 use crate::tcp::{run_tcp, TcpConfig, TcpSetupError};
-use crate::threaded::{run_threaded, ThreadedConfig};
+use crate::threaded::{run_threaded, ThreadedConfig, ThreadedSetupError};
 use crate::worker::merged_feeds;
 
 /// The execution substrate a session runs on.
@@ -340,19 +340,23 @@ fn collect_outcome(
 /// Why a session could not run.
 ///
 /// Only environment failures surface here — misconfiguration (bad churn
-/// or fault rounds) is a caller bug and still panics. Today the sole
-/// source is TCP transport establishment (DESIGN.md §12); the in-process
-/// drivers cannot fail to start.
+/// or fault rounds) is a caller bug and still panics. The sources are
+/// TCP transport establishment (mesh pairing and the authenticated
+/// handshake; DESIGN.md §12–13) and thread spawning in the in-process
+/// drivers.
 #[derive(Debug)]
 pub enum SessionError {
-    /// The TCP mesh could not be established.
+    /// The TCP mesh could not be established (or authenticated).
     TcpSetup(TcpSetupError),
+    /// The threaded driver could not spawn its threads.
+    ThreadedSetup(ThreadedSetupError),
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::TcpSetup(e) => write!(f, "tcp transport setup failed: {e}"),
+            SessionError::ThreadedSetup(e) => write!(f, "threaded driver setup failed: {e}"),
         }
     }
 }
@@ -361,6 +365,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::TcpSetup(e) => Some(e),
+            SessionError::ThreadedSetup(e) => Some(e),
         }
     }
 }
@@ -368,6 +373,12 @@ impl std::error::Error for SessionError {
 impl From<TcpSetupError> for SessionError {
     fn from(e: TcpSetupError) -> Self {
         SessionError::TcpSetup(e)
+    }
+}
+
+impl From<ThreadedSetupError> for SessionError {
+    fn from(e: ThreadedSetupError) -> Self {
+        SessionError::ThreadedSetup(e)
     }
 }
 
@@ -441,7 +452,7 @@ pub fn try_run_session(sc: SessionConfig) -> Result<SessionOutcome, SessionError
             )
         }
         Driver::Threaded(tc) => {
-            let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, tc);
+            let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, tc)?;
             collect_outcome(run.engines, run.report, rounds)
         }
         Driver::Tcp(tc) => {

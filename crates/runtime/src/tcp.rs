@@ -22,13 +22,25 @@
 //! Each node binds a listener on `127.0.0.1:0`; the harness then
 //! establishes a **full mesh of duplex streams** (one per node pair,
 //! the lower id connecting) before any worker starts, so session
-//! traffic never races connection setup. Establishment is fallible, not
-//! panicking: every bind / connect / accept / configure step surfaces
-//! as a typed [`TcpSetupError`] from [`run_tcp`] (and as
+//! traffic never races connection setup. Every stream is
+//! **authenticated** before it carries a single protocol frame: a
+//! challenge/response handshake (`pag_core::handshake`, DESIGN.md §13)
+//! in which each side signs the channel binding — session id plus both
+//! sides' fresh nonces — with its existing identity key. Handshake
+//! bytes are connection setup, not protocol traffic, and are never
+//! charged to [`crate::NodeTraffic`] (which is what keeps TCP runs
+//! bit-identical to the other drivers). Establishment is fallible, not
+//! panicking: every bind / connect / accept / configure / handshake
+//! step surfaces as a typed [`TcpSetupError`] from [`run_tcp`] (and as
 //! [`crate::session::SessionError`] one level up). After the mesh, each
-//! listener keeps accepting: late connections are untrusted byte
-//! sources whose frames travel the same framer → `decode_frame` →
-//! deliver path — and fail it safely. Malformed or truncated input is
+//! listener keeps accepting: a late connection that opens with a
+//! `HandshakeHello` gets the same challenge/response treatment (a
+//! reconnecting peer proves its identity; a bad proof, replayed nonce
+//! or wrong session id is answered with `HandshakeReject`, counted via
+//! [`pag_core::engine::MetricEvent::HandshakeRejected`], and severed),
+//! while any other late connection remains an untrusted byte source
+//! whose frames travel the same framer → `decode_frame` → deliver path
+//! — and fail it safely. Malformed or truncated input is
 //! dropped and counted
 //! ([`pag_core::engine::MetricEvent::FrameRejected`]); an oversized
 //! length prefix kills the connection (stream sync is lost) after
@@ -82,14 +94,18 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use pag_core::engine::PagEngine;
+use pag_core::handshake::{self, HandshakeError};
+use pag_core::messages::{MessageBody, SignedMessage};
 use pag_core::wire::{
-    decode_frame, encode_stream_frame, StreamFramer, WireConfig, MAX_STREAM_FRAME_BYTES,
+    decode_frame, encode_frame, encode_stream_frame, Frame, StreamFramer, WireConfig,
+    MAX_STREAM_FRAME_BYTES,
 };
 use pag_core::SharedContext;
 use pag_membership::NodeId;
 
 use crate::churn::ChurnEvent;
 use crate::faults::FaultPlan;
+use crate::hooks::HostHooks;
 use crate::pool::{run_pool, InboxHandle, PoolQueues, Scheduler};
 use crate::worker::{
     down_windows, drive_rounds, join_workers, merged_feeds, Coordination, DriverRun, Envelope,
@@ -131,6 +147,15 @@ pub enum TcpSetupError {
     Configure(std::io::Error),
     /// Spawning a node worker thread failed.
     SpawnNode(std::io::Error),
+    /// A mesh handshake failed verification: the channel-binding proof
+    /// on a just-paired stream was refused. With both endpoints in this
+    /// process that means a broken session profile (e.g. a wire config
+    /// the codec refuses), not an attacker.
+    Handshake(HandshakeError),
+    /// A mesh handshake failed at the transport level: the stream died,
+    /// produced unframeable bytes, or the handshake messages could not
+    /// be encoded under the session's wire profile.
+    HandshakeIo(std::io::Error),
 }
 
 impl std::fmt::Display for TcpSetupError {
@@ -142,6 +167,8 @@ impl std::fmt::Display for TcpSetupError {
             TcpSetupError::Accept(e) => write!(f, "could not accept mesh stream: {e}"),
             TcpSetupError::Configure(e) => write!(f, "could not configure mesh stream: {e}"),
             TcpSetupError::SpawnNode(e) => write!(f, "could not spawn node thread: {e}"),
+            TcpSetupError::Handshake(e) => write!(f, "mesh handshake refused: {e}"),
+            TcpSetupError::HandshakeIo(e) => write!(f, "mesh handshake failed: {e}"),
         }
     }
 }
@@ -154,7 +181,9 @@ impl std::error::Error for TcpSetupError {
             | TcpSetupError::Connect(e)
             | TcpSetupError::Accept(e)
             | TcpSetupError::Configure(e)
-            | TcpSetupError::SpawnNode(e) => Some(e),
+            | TcpSetupError::SpawnNode(e)
+            | TcpSetupError::HandshakeIo(e) => Some(e),
+            TcpSetupError::Handshake(e) => Some(e),
         }
     }
 }
@@ -199,6 +228,9 @@ pub struct TcpConfig {
     /// here **after** the session mesh is fully established (so probes
     /// connecting in response can never be mistaken for mesh peers).
     pub addr_probe: Option<Sender<(NodeId, SocketAddr)>>,
+    /// Host integration hooks (snapshot vault, live status watch).
+    /// Defaults to off; hooks never alter engine inputs.
+    pub hooks: HostHooks,
 }
 
 impl Default for TcpConfig {
@@ -213,7 +245,308 @@ impl Default for TcpConfig {
             scheduler: Scheduler::ThreadPerNode,
             link_kills: Vec::new(),
             addr_probe: None,
+            hooks: HostHooks::default(),
         }
+    }
+}
+
+/// Salt folded into the session seed for handshake nonce generation,
+/// so nonces never collide with any other seeded stream in the run.
+const HANDSHAKE_NONCE_SALT: u64 = 0x4841_4E44_5348_4B45;
+
+/// A fresh per-connection handshake nonce: the session-global counter
+/// guarantees uniqueness within the run (which is what defeats proof
+/// replay), the seeded mix decorrelates the values.
+fn fresh_nonce(seed: u64, counter: &AtomicU64) -> u64 {
+    pag_membership::mix(seed ^ HANDSHAKE_NONCE_SALT ^ counter.fetch_add(1, Ordering::SeqCst))
+}
+
+/// Writes one length-prefixed handshake frame (`from` → `to`) to a
+/// stream. Encode failures mean the session's wire profile refuses its
+/// own handshake messages — a setup error, not an attack.
+fn send_handshake(
+    stream: &mut TcpStream,
+    wire: &WireConfig,
+    from: NodeId,
+    to: NodeId,
+    msg: &SignedMessage,
+    max_frame: usize,
+) -> std::io::Result<()> {
+    let frame = encode_frame(from, to, msg, wire)
+        .map_err(|e| std::io::Error::other(format!("unencodable handshake frame: {e}")))?;
+    let encoded = encode_stream_frame(&frame, max_frame)
+        .map_err(|e| std::io::Error::other(format!("oversized handshake frame: {e}")))?;
+    stream.write_all(&encoded)
+}
+
+/// What one blocking pull of the next length-prefixed frame yielded.
+enum Pulled {
+    /// A complete frame's bytes.
+    Frame(Vec<u8>),
+    /// Clean end of stream (or a read error — equivalent here).
+    Eof,
+    /// A framing violation: the length prefix exceeds the bound, so
+    /// stream sync is unrecoverable.
+    Violation,
+}
+
+/// Blocks until the framer yields one complete frame (reading more
+/// bytes as needed), EOF, or a framing violation.
+fn pull_frame(stream: &mut TcpStream, framer: &mut StreamFramer, chunk: &mut [u8]) -> Pulled {
+    loop {
+        match framer.next_frame() {
+            Ok(Some(frame)) => return Pulled::Frame(frame),
+            Ok(None) => {}
+            Err(_) => return Pulled::Violation,
+        }
+        match stream.read(chunk) {
+            Ok(0) | Err(_) => return Pulled::Eof,
+            Ok(n) => framer.push(&chunk[..n]),
+        }
+    }
+}
+
+/// Pulls and decodes the next frame during a setup-time handshake,
+/// mapping every failure mode to a typed setup error.
+fn recv_handshake(
+    stream: &mut TcpStream,
+    framer: &mut StreamFramer,
+    wire: &WireConfig,
+) -> Result<Frame, TcpSetupError> {
+    let mut chunk = [0u8; 4096];
+    match pull_frame(stream, framer, &mut chunk) {
+        Pulled::Frame(bytes) => decode_frame(&bytes, wire).map_err(|e| {
+            TcpSetupError::HandshakeIo(std::io::Error::other(format!(
+                "undecodable handshake frame: {e}"
+            )))
+        }),
+        Pulled::Eof => Err(TcpSetupError::HandshakeIo(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "stream closed during handshake",
+        ))),
+        Pulled::Violation => Err(TcpSetupError::HandshakeIo(std::io::Error::other(
+            "framing violation during handshake",
+        ))),
+    }
+}
+
+/// Runs the authenticated handshake over one just-paired mesh stream,
+/// driving **both** endpoints from the setup thread (the frames are far
+/// smaller than loopback socket buffers, so the explicit interleave
+/// below can never deadlock):
+///
+/// 1. dialer and listener exchange `HandshakeHello` (identity + nonce);
+/// 2. dialer proves first, then the listener proves back and confirms
+///    with `HandshakeAccept`.
+///
+/// Either side refusing a proof is a [`TcpSetupError::Handshake`] — in
+/// the in-process mesh that indicates a broken session profile, and the
+/// same verification code is what [`listener_handshake`] applies to
+/// genuinely untrusted late connections.
+#[allow(clippy::too_many_arguments)]
+fn mesh_handshake(
+    dialer_stream: &mut TcpStream,
+    listener_stream: &mut TcpStream,
+    shared: &SharedContext,
+    dialer: NodeId,
+    listener: NodeId,
+    dialer_nonce: u64,
+    listener_nonce: u64,
+    max_frame: usize,
+) -> Result<(), TcpSetupError> {
+    let wire = &shared.config.wire;
+    let mut dialer_framer = StreamFramer::new(max_frame);
+    let mut listener_framer = StreamFramer::new(max_frame);
+    let send = |stream: &mut TcpStream, from: NodeId, to: NodeId, msg: &SignedMessage| {
+        send_handshake(stream, wire, from, to, msg, max_frame).map_err(TcpSetupError::HandshakeIo)
+    };
+
+    // Hellos cross: each side advertises its identity and challenge.
+    send(
+        dialer_stream,
+        dialer,
+        listener,
+        &handshake::hello(shared, dialer, dialer_nonce),
+    )?;
+    let frame = recv_handshake(listener_stream, &mut listener_framer, wire)?;
+    let (d_id, d_nonce) = handshake::read_hello(shared, &frame).map_err(TcpSetupError::Handshake)?;
+    send(
+        listener_stream,
+        listener,
+        dialer,
+        &handshake::hello(shared, listener, listener_nonce),
+    )?;
+    let frame = recv_handshake(dialer_stream, &mut dialer_framer, wire)?;
+    let (l_id, l_nonce) = handshake::read_hello(shared, &frame).map_err(TcpSetupError::Handshake)?;
+
+    // The dialer proves first; the listener verifies, proves back, and
+    // confirms.
+    send(
+        dialer_stream,
+        dialer,
+        listener,
+        &handshake::proof(shared, dialer, l_nonce, dialer_nonce),
+    )?;
+    let frame = recv_handshake(listener_stream, &mut listener_framer, wire)?;
+    handshake::verify_proof(shared, &frame, d_id, listener_nonce, d_nonce)
+        .map_err(TcpSetupError::Handshake)?;
+    send(
+        listener_stream,
+        listener,
+        dialer,
+        &handshake::proof(shared, listener, d_nonce, listener_nonce),
+    )?;
+    send(
+        listener_stream,
+        listener,
+        dialer,
+        &handshake::accept(shared, listener),
+    )?;
+    let frame = recv_handshake(dialer_stream, &mut dialer_framer, wire)?;
+    handshake::verify_proof(shared, &frame, l_id, dialer_nonce, l_nonce)
+        .map_err(TcpSetupError::Handshake)?;
+    let frame = recv_handshake(dialer_stream, &mut dialer_framer, wire)?;
+    if !matches!(frame.msg.body, MessageBody::HandshakeAccept { .. }) {
+        return Err(TcpSetupError::Handshake(HandshakeError::WrongMessage));
+    }
+    Ok(())
+}
+
+/// The dialer side of the handshake on a **redialed** stream (reconnect
+/// supervisor): hello, read the peer's hello, prove, verify the peer's
+/// proof, read the accept. `Err` means the heal attempt failed — the
+/// supervisor backs off and retries, exactly like a refused connect.
+fn dialer_handshake(
+    stream: &mut TcpStream,
+    shared: &SharedContext,
+    owner: NodeId,
+    peer: NodeId,
+    our_nonce: u64,
+    max_frame: usize,
+) -> Result<(), ()> {
+    let wire = &shared.config.wire;
+    let mut framer = StreamFramer::new(max_frame);
+    let mut chunk = [0u8; 4096];
+    let mut recv = |stream: &mut TcpStream, framer: &mut StreamFramer| -> Result<Frame, ()> {
+        match pull_frame(stream, framer, &mut chunk) {
+            Pulled::Frame(bytes) => decode_frame(&bytes, wire).map_err(|_| ()),
+            Pulled::Eof | Pulled::Violation => Err(()),
+        }
+    };
+
+    send_handshake(
+        stream,
+        wire,
+        owner,
+        peer,
+        &handshake::hello(shared, owner, our_nonce),
+        max_frame,
+    )
+    .map_err(|_| ())?;
+    let frame = recv(stream, &mut framer)?;
+    let (l_id, l_nonce) = handshake::read_hello(shared, &frame).map_err(|_| ())?;
+    if l_id != peer {
+        return Err(());
+    }
+    send_handshake(
+        stream,
+        wire,
+        owner,
+        peer,
+        &handshake::proof(shared, owner, l_nonce, our_nonce),
+        max_frame,
+    )
+    .map_err(|_| ())?;
+    let frame = recv(stream, &mut framer)?;
+    handshake::verify_proof(shared, &frame, peer, our_nonce, l_nonce).map_err(|_| ())?;
+    let frame = recv(stream, &mut framer)?;
+    if matches!(frame.msg.body, MessageBody::HandshakeAccept { .. }) {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// Everything a late-connection reader needs to *listener*-authenticate
+/// a peer that opens with `HandshakeHello` (a reconnecting node, or a
+/// second host's dialer). Connections that open with anything else stay
+/// on the legacy screened path.
+struct LateAuth {
+    shared: Arc<SharedContext>,
+    owner: NodeId,
+    nonce_counter: Arc<AtomicU64>,
+    seed: u64,
+    max_frame: usize,
+}
+
+/// The listener side of the handshake on an untrusted late connection,
+/// entered when its first frame decoded to a `HandshakeHello`.
+///
+/// `Err(Some(e))` — the peer was *refused* (bad proof, replayed nonce,
+/// wrong session, off-roster identity): a `HandshakeReject` naming the
+/// reason is sent back (best-effort) and the caller counts the
+/// rejection and severs. `Err(None)` — the connection died mid-exchange
+/// (nothing to count beyond the drop itself). `Ok(peer)` — the
+/// connection is now authenticated as `peer`.
+fn listener_handshake(
+    stream: &mut TcpStream,
+    framer: &mut StreamFramer,
+    chunk: &mut [u8],
+    auth: &LateAuth,
+    hello: &Frame,
+) -> Result<NodeId, Option<HandshakeError>> {
+    let shared = auth.shared.as_ref();
+    let wire = &shared.config.wire;
+    let refuse = |stream: &mut TcpStream, to: NodeId, e: HandshakeError| {
+        let msg = handshake::reject(shared, auth.owner, e);
+        let _ = send_handshake(stream, wire, auth.owner, to, &msg, auth.max_frame);
+        Err(Some(e))
+    };
+
+    let (peer, their_nonce) = match handshake::read_hello(shared, hello) {
+        Ok(read) => read,
+        Err(e) => return refuse(stream, hello.from, e),
+    };
+    let our_nonce = fresh_nonce(auth.seed, &auth.nonce_counter);
+    send_handshake(
+        stream,
+        wire,
+        auth.owner,
+        peer,
+        &handshake::hello(shared, auth.owner, our_nonce),
+        auth.max_frame,
+    )
+    .map_err(|_| None)?;
+    let proof_frame = match pull_frame(stream, framer, chunk) {
+        Pulled::Frame(bytes) => match decode_frame(&bytes, wire) {
+            Ok(frame) => frame,
+            Err(_) => return refuse(stream, peer, HandshakeError::WrongMessage),
+        },
+        Pulled::Eof | Pulled::Violation => return Err(None),
+    };
+    match handshake::verify_proof(shared, &proof_frame, peer, our_nonce, their_nonce) {
+        Ok(authenticated) => {
+            send_handshake(
+                stream,
+                wire,
+                auth.owner,
+                authenticated,
+                &handshake::proof(shared, auth.owner, their_nonce, our_nonce),
+                auth.max_frame,
+            )
+            .map_err(|_| None)?;
+            send_handshake(
+                stream,
+                wire,
+                auth.owner,
+                authenticated,
+                &handshake::accept(shared, auth.owner),
+                auth.max_frame,
+            )
+            .map_err(|_| None)?;
+            Ok(authenticated)
+        }
+        Err(e) => refuse(stream, peer, e),
     }
 }
 
@@ -248,6 +581,14 @@ struct TcpLink {
     stop: Arc<AtomicBool>,
     /// Deterministically seeded state for the supervisors' jitter.
     jitter_seed: u64,
+    /// Session context for the reconnect supervisors' dialer handshake
+    /// (a redialed stream is untrusted to the peer until proven).
+    shared: Arc<SharedContext>,
+    /// Session-global handshake nonce counter (uniqueness defeats
+    /// proof replay).
+    nonce_counter: Arc<AtomicU64>,
+    /// Session seed for handshake nonce mixing.
+    seed: u64,
 }
 
 impl TcpLink {
@@ -270,8 +611,12 @@ impl TcpLink {
     /// Spawns the detached reconnect supervisor for `to`: bounded
     /// exponential backoff (base 8ms, ceiling 256ms, 8 attempts) with
     /// seeded jitter, redialing the peer's listener. The redialed
-    /// stream lands on the peer's accept thread as an untrusted
-    /// connection; our side refills the slot and counts the heal.
+    /// stream lands on the peer's accept thread as an **untrusted**
+    /// connection, so the supervisor must re-authenticate: it runs the
+    /// dialer handshake (hello/proof/accept) against the peer's late
+    /// reader, and only a proven stream refills the slot and counts the
+    /// heal. A refused or broken handshake backs off like a refused
+    /// connect.
     fn supervise_reconnect(&mut self, to: NodeId) {
         let Some(peer) = self.peers.get(&to) else {
             return;
@@ -280,6 +625,11 @@ impl TcpLink {
         let addr = peer.addr;
         let reconnected = Arc::clone(&self.reconnected);
         let stop = Arc::clone(&self.stop);
+        let shared = Arc::clone(&self.shared);
+        let nonce_counter = Arc::clone(&self.nonce_counter);
+        let owner = self.owner;
+        let seed = self.seed;
+        let max_frame = self.max_frame;
         // Advance the link's jitter state so consecutive severs of the
         // same pair don't retry in phase.
         self.jitter_seed = self
@@ -303,11 +653,23 @@ impl TcpLink {
                         return;
                     }
                     match TcpStream::connect(addr) {
-                        Ok(stream) => {
+                        Ok(mut stream) => {
                             let _ = stream.set_nodelay(true);
-                            *lock_slot(&slot) = Some(stream);
-                            reconnected.fetch_add(1, Ordering::SeqCst);
-                            return;
+                            let nonce = fresh_nonce(seed, &nonce_counter);
+                            // No other thread touches this socket until
+                            // the slot is refilled, and the peer writes
+                            // on it only during the handshake — so the
+                            // supervisor can safely read the replies.
+                            if dialer_handshake(
+                                &mut stream, &shared, owner, to, nonce, max_frame,
+                            )
+                            .is_ok()
+                            {
+                                *lock_slot(&slot) = Some(stream);
+                                reconnected.fetch_add(1, Ordering::SeqCst);
+                                return;
+                            }
+                            backoff = (backoff * 2).min(RECONNECT_MAX_MS);
                         }
                         Err(_) => backoff = (backoff * 2).min(RECONNECT_MAX_MS),
                     }
@@ -432,6 +794,16 @@ impl RejectScreen {
 /// `screen` is `Some` exactly on untrusted connections: the
 /// per-connection rejected-frame budget (see [`TcpConfig::reject_limit`]
 /// and the module docs).
+///
+/// `late_auth` is `Some` on untrusted connections of a session that
+/// authenticates late peers: if the connection's **first** frame is a
+/// `HandshakeHello`, the reader runs the listener handshake in-line
+/// (same framer, so no bytes are lost) — success lets subsequent frames
+/// flow through the normal screened path, refusal sends a
+/// `HandshakeReject`, forwards one [`Envelope::HandshakeRejected`] (so
+/// the refusal is counted) and severs. A first frame that is anything
+/// else keeps the legacy screened path: hostile byte floods are handled
+/// exactly as before.
 fn read_loop(
     mut stream: TcpStream,
     inbox: InboxHandle,
@@ -439,6 +811,7 @@ fn read_loop(
     max_frame: usize,
     registered: bool,
     mut screen: Option<RejectScreen>,
+    late_auth: Option<LateAuth>,
 ) {
     let mut framer = StreamFramer::new(max_frame);
     let mut chunk = [0u8; 16 * 1024];
@@ -458,48 +831,61 @@ fn read_loop(
         }
         false
     };
+    let mut pending_auth = late_auth;
     loop {
-        loop {
-            match framer.next_frame() {
-                Ok(Some(frame)) => {
-                    match screen.as_mut().map_or(Screened::Clean, |s| s.screen(&frame)) {
-                        Screened::Flood => {
-                            // Budget spent: sever the flooding
-                            // connection, count the cut, and stop
-                            // forwarding its frames.
-                            let _ = forward(Envelope::ConnectionDropped);
-                            let _ = stream.shutdown(Shutdown::Both);
-                            return;
+        let frame = match pull_frame(&mut stream, &mut framer, &mut chunk) {
+            Pulled::Frame(frame) => frame,
+            Pulled::Eof => return,
+            Pulled::Violation => {
+                // On a mesh stream this consumes the garbled frame's
+                // own registration; on an untrusted one `forward`
+                // adds first.
+                let _ = forward(Envelope::Malformed);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        // First frame of an auth-capable connection: a hello opens the
+        // listener handshake; anything else falls through to the
+        // legacy screened path below.
+        if let Some(auth) = pending_auth.take() {
+            let hello = decode_frame(&frame, &auth.shared.config.wire)
+                .ok()
+                .filter(|f| matches!(f.msg.body, MessageBody::HandshakeHello { .. }));
+            if let Some(hello) = hello {
+                match listener_handshake(&mut stream, &mut framer, &mut chunk, &auth, &hello) {
+                    Ok(_peer) => continue,
+                    Err(refused) => {
+                        if refused.is_some() {
+                            let _ = forward(Envelope::HandshakeRejected);
                         }
-                        Screened::Bad => {
-                            // Already proven undecodable/misrouted:
-                            // count the rejection without making the
-                            // worker decode the bytes a second time.
-                            if !forward(Envelope::Malformed) {
-                                return;
-                            }
-                        }
-                        Screened::Clean => {
-                            if !forward(Envelope::Frame { bytes: frame }) {
-                                return;
-                            }
-                        }
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
                     }
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    // On a mesh stream this consumes the garbled frame's
-                    // own registration; on an untrusted one `forward`
-                    // adds first.
-                    let _ = forward(Envelope::Malformed);
-                    let _ = stream.shutdown(Shutdown::Both);
-                    return;
                 }
             }
         }
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => framer.push(&chunk[..n]),
+        match screen.as_mut().map_or(Screened::Clean, |s| s.screen(&frame)) {
+            Screened::Flood => {
+                // Budget spent: sever the flooding connection, count
+                // the cut, and stop forwarding its frames.
+                let _ = forward(Envelope::ConnectionDropped);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Screened::Bad => {
+                // Already proven undecodable/misrouted: count the
+                // rejection without making the worker decode the bytes
+                // a second time.
+                if !forward(Envelope::Malformed) {
+                    return;
+                }
+            }
+            Screened::Clean => {
+                if !forward(Envelope::Frame { bytes: frame }) {
+                    return;
+                }
+            }
         }
     }
 }
@@ -555,21 +941,40 @@ pub fn run_tcp(
         listeners.push(listener);
     }
 
+    // Session-global handshake nonce counter: uniqueness across every
+    // connection of the run is what defeats proof replay.
+    let hs_nonces = Arc::new(AtomicU64::new(1));
+
     // Full mesh of duplex streams, one per unordered node pair, paired
     // synchronously on this thread: connect i -> j, then accept on j's
-    // listener — connects are sequential, so the accepted stream is
-    // exactly the one just initiated and no identity handshake is
-    // needed. Each side keeps a cloned write-half (for its TcpLink) and
-    // the original as read-half (for its reader thread).
+    // listener. Pairing alone proves nothing about identity — every
+    // stream is then **authenticated** with the challenge/response
+    // handshake (`pag_core::handshake`, DESIGN.md §13): hellos carrying
+    // fresh nonces cross, then each side signs the channel binding
+    // (session id + both nonces) with its identity key. Each side keeps
+    // a cloned write-half (for its TcpLink) and the original as
+    // read-half (for its reader thread).
     let mut writes: Vec<BTreeMap<NodeId, TcpStream>> = (0..n).map(|_| BTreeMap::new()).collect();
     let mut reads: Vec<Vec<TcpStream>> = (0..n).map(|_| Vec::new()).collect();
     for j in 0..n {
         for i in 0..j {
-            let initiated =
+            let mut initiated =
                 TcpStream::connect(addrs[&ids[j]]).map_err(TcpSetupError::Connect)?;
-            let (accepted, _) = listeners[j].accept().map_err(TcpSetupError::Accept)?;
+            let (mut accepted, _) = listeners[j].accept().map_err(TcpSetupError::Accept)?;
             initiated.set_nodelay(true).map_err(TcpSetupError::Configure)?;
             accepted.set_nodelay(true).map_err(TcpSetupError::Configure)?;
+            let dialer_nonce = fresh_nonce(cfg.seed, &hs_nonces);
+            let listener_nonce = fresh_nonce(cfg.seed, &hs_nonces);
+            mesh_handshake(
+                &mut initiated,
+                &mut accepted,
+                shared,
+                ids[i],
+                ids[j],
+                dialer_nonce,
+                listener_nonce,
+                cfg.max_frame_bytes,
+            )?;
             writes[i].insert(
                 ids[j],
                 initiated.try_clone().map_err(TcpSetupError::Configure)?,
@@ -617,7 +1022,7 @@ pub fn run_tcp(
             let max = cfg.max_frame_bytes;
             let spawned = thread::Builder::new()
                 .name(format!("pag-tcp-read-{}", ids[idx]))
-                .spawn(move || read_loop(stream, inbox, coord, max, true, None));
+                .spawn(move || read_loop(stream, inbox, coord, max, true, None, None));
             if spawned.is_err() {
                 eprintln!(
                     "pag-tcp: node {} could not spawn a mesh reader thread; \
@@ -645,6 +1050,9 @@ pub fn run_tcp(
         let max = cfg.max_frame_bytes;
         let limit = cfg.reject_limit;
         let wire = shared.config.wire.clone();
+        let auth_shared = Arc::clone(shared);
+        let auth_nonces = Arc::clone(&hs_nonces);
+        let auth_seed = cfg.seed;
         let spawned = thread::Builder::new()
             .name(format!("pag-tcp-accept-{}", ids[idx]))
             .spawn(move || loop {
@@ -663,10 +1071,19 @@ pub fn run_tcp(
                     limit,
                     rejected: 0,
                 };
+                let auth = LateAuth {
+                    shared: Arc::clone(&auth_shared),
+                    owner,
+                    nonce_counter: Arc::clone(&auth_nonces),
+                    seed: auth_seed,
+                    max_frame: max,
+                };
                 let closer = conn.try_clone().ok();
                 let reader = thread::Builder::new()
                     .name(format!("pag-tcp-late-{owner}"))
-                    .spawn(move || read_loop(conn, inbox, coord, max, false, Some(screen)));
+                    .spawn(move || {
+                        read_loop(conn, inbox, coord, max, false, Some(screen), Some(auth))
+                    });
                 if reader.is_err() {
                     eprintln!(
                         "pag-tcp: node {owner} could not spawn a reader for a late \
@@ -760,6 +1177,9 @@ pub fn run_tcp(
                     reconnected: Arc::clone(&reconnected[idx]),
                     stop: Arc::clone(&stop_accepting),
                     jitter_seed: cfg.seed ^ 0x5E1F_4EA1 ^ (u64::from(id.0) << 32),
+                    shared: Arc::clone(shared),
+                    nonce_counter: Arc::clone(&hs_nonces),
+                    seed: cfg.seed,
                 },
                 coord.clone(),
                 down_windows(crashes, faults, id),
@@ -770,11 +1190,12 @@ pub fn run_tcp(
                 net_seed,
                 Arc::clone(faults),
                 kills,
+                cfg.hooks.clone(),
             )
         })
         .collect();
 
-    Ok(match queues {
+    match queues {
         None => {
             let mut handles = Vec::with_capacity(n);
             for (core, rx) in cores.into_iter().zip(receivers) {
@@ -790,11 +1211,12 @@ pub fn run_tcp(
             drive_rounds(&senders, coord.as_ref(), epoch, rounds, round_ms);
             drop(senders);
             stop_accepts();
-            join_workers(handles, rounds)
+            Ok(join_workers(handles, rounds))
         }
         Some((size, queues)) => {
             let threads = Scheduler::resolve_threads(size, n);
             run_pool(cores, queues, threads, epoch, rounds, round_ms, stop_accepts)
+                .map_err(TcpSetupError::SpawnNode)
         }
-    })
+    }
 }

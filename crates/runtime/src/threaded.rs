@@ -66,6 +66,7 @@ use pag_membership::NodeId;
 
 use crate::churn::ChurnEvent;
 use crate::faults::FaultPlan;
+use crate::hooks::HostHooks;
 use crate::pool::{run_pool, PoolLink, PoolQueues, Scheduler};
 use crate::worker::{
     down_windows, drive_rounds, join_workers, merged_feeds, Coordination, DriverRun, Envelope,
@@ -77,6 +78,36 @@ pub use crate::worker::{NetEmulation, NetEmulationError};
 /// Outcome of a threaded run (alias of the transport-neutral
 /// [`DriverRun`]; the TCP driver returns the same shape).
 pub type ThreadedRun = DriverRun;
+
+/// Setup failure of the threaded driver — thread spawning refused by
+/// the OS before the session could start. Surfaced as a typed error
+/// (not a panic) so a host running many sessions can report one
+/// session's failure without dying.
+#[derive(Debug)]
+pub enum ThreadedSetupError {
+    /// Spawning a dedicated node thread failed (`ThreadPerNode`).
+    SpawnNode(std::io::Error),
+    /// Spawning the worker pool failed (`Pool(_)`): no worker thread
+    /// could be started, or the timekeeper could not.
+    SpawnPool(std::io::Error),
+}
+
+impl std::fmt::Display for ThreadedSetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadedSetupError::SpawnNode(e) => write!(f, "spawning a node thread failed: {e}"),
+            ThreadedSetupError::SpawnPool(e) => write!(f, "spawning the worker pool failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedSetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThreadedSetupError::SpawnNode(e) | ThreadedSetupError::SpawnPool(e) => Some(e),
+        }
+    }
+}
 
 /// Configuration of the threaded driver.
 #[derive(Clone, Debug)]
@@ -93,6 +124,9 @@ pub struct ThreadedConfig {
     pub net: Option<NetEmulation>,
     /// Node-to-thread mapping: dedicated threads or a worker pool.
     pub scheduler: Scheduler,
+    /// Host integration hooks (snapshot vault, live status watch).
+    /// Defaults to off; hooks never alter engine inputs.
+    pub hooks: HostHooks,
 }
 
 impl Default for ThreadedConfig {
@@ -103,6 +137,7 @@ impl Default for ThreadedConfig {
             seed: 0,
             net: None,
             scheduler: Scheduler::ThreadPerNode,
+            hooks: HostHooks::default(),
         }
     }
 }
@@ -132,7 +167,8 @@ impl Link for ChannelLink {
 /// session's compiled fault plan (link cuts, partitions, corruption
 /// windows, crash-restarts; pass a default plan for a clean run).
 /// Returns the traffic report (protocol seconds; see [`crate::report`])
-/// and the final engines.
+/// and the final engines, or a typed [`ThreadedSetupError`] when the OS
+/// refuses the threads the session needs.
 pub fn run_threaded(
     shared: &Arc<SharedContext>,
     engines: Vec<PagEngine>,
@@ -141,7 +177,7 @@ pub fn run_threaded(
     churn: &[ChurnEvent],
     faults: &Arc<FaultPlan>,
     cfg: &ThreadedConfig,
-) -> ThreadedRun {
+) -> Result<ThreadedRun, ThreadedSetupError> {
     let ids: Vec<NodeId> = engines.iter().map(|e| e.id()).collect();
     let n = ids.len();
     let coord = cfg.lockstep.then(|| Arc::new(Coordination::new(n)));
@@ -179,18 +215,30 @@ pub fn run_threaded(
                     net_seed,
                     Arc::clone(faults),
                     Vec::new(),
+                    cfg.hooks.clone(),
                 );
                 let worker = Worker { core, rx };
-                let handle = thread::Builder::new()
+                match thread::Builder::new()
                     .name(format!("pag-{id}"))
                     .spawn(move || worker.run())
-                    .expect("spawn node thread");
-                handles.push((id, handle));
+                {
+                    Ok(handle) => handles.push((id, handle)),
+                    Err(e) => {
+                        // Unwind cleanly: close every channel so the
+                        // already-spawned workers drain and exit, then
+                        // join them before reporting the refusal.
+                        drop(senders);
+                        for (_, handle) in handles {
+                            let _ = handle.join();
+                        }
+                        return Err(ThreadedSetupError::SpawnNode(e));
+                    }
+                }
             }
 
             drive_rounds(&senders, coord.as_ref(), epoch, rounds, round_ms);
             drop(senders);
-            join_workers(handles, rounds)
+            Ok(join_workers(handles, rounds))
         }
         Scheduler::Pool(size) => {
             let queues = PoolQueues::new(n, coord.clone());
@@ -216,11 +264,13 @@ pub fn run_threaded(
                         net_seed,
                         Arc::clone(faults),
                         Vec::new(),
+                        cfg.hooks.clone(),
                     )
                 })
                 .collect();
             let threads = Scheduler::resolve_threads(size, n);
             run_pool(cores, queues, threads, epoch, rounds, round_ms, || {})
+                .map_err(ThreadedSetupError::SpawnPool)
         }
     }
 }

@@ -52,6 +52,7 @@ use pag_simnet::SimConfig;
 
 use crate::churn::ChurnEvent;
 use crate::faults::FaultPlan;
+use crate::hooks::{HostHooks, NodeStatus};
 use crate::report::{NodeTraffic, TrafficReport};
 
 /// Virtual milliseconds per round in lockstep mode — the one-second
@@ -241,6 +242,10 @@ pub(crate) enum Envelope {
     /// rejected-frame budget (hostile flood); the drop is counted via
     /// [`PagEngine::note_connection_dropped`].
     ConnectionDropped,
+    /// The transport rejected a late connection's authentication
+    /// handshake (bad proof, wrong session, unknown identity) and
+    /// severed it; counted via [`PagEngine::note_handshake_rejected`].
+    HandshakeRejected,
     /// Lockstep only: release the frames stashed during the last
     /// round-start or timer phase.
     ///
@@ -452,6 +457,10 @@ pub(crate) struct NodeCore<L: Link> {
     /// (due, arrival order, bytes).
     pub(crate) delayed: Vec<(u64, u64, Vec<u8>)>,
     pub(crate) delay_seq: u64,
+    /// Host integration: snapshot vault and live status watch. Both
+    /// default to off and never alter engine inputs, so a hooked run
+    /// stays bit-identical to an unhooked one (DESIGN.md §13).
+    pub(crate) hooks: HostHooks,
 }
 
 impl<L: Link> NodeCore<L> {
@@ -474,6 +483,7 @@ impl<L: Link> NodeCore<L> {
         net_seed: u64,
         faults: Arc<FaultPlan>,
         kills: Vec<(u64, NodeId)>,
+        hooks: HostHooks,
     ) -> Self {
         NodeCore {
             idx,
@@ -501,6 +511,7 @@ impl<L: Link> NodeCore<L> {
             net_seed,
             delayed: Vec::new(),
             delay_seq: 0,
+            hooks,
         }
     }
 
@@ -660,6 +671,11 @@ impl<L: Link> NodeCore<L> {
         let _metric = self.engine.note_connection_dropped(self.round);
     }
 
+    /// Counts one rejected (and severed) authentication handshake.
+    fn note_handshake_rejected(&mut self) {
+        let _metric = self.engine.note_handshake_rejected(self.round);
+    }
+
     /// Decodes an incoming frame, accounts it, and delivers it. Bytes
     /// that do not decode, or frames addressed to another node, are
     /// dropped and counted — never a panic, whatever the transport
@@ -730,8 +746,30 @@ impl<L: Link> NodeCore<L> {
         } else {
             self.now_ms = round * self.round_ms;
         }
+        let was_crashed = self.crashed;
         self.crashed = self.down_now(round);
+        if let Some(watch) = self.hooks.watch.as_deref() {
+            watch.publish(
+                self.id,
+                NodeStatus {
+                    round,
+                    metrics: self.engine.metrics().clone(),
+                    traffic: self.traffic.clone(),
+                },
+            );
+        }
         if self.crashed {
+            // Crash entry: the node's last coherent state goes to the
+            // vault *before* in-flight state is discarded, so a process
+            // restarted from disk recovers exactly what the in-memory
+            // recovery path would have. Persistence failure is logged by
+            // the vault and degrades to in-memory recovery — it can
+            // never change protocol behaviour.
+            if !was_crashed {
+                if let Some(vault) = self.hooks.vault.as_deref() {
+                    let _persisted = vault.save(&self.engine.snapshot());
+                }
+            }
             self.timers.clear();
             self.delayed.clear();
         } else {
@@ -760,6 +798,32 @@ impl<L: Link> NodeCore<L> {
                 .map(|(_, input)| input.clone())
                 .collect();
             for input in due {
+                // A recovery of *this* node is where a restarted host
+                // process reloads its vaulted snapshot. The load is a
+                // durability check, not an input source: the engine's
+                // own recovery path stays authoritative, so a missing
+                // or stale vault entry degrades to in-memory recovery
+                // with a log line instead of diverging from the other
+                // drivers.
+                if let Input::Recover { node, .. } = &input {
+                    if *node == self.id {
+                        if let Some(vault) = self.hooks.vault.as_deref() {
+                            match vault.load(self.id) {
+                                Some(snap) if snap.id == self.id => {}
+                                Some(snap) => eprintln!(
+                                    "[pag] vault returned snapshot of {} for {} — \
+                                     recovering from memory",
+                                    snap.id, self.id
+                                ),
+                                None => eprintln!(
+                                    "[pag] no vaulted snapshot for {} at recovery — \
+                                     recovering from memory",
+                                    self.id
+                                ),
+                            }
+                        }
+                    }
+                }
                 self.feed(input);
             }
             self.buffering = false;
@@ -781,6 +845,7 @@ impl<L: Link> NodeCore<L> {
             }
             Envelope::Malformed => self.reject_frame(),
             Envelope::ConnectionDropped => self.note_connection_dropped(),
+            Envelope::HandshakeRejected => self.note_handshake_rejected(),
             Envelope::Flush => {
                 for (to, frame, class) in std::mem::take(&mut self.stash) {
                     self.ship(to, frame, class);
@@ -831,6 +896,7 @@ impl<L: Link> NodeCore<L> {
             Envelope::Frame { bytes } => self.realtime_frame(bytes),
             Envelope::Malformed => self.reject_frame(),
             Envelope::ConnectionDropped => self.note_connection_dropped(),
+            Envelope::HandshakeRejected => self.note_handshake_rejected(),
             Envelope::Wake => {
                 let now = (Instant::now() - self.epoch).as_millis() as u64;
                 self.realtime_tick(now);

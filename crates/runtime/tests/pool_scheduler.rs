@@ -140,7 +140,8 @@ proptest! {
             ..ThreadedConfig::default()
         };
         let faults = Arc::new(pag_runtime::FaultPlan::default());
-        let run = run_threaded(&shared, engines, rounds, &[], churn.events(), &faults, &cfg);
+        let run = run_threaded(&shared, engines, rounds, &[], churn.events(), &faults, &cfg)
+            .expect("pool spawns");
         prop_assert_eq!(run.engines.len(), nodes + 1);
         for (id, engine) in &run.engines {
             prop_assert_eq!(

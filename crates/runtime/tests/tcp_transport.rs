@@ -14,7 +14,10 @@ use pag_core::messages::{MessageBody, SignedMessage};
 use pag_core::wire::{encode_frame, encode_stream_frame, WireConfig, MAX_STREAM_FRAME_BYTES};
 use pag_crypto::Signature;
 use pag_membership::NodeId;
-use pag_runtime::{run_session, Driver, NetEmulation, Scheduler, SessionConfig, TcpConfig};
+use pag_runtime::{
+    run_session, try_run_session, Driver, NetEmulation, Scheduler, SessionConfig, SessionError,
+    TcpConfig, ThreadedConfig,
+};
 use pag_simnet::SimConfig;
 
 fn base(nodes: usize, rounds: u64) -> SessionConfig {
@@ -379,7 +382,10 @@ fn rejected_frame_flood_is_contained_under_the_pool() {
 /// De-panic satellite: when a node thread *does* die (forced here via a
 /// wire profile the codec refuses, an internal invariant violation),
 /// the session error names the node and carries the panic payload
-/// instead of an opaque "node thread panicked".
+/// instead of an opaque "node thread panicked". Runs on the threaded
+/// driver: over TCP the same broken profile now fails the *handshake*
+/// at setup (see the companion test below) before any node thread can
+/// touch it.
 #[test]
 fn worker_panic_names_the_node_and_payload() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -387,7 +393,7 @@ fn worker_panic_names_the_node_and_payload() {
         // header != 13 makes encode_frame error out, so the first send
         // from any node panics its worker thread.
         sc.pag.wire.header = 12;
-        sc.driver = Driver::Tcp(TcpConfig::default());
+        sc.driver = Driver::Threaded(ThreadedConfig::default());
         run_session(sc)
     }));
     let payload = result.expect_err("a broken wire profile must fail the session");
@@ -404,6 +410,170 @@ fn worker_panic_names_the_node_and_payload() {
     assert!(
         msg.contains("session messages encode"),
         "original payload lost: {msg}"
+    );
+}
+
+/// Over TCP, a wire profile the codec refuses dies earlier still: the
+/// mesh handshake cannot encode its HandshakeHello, so setup fails with
+/// a typed [`SessionError::TcpSetup`] from `try_run_session` — no node
+/// thread ever starts, nothing panics.
+#[test]
+fn broken_wire_profile_is_a_typed_tcp_setup_error() {
+    let mut sc = base(6, 2);
+    sc.pag.wire.header = 12;
+    sc.driver = Driver::Tcp(TcpConfig::default());
+    let err = try_run_session(sc).expect_err("a broken wire profile must refuse to start");
+    assert!(
+        matches!(err, SessionError::TcpSetup(_)),
+        "expected a TCP setup error, got: {err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("handshake"),
+        "error should name the handshake stage: {msg}"
+    );
+}
+
+/// Hostile-handshake satellite: connections that *attempt* the
+/// authenticated handshake but cannot complete it honestly — wrong
+/// session id, replayed (stale-nonce) proofs, forged signatures — are
+/// rejected and counted (`NodeMetrics::handshakes_rejected`) without
+/// wedging the accept loop; the session completes, delivers, convicts
+/// nobody. The attacker holds the *real* roster keys (key material
+/// derives deterministically from the session id) — only the live
+/// channel binding defeats it.
+#[test]
+fn hostile_handshakes_are_rejected_and_counted() {
+    use pag_core::handshake;
+    use pag_core::wire::StreamFramer;
+    use pag_core::SharedContext;
+    use pag_membership::Membership;
+    use std::io::Read;
+
+    let nodes = 8;
+    let (probe_tx, probe_rx) = channel();
+    let mut sc = base(nodes, 6);
+    sc.driver = Driver::Tcp(TcpConfig {
+        round_ms: 200,
+        lockstep: false,
+        seed: 13,
+        addr_probe: Some(probe_tx),
+        ..TcpConfig::default()
+    });
+
+    // Reconstruct the session's shared context (deterministic keys), so
+    // the attacker signs *valid* frames and only the handshake logic
+    // stands between it and the mesh.
+    let pag = sc.pag.clone();
+    let injector = std::thread::spawn(move || {
+        let membership = Membership::with_uniform_nodes(
+            pag.session_id,
+            nodes,
+            pag.fanout,
+            pag.monitor_count,
+        );
+        let wire = pag.wire.clone();
+        let max = MAX_STREAM_FRAME_BYTES;
+        let shared = SharedContext::with_roster(pag, membership, &[]);
+        let liar = NodeId(2);
+        let send = |conn: &mut TcpStream, to: NodeId, msg: &SignedMessage| {
+            let frame = encode_frame(liar, to, msg, &wire).expect("attack frame encodes");
+            conn.write_all(&encode_stream_frame(&frame, max).unwrap())
+        };
+        // Blocking-reads one stream frame off the connection.
+        let read_frame = |conn: &mut TcpStream| -> Option<Vec<u8>> {
+            let mut framer = StreamFramer::new(max);
+            let mut chunk = [0u8; 4096];
+            loop {
+                if let Ok(Some(frame)) = framer.next_frame() {
+                    return Some(frame);
+                }
+                match conn.read(&mut chunk) {
+                    Ok(0) | Err(_) => return None,
+                    Ok(n) => framer.push(&chunk[..n]),
+                }
+            }
+        };
+        let drained = |conn: &mut TcpStream| {
+            // The listener severs rejected connections: keep reading
+            // until EOF (HandshakeReject frames may arrive first).
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.read(&mut chunk) {
+                    Ok(0) | Err(_) => return true,
+                    Ok(_) => {}
+                }
+            }
+        };
+
+        let mut expected_rejections = 0usize;
+        for (victim, addr) in probe_rx.iter().take(nodes) {
+            let addr: SocketAddr = addr;
+
+            // (1) A hello naming the wrong session — validly signed,
+            // instantly refused.
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            let wrong_session = shared.sign(
+                liar,
+                MessageBody::HandshakeHello { session: 999_999, node: liar, nonce: 77 },
+            );
+            if send(&mut conn, victim, &wrong_session).is_ok() {
+                expected_rejections += 1;
+                assert!(drained(&mut conn), "wrong-session connection not severed");
+            }
+
+            // (2) A replayed proof: valid hello, then a proof bound to a
+            // nonce from some *other* connection — the fresh listener
+            // nonce on this one cannot match.
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            send(&mut conn, victim, &handshake::hello(&shared, liar, 1)).expect("hello");
+            send(&mut conn, victim, &handshake::proof(&shared, liar, 0xDEAD_BEEF, 1))
+                .expect("stale proof");
+            expected_rejections += 1;
+            assert!(drained(&mut conn), "replayed-proof connection not severed");
+
+            // (3) A forged signature on otherwise perfect bindings: read
+            // the listener's real hello, echo its nonce, garbage sig.
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            send(&mut conn, victim, &handshake::hello(&shared, liar, 2)).expect("hello");
+            if let Some(bytes) = read_frame(&mut conn) {
+                let listener_hello =
+                    pag_core::wire::decode_frame(&bytes, &wire).expect("listener hello decodes");
+                let (_, l_nonce) =
+                    handshake::read_hello(&shared, &listener_hello).expect("listener hello reads");
+                let honest = handshake::proof(&shared, liar, l_nonce, 2);
+                let forged = SignedMessage {
+                    body: honest.body,
+                    sig: Signature::from_bytes(vec![0xEE; wire.signature]),
+                };
+                if send(&mut conn, victim, &forged).is_ok() {
+                    expected_rejections += 1;
+                    assert!(drained(&mut conn), "forged-proof connection not severed");
+                }
+            }
+        }
+        expected_rejections
+    });
+
+    let outcome = run_session(sc);
+    let expected_rejections = injector.join().expect("injector thread");
+    assert!(expected_rejections >= nodes, "attack barely ran: {expected_rejections}");
+
+    // The protocol shrugged: delivery flowed, nobody convicted.
+    assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
+    let delivered: usize = outcome
+        .metrics
+        .iter()
+        .filter(|(id, _)| **id != NodeId(0))
+        .map(|(_, m)| m.delivered_count())
+        .sum();
+    assert!(delivered > 0, "protocol kept delivering under handshake attack");
+
+    // Every refused handshake is on the books.
+    let rejected: u64 = outcome.metrics.values().map(|m| m.handshakes_rejected).sum();
+    assert!(
+        rejected >= expected_rejections as u64,
+        "expected at least {expected_rejections} handshake rejections, saw {rejected}"
     );
 }
 

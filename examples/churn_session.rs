@@ -12,7 +12,7 @@
 //! round. A clean churned session convicts nobody.
 
 use pag::membership::NodeId;
-use pag::runtime::{run_session, ChurnKind, ChurnSchedule, SessionConfig};
+use pag::runtime::{try_run_session, ChurnKind, ChurnSchedule, Driver, SessionConfig, ThreadedConfig};
 
 fn main() {
     let nodes = 50;
@@ -24,8 +24,18 @@ fn main() {
     // membership series below visibly drifts upward.
     let schedule = ChurnSchedule::steady(7, nodes, rounds, 3, 2);
     config.churn = schedule.events().to_vec();
+    // Run on the threaded driver so the error path is exercised for
+    // real: thread spawning is fallible, and the typed SessionError is
+    // how a caller hears about it without a panic.
+    config.driver = Driver::Threaded(ThreadedConfig::default());
 
-    let outcome = run_session(config);
+    let outcome = match try_run_session(config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("churned session could not start: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!("== PAG churned session ==");
     println!("initial nodes        : {nodes}");

@@ -1,0 +1,126 @@
+//! The host: one long-lived process running several authenticated
+//! sessions, with on-disk crash recovery.
+//!
+//! ```sh
+//! cargo run --release --example host_session
+//! ```
+//!
+//! A [`pag::host::Host`] is spawned over a scratch directory and given
+//! two concurrent TCP sessions — every mesh link authenticated by the
+//! signed challenge/response handshake. While they run, the example
+//! polls each session's live [`SessionWatch`] stream. Then the host
+//! demonstrates crash recovery: a third session schedules a node's
+//! "process" to die mid-session (persisting its snapshot to the host's
+//! store), the host itself is dropped — killed — and a fresh host over
+//! the same directory reloads the snapshot and reruns the session with
+//! the node rejoining recovered, never convicted.
+
+use pag::host::Host;
+use pag::membership::NodeId;
+use pag::runtime::{Driver, FaultEvent, SessionConfig, TcpConfig};
+
+fn tcp_session(session_id: u64, seed: u64, rounds: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(10, rounds);
+    sc.pag.stream_rate_kbps = 60.0;
+    sc.pag.session_id = session_id;
+    sc.driver = Driver::Tcp(TcpConfig {
+        round_ms: 200,
+        lockstep: false,
+        seed,
+        ..TcpConfig::default()
+    });
+    sc
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pag-host-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rounds = 8;
+
+    // --- Two concurrent authenticated sessions on one host. ---------
+    let host = Host::open(&dir).expect("host directory");
+    let a = host.spawn(tcp_session(1, 7, rounds)).expect("spawn session a");
+    let b = host.spawn(tcp_session(2, 8, rounds)).expect("spawn session b");
+    println!("== pag-host: {} sessions live ==", host.list().len());
+
+    // Poll the live status stream while both sessions run.
+    let watch = host.watch(a).expect("watch session a");
+    loop {
+        let done = host.list().iter().all(|s| s.finished);
+        if let Some(min) = watch.min_round() {
+            let statuses = watch.snapshot();
+            let delivered: usize = statuses.values().map(|s| s.metrics.delivered.len()).sum();
+            println!(
+                "session {a}: {} nodes reporting, slowest at round {min}, {delivered} deliveries",
+                statuses.len()
+            );
+        }
+        if done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+    }
+
+    let outcome_a = host.join(a).expect("known").expect("session a runs");
+    let outcome_b = host.join(b).expect("known").expect("session b runs");
+    println!(
+        "session {a}: {} updates, {} verdicts | session {b}: {} updates, {} verdicts",
+        outcome_a.creations.len(),
+        outcome_a.verdicts.len(),
+        outcome_b.creations.len(),
+        outcome_b.verdicts.len()
+    );
+    assert!(outcome_a.verdicts.is_empty() && outcome_b.verdicts.is_empty());
+
+    // --- Kill and restart: crash recovery from the host's disk. ------
+    let crashed = NodeId(3);
+    let mut sc = tcp_session(9, 9, rounds);
+    sc.faults = vec![FaultEvent::CrashRestart {
+        node: crashed,
+        crash_round: 2,
+        restart_round: 5,
+    }];
+    let c = host.spawn(sc.clone()).expect("spawn crashing session");
+    let outcome = host.join(c).expect("known").expect("session c runs");
+    let snap = host
+        .store(9)
+        .expect("session store")
+        .retrieve(crashed)
+        .expect("snapshot parses")
+        .expect("snapshot persisted at crash entry");
+    println!(
+        "node {crashed} crashed at round 2: snapshot on disk ({} rounds entered), \
+         {} recovery, {} verdicts",
+        snap.rounds_entered,
+        outcome.metrics[&crashed].recoveries,
+        outcome.verdicts.len()
+    );
+    assert!(outcome.verdicts.is_empty(), "rejoin must not convict");
+
+    // Kill the host process (drop is all a kill leaves behind: the
+    // directory). A fresh host over the same path inherits the store.
+    drop(host);
+    let reborn = Host::open(&dir).expect("reopen host directory");
+    let snap = reborn
+        .store(9)
+        .expect("session store")
+        .retrieve(crashed)
+        .expect("snapshot parses")
+        .expect("snapshot survived the host restart");
+    println!(
+        "host restarted: snapshot of node {} still loadable from {}",
+        snap.id,
+        reborn.dir().display()
+    );
+    let c = reborn.spawn(sc).expect("respawn after restart");
+    let outcome = reborn.join(c).expect("known").expect("session reruns");
+    println!(
+        "rerun after restart: node {crashed} recovered {} time(s), {} verdicts — rejoined, not convicted",
+        outcome.metrics[&crashed].recoveries,
+        outcome.verdicts.len()
+    );
+    assert!(outcome.verdicts.is_empty());
+    assert_eq!(outcome.metrics[&crashed].recoveries, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -14,7 +14,7 @@
 //! session counts zero.
 
 use pag::membership::NodeId;
-use pag::runtime::{run_session, Driver, SessionConfig, TcpConfig};
+use pag::runtime::{try_run_session, Driver, SessionConfig, TcpConfig};
 
 fn main() {
     let nodes = 12;
@@ -29,7 +29,16 @@ fn main() {
     });
 
     let started = std::time::Instant::now();
-    let outcome = run_session(config);
+    // Socket setup (binding loopback listeners, pairing the mesh, the
+    // authenticated handshake) can genuinely fail in a constrained
+    // environment — surface the typed SessionError instead of panicking.
+    let outcome = match try_run_session(config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("tcp session could not start: {e}");
+            std::process::exit(1);
+        }
+    };
     let wall = started.elapsed();
 
     let delivered: usize = outcome

@@ -5,6 +5,7 @@ pub use pag_baselines as baselines;
 pub use pag_bignum as bignum;
 pub use pag_core as core;
 pub use pag_crypto as crypto;
+pub use pag_host as host;
 pub use pag_membership as membership;
 pub use pag_runtime as runtime;
 pub use pag_simnet as simnet;
