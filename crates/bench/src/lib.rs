@@ -115,6 +115,20 @@ pub fn faulted_session(nodes: usize, rounds: u64) -> SessionConfig {
     sc
 }
 
+/// The frozen flight-recorder scenario behind the `traced_session`
+/// entry of `BENCH_protocol.json`: exactly [`pooled_session`] with the
+/// pag-obs recorder turned on (`TraceConfig::on()`, default rings, no
+/// JSONL sink). `bench_snapshot` runs it against the untraced pooled
+/// session of the same size and asserts the crypto ops are
+/// bit-identical while reporting the wall-clock overhead — the
+/// acceptance bar is that tracing observes without perturbing and
+/// costs < 5% (PERF.md PR 8).
+pub fn traced_session(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = pooled_session(nodes, rounds);
+    sc.trace = pag_runtime::TraceConfig::on();
+    sc
+}
+
 /// One of the frozen sessions behind the `host_multi_session` entry of
 /// `BENCH_protocol.json`: the real-crypto profile of
 /// [`real_crypto_session`] on the lockstep TCP driver (every mesh link

@@ -30,6 +30,24 @@ impl OpCounters {
         self.verifications += other.verifications;
         self.primes += other.primes;
     }
+
+    /// Operations performed since `earlier` (a previous clone of these
+    /// counters). Counters only grow, so the difference is exact; the
+    /// flight recorder uses this to attribute an engine step's wall
+    /// time to the crypto classes that ran in it (DESIGN.md §14).
+    pub fn delta_since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            hashes: self.hashes - earlier.hashes,
+            signatures: self.signatures - earlier.signatures,
+            verifications: self.verifications - earlier.verifications,
+            primes: self.primes - earlier.primes,
+        }
+    }
+
+    /// Total operations across all classes.
+    pub fn total(&self) -> u64 {
+        self.hashes + self.signatures + self.verifications + self.primes
+    }
 }
 
 /// Everything a node records about its own execution.
@@ -80,6 +98,41 @@ pub struct NodeMetrics {
 }
 
 impl NodeMetrics {
+    /// Adds another node's metrics into this one, mirroring
+    /// [`OpCounters::merge`]: every scalar counter sums, and the
+    /// delivery map keeps the **earliest** round per update (so a
+    /// session-level rollup reports when an update first reached *any*
+    /// of the merged nodes). Callers that used to hand-sum individual
+    /// fields — and silently missed newly added counters — should use
+    /// this or [`NodeMetrics::rollup`] instead.
+    pub fn merge(&mut self, other: &NodeMetrics) {
+        self.ops.merge(&other.ops);
+        for (&id, &round) in &other.delivered {
+            self.delivered
+                .entry(id)
+                .and_modify(|r| *r = (*r).min(round))
+                .or_insert(round);
+        }
+        self.duplicate_payloads += other.duplicate_payloads;
+        self.accusations_sent += other.accusations_sent;
+        self.exchanges_completed += other.exchanges_completed;
+        self.frames_rejected += other.frames_rejected;
+        self.connections_dropped += other.connections_dropped;
+        self.links_severed += other.links_severed;
+        self.links_reconnected += other.links_reconnected;
+        self.recoveries += other.recoveries;
+        self.handshakes_rejected += other.handshakes_rejected;
+    }
+
+    /// Session-level rollup: merges every node's metrics into one.
+    pub fn rollup<'a>(all: impl IntoIterator<Item = &'a NodeMetrics>) -> NodeMetrics {
+        let mut total = NodeMetrics::default();
+        for m in all {
+            total.merge(m);
+        }
+        total
+    }
+
     /// Records the first delivery of `id` at `round` (later calls are
     /// duplicate payloads). Returns `true` on a first delivery.
     pub fn record_delivery(&mut self, id: UpdateId, round: u64) -> bool {
@@ -159,5 +212,42 @@ mod tests {
         a.merge(&a.clone());
         assert_eq!(a.hashes, 2);
         assert_eq!(a.primes, 8);
+        let d = a.delta_since(&OpCounters {
+            hashes: 1,
+            signatures: 1,
+            verifications: 1,
+            primes: 1,
+        });
+        assert_eq!(d.hashes, 1);
+        assert_eq!(d.primes, 7);
+        assert_eq!(a.total(), 2 + 4 + 6 + 8);
+    }
+
+    #[test]
+    fn metrics_merge_and_rollup() {
+        let mut a = NodeMetrics::default();
+        a.record_delivery(UpdateId(1), 3);
+        a.record_delivery(UpdateId(2), 5);
+        a.ops.signatures = 2;
+        a.frames_rejected = 1;
+        a.handshakes_rejected = 4;
+
+        let mut b = NodeMetrics::default();
+        b.record_delivery(UpdateId(1), 2); // earlier than a's round 3
+        b.record_delivery(UpdateId(1), 6); // duplicate on b
+        b.ops.signatures = 3;
+        b.links_severed = 2;
+        b.recoveries = 1;
+
+        let total = NodeMetrics::rollup([&a, &b]);
+        assert_eq!(total.ops.signatures, 5);
+        assert_eq!(total.delivered_count(), 2);
+        assert_eq!(total.delivered[&UpdateId(1)], 2, "earliest round wins");
+        assert_eq!(total.delivered[&UpdateId(2)], 5);
+        assert_eq!(total.duplicate_payloads, 1);
+        assert_eq!(total.frames_rejected, 1);
+        assert_eq!(total.handshakes_rejected, 4);
+        assert_eq!(total.links_severed, 2);
+        assert_eq!(total.recoveries, 1);
     }
 }

@@ -143,6 +143,11 @@ impl Host {
         let hooks = HostHooks {
             vault: Some(Arc::new(store)),
             watch: Some(Arc::clone(&watch)),
+            // The recorder itself is resolved by the session layer from
+            // `sc.trace`, so hosted sessions trace exactly like
+            // standalone ones; the host reads the results back through
+            // the watch (see `metrics_text`).
+            trace: None,
         };
         match &mut sc.driver {
             Driver::Threaded(tc) => tc.hooks = hooks,
@@ -192,6 +197,39 @@ impl Host {
             Ok(outcome) => Some(outcome),
             Err(payload) => std::panic::resume_unwind(payload),
         }
+    }
+
+    /// Renders every registered session's live status as one
+    /// Prometheus text-format page (version 0.0.4 exposition): session
+    /// liveness, per-node round/metric/traffic counters, and — for
+    /// traced sessions — the flight-recorder latency summaries
+    /// (DESIGN.md §14). Pure observation: reads watch snapshots only.
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.rows(None))
+    }
+
+    /// Renders the scrape page of session `id` alone. `None` for
+    /// unknown (or already joined/retired) ids.
+    pub fn session_metrics_text(&self, id: u64) -> Option<String> {
+        let rows = self.rows(Some(id));
+        if rows.is_empty() {
+            return None;
+        }
+        Some(crate::metrics::render(&rows))
+    }
+
+    /// Snapshots the registry into scrape rows (all sessions, or one).
+    fn rows(&self, only: Option<u64>) -> Vec<crate::metrics::SessionRow> {
+        self.lock()
+            .iter()
+            .filter(|(&id, _)| only.map_or(true, |want| want == id))
+            .map(|(&id, h)| crate::metrics::SessionRow {
+                id,
+                protocol_session: h.protocol_session,
+                finished: h.thread.is_finished(),
+                nodes: h.watch.snapshot(),
+            })
+            .collect()
     }
 
     /// Drops session `id` from the registry without waiting: the

@@ -24,6 +24,11 @@
 //!   a new [`Host`] over the same directory — re-handshakes and reloads
 //!   that state at `Input::Recover` time, rejoining the session
 //!   unconvicted instead of blank.
+//! * **Observability** is [`Host::metrics_text`]: a Prometheus
+//!   text-format scrape page rendered from each session's live watch —
+//!   rounds, protocol counters, traffic, and (for sessions run with
+//!   `pag_runtime::TraceConfig` tracing on) the flight recorder's
+//!   latency summaries (DESIGN.md §14).
 //!
 //! Hooks never alter engine inputs, and handshake traffic is never
 //! charged to protocol accounting, so a hosted session's verdicts,
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod host;
+mod metrics;
 pub mod store;
 
 pub use host::{Host, HostError, SessionInfo};

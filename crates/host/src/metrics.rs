@@ -1,0 +1,362 @@
+//! Prometheus text-format export of the host's live session state
+//! (DESIGN.md §14).
+//!
+//! [`crate::Host::metrics_text`] renders every registered session's
+//! last-published [`NodeStatus`] snapshots — round progress, protocol
+//! metric counters, crypto-op counters, traffic, and (for traced
+//! sessions) the flight-recorder latency summaries — as one
+//! version-0.0.4 exposition page a scraper can ingest directly. The
+//! rendering is pure: it reads watch snapshots, never touches the
+//! running workers, and a session that publishes nothing simply
+//! contributes no node samples.
+//!
+//! Sample families are grouped under a single `# HELP`/`# TYPE` header
+//! each (the exposition format requires this), so the renderer first
+//! collects every session's snapshot into [`SessionRow`]s and then
+//! walks the rows once per family.
+
+use std::collections::BTreeMap;
+
+use pag_membership::NodeId;
+use pag_obs::prom;
+use pag_runtime::NodeStatus;
+
+/// One session's scrape-time state, snapshotted from its watch.
+pub(crate) struct SessionRow {
+    /// Registry id (the `session` label).
+    pub id: u64,
+    /// Protocol session id (`PagConfig::session_id`).
+    pub protocol_session: u64,
+    /// Whether the supervisor thread has finished.
+    pub finished: bool,
+    /// Every node's last published status.
+    pub nodes: BTreeMap<NodeId, NodeStatus>,
+}
+
+/// Appends a counter/gauge family: one header, then one sample per
+/// `(labels, value)` row produced by `f` across all sessions.
+fn family(
+    out: &mut String,
+    rows: &[SessionRow],
+    name: &str,
+    help: &str,
+    ty: &str,
+    f: impl Fn(&SessionRow, &mut dyn FnMut(&[(&str, &str)], u64)),
+) {
+    prom::header(out, name, help, ty);
+    for row in rows {
+        f(row, &mut |labels, value| {
+            prom::sample(out, name, &prom::labels(labels), value)
+        });
+    }
+}
+
+/// Appends a per-node counter family whose value is a function of the
+/// node's status.
+fn node_family(
+    out: &mut String,
+    rows: &[SessionRow],
+    name: &str,
+    help: &str,
+    value: impl Fn(&NodeStatus) -> u64,
+) {
+    family(out, rows, name, help, "counter", |row, emit| {
+        let session = row.id.to_string();
+        for (node, status) in &row.nodes {
+            emit(
+                &[("session", &session), ("node", &node.to_string())],
+                value(status),
+            );
+        }
+    });
+}
+
+/// Renders the full exposition page for `rows`.
+pub(crate) fn render(rows: &[SessionRow]) -> String {
+    let mut out = String::new();
+
+    family(
+        &mut out,
+        rows,
+        "pag_host_session",
+        "Registered sessions; value is 1 while running, 0 once finished.",
+        "gauge",
+        |row, emit| {
+            emit(
+                &[
+                    ("session", &row.id.to_string()),
+                    ("protocol_session", &row.protocol_session.to_string()),
+                ],
+                u64::from(!row.finished),
+            )
+        },
+    );
+
+    family(
+        &mut out,
+        rows,
+        "pag_session_min_round",
+        "Lowest round any node of the session has entered.",
+        "gauge",
+        |row, emit| {
+            if let Some(min) = row.nodes.values().map(|s| s.round).min() {
+                emit(&[("session", &row.id.to_string())], min);
+            }
+        },
+    );
+
+    family(
+        &mut out,
+        rows,
+        "pag_node_round",
+        "Round the node most recently entered.",
+        "gauge",
+        |row, emit| {
+            let session = row.id.to_string();
+            for (node, status) in &row.nodes {
+                emit(
+                    &[("session", &session), ("node", &node.to_string())],
+                    status.round,
+                );
+            }
+        },
+    );
+
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_delivered_total",
+        "Distinct updates delivered so far.",
+        |s| s.metrics.delivered.len() as u64,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_exchanges_total",
+        "Accountability exchanges completed.",
+        |s| s.metrics.exchanges_completed,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_duplicate_payloads_total",
+        "Duplicate payloads received.",
+        |s| s.metrics.duplicate_payloads,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_accusations_total",
+        "Accusations this node sent.",
+        |s| s.metrics.accusations_sent,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_frames_rejected_total",
+        "Malformed or unverifiable frames rejected.",
+        |s| s.metrics.frames_rejected,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_connections_dropped_total",
+        "Transport connections dropped.",
+        |s| s.metrics.connections_dropped,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_links_severed_total",
+        "Mesh links severed.",
+        |s| s.metrics.links_severed,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_links_reconnected_total",
+        "Mesh links re-established after a sever.",
+        |s| s.metrics.links_reconnected,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_recoveries_total",
+        "Crash recoveries performed.",
+        |s| s.metrics.recoveries,
+    );
+    node_family(
+        &mut out,
+        rows,
+        "pag_node_handshakes_rejected_total",
+        "Authentication handshakes rejected.",
+        |s| s.metrics.handshakes_rejected,
+    );
+
+    family(
+        &mut out,
+        rows,
+        "pag_node_crypto_ops_total",
+        "Crypto operations performed, by class.",
+        "counter",
+        |row, emit| {
+            let session = row.id.to_string();
+            for (node, status) in &row.nodes {
+                let node = node.to_string();
+                for (op, count) in [
+                    ("hash", status.metrics.ops.hashes),
+                    ("sign", status.metrics.ops.signatures),
+                    ("verify", status.metrics.ops.verifications),
+                    ("prime", status.metrics.ops.primes),
+                ] {
+                    emit(
+                        &[("session", &session), ("node", &node), ("op", op)],
+                        count,
+                    );
+                }
+            }
+        },
+    );
+
+    family(
+        &mut out,
+        rows,
+        "pag_node_traffic_bytes_total",
+        "Protocol bytes on the wire, by direction.",
+        "counter",
+        |row, emit| {
+            let session = row.id.to_string();
+            for (node, status) in &row.nodes {
+                let node = node.to_string();
+                for (dir, bytes) in [
+                    ("sent", status.traffic.sent_bytes),
+                    ("recv", status.traffic.recv_bytes),
+                ] {
+                    emit(
+                        &[("session", &session), ("node", &node), ("direction", dir)],
+                        bytes,
+                    );
+                }
+            }
+        },
+    );
+
+    family(
+        &mut out,
+        rows,
+        "pag_node_traffic_msgs_total",
+        "Protocol messages on the wire, by direction.",
+        "counter",
+        |row, emit| {
+            let session = row.id.to_string();
+            for (node, status) in &row.nodes {
+                let node = node.to_string();
+                for (dir, msgs) in [
+                    ("sent", status.traffic.sent_msgs),
+                    ("recv", status.traffic.recv_msgs),
+                ] {
+                    emit(
+                        &[("session", &session), ("node", &node), ("direction", dir)],
+                        msgs,
+                    );
+                }
+            }
+        },
+    );
+
+    // Flight-recorder latency summaries, present only for traced
+    // sessions. Each of the five instruments is its own family.
+    for (key, help) in [
+        ("round_wall", "Round wall time, microseconds."),
+        ("barrier_stall", "Lockstep barrier / run-queue stall, microseconds."),
+        ("sign", "Signature production latency, microseconds."),
+        ("verify", "Signature verification latency, microseconds."),
+        ("hash", "Homomorphic hash latency, microseconds."),
+    ] {
+        let name = format!("pag_node_{key}_us");
+        prom::header(&mut out, &name, help, "summary");
+        for row in rows {
+            let session = row.id.to_string();
+            for (node, status) in &row.nodes {
+                let Some(lat) = &status.lat else { continue };
+                let summary = lat
+                    .named()
+                    .into_iter()
+                    .find(|(n, _)| *n == key)
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                prom::hist_summary(
+                    &mut out,
+                    &name,
+                    &[("session", &session), ("node", &node.to_string())],
+                    &summary,
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pag_core::NodeMetrics;
+    use pag_runtime::NodeTraffic;
+
+    fn row() -> SessionRow {
+        let mut metrics = NodeMetrics::default();
+        metrics.ops.signatures = 7;
+        metrics.exchanges_completed = 3;
+        let mut traffic = NodeTraffic::default();
+        traffic.sent_bytes = 512;
+        let mut nodes = BTreeMap::new();
+        nodes.insert(NodeId(2), NodeStatus::untraced(4, metrics, traffic));
+        SessionRow {
+            id: 1,
+            protocol_session: 99,
+            finished: false,
+            nodes,
+        }
+    }
+
+    /// Golden sample lines: label shape and family grouping are pinned
+    /// so a scraper config written against this page keeps working.
+    #[test]
+    fn render_pins_sample_shape() {
+        let page = render(&[row()]);
+        for expected in [
+            "# TYPE pag_host_session gauge",
+            "pag_host_session{session=\"1\",protocol_session=\"99\"} 1",
+            "pag_session_min_round{session=\"1\"} 4",
+            "pag_node_round{session=\"1\",node=\"n2\"} 4",
+            "pag_node_exchanges_total{session=\"1\",node=\"n2\"} 3",
+            "pag_node_crypto_ops_total{session=\"1\",node=\"n2\",op=\"sign\"} 7",
+            "pag_node_traffic_bytes_total{session=\"1\",node=\"n2\",direction=\"sent\"} 512",
+        ] {
+            assert!(page.contains(expected), "missing {expected:?} in:\n{page}");
+        }
+        // Untraced nodes contribute no latency summaries, but the
+        // family headers still render (empty families are legal).
+        assert!(page.contains("# TYPE pag_node_round_wall_us summary"));
+        assert!(!page.contains("pag_node_round_wall_us_count"));
+    }
+
+    /// Every header appears exactly once — samples of a family must be
+    /// contiguous under it for the format to be valid.
+    #[test]
+    fn headers_are_unique() {
+        let two = [row(), {
+            let mut r = row();
+            r.id = 2;
+            r
+        }];
+        let page = render(&two);
+        let headers: Vec<&str> = page.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let mut dedup = headers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(headers.len(), dedup.len(), "duplicate family header");
+        assert!(page.contains("pag_node_round{session=\"2\",node=\"n2\"} 4"));
+    }
+}

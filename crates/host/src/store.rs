@@ -159,7 +159,10 @@ impl SnapshotVault for SnapshotStore {
         match self.persist(snap) {
             Ok(()) => true,
             Err(e) => {
-                eprintln!("[pag-host] persisting snapshot of {} failed: {e}", snap.id);
+                pag_obs::logger::warn(
+                    "host.store_save",
+                    format_args!("persisting snapshot of {} failed: {e}", snap.id),
+                );
                 false
             }
         }
@@ -169,7 +172,10 @@ impl SnapshotVault for SnapshotStore {
         match self.retrieve(node) {
             Ok(found) => found,
             Err(e) => {
-                eprintln!("[pag-host] loading snapshot of {node} failed: {e}");
+                pag_obs::logger::warn(
+                    "host.store_load",
+                    format_args!("loading snapshot of {node} failed: {e}"),
+                );
                 None
             }
         }

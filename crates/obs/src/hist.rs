@@ -1,0 +1,305 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts samples
+//! with `value_us <= 2^i` (after the previous bucket), i.e. upper
+//! bounds 1 µs, 2 µs, 4 µs … ~70 s, with a final overflow bucket. The
+//! layout is fixed at compile time so recording is an array index
+//! bump — no allocation, no resizing — and two histograms merge by
+//! element-wise addition regardless of where they were recorded.
+
+/// Number of power-of-two buckets (upper bounds `2^0 .. 2^25` µs,
+/// ~33.5 s) plus one overflow bucket.
+pub const HIST_BUCKETS: usize = 27;
+
+/// A fixed-bucket histogram of microsecond latencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+/// Upper bound (inclusive, µs) of bucket `i`; the last bucket is
+/// unbounded and reported as `u64::MAX`.
+pub fn bucket_bound(i: usize) -> u64 {
+    if i + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    // Smallest i with us <= 2^i: 0 and 1 µs land in bucket 0.
+    let bits = 64 - us.saturating_sub(1).leading_zeros() as usize;
+    bits.min(HIST_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record_us(&mut self, us: u64) {
+        self.record_n(us, 1);
+    }
+
+    /// Records `n` samples of the same value (used when a batch of
+    /// identical operations shares one attributed wall time).
+    pub fn record_n(&mut self, us: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(us)] += n;
+        self.count += n;
+        self.sum_us = self.sum_us.saturating_add(us.saturating_mul(n));
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Largest sample, microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean sample, microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+
+    /// Per-bucket counts, index `i` bounded by [`bucket_bound`]`(i)`.
+    pub fn counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`); 0 when empty. Resolution is the bucket width —
+    /// good enough for "which power of two is p99 in".
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i + 1 >= HIST_BUCKETS {
+                    self.max_us
+                } else {
+                    bucket_bound(i)
+                };
+            }
+        }
+        self.max_us
+    }
+
+    /// Compresses to the fixed-size summary the watch publishes.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum_us: self.sum_us,
+            max_us: self.max_us,
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+        }
+    }
+}
+
+/// A compressed histogram: counts and headline quantiles, `Copy` so a
+/// watch publication is a plain store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples, microseconds.
+    pub sum_us: u64,
+    /// Largest sample, microseconds.
+    pub max_us: u64,
+    /// Median (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 99th percentile (bucket upper bound), microseconds.
+    pub p99_us: u64,
+}
+
+impl HistSummary {
+    /// Mean sample, microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+}
+
+/// The named histogram set the flight recorder keeps per node and
+/// aggregates per session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHists {
+    /// Wall time of a full protocol round (entry to next entry).
+    pub round_wall: Histogram,
+    /// Time parked waiting for work (run-queue / envelope wait).
+    pub barrier_stall: Histogram,
+    /// Attributed signature-production latency.
+    pub sign: Histogram,
+    /// Attributed signature-verification latency.
+    pub verify: Histogram,
+    /// Attributed homomorphic-hash latency.
+    pub hash: Histogram,
+}
+
+impl LatencyHists {
+    /// Adds another set into this one.
+    pub fn merge(&mut self, other: &LatencyHists) {
+        self.round_wall.merge(&other.round_wall);
+        self.barrier_stall.merge(&other.barrier_stall);
+        self.sign.merge(&other.sign);
+        self.verify.merge(&other.verify);
+        self.hash.merge(&other.hash);
+    }
+
+    /// The set with stable metric names, for sinks that iterate.
+    pub fn named(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("round_wall", &self.round_wall),
+            ("barrier_stall", &self.barrier_stall),
+            ("sign", &self.sign),
+            ("verify", &self.verify),
+            ("hash", &self.hash),
+        ]
+    }
+
+    /// Compresses every histogram to its summary.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            round_wall: self.round_wall.summary(),
+            barrier_stall: self.barrier_stall.summary(),
+            sign: self.sign.summary(),
+            verify: self.verify.summary(),
+            hash: self.hash.summary(),
+        }
+    }
+}
+
+/// Compressed [`LatencyHists`]: what `SessionWatch` carries per node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Round wall-time summary.
+    pub round_wall: HistSummary,
+    /// Barrier-stall summary.
+    pub barrier_stall: HistSummary,
+    /// Signature-production summary.
+    pub sign: HistSummary,
+    /// Signature-verification summary.
+    pub verify: HistSummary,
+    /// Homomorphic-hash summary.
+    pub hash: HistSummary,
+}
+
+impl LatencySummary {
+    /// The set with stable metric names, for sinks that iterate.
+    pub fn named(&self) -> [(&'static str, &HistSummary); 5] {
+        [
+            ("round_wall", &self.round_wall),
+            ("barrier_stall", &self.barrier_stall),
+            ("sign", &self.sign),
+            ("verify", &self.verify),
+            ("hash", &self.hash),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut h = Histogram::default();
+        for us in [1, 2, 4, 8, 1000, 1_000_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_us(), 1_001_015);
+        assert_eq!(h.max_us(), 1_000_000);
+        assert_eq!(h.quantile_us(0.0), 1);
+        // p50: rank 3 of 6 -> the 4 µs bucket.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99: rank 6 -> the bucket holding 1e6 µs (2^20 = 1048576).
+        assert_eq!(h.quantile_us(0.99), 1 << 20);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Histogram::default();
+        a.record_n(10, 3);
+        let mut b = Histogram::default();
+        b.record_us(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum_us(), 130);
+        assert_eq!(a.max_us(), 100);
+        let s = a.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean_us(), 32);
+    }
+
+    #[test]
+    fn latency_set_merges_and_summarizes() {
+        let mut a = LatencyHists::default();
+        a.sign.record_us(50);
+        let mut b = LatencyHists::default();
+        b.sign.record_us(70);
+        b.round_wall.record_us(2000);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.sign.count, 2);
+        assert_eq!(s.round_wall.count, 1);
+        assert_eq!(a.named()[0].0, "round_wall");
+    }
+}

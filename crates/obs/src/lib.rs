@@ -1,0 +1,50 @@
+//! `pag-obs` — the flight recorder (DESIGN.md §14).
+//!
+//! A dependency-free observability layer for the PAG reproduction,
+//! hand-rolled like the `crates/compat` stand-ins because the build
+//! environment has no registry access. It provides:
+//!
+//! * **Typed trace events** ([`TraceEvent`]/[`EventKind`]): round
+//!   entry/exit, per-phase begin/end, barrier-stall spans, crypto-op
+//!   timings, frame rejections, link sever/reconnect, handshake
+//!   rejections, snapshot save/load, recoveries. Events are `Copy` and
+//!   fixed-size — recording never allocates.
+//! * **Per-node bounded ring buffers** ([`EventRing`]): preallocated at
+//!   session start; overflow overwrites the oldest event and counts the
+//!   loss — the hot path never blocks and never grows.
+//! * **Fixed-bucket latency histograms** ([`Histogram`],
+//!   [`LatencyHists`]): power-of-two microsecond buckets for round wall
+//!   time, barrier stall, and sign/verify/hash latency, mergeable per
+//!   node and per session.
+//! * **Recorders** ([`NodeRecorder`] owned by one driver thread, no
+//!   locks on the hot path; [`SessionRecorder`] absorbing node state on
+//!   cold paths only) and a [`TraceConfig`] that defaults to **off** —
+//!   when off, drivers hold no recorder and take no timestamps at all.
+//! * **Three sinks**: a JSONL trace writer ([`SessionRecorder::finish`]),
+//!   Prometheus-text rendering helpers ([`prom`]), and summary types
+//!   ([`TraceSummary`], [`LatencySummary`]) the runtime's `SessionWatch`
+//!   republishes live.
+//! * **A leveled, structured, rate-limited logger** ([`logger`]) that
+//!   replaces the scattered `eprintln!` sites: per-site token windows
+//!   with a suppressed-line counter, so hostile-flood tests cannot spam
+//!   stderr.
+//!
+//! The recorder observes and never feeds anything back into the
+//! protocol, so a traced run is bit-identical (verdicts, deliveries,
+//! traffic, crypto ops) to an untraced one — the driver-equivalence
+//! suite in `pag-runtime` pins this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod logger;
+pub mod prom;
+pub mod recorder;
+pub mod ring;
+
+pub use event::{CryptoOp, EventKind, Phase, TraceEvent};
+pub use hist::{HistSummary, Histogram, LatencyHists, LatencySummary, HIST_BUCKETS};
+pub use recorder::{NodeRecorder, SessionRecorder, TraceConfig, TraceSummary};
+pub use ring::EventRing;

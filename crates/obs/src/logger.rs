@@ -1,0 +1,172 @@
+//! The leveled, structured, rate-limited logger that replaces the
+//! repo's scattered `eprintln!` sites.
+//!
+//! Call sites name themselves with a static *site* key and write
+//! `key=value` structured fields into the message. Each site owns a
+//! token window: at most [`DEFAULT_LIMIT`] lines per
+//! [`DEFAULT_WINDOW`]; excess lines are counted, not printed, and the
+//! next emitted line from that site reports how many were suppressed —
+//! so a hostile flood severing a thousand connections costs one stderr
+//! line, not a thousand (DESIGN.md §14).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Lines a site may emit per window before suppression kicks in.
+pub const DEFAULT_LIMIT: u32 = 8;
+/// The rate-limit window.
+pub const DEFAULT_WINDOW: Duration = Duration::from_secs(2);
+
+/// Severity of a log line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Informational (lifecycle, degraded-but-working).
+    Info,
+    /// Something was lost or refused but the run continues.
+    Warn,
+    /// A subsystem failed outright.
+    Error,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+/// A per-site token window. Separated from the global registry so the
+/// admit policy is unit-testable with synthetic clocks.
+#[derive(Debug)]
+pub struct RateGate {
+    limit: u32,
+    window: Duration,
+    window_start: Option<Instant>,
+    in_window: u32,
+    suppressed: u64,
+    total_suppressed: u64,
+}
+
+impl RateGate {
+    /// A gate admitting `limit` lines per `window`.
+    pub fn new(limit: u32, window: Duration) -> Self {
+        RateGate {
+            limit,
+            window,
+            window_start: None,
+            in_window: 0,
+            suppressed: 0,
+            total_suppressed: 0,
+        }
+    }
+
+    /// Decides whether a line at `now` may print. `Some(n)` means
+    /// emit, and `n` is how many lines were suppressed since the last
+    /// emission (report it); `None` means suppress.
+    pub fn admit(&mut self, now: Instant) -> Option<u64> {
+        let fresh = match self.window_start {
+            Some(start) => now.duration_since(start) >= self.window,
+            None => true,
+        };
+        if fresh {
+            self.window_start = Some(now);
+            self.in_window = 0;
+        }
+        if self.in_window < self.limit {
+            self.in_window += 1;
+            Some(std::mem::take(&mut self.suppressed))
+        } else {
+            self.suppressed += 1;
+            self.total_suppressed += 1;
+            None
+        }
+    }
+
+    /// Lines this gate has suppressed over its lifetime.
+    pub fn total_suppressed(&self) -> u64 {
+        self.total_suppressed
+    }
+}
+
+fn sites() -> &'static Mutex<BTreeMap<&'static str, RateGate>> {
+    static SITES: OnceLock<Mutex<BTreeMap<&'static str, RateGate>>> = OnceLock::new();
+    SITES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Logs one structured line from `site` at `level`, subject to the
+/// site's rate limit. The message should carry `key=value` fields.
+pub fn log(level: Level, site: &'static str, args: fmt::Arguments<'_>) {
+    let admitted = {
+        let mut map = sites().lock().unwrap();
+        map.entry(site)
+            .or_insert_with(|| RateGate::new(DEFAULT_LIMIT, DEFAULT_WINDOW))
+            .admit(Instant::now())
+    };
+    match admitted {
+        Some(0) => eprintln!("[pag {} {site}] {args}", level.tag()),
+        Some(n) => eprintln!("[pag {} {site}] {args} suppressed={n}", level.tag()),
+        None => {}
+    }
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(site: &'static str, args: fmt::Arguments<'_>) {
+    log(Level::Info, site, args);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(site: &'static str, args: fmt::Arguments<'_>) {
+    log(Level::Warn, site, args);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(site: &'static str, args: fmt::Arguments<'_>) {
+    log(Level::Error, site, args);
+}
+
+/// Lines suppressed so far for `site` (0 for unknown sites). Exposed
+/// so tests can assert the limiter engaged without capturing stderr.
+pub fn suppressed(site: &'static str) -> u64 {
+    sites()
+        .lock()
+        .unwrap()
+        .get(site)
+        .map_or(0, |g| g.total_suppressed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_then_suppresses_then_reports() {
+        let t0 = Instant::now();
+        let mut g = RateGate::new(2, Duration::from_secs(2));
+        assert_eq!(g.admit(t0), Some(0));
+        assert_eq!(g.admit(t0), Some(0));
+        assert_eq!(g.admit(t0), None);
+        assert_eq!(g.admit(t0), None);
+        assert_eq!(g.total_suppressed(), 2);
+        // Next window: first line reports the backlog.
+        let t1 = t0 + Duration::from_secs(3);
+        assert_eq!(g.admit(t1), Some(2));
+        assert_eq!(g.admit(t1), Some(0));
+    }
+
+    #[test]
+    fn global_logger_counts_suppression_per_site() {
+        for i in 0..50 {
+            warn("test.flood", format_args!("i={i}"));
+        }
+        assert!(
+            suppressed("test.flood") >= 50 - u64::from(DEFAULT_LIMIT),
+            "flood past the limit must be suppressed"
+        );
+        assert_eq!(suppressed("test.never_logged"), 0);
+    }
+}

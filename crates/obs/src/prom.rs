@@ -1,0 +1,142 @@
+//! Prometheus text-format rendering (version 0.0.4 exposition format,
+//! hand-rolled). `pag-host` uses these helpers to render scrape pages
+//! from live `SessionWatch` state; the golden test below pins the
+//! exact output shape.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_bound, HistSummary, Histogram, HIST_BUCKETS};
+
+/// Appends `# HELP` / `# TYPE` headers for a metric.
+pub fn header(out: &mut String, name: &str, help: &str, ty: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {ty}");
+}
+
+/// Renders one label set (`{a="1",b="2"}`), escaping label values.
+/// Returns an empty string for no labels.
+pub fn labels(pairs: &[(&str, &str)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Appends one sample line: `name{labels} value`.
+pub fn sample(out: &mut String, name: &str, labels: &str, value: u64) {
+    let _ = writeln!(out, "{name}{labels} {value}");
+}
+
+/// Renders a full [`Histogram`] in native Prometheus histogram format:
+/// cumulative `_bucket{le=...}` lines, `_sum`, and `_count`.
+pub fn histogram(out: &mut String, name: &str, base_labels: &[(&str, &str)], hist: &Histogram) {
+    let mut cumulative = 0u64;
+    for i in 0..HIST_BUCKETS {
+        cumulative += hist.counts()[i];
+        let bound = bucket_bound(i);
+        let le = if bound == u64::MAX {
+            "+Inf".to_string()
+        } else {
+            bound.to_string()
+        };
+        let mut pairs: Vec<(&str, &str)> = base_labels.to_vec();
+        pairs.push(("le", &le));
+        let _ = writeln!(out, "{name}_bucket{} {cumulative}", labels(&pairs));
+    }
+    let base = labels(base_labels);
+    let _ = writeln!(out, "{name}_sum{base} {}", hist.sum_us());
+    let _ = writeln!(out, "{name}_count{base} {}", hist.count());
+}
+
+/// Renders a [`HistSummary`] in Prometheus summary format: `quantile`
+/// labelled gauges plus `_sum` / `_count`. This is what the host
+/// exports, since the watch carries summaries, not full histograms.
+pub fn hist_summary(out: &mut String, name: &str, base_labels: &[(&str, &str)], s: &HistSummary) {
+    for (q, v) in [("0.5", s.p50_us), ("0.99", s.p99_us), ("1", s.max_us)] {
+        let mut pairs: Vec<(&str, &str)> = base_labels.to_vec();
+        pairs.push(("quantile", q));
+        let _ = writeln!(out, "{name}{} {v}", labels(&pairs));
+    }
+    let base = labels(base_labels);
+    let _ = writeln!(out, "{name}_sum{base} {}", s.sum_us);
+    let _ = writeln!(out, "{name}_count{base} {}", s.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(labels(&[]), "");
+        assert_eq!(
+            labels(&[("session", "1"), ("node", "a\"b\\c")]),
+            "{session=\"1\",node=\"a\\\"b\\\\c\"}"
+        );
+    }
+
+    /// Golden test: the exact exposition text for a known summary.
+    #[test]
+    fn summary_render_golden() {
+        let s = HistSummary {
+            count: 6,
+            sum_us: 1200,
+            max_us: 900,
+            p50_us: 128,
+            p99_us: 512,
+        };
+        let mut out = String::new();
+        header(&mut out, "pag_round_wall_us", "Round wall time.", "summary");
+        hist_summary(&mut out, "pag_round_wall_us", &[("node", "3")], &s);
+        let expected = "\
+# HELP pag_round_wall_us Round wall time.
+# TYPE pag_round_wall_us summary
+pag_round_wall_us{node=\"3\",quantile=\"0.5\"} 128
+pag_round_wall_us{node=\"3\",quantile=\"0.99\"} 512
+pag_round_wall_us{node=\"3\",quantile=\"1\"} 900
+pag_round_wall_us_sum{node=\"3\"} 1200
+pag_round_wall_us_count{node=\"3\"} 6
+";
+        assert_eq!(out, expected);
+    }
+
+    /// Golden test: a full histogram renders cumulative buckets ending
+    /// in `+Inf` and the `+Inf` count equals `_count`.
+    #[test]
+    fn histogram_render_golden() {
+        let mut h = Histogram::default();
+        h.record_us(1);
+        h.record_us(3);
+        h.record_us(1_000_000_000); // overflow bucket
+        let mut out = String::new();
+        histogram(&mut out, "pag_stall_us", &[("node", "0")], &h);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), HIST_BUCKETS + 2);
+        assert_eq!(lines[0], "pag_stall_us_bucket{node=\"0\",le=\"1\"} 1");
+        assert_eq!(lines[1], "pag_stall_us_bucket{node=\"0\",le=\"2\"} 1");
+        assert_eq!(lines[2], "pag_stall_us_bucket{node=\"0\",le=\"4\"} 2");
+        assert_eq!(
+            lines[HIST_BUCKETS - 1],
+            "pag_stall_us_bucket{node=\"0\",le=\"+Inf\"} 3"
+        );
+        assert_eq!(lines[HIST_BUCKETS], "pag_stall_us_sum{node=\"0\"} 1000000004");
+        assert_eq!(lines[HIST_BUCKETS + 1], "pag_stall_us_count{node=\"0\"} 3");
+    }
+}

@@ -1,0 +1,394 @@
+//! The recorder pair: a [`NodeRecorder`] owned by exactly one driver
+//! thread at a time (so the hot path takes no locks), and a shared
+//! [`SessionRecorder`] that absorbs each node's ring and histograms on
+//! cold paths only (node teardown). `TraceConfig` defaults to off; when
+//! off, drivers hold no recorder and the instrumentation sites compile
+//! down to a `None` check — no timestamps, no allocation, no work.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::event::{CryptoOp, EventKind, TraceEvent};
+use crate::hist::{LatencyHists, LatencySummary};
+use crate::ring::EventRing;
+
+/// Flight-recorder configuration, carried on the session config.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch; `false` (the default) means no recorder is ever
+    /// constructed and drivers take zero timestamps.
+    pub enabled: bool,
+    /// Per-node event-ring capacity (events; overflow drops oldest).
+    pub ring_capacity: usize,
+    /// How many trailing events each node republishes through the
+    /// session watch.
+    pub recent_events: usize,
+    /// When set, the session writes every retained event as one JSON
+    /// object per line to this path at teardown.
+    pub jsonl_path: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 1024,
+            recent_events: 8,
+            jsonl_path: None,
+        }
+    }
+
+    /// Tracing enabled with default ring and publication sizes.
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::off()
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+/// Everything the session has absorbed so far.
+#[derive(Debug, Default)]
+struct Agg {
+    hists: LatencyHists,
+    per_node: BTreeMap<u64, LatencyHists>,
+    events: Vec<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// The session-wide side of the recorder: one per traced session,
+/// shared by `Arc`, locked only on cold paths (node construction and
+/// teardown, summary rendering).
+#[derive(Debug)]
+pub struct SessionRecorder {
+    cfg: TraceConfig,
+    epoch: Instant,
+    inner: Mutex<Agg>,
+}
+
+impl SessionRecorder {
+    /// A fresh recorder; its epoch (t=0 for every event) is now.
+    pub fn new(cfg: TraceConfig) -> Arc<Self> {
+        Arc::new(SessionRecorder {
+            cfg,
+            epoch: Instant::now(),
+            inner: Mutex::new(Agg::default()),
+        })
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// A per-node recorder feeding this session. Preallocates the
+    /// node's ring; after this, recording on that node is lock-free.
+    pub fn node(self: &Arc<Self>, node: u64) -> NodeRecorder {
+        NodeRecorder {
+            session: Arc::clone(self),
+            node,
+            ring: EventRing::new(self.cfg.ring_capacity),
+            hists: LatencyHists::default(),
+            recent: self.cfg.recent_events,
+            round_entered: None,
+            absorbed: false,
+        }
+    }
+
+    /// Microseconds since the session epoch.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn absorb(&self, node: u64, ring: &EventRing, hists: &LatencyHists) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.recorded += ring.recorded();
+        agg.dropped += ring.dropped();
+        agg.events.extend(ring.iter().copied());
+        agg.hists.merge(hists);
+        // A node absorbed twice (a restarted life reusing the id)
+        // merges into the same per-node entry.
+        agg.per_node.entry(node).or_default().merge(hists);
+    }
+
+    /// A snapshot of everything absorbed so far, events time-sorted.
+    pub fn summary(&self) -> TraceSummary {
+        let agg = self.inner.lock().unwrap();
+        let mut events = agg.events.clone();
+        events.sort_by_key(|e| (e.t_us, e.node));
+        TraceSummary {
+            recorded: agg.recorded,
+            dropped: agg.dropped,
+            hists: agg.hists.summary(),
+            per_node: agg.per_node.iter().map(|(&n, h)| (n, h.summary())).collect(),
+            events,
+        }
+    }
+
+    /// Final harvest: the summary, plus the JSONL sink flush when a
+    /// path was configured. The first line is a meta object
+    /// (`{"kind":"trace_meta",...}`); every following line is one
+    /// [`TraceEvent`].
+    pub fn finish(&self) -> io::Result<TraceSummary> {
+        let summary = self.summary();
+        if let Some(path) = &self.cfg.jsonl_path {
+            let file = std::fs::File::create(path)?;
+            let mut w = io::BufWriter::new(file);
+            writeln!(
+                w,
+                "{{\"kind\":\"trace_meta\",\"recorded\":{},\"dropped\":{},\"retained\":{}}}",
+                summary.recorded,
+                summary.dropped,
+                summary.events.len()
+            )?;
+            let mut line = String::with_capacity(128);
+            for ev in &summary.events {
+                line.clear();
+                ev.write_json(&mut line);
+                writeln!(w, "{line}")?;
+            }
+            w.flush()?;
+        }
+        Ok(summary)
+    }
+}
+
+/// The per-node, single-owner side of the recorder. All methods take
+/// `&mut self` and touch only node-local state; the shared session is
+/// reached exactly once, at drop, when the ring and histograms are
+/// absorbed.
+#[derive(Debug)]
+pub struct NodeRecorder {
+    session: Arc<SessionRecorder>,
+    node: u64,
+    ring: EventRing,
+    hists: LatencyHists,
+    recent: usize,
+    /// Open round span: (round, entry instant).
+    round_entered: Option<(u64, Instant)>,
+    absorbed: bool,
+}
+
+impl NodeRecorder {
+    /// A monotonic timestamp for span measurement; pair with
+    /// [`NodeRecorder::since_us`].
+    pub fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Microseconds elapsed since `start`.
+    pub fn since_us(&self, start: Instant) -> u64 {
+        start.elapsed().as_micros() as u64
+    }
+
+    /// Records `kind` stamped with the current session-relative time.
+    pub fn record(&mut self, kind: EventKind) {
+        let ev = TraceEvent {
+            t_us: self.session.now_us(),
+            node: self.node,
+            kind,
+        };
+        self.ring.push(ev);
+    }
+
+    /// Marks entry into `round`: closes the previous round span (a
+    /// `RoundExit` event plus a `round_wall` histogram sample) and
+    /// records `RoundEnter`.
+    pub fn round_enter(&mut self, round: u64) {
+        let now = Instant::now();
+        if let Some((prev, at)) = self.round_entered.take() {
+            let wall_us = now.duration_since(at).as_micros() as u64;
+            self.hists.round_wall.record_us(wall_us);
+            self.record(EventKind::RoundExit {
+                round: prev,
+                wall_us,
+            });
+        }
+        self.round_entered = Some((round, now));
+        self.record(EventKind::RoundEnter { round });
+    }
+
+    /// Closes the final round span (called at node teardown).
+    pub fn round_close(&mut self) {
+        if let Some((prev, at)) = self.round_entered.take() {
+            let wall_us = at.elapsed().as_micros() as u64;
+            self.hists.round_wall.record_us(wall_us);
+            self.record(EventKind::RoundExit {
+                round: prev,
+                wall_us,
+            });
+        }
+    }
+
+    /// Records a barrier-stall span (run-queue or envelope wait).
+    pub fn stall(&mut self, round: u64, dur: Duration) {
+        let wall_us = dur.as_micros() as u64;
+        self.hists.barrier_stall.record_us(wall_us);
+        self.record(EventKind::BarrierStall { round, wall_us });
+    }
+
+    /// Records a batch of `count` crypto ops of class `op` that were
+    /// attributed `wall_us` of an engine step's wall time. The per-op
+    /// latency (`wall_us / count`) feeds the class histogram.
+    pub fn crypto(&mut self, op: CryptoOp, count: u64, wall_us: u64) {
+        if count == 0 {
+            return;
+        }
+        let per_op = wall_us / count;
+        match op {
+            CryptoOp::Sign => self.hists.sign.record_n(per_op, count),
+            CryptoOp::Verify => self.hists.verify.record_n(per_op, count),
+            CryptoOp::Hash => self.hists.hash.record_n(per_op, count),
+            CryptoOp::Prime => {}
+        }
+        self.record(EventKind::CryptoOps { op, count, wall_us });
+    }
+
+    /// Live summary of this node's histograms (for watch publication).
+    pub fn summary(&self) -> LatencySummary {
+        self.hists.summary()
+    }
+
+    /// The trailing `recent_events` events (oldest first), for watch
+    /// publication.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.ring.tail(self.recent)
+    }
+
+    /// Events dropped by ring overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+impl Drop for NodeRecorder {
+    /// Absorbs into the session exactly once. Dropping is the finish
+    /// protocol: node cores simply go out of scope at worker teardown.
+    fn drop(&mut self) {
+        if self.absorbed {
+            return;
+        }
+        self.absorbed = true;
+        self.round_close();
+        self.session.absorb(self.node, &self.ring, &self.hists);
+    }
+}
+
+/// Harvested trace state for one session: totals, session-wide and
+/// per-node histogram summaries, and every retained event time-sorted.
+#[derive(Clone, Debug)]
+pub struct TraceSummary {
+    /// Events recorded across all nodes (including later drops).
+    pub recorded: u64,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+    /// Session-wide merged histograms.
+    pub hists: LatencySummary,
+    /// Per-node histogram summaries.
+    pub per_node: BTreeMap<u64, LatencySummary>,
+    /// Retained events, sorted by timestamp then node.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSummary {
+    /// The trailing `n` events.
+    pub fn tail(&self, n: usize) -> &[TraceEvent] {
+        &self.events[self.events.len().saturating_sub(n)..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    #[test]
+    fn node_recorder_absorbs_on_drop() {
+        let session = SessionRecorder::new(TraceConfig::on());
+        {
+            let mut rec = session.node(3);
+            rec.round_enter(0);
+            rec.crypto(CryptoOp::Verify, 4, 800);
+            rec.record(EventKind::PhaseBegin {
+                round: 0,
+                phase: Phase::Round,
+            });
+            rec.stall(0, Duration::from_micros(50));
+            rec.round_enter(1);
+        }
+        let s = session.summary();
+        // round_enter(0), crypto, phase, stall, round_exit(0), round_enter(1),
+        // and drop closes round 1 -> round_exit(1).
+        assert_eq!(s.recorded, 7);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.hists.verify.count, 4);
+        assert_eq!(s.hists.round_wall.count, 2);
+        assert_eq!(s.hists.barrier_stall.count, 1);
+        assert_eq!(s.per_node.len(), 1);
+        assert_eq!(s.per_node[&3].verify.count, 4);
+        // Time-sorted.
+        assert!(s.events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        assert_eq!(s.tail(2).len(), 2);
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops_per_session() {
+        let cfg = TraceConfig {
+            ring_capacity: 4,
+            ..TraceConfig::on()
+        };
+        let session = SessionRecorder::new(cfg);
+        {
+            let mut rec = session.node(0);
+            for r in 0..10 {
+                rec.record(EventKind::FrameRejected { round: r });
+            }
+        }
+        let s = session.summary();
+        assert_eq!(s.recorded, 10);
+        assert_eq!(s.dropped, 6);
+        assert_eq!(s.events.len(), 4);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let path = std::env::temp_dir().join("pag_obs_recorder_jsonl_test.jsonl");
+        let cfg = TraceConfig {
+            jsonl_path: Some(path.clone()),
+            ..TraceConfig::on()
+        };
+        let session = SessionRecorder::new(cfg);
+        {
+            let mut rec = session.node(1);
+            rec.round_enter(0);
+        }
+        let summary = session.finish().expect("jsonl write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + summary.events.len());
+        assert!(lines[0].contains("\"kind\":\"trace_meta\""));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn config_defaults_off() {
+        let cfg = TraceConfig::default();
+        assert!(!cfg.enabled);
+        assert!(TraceConfig::on().enabled);
+        assert_eq!(cfg.ring_capacity, 1024);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-node bounded event ring.
+//!
+//! Preallocated at construction; once full, a push overwrites the
+//! oldest event and bumps the drop counter. The hot path is therefore
+//! a store and two index bumps — it never blocks, never allocates, and
+//! never stalls the node core that owns it (DESIGN.md §14).
+
+use crate::event::TraceEvent;
+
+/// A fixed-capacity ring of [`TraceEvent`]s with a counted-drop
+/// overflow policy (oldest events are evicted first).
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    cap: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            cap,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event; on overflow the oldest event is dropped and
+    /// counted.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, start) = self.buf.split_at(self.head);
+        start.iter().chain(wrapped.iter())
+    }
+
+    /// The most recent `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let keep = n.min(self.buf.len());
+        self.iter()
+            .skip(self.buf.len() - keep)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            t_us: t,
+            node: 0,
+            kind: EventKind::RoundEnter { round: t },
+        }
+    }
+
+    #[test]
+    fn keeps_order_before_wrap() {
+        let mut r = EventRing::new(4);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        let ts: Vec<u64> = r.iter().map(|e| e.t_us).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.recorded(), 3);
+    }
+
+    #[test]
+    fn overflow_is_a_counted_drop_of_the_oldest() {
+        let mut r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.recorded(), 10);
+        let ts: Vec<u64> = r.iter().map(|e| e.t_us).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest evicted, order kept");
+        assert_eq!(r.tail(2).iter().map(|e| e.t_us).collect::<Vec<_>>(), [8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -14,10 +14,12 @@
 //! deliveries across drivers, not raw traffic.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use pag_core::engine::{Effect, Input, PagEngine};
 use pag_core::SignedMessage;
 use pag_membership::NodeId;
+use pag_obs::{CryptoOp, NodeRecorder};
 use pag_simnet::{Context, Protocol, SimDuration, TrafficClass as SimClass};
 
 use crate::faults::FaultPlan;
@@ -36,6 +38,9 @@ pub struct SimnetPag {
     faults: Arc<FaultPlan>,
     /// Last round entered — the clock for the plan's per-frame checks.
     round: u64,
+    /// Flight recorder for this node, when the session traces. `None`
+    /// keeps the hot path free of clock reads (DESIGN.md §14).
+    rec: Option<Box<NodeRecorder>>,
 }
 
 impl SimnetPag {
@@ -64,7 +69,15 @@ impl SimnetPag {
             churn,
             faults,
             round: 0,
+            rec: None,
         }
+    }
+
+    /// Attaches a per-node flight recorder; its ring and histograms are
+    /// absorbed into the session recorder when the adapter drops (after
+    /// [`SimnetPag::into_engine`]).
+    pub fn attach_recorder(&mut self, rec: NodeRecorder) {
+        self.rec = Some(Box::new(rec));
     }
 
     /// The wrapped engine.
@@ -87,7 +100,31 @@ impl SimnetPag {
     /// Feeds one input and executes the effects against the simulator.
     fn pump(&mut self, input: Input, ctx: &mut Context<'_, SignedMessage>) {
         self.effects.clear();
-        self.engine.handle_into(input, &mut self.effects);
+        if let Some(rec) = &mut self.rec {
+            // Attribute the step's wall time to crypto op classes in
+            // proportion to the ops the engine performed, exactly like
+            // the transport workers' `NodeCore::feed`.
+            let before = self.engine.metrics().ops.clone();
+            let t0 = Instant::now();
+            self.engine.handle_into(input, &mut self.effects);
+            let wall_us = t0.elapsed().as_micros() as u64;
+            let delta = self.engine.metrics().ops.delta_since(&before);
+            let total = delta.total();
+            if total > 0 {
+                for (op, count) in [
+                    (CryptoOp::Hash, delta.hashes),
+                    (CryptoOp::Sign, delta.signatures),
+                    (CryptoOp::Verify, delta.verifications),
+                    (CryptoOp::Prime, delta.primes),
+                ] {
+                    if count > 0 {
+                        rec.crypto(op, count, wall_us * count / total);
+                    }
+                }
+            }
+        } else {
+            self.engine.handle_into(input, &mut self.effects);
+        }
         let me = self.engine.id();
         for effect in self.effects.drain(..) {
             match effect {
@@ -126,6 +163,9 @@ impl Protocol for SimnetPag {
         self.round = round;
         if self.down() {
             return;
+        }
+        if let Some(rec) = &mut self.rec {
+            rec.round_enter(round);
         }
         self.pump(Input::RoundStart(round), ctx);
         // Churn announcements scheduled for this round follow the round

@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use pag_core::{NodeMetrics, NodeSnapshot};
 use pag_membership::NodeId;
+use pag_obs::{LatencySummary, SessionRecorder, TraceEvent};
 
 use crate::report::NodeTraffic;
 
@@ -57,6 +58,27 @@ pub struct NodeStatus {
     pub metrics: NodeMetrics,
     /// Traffic accounted so far.
     pub traffic: NodeTraffic,
+    /// Flight-recorder histogram summaries (round wall, barrier stall,
+    /// sign/verify/hash latency) as of the publication; `None` when the
+    /// session runs untraced (DESIGN.md §14).
+    pub lat: Option<LatencySummary>,
+    /// The node's trailing trace events (oldest first, bounded by
+    /// `TraceConfig::recent_events`); empty when untraced.
+    pub recent: Vec<TraceEvent>,
+}
+
+impl NodeStatus {
+    /// A status with only the protocol-visible fields set (no trace
+    /// attachments) — what untraced sessions publish.
+    pub fn untraced(round: u64, metrics: NodeMetrics, traffic: NodeTraffic) -> Self {
+        NodeStatus {
+            round,
+            metrics,
+            traffic,
+            lat: None,
+            recent: Vec::new(),
+        }
+    }
 }
 
 /// A live, pollable view of one running session: per-node status
@@ -114,7 +136,7 @@ impl SessionWatch {
 }
 
 /// The host's hooks into a driver run, bundled so driver configs grow
-/// one field instead of two. Both default to off; a plain
+/// one field instead of three. All default to off; a plain
 /// `ThreadedConfig::default()` / `TcpConfig::default()` run is exactly
 /// the pre-host driver.
 #[derive(Clone, Default)]
@@ -123,6 +145,12 @@ pub struct HostHooks {
     pub vault: Option<Arc<dyn SnapshotVault>>,
     /// Live per-node status publication.
     pub watch: Option<Arc<SessionWatch>>,
+    /// The session's flight recorder; node cores derive their per-node
+    /// recorders from it at construction. Like the other hooks it is
+    /// strictly below the protocol: it observes timings and events but
+    /// never feeds anything back, so a traced run stays bit-identical
+    /// to an untraced one (DESIGN.md §14).
+    pub trace: Option<Arc<SessionRecorder>>,
 }
 
 impl std::fmt::Debug for HostHooks {
@@ -130,6 +158,7 @@ impl std::fmt::Debug for HostHooks {
         f.debug_struct("HostHooks")
             .field("vault", &self.vault.is_some())
             .field("watch", &self.watch.is_some())
+            .field("trace", &self.trace.is_some())
             .finish()
     }
 }
@@ -145,31 +174,99 @@ mod tests {
         assert_eq!(watch.min_round(), None);
         watch.publish(
             NodeId(3),
-            NodeStatus {
-                round: 5,
-                metrics: NodeMetrics::default(),
-                traffic: NodeTraffic::default(),
-            },
+            NodeStatus::untraced(5, NodeMetrics::default(), NodeTraffic::default()),
         );
         watch.publish(
             NodeId(1),
-            NodeStatus {
-                round: 4,
-                metrics: NodeMetrics::default(),
-                traffic: NodeTraffic::default(),
-            },
+            NodeStatus::untraced(4, NodeMetrics::default(), NodeTraffic::default()),
         );
         let snap = watch.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[&NodeId(3)].round, 5);
+        assert!(snap[&NodeId(3)].lat.is_none() && snap[&NodeId(3)].recent.is_empty());
         assert_eq!(watch.min_round(), Some(4));
     }
 
     #[test]
     fn hooks_default_off() {
         let hooks = HostHooks::default();
-        assert!(hooks.vault.is_none() && hooks.watch.is_none());
+        assert!(hooks.vault.is_none() && hooks.watch.is_none() && hooks.trace.is_none());
         let debugged = format!("{hooks:?}");
         assert!(debugged.contains("vault: false"), "{debugged}");
+        assert!(debugged.contains("trace: false"), "{debugged}");
+    }
+
+    /// Satellite stress test: concurrent publishers and pollers must
+    /// never observe a torn [`NodeStatus`] (fields from two different
+    /// publications) and per-node rounds — hence `min_round` — must be
+    /// monotone while each publisher counts up.
+    #[test]
+    fn watch_concurrent_publish_poll_stress() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        const PUBLISHERS: u32 = 4;
+        const ROUNDS: u64 = 400;
+
+        let watch = SessionWatch::new();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let publishers: Vec<_> = (0..PUBLISHERS)
+            .map(|node| {
+                let watch = Arc::clone(&watch);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Tear detector: every field of a publication
+                        // encodes the same round, so a mixed-up status
+                        // is observable.
+                        let mut metrics = NodeMetrics::default();
+                        metrics.exchanges_completed = round;
+                        metrics.ops.signatures = round;
+                        let mut traffic = NodeTraffic::default();
+                        traffic.sent_msgs = round;
+                        let mut status =
+                            NodeStatus::untraced(round, metrics, traffic);
+                        status.lat = Some({
+                            let mut l = LatencySummary::default();
+                            l.round_wall.count = round;
+                            l
+                        });
+                        watch.publish(NodeId(node), status);
+                    }
+                })
+            })
+            .collect();
+
+        let poller = {
+            let watch = Arc::clone(&watch);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_round: BTreeMap<NodeId, u64> = BTreeMap::new();
+                let mut last_min = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    for (node, status) in watch.snapshot() {
+                        assert_eq!(status.metrics.exchanges_completed, status.round);
+                        assert_eq!(status.metrics.ops.signatures, status.round);
+                        assert_eq!(status.traffic.sent_msgs, status.round);
+                        assert_eq!(status.lat.unwrap().round_wall.count, status.round);
+                        let prev = last_round.entry(node).or_insert(0);
+                        assert!(status.round >= *prev, "round went backwards");
+                        *prev = status.round;
+                    }
+                    if let Some(min) = watch.min_round() {
+                        assert!(min >= last_min, "min_round went backwards");
+                        last_min = min;
+                    }
+                }
+            })
+        };
+
+        for p in publishers {
+            p.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        poller.join().unwrap();
+
+        assert_eq!(watch.min_round(), Some(ROUNDS - 1));
+        assert_eq!(watch.snapshot().len(), PUBLISHERS as usize);
     }
 }

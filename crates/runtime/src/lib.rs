@@ -40,6 +40,13 @@
 //! driver-equivalence tests in `tests/` hold their verdicts, deliveries
 //! and traffic totals equal. See DESIGN.md §8 and §10 for the
 //! architecture.
+//!
+//! Every driver can additionally run under the **flight recorder**
+//! (`pag-obs`, DESIGN.md §14): [`TraceConfig`] on the session (or a
+//! host-installed recorder on [`HostHooks`]) turns on per-node event
+//! rings, phase/stall/crypto latency histograms and an optional JSONL
+//! sink, harvested into [`SessionOutcome::trace`]. The recorder only
+//! observes — traced runs are bit-identical to untraced ones, by test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +63,9 @@ pub mod threaded;
 pub mod worker;
 
 pub use adapter::SimnetPag;
+pub use pag_obs::{
+    LatencySummary, SessionRecorder, TraceConfig, TraceEvent, TraceSummary,
+};
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use faults::{FaultEvent, FaultPlan, FaultSchedule};
 pub use hooks::{HostHooks, NodeStatus, SessionWatch, SnapshotVault};

@@ -114,6 +114,12 @@ struct SlotInbox {
     /// Wall-clock mode: the wake deadline currently published to the
     /// timer wheel (stale heap entries are skipped by comparing here).
     wake: Option<u64>,
+    /// Traced sessions only: when the slot last went Idle → Queued.
+    /// The span to the worker's pop is the per-slot run-queue wait —
+    /// the barrier-stall signal the flight recorder histograms
+    /// (DESIGN.md §14). `None` on untraced runs, so the hot enqueue
+    /// path takes no timestamps there.
+    queued_at: Option<Instant>,
 }
 
 struct Slot {
@@ -133,10 +139,13 @@ pub(crate) struct PoolQueues {
     /// Wall-clock mode: min-heap of (due scaled-ms, slot index).
     wheel: Mutex<BinaryHeap<Reverse<(u64, usize)>>>,
     wheel_cv: Condvar,
+    /// Whether the session is traced: gates the run-queue-wait
+    /// timestamps so untraced runs take none.
+    traced: bool,
 }
 
 impl PoolQueues {
-    pub(crate) fn new(nodes: usize, coord: Option<Arc<Coordination>>) -> Arc<Self> {
+    pub(crate) fn new(nodes: usize, coord: Option<Arc<Coordination>>, traced: bool) -> Arc<Self> {
         Arc::new(PoolQueues {
             slots: (0..nodes)
                 .map(|_| Slot {
@@ -145,6 +154,7 @@ impl PoolQueues {
                         status: SlotStatus::Idle,
                         retired: false,
                         wake: None,
+                        queued_at: None,
                     }),
                 })
                 .collect(),
@@ -154,6 +164,7 @@ impl PoolQueues {
             coord,
             wheel: Mutex::new(BinaryHeap::new()),
             wheel_cv: Condvar::new(),
+            traced,
         })
     }
 
@@ -177,6 +188,9 @@ impl PoolQueues {
         let newly_ready = inbox.status == SlotStatus::Idle;
         if newly_ready {
             inbox.status = SlotStatus::Queued;
+            if self.traced {
+                inbox.queued_at = Some(Instant::now());
+            }
         }
         drop(inbox);
         if newly_ready {
@@ -369,13 +383,20 @@ fn pool_worker<L: Link>(
                 rq = queues.ready.wait(rq).expect("ready wait");
             }
         };
-        queues.slots[idx].inbox.lock().expect("slot inbox").status = SlotStatus::Running;
+        let queued_wait = {
+            let mut inbox = queues.slots[idx].inbox.lock().expect("slot inbox");
+            inbox.status = SlotStatus::Running;
+            inbox.queued_at.take().map(|at| at.elapsed())
+        };
 
         let mut cell = cores[idx].lock().expect("core cell");
         let core = cell
             .as_mut()
             .expect("scheduled slot holds its core until harvest");
         guard.current = Some(core.id);
+        if let Some(wait) = queued_wait {
+            core.note_wait(wait);
+        }
         loop {
             let envelope = {
                 let mut inbox = queues.slots[idx].inbox.lock().expect("slot inbox");
@@ -512,9 +533,9 @@ pub(crate) fn run_pool<L: Link + 'static>(
         return Err(e);
     }
     if let Some(e) = spawn_err {
-        eprintln!(
-            "[pag] pool degraded to {} of {threads} worker threads: {e}",
-            handles.len()
+        pag_obs::logger::warn(
+            "pool.degraded",
+            format_args!("workers={} requested={threads} err={e}", handles.len()),
         );
     }
     if !lockstep {
@@ -599,7 +620,7 @@ mod tests {
 
     #[test]
     fn enqueue_schedules_once_and_retirement_refuses() {
-        let queues = PoolQueues::new(2, None);
+        let queues = PoolQueues::new(2, None, false);
         assert!(queues.enqueue(0, Envelope::Round(0)));
         assert!(queues.enqueue(0, Envelope::Flush));
         // One slot, two envelopes, one run-queue entry.

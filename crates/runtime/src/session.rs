@@ -38,6 +38,7 @@ use pag_core::update::UpdateId;
 use pag_core::verdict::Verdict;
 use pag_core::PagConfig;
 use pag_membership::{Membership, NodeId};
+use pag_obs::{SessionRecorder, TraceConfig, TraceSummary};
 use pag_simnet::{SimConfig, Simulation};
 
 use crate::adapter::SimnetPag;
@@ -104,6 +105,13 @@ pub struct SessionConfig {
     /// identically by every driver. Crash-restarts must not target the
     /// session source (it anchors the membership and cannot leave).
     pub faults: Vec<FaultEvent>,
+    /// Flight-recorder configuration (DESIGN.md §14). Defaults to off;
+    /// when enabled, the session creates a [`SessionRecorder`], every
+    /// node core records into its own bounded ring, and the outcome
+    /// carries a [`TraceSummary`]. Tracing observes and never feeds
+    /// back, so a traced run is bit-identical to an untraced one — the
+    /// driver-equivalence suite pins this.
+    pub trace: TraceConfig,
 }
 
 impl SessionConfig {
@@ -118,6 +126,7 @@ impl SessionConfig {
             crashes: Vec::new(),
             churn: Vec::new(),
             faults: Vec::new(),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -197,6 +206,12 @@ impl SessionBuilder {
         self
     }
 
+    /// Configures the flight recorder (off by default).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         Session {
@@ -223,16 +238,21 @@ pub struct SessionOutcome {
     pub creations: BTreeMap<UpdateId, u64>,
     /// Rounds run.
     pub rounds: u64,
+    /// Flight-recorder harvest: `Some` iff the session ran with
+    /// tracing enabled (events, drop counts, latency histograms).
+    pub trace: Option<TraceSummary>,
 }
 
 impl SessionOutcome {
+    /// Every node's metrics merged into one (see
+    /// [`NodeMetrics::merge`] for the delivery-map semantics).
+    pub fn total_metrics(&self) -> NodeMetrics {
+        NodeMetrics::rollup(self.metrics.values())
+    }
+
     /// Aggregated crypto operation counters across all nodes.
     pub fn total_ops(&self) -> OpCounters {
-        let mut total = OpCounters::default();
-        for m in self.metrics.values() {
-            total.merge(&m.ops);
-        }
-        total
+        self.total_metrics().ops
     }
 
     /// Mean homomorphic hashes per node per second (Table I's metric).
@@ -334,6 +354,39 @@ fn collect_outcome(
         metrics,
         creations,
         rounds,
+        trace: None,
+    }
+}
+
+/// Resolves the recorder a driver run should use: an existing hook
+/// recorder wins (the host installed one); otherwise the session's own
+/// `TraceConfig` decides. Returns the recorder to harvest from, if any.
+fn resolve_recorder(
+    hook: &mut Option<Arc<SessionRecorder>>,
+    trace: &TraceConfig,
+) -> Option<Arc<SessionRecorder>> {
+    if let Some(rec) = hook {
+        return Some(Arc::clone(rec));
+    }
+    if trace.enabled {
+        let rec = SessionRecorder::new(trace.clone());
+        *hook = Some(Arc::clone(&rec));
+        return Some(rec);
+    }
+    None
+}
+
+/// Harvests the trace summary (flushing the JSONL sink when one is
+/// configured). A sink write failure is logged and degrades to the
+/// in-memory summary — observability can never fail a finished run.
+fn harvest_trace(recorder: Option<Arc<SessionRecorder>>) -> Option<TraceSummary> {
+    let recorder = recorder?;
+    match recorder.finish() {
+        Ok(summary) => Some(summary),
+        Err(e) => {
+            pag_obs::logger::error("trace.jsonl", format_args!("writing trace sink failed: {e}"));
+            Some(recorder.summary())
+        }
     }
 }
 
@@ -431,33 +484,51 @@ pub fn try_run_session(sc: SessionConfig) -> Result<SessionOutcome, SessionError
 
     Ok(match &sc.driver {
         Driver::Simnet(sim_cfg) => {
+            let recorder = if sc.trace.enabled {
+                Some(SessionRecorder::new(sc.trace.clone()))
+            } else {
+                None
+            };
             let mut sim = Simulation::new(sim_cfg.clone());
             for engine in engines {
                 let feeds = merged_feeds(&sc.churn, &faults, engine.id());
-                sim.add_node(
-                    engine.id(),
-                    SimnetPag::with_faults(engine, feeds, Arc::clone(&faults)),
-                );
+                let id = engine.id();
+                let mut node = SimnetPag::with_faults(engine, feeds, Arc::clone(&faults));
+                if let Some(rec) = &recorder {
+                    node.attach_recorder(rec.node(u64::from(id.value())));
+                }
+                sim.add_node(id, node);
             }
             for &(node, round) in &sc.crashes {
                 sim.schedule_crash(node, round);
             }
             let report = TrafficReport::from_sim(&sim.run(rounds));
-            collect_outcome(
+            let mut outcome = collect_outcome(
                 sim.into_nodes()
                     .into_iter()
                     .map(|(id, node)| (id, node.into_engine())),
                 report,
                 rounds,
-            )
+            );
+            outcome.trace = harvest_trace(recorder);
+            outcome
         }
         Driver::Threaded(tc) => {
-            let run = run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, tc)?;
-            collect_outcome(run.engines, run.report, rounds)
+            let mut tc = tc.clone();
+            let recorder = resolve_recorder(&mut tc.hooks.trace, &sc.trace);
+            let run =
+                run_threaded(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, &tc)?;
+            let mut outcome = collect_outcome(run.engines, run.report, rounds);
+            outcome.trace = harvest_trace(recorder);
+            outcome
         }
         Driver::Tcp(tc) => {
-            let run = run_tcp(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, tc)?;
-            collect_outcome(run.engines, run.report, rounds)
+            let mut tc = tc.clone();
+            let recorder = resolve_recorder(&mut tc.hooks.trace, &sc.trace);
+            let run = run_tcp(&shared, engines, rounds, &sc.crashes, &sc.churn, &faults, &tc)?;
+            let mut outcome = collect_outcome(run.engines, run.report, rounds);
+            outcome.trace = harvest_trace(recorder);
+            outcome
         }
     })
 }

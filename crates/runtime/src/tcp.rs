@@ -676,9 +676,9 @@ impl TcpLink {
                 }
             });
         if spawned.is_err() {
-            eprintln!(
-                "pag-tcp: node {} could not spawn reconnect supervisor for peer {to}",
-                self.owner
+            pag_obs::logger::warn(
+                "tcp.heal_spawn",
+                format_args!("node={} peer={to} could not spawn reconnect supervisor", self.owner),
             );
         }
     }
@@ -997,7 +997,12 @@ pub fn run_tcp(
         }
     }
 
-    let queues = pool_size.map(|size| (size, PoolQueues::new(n, coord.clone())));
+    let queues = pool_size.map(|size| {
+        (
+            size,
+            PoolQueues::new(n, coord.clone(), cfg.hooks.trace.is_some()),
+        )
+    });
     let inbox_of = |idx: usize| -> InboxHandle {
         match &queues {
             Some((_, queues)) => InboxHandle::Pool(Arc::clone(queues), idx),
@@ -1024,10 +1029,13 @@ pub fn run_tcp(
                 .name(format!("pag-tcp-read-{}", ids[idx]))
                 .spawn(move || read_loop(stream, inbox, coord, max, true, None, None));
             if spawned.is_err() {
-                eprintln!(
-                    "pag-tcp: node {} could not spawn a mesh reader thread; \
-                     counting the inbound link as severed",
-                    ids[idx]
+                pag_obs::logger::warn(
+                    "tcp.reader_spawn",
+                    format_args!(
+                        "node={} could not spawn a mesh reader thread, counting the \
+                         inbound link as severed",
+                        ids[idx]
+                    ),
                 );
                 severed[idx].fetch_add(1, Ordering::SeqCst);
             }
@@ -1085,9 +1093,12 @@ pub fn run_tcp(
                         read_loop(conn, inbox, coord, max, false, Some(screen), Some(auth))
                     });
                 if reader.is_err() {
-                    eprintln!(
-                        "pag-tcp: node {owner} could not spawn a reader for a late \
-                         connection; dropping it"
+                    pag_obs::logger::warn(
+                        "tcp.late_reader_spawn",
+                        format_args!(
+                            "node={owner} could not spawn a reader for a late \
+                             connection, dropping it"
+                        ),
                     );
                     if let Some(closer) = closer {
                         let _ = closer.shutdown(Shutdown::Both);
@@ -1097,10 +1108,13 @@ pub fn run_tcp(
         match spawned {
             Ok(handle) => accept_handles.push(handle),
             Err(_) => {
-                eprintln!(
-                    "pag-tcp: node {} could not spawn its accept thread; late \
-                     connections to it will be refused",
-                    ids[idx]
+                pag_obs::logger::warn(
+                    "tcp.accept_spawn",
+                    format_args!(
+                        "node={} could not spawn its accept thread, late connections \
+                         to it will be refused",
+                        ids[idx]
+                    ),
                 );
                 severed[idx].fetch_add(1, Ordering::SeqCst);
             }

@@ -241,7 +241,7 @@ pub fn run_threaded(
             Ok(join_workers(handles, rounds))
         }
         Scheduler::Pool(size) => {
-            let queues = PoolQueues::new(n, coord.clone());
+            let queues = PoolQueues::new(n, coord.clone(), cfg.hooks.trace.is_some());
             let index: Arc<BTreeMap<NodeId, usize>> =
                 Arc::new(ids.iter().enumerate().map(|(i, &id)| (id, i)).collect());
             let cores: Vec<NodeCore<PoolLink>> = engines

@@ -48,6 +48,7 @@ use pag_core::messages::CLASS_MEMBERSHIP;
 use pag_core::wire::{decode_frame, encode_frame, TrafficClass};
 use pag_core::WireConfig;
 use pag_membership::NodeId;
+use pag_obs::{CryptoOp, EventKind, NodeRecorder, Phase};
 use pag_simnet::SimConfig;
 
 use crate::churn::ChurnEvent;
@@ -461,6 +462,11 @@ pub(crate) struct NodeCore<L: Link> {
     /// default to off and never alter engine inputs, so a hooked run
     /// stays bit-identical to an unhooked one (DESIGN.md §13).
     pub(crate) hooks: HostHooks,
+    /// Per-node flight recorder, derived from `hooks.trace` at
+    /// construction. `None` when tracing is off — then no timestamp is
+    /// ever taken on the node path (DESIGN.md §14). Owned by the core
+    /// (single-stepper invariant), so recording is lock-free.
+    pub(crate) rec: Option<Box<NodeRecorder>>,
 }
 
 impl<L: Link> NodeCore<L> {
@@ -485,6 +491,10 @@ impl<L: Link> NodeCore<L> {
         kills: Vec<(u64, NodeId)>,
         hooks: HostHooks,
     ) -> Self {
+        let rec = hooks
+            .trace
+            .as_ref()
+            .map(|session| Box::new(session.node(u64::from(id.value()))));
         NodeCore {
             idx,
             id,
@@ -512,6 +522,23 @@ impl<L: Link> NodeCore<L> {
             delayed: Vec::new(),
             delay_seq: 0,
             hooks,
+            rec,
+        }
+    }
+
+    /// True when this core carries a flight recorder — schedulers use
+    /// this to decide whether to take wait-span timestamps at all.
+    pub(crate) fn traced(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Records a barrier-stall span: time this core sat parked waiting
+    /// for its next envelope (thread-per-node) or in the run queue
+    /// (pool). No-op when untraced.
+    pub(crate) fn note_wait(&mut self, dur: Duration) {
+        let round = self.round;
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.stall(round, dur);
         }
     }
 
@@ -564,7 +591,33 @@ impl<L: Link> NodeCore<L> {
     fn feed(&mut self, input: Input) {
         let mut fx = std::mem::take(&mut self.effects);
         fx.clear();
-        self.engine.handle_into(input, &mut fx);
+        if self.rec.is_some() {
+            // Effect-adjacent crypto timing: the engine stays pure —
+            // we time the whole step out here and attribute its wall
+            // time to the op classes the counters say ran, split
+            // proportionally by count (DESIGN.md §14).
+            let before = self.engine.metrics().ops.clone();
+            let t0 = Instant::now();
+            self.engine.handle_into(input, &mut fx);
+            let wall_us = t0.elapsed().as_micros() as u64;
+            let delta = self.engine.metrics().ops.delta_since(&before);
+            let total = delta.total();
+            if total > 0 {
+                let rec = self.rec.as_deref_mut().expect("checked above");
+                for (op, count) in [
+                    (CryptoOp::Hash, delta.hashes),
+                    (CryptoOp::Sign, delta.signatures),
+                    (CryptoOp::Verify, delta.verifications),
+                    (CryptoOp::Prime, delta.primes),
+                ] {
+                    if count > 0 {
+                        rec.crypto(op, count, wall_us * count / total);
+                    }
+                }
+            }
+        } else {
+            self.engine.handle_into(input, &mut fx);
+        }
         for effect in fx.drain(..) {
             match effect {
                 Effect::Send {
@@ -664,16 +717,28 @@ impl<L: Link> NodeCore<L> {
     /// transport-level framing violation) instead of delivering it.
     fn reject_frame(&mut self) {
         let _metric = self.engine.note_frame_rejected(self.round);
+        let round = self.round;
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(EventKind::FrameRejected { round });
+        }
     }
 
     /// Counts one severed inbound connection (rejected-frame flood).
     fn note_connection_dropped(&mut self) {
         let _metric = self.engine.note_connection_dropped(self.round);
+        let round = self.round;
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(EventKind::ConnectionDropped { round });
+        }
     }
 
     /// Counts one rejected (and severed) authentication handshake.
     fn note_handshake_rejected(&mut self) {
         let _metric = self.engine.note_handshake_rejected(self.round);
+        let round = self.round;
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.record(EventKind::HandshakeRejected { round });
+        }
     }
 
     /// Decodes an incoming frame, accounts it, and delivers it. Bytes
@@ -737,6 +802,21 @@ impl<L: Link> NodeCore<L> {
         for _ in 0..reconnected {
             let _metric = self.engine.note_link_reconnected(self.round);
         }
+        let round = self.round;
+        if let Some(rec) = self.rec.as_deref_mut() {
+            if severed > 0 {
+                rec.record(EventKind::LinkSevered {
+                    round,
+                    count: severed,
+                });
+            }
+            if reconnected > 0 {
+                rec.record(EventKind::LinkReconnected {
+                    round,
+                    count: reconnected,
+                });
+            }
+        }
     }
 
     fn enter_round(&mut self, round: u64) {
@@ -748,15 +828,17 @@ impl<L: Link> NodeCore<L> {
         }
         let was_crashed = self.crashed;
         self.crashed = self.down_now(round);
+        if let Some(rec) = self.rec.as_deref_mut() {
+            rec.round_enter(round);
+        }
         if let Some(watch) = self.hooks.watch.as_deref() {
-            watch.publish(
-                self.id,
-                NodeStatus {
-                    round,
-                    metrics: self.engine.metrics().clone(),
-                    traffic: self.traffic.clone(),
-                },
-            );
+            let mut status =
+                NodeStatus::untraced(round, self.engine.metrics().clone(), self.traffic.clone());
+            if let Some(rec) = self.rec.as_deref() {
+                status.lat = Some(rec.summary());
+                status.recent = rec.recent();
+            }
+            watch.publish(self.id, status);
         }
         if self.crashed {
             // Crash entry: the node's last coherent state goes to the
@@ -767,7 +849,13 @@ impl<L: Link> NodeCore<L> {
             // never change protocol behaviour.
             if !was_crashed {
                 if let Some(vault) = self.hooks.vault.as_deref() {
-                    let _persisted = vault.save(&self.engine.snapshot());
+                    let persisted = vault.save(&self.engine.snapshot());
+                    if let Some(rec) = self.rec.as_deref_mut() {
+                        rec.record(EventKind::SnapshotSaved {
+                            round,
+                            ok: persisted,
+                        });
+                    }
                 }
             }
             self.timers.clear();
@@ -807,19 +895,35 @@ impl<L: Link> NodeCore<L> {
                 // drivers.
                 if let Input::Recover { node, .. } = &input {
                     if *node == self.id {
+                        if let Some(rec) = self.rec.as_deref_mut() {
+                            rec.record(EventKind::Recovered { round });
+                        }
                         if let Some(vault) = self.hooks.vault.as_deref() {
-                            match vault.load(self.id) {
-                                Some(snap) if snap.id == self.id => {}
-                                Some(snap) => eprintln!(
-                                    "[pag] vault returned snapshot of {} for {} — \
-                                     recovering from memory",
-                                    snap.id, self.id
-                                ),
-                                None => eprintln!(
-                                    "[pag] no vaulted snapshot for {} at recovery — \
-                                     recovering from memory",
-                                    self.id
-                                ),
+                            let loaded = match vault.load(self.id) {
+                                Some(snap) if snap.id == self.id => true,
+                                Some(snap) => {
+                                    pag_obs::logger::warn(
+                                        "worker.vault_recover",
+                                        format_args!(
+                                            "node={} vault_returned={} recovering from memory",
+                                            self.id, snap.id
+                                        ),
+                                    );
+                                    false
+                                }
+                                None => {
+                                    pag_obs::logger::warn(
+                                        "worker.vault_recover",
+                                        format_args!(
+                                            "node={} no vaulted snapshot, recovering from memory",
+                                            self.id
+                                        ),
+                                    );
+                                    false
+                                }
+                            };
+                            if let Some(rec) = self.rec.as_deref_mut() {
+                                rec.record(EventKind::SnapshotLoaded { round, ok: loaded });
                             }
                         }
                     }
@@ -835,6 +939,24 @@ impl<L: Link> NodeCore<L> {
     /// and the pool scheduler so their runs cannot diverge. `Stop` and
     /// `Wake` are scheduler-level commands and no-ops here.
     pub(crate) fn lockstep_envelope(&mut self, envelope: Envelope) {
+        // Phase spans: bracket the three lockstep phases with
+        // begin/end events when traced. Frame/notification envelopes
+        // are covered by the crypto timing inside `feed` instead.
+        let span = if self.rec.is_some() {
+            match &envelope {
+                Envelope::Round(round) => Some((Phase::Round, *round, Instant::now())),
+                Envelope::Flush => Some((Phase::Flush, self.round, Instant::now())),
+                Envelope::TimersUpTo(_) => Some((Phase::Timers, self.round, Instant::now())),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some((phase, round, _)) = span {
+            if let Some(rec) = self.rec.as_deref_mut() {
+                rec.record(EventKind::PhaseBegin { round, phase });
+            }
+        }
         match envelope {
             Envelope::Round(round) => self.enter_round(round),
             Envelope::Frame { bytes } => {
@@ -859,6 +981,16 @@ impl<L: Link> NodeCore<L> {
                 }
             }
             Envelope::Wake | Envelope::Stop => {}
+        }
+        if let Some((phase, round, t0)) = span {
+            let wall_us = t0.elapsed().as_micros() as u64;
+            if let Some(rec) = self.rec.as_deref_mut() {
+                rec.record(EventKind::PhaseEnd {
+                    round,
+                    phase,
+                    wall_us,
+                });
+            }
         }
     }
 
@@ -950,7 +1082,18 @@ impl<L: Link> Worker<L> {
 
     fn run_lockstep(&mut self) {
         let coord = Arc::clone(self.core.coord.as_ref().expect("lockstep coordination"));
-        while let Ok(envelope) = self.rx.recv() {
+        loop {
+            // Traced cores time the envelope wait — the thread-per-node
+            // equivalent of the pool's run-queue wait (barrier stall).
+            let parked = if self.core.traced() {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let Ok(envelope) = self.rx.recv() else { break };
+            if let Some(t0) = parked {
+                self.core.note_wait(t0.elapsed());
+            }
             if matches!(envelope, Envelope::Stop) {
                 break;
             }

@@ -13,11 +13,13 @@
 //! "process" to die mid-session (persisting its snapshot to the host's
 //! store), the host itself is dropped — killed — and a fresh host over
 //! the same directory reloads the snapshot and reruns the session with
-//! the node rejoining recovered, never convicted.
+//! the node rejoining recovered, never convicted. The rerun has the
+//! flight recorder on, so the example ends with the host's Prometheus
+//! scrape page and the recovered node's trailing trace events.
 
 use pag::host::Host;
 use pag::membership::NodeId;
-use pag::runtime::{Driver, FaultEvent, SessionConfig, TcpConfig};
+use pag::runtime::{Driver, FaultEvent, SessionConfig, TcpConfig, TraceConfig};
 
 fn tcp_session(session_id: u64, seed: u64, rounds: u64) -> SessionConfig {
     let mut sc = SessionConfig::honest(10, rounds);
@@ -112,7 +114,28 @@ fn main() {
         snap.id,
         reborn.dir().display()
     );
+    // The rerun records a flight trace (DESIGN.md §14): per-node event
+    // rings and latency histograms, surfaced live through the host's
+    // Prometheus scrape page and afterwards in the outcome.
+    sc.trace = TraceConfig::on();
     let c = reborn.spawn(sc).expect("respawn after restart");
+    let rerun_watch = reborn.watch(c).expect("watch rerun");
+    while rerun_watch.min_round().is_none() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("-- host scrape page, mid-run (excerpt) --");
+    for line in reborn
+        .metrics_text()
+        .lines()
+        .filter(|l| {
+            l.starts_with("# TYPE pag_node_round")
+                || l.starts_with("pag_node_round{")
+                || l.starts_with("pag_session_min_round")
+        })
+        .take(14)
+    {
+        println!("{line}");
+    }
     let outcome = reborn.join(c).expect("known").expect("session reruns");
     println!(
         "rerun after restart: node {crashed} recovered {} time(s), {} verdicts — rejoined, not convicted",
@@ -121,6 +144,18 @@ fn main() {
     );
     assert!(outcome.verdicts.is_empty());
     assert_eq!(outcome.metrics[&crashed].recoveries, 1);
+
+    let trace = outcome.trace.as_ref().expect("traced rerun carries a summary");
+    println!(
+        "-- flight recorder: {} events recorded ({} dropped), round wall p99 {} µs --",
+        trace.recorded, trace.dropped, trace.hists.round_wall.p99_us
+    );
+    println!("-- event-log tail --");
+    for ev in trace.tail(8) {
+        let mut line = String::new();
+        ev.write_json(&mut line);
+        println!("  {line}");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

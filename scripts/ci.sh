@@ -2,9 +2,10 @@
 # Tier-1 CI gate (documented in ROADMAP.md and DESIGN.md §1):
 #
 #   1. release build of the whole workspace (warms the cache)
-#   2. pag-core, pag-runtime and pag-host build warning-free (the
-#      sans-IO engine, the driver crate and the host crate stay clean;
-#      only those crates themselves are recompiled for this check)
+#   2. pag-core, pag-runtime, pag-host and pag-obs build warning-free
+#      (the sans-IO engine, the driver crate, the host crate and the
+#      flight-recorder crate stay clean; only those crates themselves
+#      are recompiled for this check)
 #   3. full test suite (unit, integration, doctests, codec properties,
 #      driver equivalence)
 #   4. churned driver-equivalence, run explicitly: a session with joins
@@ -34,23 +35,30 @@
 #      store, snapshot-store hardening (corrupt/truncated/partial
 #      files rejected with typed errors), and the hostile-handshake
 #      rejection path on the runtime side (DESIGN.md §13)
-#   9. bench_snapshot --quick smoke run (honest static, churned, TCP,
-#      pooled, faulted and hosted scenarios, real RSA-512 crypto;
-#      writes to a scratch path, never over the committed snapshot)
+#   9. observability suite, run explicitly: the pag-obs unit tests
+#      (rings, histograms, logger rate limiting, Prometheus golden
+#      renders), the traced-vs-untraced bit-identity test on all four
+#      driver configurations, and the sink integration tests (ring
+#      overflow counted not fatal, JSONL lines parseable, watch
+#      carrying histogram summaries; DESIGN.md §14)
+#  10. bench_snapshot --quick smoke run (honest static, churned, TCP,
+#      pooled, traced, faulted and hosted scenarios, real RSA-512
+#      crypto; writes to a scratch path, never over the committed
+#      snapshot)
 #
 # Run from anywhere: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/9] workspace release build =="
+echo "== [1/10] workspace release build =="
 cargo build --release --workspace
 
-echo "== [2/9] pag-core + pag-runtime + pag-host, deny warnings =="
+echo "== [2/10] pag-core + pag-runtime + pag-host + pag-obs, deny warnings =="
 # Force only the gated crates themselves to recompile (their
 # dependencies stay cached from step 1 — no RUSTFLAGS flip, no double
 # build) and fail on any warning the fresh compiles print.
-touch crates/core/src/lib.rs crates/runtime/src/lib.rs crates/host/src/lib.rs
-for crate in pag-core pag-runtime pag-host; do
+touch crates/core/src/lib.rs crates/runtime/src/lib.rs crates/host/src/lib.rs crates/obs/src/lib.rs
+for crate in pag-core pag-runtime pag-host pag-obs; do
     crate_out=$(cargo build --release -p "$crate" 2>&1)
     echo "$crate_out"
     if grep -E "^warning" <<<"$crate_out" >/dev/null; then
@@ -59,30 +67,35 @@ for crate in pag-core pag-runtime pag-host; do
     fi
 done
 
-echo "== [3/9] test suite =="
+echo "== [3/10] test suite =="
 cargo test -q --workspace
 
-echo "== [4/9] churned driver equivalence =="
+echo "== [4/10] churned driver equivalence =="
 cargo test -q -p pag-runtime --test driver_equivalence churned
 
-echo "== [5/9] TCP driver equivalence + hostile-input rejection =="
+echo "== [5/10] TCP driver equivalence + hostile-input rejection =="
 cargo test -q -p pag-runtime --test driver_equivalence tcp
 cargo test -q -p pag-runtime --test tcp_transport
 
-echo "== [6/9] worker-pool scheduler: equivalence, properties, 1000-node smoke =="
+echo "== [6/10] worker-pool scheduler: equivalence, properties, 1000-node smoke =="
 cargo test -q -p pag-runtime --test driver_equivalence pool
 cargo test -q -p pag-runtime --test pool_scheduler
 cargo test --release -q -p pag-runtime --test pool_scheduler -- --ignored
 
-echo "== [7/9] fault scenarios: four-driver equivalence + schedule properties =="
+echo "== [7/10] fault scenarios: four-driver equivalence + schedule properties =="
 cargo test -q -p pag-runtime --test driver_equivalence -- severed_links partition_heal crash_restart
 cargo test -q -p pag-runtime --test faults
 
-echo "== [8/9] pag-host: multi-session equivalence, crash recovery, store hardening =="
+echo "== [8/10] pag-host: multi-session equivalence, crash recovery, store hardening =="
 cargo test -q -p pag-host
 cargo test -q -p pag-runtime --test tcp_transport hostile_handshakes
 
-echo "== [9/9] bench snapshot smoke (--quick) =="
+echo "== [9/10] observability: recorder units, traced bit-identity, sinks =="
+cargo test -q -p pag-obs
+cargo test -q -p pag-runtime --test driver_equivalence traced
+cargo test -q -p pag-runtime --test observability
+
+echo "== [10/10] bench snapshot smoke (--quick) =="
 out="${TMPDIR:-/tmp}/pag_bench_quick.json"
 cargo run --release -p pag-bench --bin bench_snapshot -- "$out" --quick
 rm -f "$out"
