@@ -238,7 +238,7 @@ impl Protocol for ActingNode {
         }
 
         // Monitors audit on their period.
-        if round % self.cfg.audit_period == 0 {
+        if round.is_multiple_of(self.cfg.audit_period) {
             let watched: Vec<NodeId> = self
                 .membership
                 .nodes()

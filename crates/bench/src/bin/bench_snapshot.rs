@@ -5,8 +5,11 @@
 //! session (`pool_session_1000`), the same pooled session with the
 //! flight recorder on (`traced_session`), the fault-injected
 //! `faulted_session` (split-brain partition plus a crash-recovery
-//! rejoin), and the hosted pair `host_multi_session` (two concurrent
-//! authenticated 10-node TCP sessions multiplexed on one `pag-host`)
+//! rejoin), the hosted pair `host_multi_session` (two concurrent
+//! authenticated 10-node TCP sessions multiplexed on one `pag-host`),
+//! and the `model_check` exploration (exhaustive interleavings of the
+//! canonical 4-node / 2-round freerider + crash-restart topology,
+//! recording explored-state count and wall time; DESIGN.md §15)
 //! — and writes wall-clock plus crypto-operation counts as JSON to
 //! `BENCH_protocol.json` (repo root, committed), so successive PRs
 //! have a comparable record of protocol-level cost, with and without
@@ -38,6 +41,7 @@ use pag_bench::{
 };
 use pag_host::Host;
 use pag_membership::NodeId;
+use pag_model::{explore, Budget, PagMachine, Scenario};
 use pag_runtime::{run_session, ChurnKind, SessionConfig, SessionOutcome};
 
 const NODES: usize = 20;
@@ -249,9 +253,25 @@ fn main() {
     let mut host_ops = hosted_a.total_ops();
     host_ops.merge(&hosted_b.total_ops());
 
+    // The model checker over the canonical 4-node / 2-round topology
+    // (one freerider, one crash-restart): exhaustive interleaving
+    // exploration with canonical-state dedup (DESIGN.md §15). The
+    // explored-state count is deterministic — it doubles as a drift
+    // detector next to the exact pin in pag-model's exhaustive suite —
+    // and the wall clock tracks the per-state cost of engine cloning
+    // plus fingerprinting.
+    let model_start = Instant::now();
+    let model_report = explore(&PagMachine::new(Scenario::canonical()), Budget::default());
+    let model_ms = model_start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        model_report.exhausted && model_report.violation.is_none(),
+        "canonical model-check regressed: {:?}",
+        model_report.violation
+    );
+
     let json = format!(
         r#"{{
-  "schema": 7,
+  "schema": 8,
   "scenario": {{
     "nodes": {nodes},
     "rounds": {rounds},
@@ -363,6 +383,20 @@ fn main() {
       "round_spans_recorded": {tr_spans}
     }}
   }},
+  "model_check": {{
+    "scenario": {{
+      "nodes": 4,
+      "rounds": 2,
+      "freerider": 2,
+      "crash_restart": "node 3 crashes at 1, restarts at 3",
+      "properties": "no-honest-conviction, ledger >= 0, no double retirement, quiescence reachable, freerider convicted at termination"
+    }},
+    "wall_clock_ms": {m_ms:.2},
+    "explored_states": {m_states},
+    "transitions": {m_transitions},
+    "terminal_states": {m_terminals},
+    "max_depth": {m_depth}
+  }},
   "host_multi_session": {{
     "scenario": {{
       "sessions": 2,
@@ -434,6 +468,11 @@ fn main() {
             .map(|m| m.exchanges_completed)
             .sum::<u64>(),
         tr_spans = trace_spans,
+        m_ms = model_ms,
+        m_states = model_report.states,
+        m_transitions = model_report.transitions,
+        m_terminals = model_report.terminals,
+        m_depth = model_report.depth,
         h_hashes = host_ops.hashes,
         h_signatures = host_ops.signatures,
         h_verifications = host_ops.verifications,

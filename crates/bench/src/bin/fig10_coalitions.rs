@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(0xF16_10);
+    let mut rng = StdRng::seed_from_u64(0x000F_1610);
     let (nodes, trials) = if quick_mode() { (200, 5) } else { (1000, 20) };
     let p3 = CoalitionParams {
         nodes,

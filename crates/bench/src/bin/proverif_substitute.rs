@@ -3,7 +3,7 @@
 //! `A1 → B`?
 
 use pag_bench::{header, row};
-use pag_symbolic::{PagScenario, Role};
+use pag_model::symbolic::{PagScenario, Role};
 
 fn main() {
     println!("# §VI-A — symbolic privacy analysis of exchange A1 -> B\n");

@@ -14,8 +14,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u128;
-        for i in 0..longer.len() {
-            let sum = longer[i] as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
+        for (i, &limb) in longer.iter().enumerate() {
+            let sum = limb as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
             out.push(sum as u64);
             carry = sum >> 64;
         }

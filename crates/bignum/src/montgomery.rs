@@ -263,7 +263,7 @@ impl Montgomery {
 
     /// `base_m^exp` for a Montgomery-form base and machine-word exponent
     /// `>= 1`, MSB-first square-and-multiply over the shared scratch.
-    fn pow_mont_u64(&self, base_m: &[u64], exp: u64, tmp: &mut Vec<u64>, t: &mut Vec<u64>) -> Vec<u64> {
+    fn pow_mont_u64(&self, base_m: &[u64], exp: u64, tmp: &mut Vec<u64>, t: &mut [u64]) -> Vec<u64> {
         debug_assert!(exp >= 1);
         let mut acc = base_m.to_vec();
         let bits = 64 - exp.leading_zeros();
@@ -280,7 +280,7 @@ impl Montgomery {
 
     /// Converts a Montgomery-form buffer out of the domain (multiply by
     /// raw 1). Leaves `tmp` emptied.
-    fn redc_out(&self, acc: &[u64], tmp: &mut Vec<u64>, t: &mut Vec<u64>) -> BigUint {
+    fn redc_out(&self, acc: &[u64], tmp: &mut Vec<u64>, t: &mut [u64]) -> BigUint {
         let mut one_raw = vec![0u64; self.k];
         one_raw[0] = 1;
         self.mont_mul_slices(acc, &one_raw, tmp, t);

@@ -95,8 +95,8 @@ fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(longer.len() + 1);
     let mut carry = 0u128;
-    for i in 0..longer.len() {
-        let sum = longer[i] as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
+    for (i, &limb) in longer.iter().enumerate() {
+        let sum = limb as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
         out.push(sum as u64);
         carry = sum >> 64;
     }
@@ -109,9 +109,9 @@ fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
 /// `acc -= sub`; requires `acc >= sub` numerically (guaranteed by Karatsuba).
 fn sub_in_place(acc: &mut [u64], sub: &[u64]) {
     let mut borrow = 0i128;
-    for i in 0..acc.len() {
-        let diff = acc[i] as i128 - *sub.get(i).unwrap_or(&0) as i128 + borrow;
-        acc[i] = diff as u64;
+    for (i, limb) in acc.iter_mut().enumerate() {
+        let diff = *limb as i128 - *sub.get(i).unwrap_or(&0) as i128 + borrow;
+        *limb = diff as u64;
         borrow = diff >> 64;
     }
     debug_assert_eq!(borrow, 0, "karatsuba middle term must be non-negative");

@@ -63,8 +63,8 @@ impl BigUint {
     /// Leading zero bytes are permitted and ignored.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
         let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
-        let mut chunk_iter = bytes.rchunks(8);
-        while let Some(chunk) = chunk_iter.next() {
+        let chunk_iter = bytes.rchunks(8);
+        for chunk in chunk_iter {
             let mut limb = 0u64;
             for &b in chunk {
                 limb = (limb << 8) | b as u64;
@@ -132,7 +132,7 @@ impl BigUint {
 
     /// Returns true if the value is even (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns true if the value is odd.
@@ -152,7 +152,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to one, growing the value if needed.
@@ -245,8 +245,8 @@ impl BigUint {
             nibbles.push(v);
         }
         let mut bytes = Vec::with_capacity(nibbles.len() / 2 + 1);
-        let mut iter = nibbles.rchunks(2);
-        while let Some(pair) = iter.next() {
+        let iter = nibbles.rchunks(2);
+        for pair in iter {
             let byte = match pair {
                 [hi, lo] => (hi << 4) | lo,
                 [lo] => *lo,

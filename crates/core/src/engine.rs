@@ -272,7 +272,12 @@ impl<'a> EngineCtx<'a> {
 ///
 /// Wraps the protocol state ([`PagNode`]) together with the node's
 /// deterministic RNG and turns `(state, input) -> (state', effects)`.
-#[derive(Debug)]
+///
+/// `Clone` exists for the model checker (`pag-model`): exhaustive
+/// traversal forks an engine at every interleaving choice point. Clones
+/// share the session context and payload buffers (`Arc`), so a fork
+/// copies BTree spines and counters, not crypto material.
+#[derive(Clone, Debug)]
 pub struct PagEngine {
     node: PagNode,
     rng: StdRng,
@@ -401,6 +406,22 @@ impl PagEngine {
         self.node.snapshot()
     }
 
+    /// The canonical projection of this engine's semantic state
+    /// ([`crate::model::ModelState`], DESIGN.md §15): every field that
+    /// can influence a future effect, minus derived caches and the RNG's
+    /// raw words. Model checkers deduplicate explored states on it; two
+    /// engines with equal projections emit identical effect sequences on
+    /// every identical future input sequence.
+    pub fn model_state(&self) -> crate::model::ModelState {
+        let mut p = crate::model::StateProj::new();
+        self.node.project(&mut p);
+        // `verdicts_reported` is engine- not node-level bookkeeping, but
+        // it governs which verdicts future inputs will surface.
+        p.tag("reported");
+        p.u64(self.verdicts_reported as u64);
+        p.finish()
+    }
+
     /// Whether the node holds protocol state that awaits further driver
     /// input: staged membership changes waiting for their effective
     /// round boundary, or half-completed exchanges waiting for a peer's
@@ -467,8 +488,10 @@ mod tests {
     use crate::config::PagConfig;
 
     fn engine_for(n: usize, id: u32) -> PagEngine {
-        let mut cfg = PagConfig::default();
-        cfg.stream_rate_kbps = 16.0; // keep tests fast
+        let cfg = PagConfig {
+            stream_rate_kbps: 16.0, // keep tests fast
+            ..PagConfig::default()
+        };
         let shared = SharedContext::new(cfg, n);
         PagEngine::new(NodeId(id), shared, SelfishStrategy::Honest, 0)
     }
@@ -521,8 +544,10 @@ mod tests {
     /// KeyRequest and returns the prime it minted for that predecessor
     /// (from the KeyResponse effect).
     fn minted_prime(seed: u64) -> pag_bignum::BigUint {
-        let mut cfg = PagConfig::default();
-        cfg.stream_rate_kbps = 16.0;
+        let cfg = PagConfig {
+            stream_rate_kbps: 16.0,
+            ..PagConfig::default()
+        };
         let shared = SharedContext::new(cfg, 6);
         let me = NodeId(1);
         let pred = shared.topology(0).predecessors(me)[0];
@@ -557,8 +582,10 @@ mod tests {
 
     /// A six-member context with one registered joiner (node 100).
     fn shared_with_joiner() -> Arc<SharedContext> {
-        let mut cfg = PagConfig::default();
-        cfg.stream_rate_kbps = 16.0;
+        let cfg = PagConfig {
+            stream_rate_kbps: 16.0,
+            ..PagConfig::default()
+        };
         let membership =
             pag_membership::Membership::with_uniform_nodes(cfg.session_id, 6, cfg.fanout, cfg.monitor_count);
         SharedContext::with_roster(cfg, membership, &[NodeId(100)])

@@ -56,6 +56,7 @@ pub mod engine;
 pub mod handshake;
 pub mod messages;
 pub mod metrics;
+pub mod model;
 pub mod monitor;
 pub mod node;
 pub mod selfish;
@@ -70,6 +71,7 @@ pub use engine::{Effect, Input, MetricEvent, PagEngine};
 pub use handshake::HandshakeError;
 pub use messages::{HashTriple, MessageBody, SignedMessage};
 pub use metrics::{NodeMetrics, OpCounters};
+pub use model::{ModelState, StateProj};
 pub use node::PagNode;
 pub use selfish::SelfishStrategy;
 pub use shared::SharedContext;

@@ -114,7 +114,7 @@ pub enum MessageBody {
         round: u64,
     },
     /// 2. `{⟨KeyResponse, R, B, A, p_j, H(u_i∈SB)_(p_j,M)⟩_B}_pk(A)` —
-    /// B answers with a fresh prime and its buffermap hashed under it.
+    ///    B answers with a fresh prime and its buffermap hashed under it.
     KeyResponse {
         /// Exchange round.
         round: u64,
@@ -162,7 +162,7 @@ pub enum MessageBody {
         hashes: HashTriple,
     },
     /// 6. Copy of the acknowledgement B sent to A, forwarded to one of
-    /// B's monitors.
+    ///    B's monitors.
     MonitorAck {
         /// Exchange round.
         round: u64,
@@ -175,7 +175,7 @@ pub enum MessageBody {
         ack_sig: Signature,
     },
     /// 7. A's attestation plus the cofactor `Π_{k≠j} p_k`, sent by B to
-    /// one of its monitors (encrypted to it).
+    ///    one of its monitors (encrypted to it).
     MonitorAttestation {
         /// Exchange round.
         round: u64,
@@ -189,8 +189,8 @@ pub enum MessageBody {
         cofactor_factors: u32,
     },
     /// 8. The combined hash `H(...)_(K(R,B),M)` broadcast by the monitor
-    /// that received messages 6/7 to B's other monitors, along with the
-    /// acknowledgement.
+    ///    that received messages 6/7 to B's other monitors, along with
+    ///    the acknowledgement.
     MonitorBroadcast {
         /// Exchange round.
         round: u64,
@@ -205,8 +205,8 @@ pub enum MessageBody {
         /// B's signature over the acknowledgement (evidence).
         ack_sig: Signature,
     },
-    /// 9. B's monitor forwards B's acknowledgement to A's monitors, which
-    /// use it to verify A's forwarding.
+    /// 9. B's monitor forwards B's acknowledgement to A's monitors,
+    ///    which use it to verify A's forwarding.
     AckForward {
         /// Exchange round.
         round: u64,

@@ -136,12 +136,12 @@ impl NodeMetrics {
     /// Records the first delivery of `id` at `round` (later calls are
     /// duplicate payloads). Returns `true` on a first delivery.
     pub fn record_delivery(&mut self, id: UpdateId, round: u64) -> bool {
-        if self.delivered.contains_key(&id) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.delivered.entry(id) {
+            e.insert(round);
+            true
+        } else {
             self.duplicate_payloads += 1;
             false
-        } else {
-            self.delivered.insert(id, round);
-            true
         }
     }
 

@@ -56,7 +56,7 @@ struct PendingReport {
 }
 
 /// Monitoring state of one node, covering every node it watches.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MonitorEngine {
     me: NodeId,
     /// Nodes this node monitors (stable within a membership epoch;
@@ -687,6 +687,106 @@ impl MonitorEngine {
         self.acks.retain(|&(_, r, _), _| r >= keep_from);
         self.nacks.retain(|&(_, r, _)| r >= keep_from);
         self.pending_reports.retain(|&(_, r, _), _| r >= keep_from);
+    }
+
+    /// Canonical state projection (DESIGN.md §15). Verdicts are projected
+    /// through the sorted `verdict_keys` set: the `verdicts` vec's push
+    /// order varies with message-delivery interleaving while the *set* of
+    /// convictions does not, and the projection must identify states the
+    /// protocol cannot distinguish.
+    pub(crate) fn project(&self, p: &mut crate::model::StateProj) {
+        p.tag("monitor");
+        p.u64(self.me.value() as u64);
+        p.count(self.watched.len());
+        for &b in &self.watched {
+            p.u64(b.value() as u64);
+        }
+        p.count(self.watch_started.len());
+        for (&b, &started) in &self.watch_started {
+            p.u64(b.value() as u64);
+            p.u64(started);
+        }
+        p.count(self.obligation.len());
+        for (&(b, round), h) in &self.obligation {
+            p.u64(b.value() as u64);
+            p.u64(round);
+            p.bytes(&h.value().to_bytes_be());
+        }
+        p.count(self.got_report.len());
+        for &(b, round, sender) in &self.got_report {
+            p.u64(b.value() as u64);
+            p.u64(round);
+            p.u64(sender.value() as u64);
+        }
+        p.count(self.self_reports.len());
+        for (&(b, round), h) in &self.self_reports {
+            p.u64(b.value() as u64);
+            p.u64(round);
+            p.bytes(&h.value().to_bytes_be());
+        }
+        p.count(self.acks.len());
+        for (&(sender, round, succ), (triple, sig)) in &self.acks {
+            p.u64(sender.value() as u64);
+            p.u64(round);
+            p.u64(succ.value() as u64);
+            p.bytes(&triple.expiring.value().to_bytes_be());
+            p.bytes(&triple.fresh.value().to_bytes_be());
+            p.bytes(&triple.duplicate.value().to_bytes_be());
+            p.bytes(sig.as_bytes());
+        }
+        p.count(self.nacks.len());
+        for &(accuser, round, accused) in &self.nacks {
+            p.u64(accuser.value() as u64);
+            p.u64(round);
+            p.u64(accused.value() as u64);
+        }
+        p.count(self.pending_reports.len());
+        for (&(b, round, sender), pr) in &self.pending_reports {
+            p.u64(b.value() as u64);
+            p.u64(round);
+            p.u64(sender.value() as u64);
+            p.bool(pr.ack.is_some());
+            if let Some((t, sig)) = &pr.ack {
+                p.bytes(&t.expiring.value().to_bytes_be());
+                p.bytes(&t.fresh.value().to_bytes_be());
+                p.bytes(&t.duplicate.value().to_bytes_be());
+                p.bytes(sig.as_bytes());
+            }
+            p.bool(pr.attestation.is_some());
+            if let Some((t, cof)) = &pr.attestation {
+                p.bytes(&t.expiring.value().to_bytes_be());
+                p.bytes(&t.fresh.value().to_bytes_be());
+                p.bytes(&t.duplicate.value().to_bytes_be());
+                p.bytes(&cof.to_bytes_be());
+            }
+        }
+        p.count(self.pending_accusations.len());
+        for (&(round, accuser, accused), &answered) in &self.pending_accusations {
+            p.u64(round);
+            p.u64(accuser.value() as u64);
+            p.u64(accused.value() as u64);
+            p.bool(answered);
+        }
+        p.count(self.pending_exhibits.len());
+        for &(sender, round, succ) in &self.pending_exhibits {
+            p.u64(sender.value() as u64);
+            p.u64(round);
+            p.u64(succ.value() as u64);
+        }
+        p.count(self.verdict_keys.len());
+        for (accused, round, fault) in &self.verdict_keys {
+            p.u64(accused.value() as u64);
+            p.u64(*round);
+            let (kind, peer) = match fault {
+                Fault::FailedToForward { successor } => (0u32, *successor),
+                Fault::WrongForward { successor } => (1, *successor),
+                Fault::Unresponsive { accuser } => (2, *accuser),
+                Fault::SilentToMonitors { predecessor } => (3, *predecessor),
+                Fault::DroppedMonitorDuty { watched } => (4, *watched),
+            };
+            p.u32(kind);
+            p.u64(peer.value() as u64);
+        }
     }
 }
 

@@ -25,6 +25,7 @@ use pag_membership::{LeaveError, Membership, NodeId};
 use crate::engine::{EngineCtx, MetricEvent};
 use crate::messages::{HashTriple, MessageBody, ServedRef, ServedUpdate, SignedMessage};
 use crate::metrics::NodeMetrics;
+use crate::model::StateProj;
 use crate::monitor::{designated_monitor, MonitorEngine};
 use crate::selfish::SelfishStrategy;
 use crate::shared::SharedContext;
@@ -172,7 +173,12 @@ enum ChurnStage {
 }
 
 /// A node running PAG.
-#[derive(Debug)]
+///
+/// `Clone` supports the model checker (`pag-model`): breadth-first state
+/// exploration forks a node at every interleaving choice. All heavy
+/// members are `Arc`-shared (the context, payloads, residues), so a
+/// clone is mostly BTree spines.
+#[derive(Clone, Debug)]
 pub struct PagNode {
     id: NodeId,
     shared: Arc<SharedContext>,
@@ -506,7 +512,7 @@ impl PagNode {
     /// True for the SA items a deviating node actually serves.
     fn strategy_keeps(&self, item: &SaItem) -> bool {
         match self.strategy {
-            SelfishStrategy::PartialForward => item.id.0 % 2 == 0,
+            SelfishStrategy::PartialForward => item.id.0.is_multiple_of(2),
             _ => true,
         }
     }
@@ -1428,19 +1434,206 @@ impl PagNode {
         let round = tag & TIMER_ROUND_MASK;
         match tag & !TIMER_ROUND_MASK {
             TIMER_ACK_CHECK => self.ack_check(round, ctx),
-            TIMER_EVAL => {
-                if self.strategy.monitors_others() {
+            TIMER_EVAL
+                if self.strategy.monitors_others() => {
                     let shared = Arc::clone(&self.shared);
                     let effects = self.monitor.eval_round(&shared, &self.view, round);
                     self.send_effects(ctx, effects);
                 }
-            }
-            TIMER_EXHIBIT => {
-                if self.strategy.monitors_others() {
+            TIMER_EXHIBIT
+                if self.strategy.monitors_others() => {
                     self.monitor.resolve_exhibits(round);
                 }
-            }
             _ => {}
         }
     }
+}
+
+// Canonical state projection (DESIGN.md §15). Every *semantic* field is
+// written; derived caches (`RoundKeys::k`/`cofactors`, `SaItem` payload
+// and residue, which follow from the update id) are skipped — see
+// `crate::model` for the exclusion rationale.
+impl PagNode {
+    pub(crate) fn project(&self, p: &mut StateProj) {
+        p.tag("node");
+        p.u64(self.id.value() as u64);
+        p.u32(self.strategy as u32);
+        p.tag("view");
+        p.u64(self.view.epoch());
+        p.u64(self.view.fingerprint());
+        p.u64(self.view.len() as u64);
+        p.tag("staged");
+        p.count(self.staged_churn.len());
+        for &(round, stage, node) in &self.staged_churn {
+            p.u64(round);
+            p.u32(stage as u32);
+            p.u64(node.value() as u64);
+        }
+        p.tag("store");
+        p.count(self.store.len());
+        for u in self.store.iter() {
+            p.u64(u.id.0);
+            p.u64(u.created_round);
+            p.u64(u.first_received_round);
+        }
+        p.tag("recv_keys");
+        p.count(self.recv_keys.len());
+        for (&round, keys) in &self.recv_keys {
+            p.u64(round);
+            p.count(keys.entries.len());
+            for (pred, prime) in &keys.entries {
+                p.u64(pred.value() as u64);
+                p.bytes(&prime.to_bytes_be());
+            }
+        }
+        p.tag("received_fresh");
+        p.count(self.received_fresh.len());
+        for (&round, per_update) in &self.received_fresh {
+            p.u64(round);
+            p.count(per_update.len());
+            for (&id, &count) in per_update {
+                p.u64(id.0);
+                p.u32(count);
+            }
+        }
+        p.tag("processed");
+        p.count(self.processed_exchanges.len());
+        for &(round, peer) in &self.processed_exchanges {
+            p.u64(round);
+            p.u64(peer.value() as u64);
+        }
+        p.tag("pending_serves");
+        p.count(self.pending_serves.len());
+        for (&(round, from), ps) in &self.pending_serves {
+            p.u64(round);
+            p.u64(from.value() as u64);
+            p.bool(ps.serve.is_some());
+            if let Some((k_prev, factors, fresh, refs)) = &ps.serve {
+                p.bytes(&k_prev.to_bytes_be());
+                p.u32(*factors);
+                p.count(fresh.len());
+                for su in fresh {
+                    project_served_update(p, su);
+                }
+                p.count(refs.len());
+                for r in refs {
+                    p.u32(r.index);
+                    p.u32(r.count);
+                }
+            }
+            p.bool(ps.attestation.is_some());
+            if let Some(t) = &ps.attestation {
+                project_triple(p, t);
+            }
+        }
+        p.tag("buffermaps_sent");
+        p.count(self.buffermaps_sent.len());
+        for (&(round, peer), ids) in &self.buffermaps_sent {
+            p.u64(round);
+            p.u64(peer.value() as u64);
+            p.count(ids.len());
+            for id in ids {
+                p.u64(id.0);
+            }
+        }
+        p.tag("acks_sent");
+        p.count(self.acks_sent.len());
+        for (&(round, peer), (triple, sig)) in &self.acks_sent {
+            p.u64(round);
+            p.u64(peer.value() as u64);
+            project_triple(p, triple);
+            p.bytes(sig.as_bytes());
+        }
+        p.tag("sa_cache");
+        p.count(self.sa_cache.len());
+        for (&round, items) in &self.sa_cache {
+            p.u64(round);
+            p.count(items.len());
+            for item in items {
+                p.u64(item.id.0);
+                p.u32(item.count);
+                p.u64(item.created_round);
+            }
+        }
+        p.tag("exchanges");
+        p.count(self.exchanges.len());
+        for (&(round, succ), ex) in &self.exchanges {
+            p.u64(round);
+            p.u64(succ.value() as u64);
+            p.bool(ex.responded);
+            p.bool(ex.accused);
+            p.bool(ex.served.is_some());
+            if let Some(s) = &ex.served {
+                p.bytes(&s.k_prev.to_bytes_be());
+                p.u32(s.k_prev_factors);
+                p.count(s.fresh.len());
+                for su in &s.fresh {
+                    project_served_update(p, su);
+                }
+                p.count(s.refs.len());
+                for r in &s.refs {
+                    p.u32(r.index);
+                    p.u32(r.count);
+                }
+            }
+            p.bool(ex.expected_ack.is_some());
+            if let Some(t) = &ex.expected_ack {
+                project_triple(p, t);
+            }
+            p.bool(ex.acked.is_some());
+            if let Some((t, sig)) = &ex.acked {
+                project_triple(p, t);
+                p.bytes(sig.as_bytes());
+            }
+        }
+        self.monitor.project(p);
+        p.tag("metrics");
+        let m = &self.metrics;
+        p.u64(m.ops.hashes);
+        p.u64(m.ops.signatures);
+        p.u64(m.ops.verifications);
+        p.u64(m.ops.primes);
+        p.count(m.delivered.len());
+        for (&id, &round) in &m.delivered {
+            p.u64(id.0);
+            p.u64(round);
+        }
+        for v in [
+            m.duplicate_payloads,
+            m.accusations_sent,
+            m.exchanges_completed,
+            m.frames_rejected,
+            m.connections_dropped,
+            m.links_severed,
+            m.links_reconnected,
+            m.recoveries,
+            m.handshakes_rejected,
+        ] {
+            p.u64(v);
+        }
+        p.tag("progress");
+        p.u64(self.rounds_entered);
+        p.u64(self.next_seq);
+        p.count(self.creations.len());
+        for (&id, &round) in &self.creations {
+            p.u64(id.0);
+            p.u64(round);
+        }
+    }
+}
+
+/// Projects one [`HashTriple`] (three homomorphic hash values).
+fn project_triple(p: &mut StateProj, t: &HashTriple) {
+    p.bytes(&t.expiring.value().to_bytes_be());
+    p.bytes(&t.fresh.value().to_bytes_be());
+    p.bytes(&t.duplicate.value().to_bytes_be());
+}
+
+/// Projects one [`ServedUpdate`]; the payload is derived from the id
+/// (synthetic, deterministic) and skipped.
+fn project_served_update(p: &mut StateProj, su: &ServedUpdate) {
+    p.u64(su.id.0);
+    p.u64(su.created_round);
+    p.u32(su.count);
+    p.bool(su.expiring);
 }

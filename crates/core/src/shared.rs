@@ -266,12 +266,14 @@ mod tests {
 
     #[test]
     fn sign_verify_roundtrip_rsa() {
-        let mut config = PagConfig::default();
-        config.crypto = CryptoProfile {
-            homomorphic_bits: 64,
-            prime_bits: 16,
-            rsa_bits: 512,
-            real_signatures: true,
+        let mut config = PagConfig {
+            crypto: CryptoProfile {
+                homomorphic_bits: 64,
+                prime_bits: 16,
+                rsa_bits: 512,
+                real_signatures: true,
+            },
+            ..PagConfig::default()
         };
         config.wire.signature = 64; // match RSA-512
         let ctx = SharedContext::new(config, 3);
@@ -289,8 +291,10 @@ mod tests {
 
     #[test]
     fn verification_can_be_disabled() {
-        let mut config = PagConfig::default();
-        config.verify_signatures = false;
+        let config = PagConfig {
+            verify_signatures: false,
+            ..PagConfig::default()
+        };
         let ctx = SharedContext::new(config, 4);
         let mut msg = ctx.sign(NodeId(1), MessageBody::KeyRequest { round: 0 });
         msg.sig = Signature::from_bytes(vec![0; 4]);

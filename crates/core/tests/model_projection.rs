@@ -1,0 +1,160 @@
+//! Properties of the [`pag_core::ModelState`] projection (DESIGN.md §15).
+//!
+//! The model checker in `pag-model` dedups explored states by their
+//! canonical projection, so the projection must be:
+//!
+//! * **deterministic** — equal engines project to equal bytes,
+//! * **injective on semantic state** — engines that can ever diverge on
+//!   a future input project differently *now* (otherwise the checker
+//!   would merge states with different futures and miss interleavings),
+//! * **stable across persistence** — taking and round-tripping a
+//!   [`pag_core::NodeSnapshot`] does not perturb the projection.
+//!
+//! Exhaustively proving injectivity is the checker's job; here we pin
+//! the contrapositive on the divergence axes the protocol actually has
+//! (engine seed, selfish strategy, round progress, message arrival).
+
+use pag_core::engine::{Effect, Input, PagEngine};
+use pag_core::{ModelState, NodeSnapshot, PagConfig, SelfishStrategy, SharedContext};
+use pag_membership::NodeId;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Builds an `n`-node session where node 2 runs `strategy`.
+fn build(n: usize, seed: u64, strategy: SelfishStrategy) -> Vec<PagEngine> {
+    let cfg = PagConfig {
+        stream_rate_kbps: 16.0, // ~2 updates/round keeps cases fast
+        ..PagConfig::default()
+    };
+    let shared = SharedContext::new(cfg, n);
+    (0..n as u32)
+        .map(|id| {
+            let s = if id == 2 { strategy } else { SelfishStrategy::Honest };
+            PagEngine::new(NodeId(id), Arc::clone(&shared), s, seed)
+        })
+        .collect()
+}
+
+/// Minimal lockstep driver: per round, feed `RoundStart` in id order,
+/// drain the message queue FIFO (cascades appended), then fire the
+/// round's timers in `(deadline, node)` order, draining between shots.
+type Mail = VecDeque<(NodeId, NodeId, pag_core::SignedMessage)>;
+type Timers = Vec<(u64, usize, u64)>;
+
+fn collect(i: usize, fx: Vec<Effect>, queue: &mut Mail, timers: &mut Timers) {
+    let from = NodeId(i as u32);
+    for e in fx {
+        match e {
+            Effect::Send { to, msg, .. } => queue.push_back((from, to, msg)),
+            Effect::SetTimer { tag, after_ms } => timers.push((after_ms, i, tag)),
+            _ => {}
+        }
+    }
+}
+
+fn drain(engines: &mut [PagEngine], queue: &mut Mail, timers: &mut Timers) {
+    while let Some((from, to, msg)) = queue.pop_front() {
+        let i = to.value() as usize;
+        let fx = engines[i].handle(Input::Deliver { from, msg });
+        collect(i, fx, queue, timers);
+    }
+}
+
+fn run_rounds(engines: &mut [PagEngine], rounds: u64) {
+    for r in 0..rounds {
+        let mut queue = Mail::new();
+        let mut timers = Timers::new();
+        for (i, engine) in engines.iter_mut().enumerate() {
+            let fx = engine.handle(Input::RoundStart(r));
+            collect(i, fx, &mut queue, &mut timers);
+        }
+        drain(engines, &mut queue, &mut timers);
+        timers.sort_unstable();
+        for (_, i, tag) in std::mem::take(&mut timers) {
+            let fx = engines[i].handle(Input::TimerFired { tag });
+            collect(i, fx, &mut queue, &mut timers);
+            drain(engines, &mut queue, &mut timers);
+        }
+    }
+}
+
+fn projections(engines: &[PagEngine]) -> Vec<ModelState> {
+    engines.iter().map(|e| e.model_state()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Equal construction + equal inputs ⇒ equal projections, at every
+    /// node, after any number of rounds.
+    #[test]
+    fn determinism_equal_projections(seed in any::<u64>(), n in 4usize..=6, rounds in 1u64..=2) {
+        let mut a = build(n, seed, SelfishStrategy::Honest);
+        let mut b = build(n, seed, SelfishStrategy::Honest);
+        run_rounds(&mut a, rounds);
+        run_rounds(&mut b, rounds);
+        prop_assert_eq!(projections(&a), projections(&b));
+    }
+
+    /// Different engine seeds mint different primes, so the sessions are
+    /// semantically distinct and must project (and fingerprint) apart.
+    #[test]
+    fn seed_divergence_changes_projection(seed in any::<u64>(), n in 4usize..=6) {
+        let mut a = build(n, seed, SelfishStrategy::Honest);
+        let mut b = build(n, seed ^ 1, SelfishStrategy::Honest);
+        run_rounds(&mut a, 1);
+        run_rounds(&mut b, 1);
+        let (pa, pb) = (projections(&a), projections(&b));
+        prop_assert_ne!(&pa, &pb);
+        let fold = |ps: &[ModelState]| {
+            ps.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, m| pag_core::model::fnv1a(h, m.bytes()))
+        };
+        prop_assert_ne!(fold(&pa), fold(&pb));
+    }
+
+    /// A freerider session diverges from an honest one — in the cheater's
+    /// own state and in its monitors' — and the projections must show it.
+    #[test]
+    fn strategy_divergence_changes_projection(seed in any::<u64>(), n in 4usize..=6) {
+        let mut honest = build(n, seed, SelfishStrategy::Honest);
+        let mut cheat = build(n, seed, SelfishStrategy::DropForward);
+        run_rounds(&mut honest, 2);
+        run_rounds(&mut cheat, 2);
+        prop_assert_ne!(projections(&honest), projections(&cheat));
+    }
+
+    /// The direct injectivity statement: fork one engine, feed only the
+    /// fork a future input — the two now-distinct states must project
+    /// (and hash) differently immediately.
+    #[test]
+    fn future_input_divergence_is_visible_now(seed in any::<u64>(), n in 4usize..=6) {
+        let mut engines = build(n, seed, SelfishStrategy::Honest);
+        run_rounds(&mut engines, 1);
+        let base = &engines[1];
+        let mut forked = base.clone();
+        prop_assert_eq!(base.model_state(), forked.model_state());
+        forked.handle(Input::RoundStart(1));
+        prop_assert_ne!(base.model_state().bytes(), forked.model_state().bytes());
+        prop_assert_ne!(
+            base.model_state().fingerprint(),
+            forked.model_state().fingerprint()
+        );
+    }
+
+    /// Taking a snapshot and round-tripping it through the persistence
+    /// codec neither perturbs the engine's projection nor loses snapshot
+    /// content.
+    #[test]
+    fn projection_stable_across_snapshot_roundtrip(seed in any::<u64>(), n in 4usize..=6) {
+        let mut engines = build(n, seed, SelfishStrategy::Honest);
+        run_rounds(&mut engines, 2);
+        for e in &engines {
+            let before = e.model_state();
+            let snap = e.snapshot();
+            let decoded = NodeSnapshot::decode(&snap.encode());
+            prop_assert_eq!(decoded, Ok(snap));
+            prop_assert_eq!(before, e.model_state());
+        }
+    }
+}

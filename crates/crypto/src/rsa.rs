@@ -125,7 +125,7 @@ impl RsaKeyPair {
     /// (the hybrid encryption format needs a minimum modulus size).
     pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
         assert!(bits >= 64, "modulus too small to be useful");
-        assert!(bits % 16 == 0, "modulus bits must be a multiple of 16");
+        assert!(bits.is_multiple_of(16), "modulus bits must be a multiple of 16");
         let e = BigUint::from(PUBLIC_EXPONENT);
         loop {
             let p = gen_prime(bits / 2, rng);

@@ -222,7 +222,7 @@ impl Host {
     fn rows(&self, only: Option<u64>) -> Vec<crate::metrics::SessionRow> {
         self.lock()
             .iter()
-            .filter(|(&id, _)| only.map_or(true, |want| want == id))
+            .filter(|(&id, _)| only.is_none_or(|want| want == id))
             .map(|(&id, h)| crate::metrics::SessionRow {
                 id,
                 protocol_session: h.protocol_session,

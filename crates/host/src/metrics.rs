@@ -305,11 +305,15 @@ mod tests {
     use pag_runtime::NodeTraffic;
 
     fn row() -> SessionRow {
-        let mut metrics = NodeMetrics::default();
+        let mut metrics = NodeMetrics {
+            exchanges_completed: 3,
+            ..NodeMetrics::default()
+        };
         metrics.ops.signatures = 7;
-        metrics.exchanges_completed = 3;
-        let mut traffic = NodeTraffic::default();
-        traffic.sent_bytes = 512;
+        let traffic = NodeTraffic {
+            sent_bytes: 512,
+            ..NodeTraffic::default()
+        };
         let mut nodes = BTreeMap::new();
         nodes.insert(NodeId(2), NodeStatus::untraced(4, metrics, traffic));
         SessionRow {

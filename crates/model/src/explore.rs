@@ -1,0 +1,196 @@
+//! Exhaustive breadth-first exploration with canonical-state dedup.
+//!
+//! The explorer walks every interleaving a [`Machine`] admits, dedups
+//! states by [`Machine::fingerprint`], and checks the machine's safety
+//! invariant on every new state plus its deadlock property on every
+//! terminal state. Breadth-first order means the first violation found
+//! has a **shortest** action trace — the counterexample is minimal by
+//! construction, no separate shrinking pass.
+//!
+//! Memory shape: full states live only in the BFS frontier (which
+//! collapses at the protocol's barrier points); the visited set and the
+//! parent map used for trace reconstruction hold only 64-bit
+//! fingerprints and one action each.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::machine::Machine;
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Stop (with `exhausted = false`) after this many deduped states.
+    pub max_states: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Why a property failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// [`Machine::invariant`] failed on a reachable state.
+    Invariant,
+    /// [`Machine::deadlock`] failed on a terminal state (e.g. a wedged
+    /// barrier, or termination without the required convictions).
+    Deadlock,
+}
+
+/// A property violation with its minimized (shortest) trace.
+#[derive(Clone, Debug)]
+pub struct Violation<A> {
+    /// Which property failed.
+    pub kind: ViolationKind,
+    /// The property's error message.
+    pub detail: String,
+    /// The action sequence from the initial state to the violating
+    /// state. Breadth-first search makes this a shortest such trace.
+    pub trace: Vec<A>,
+}
+
+impl<A: std::fmt::Debug> Violation<A> {
+    /// Renders the violation as the body of a regression test: a
+    /// `vec![...]` of actions plus a [`crate::replay_expect_violation`]
+    /// call asserting the failure reproduces. `machine_expr` is the
+    /// Rust expression constructing the machine (e.g.
+    /// `"PagMachine::new(Scenario { .. })"`); the action type's `Debug`
+    /// output must be valid constructor syntax (true for
+    /// [`crate::pag::Act`] with `Act::*` and `NodeId` in scope).
+    pub fn test_body(&self, machine_expr: &str) -> String {
+        let mut acts = String::new();
+        for a in &self.trace {
+            acts.push_str(&format!("        {a:?},\n"));
+        }
+        format!(
+            "#[test]\nfn model_counterexample_replays() {{\n    let machine = {machine_expr};\n    let trace = vec![\n{acts}    ];\n    let err = pag_model::replay_expect_violation(&machine, &trace)\n        .expect(\"counterexample must reproduce\");\n    assert!(err.contains({detail:?}), \"got: {{err}}\");\n}}\n",
+            detail = self.detail,
+        )
+    }
+}
+
+/// Exploration statistics and outcome.
+#[derive(Clone, Debug)]
+pub struct Report<A> {
+    /// Deduped states reached (including the initial state).
+    pub states: usize,
+    /// Transitions taken (state × enabled action pairs expanded).
+    pub transitions: usize,
+    /// Terminal (action-less) states reached.
+    pub terminals: usize,
+    /// Longest action trace from the initial state to any state.
+    pub depth: usize,
+    /// `true` when the full state space fit in the budget. When the
+    /// graph is acyclic (every barrier-driven protocol round consumes
+    /// events), `exhausted && violation.is_none()` proves both safety
+    /// and that quiescence is reachable from every reachable state.
+    pub exhausted: bool,
+    /// The first (shortest-trace) property violation, if any. The
+    /// explorer stops at the first violation.
+    pub violation: Option<Violation<A>>,
+}
+
+/// Explores `m` exhaustively within `budget`.
+pub fn explore<M: Machine>(m: &M, budget: Budget) -> Report<M::Action> {
+    explore_with(m, budget, |_| {})
+}
+
+/// [`explore`], invoking `on_terminal` for every terminal state found
+/// (after its deadlock check passes) — e.g. to collect verdict sets for
+/// cross-validation against a concrete driver.
+pub fn explore_with<M: Machine>(
+    m: &M,
+    budget: Budget,
+    mut on_terminal: impl FnMut(&M::State),
+) -> Report<M::Action> {
+    // fingerprint -> (parent fingerprint, action that produced it)
+    let mut parents: HashMap<u64, (u64, Option<M::Action>)> = HashMap::new();
+    let mut frontier: VecDeque<(M::State, u64, usize)> = VecDeque::new();
+    let mut report = Report {
+        states: 0,
+        transitions: 0,
+        terminals: 0,
+        depth: 0,
+        exhausted: true,
+        violation: None,
+    };
+
+    let root = m.initial();
+    let root_fp = m.fingerprint(&root);
+    parents.insert(root_fp, (root_fp, None));
+    report.states = 1;
+    if let Err(detail) = m.invariant(&root) {
+        report.violation = Some(Violation {
+            kind: ViolationKind::Invariant,
+            detail,
+            trace: Vec::new(),
+        });
+        return report;
+    }
+    frontier.push_back((root, root_fp, 0));
+
+    let mut acts = Vec::new();
+    while let Some((state, fp, depth)) = frontier.pop_front() {
+        report.depth = report.depth.max(depth);
+        acts.clear();
+        m.actions(&state, &mut acts);
+        if acts.is_empty() {
+            report.terminals += 1;
+            if let Err(detail) = m.deadlock(&state) {
+                report.violation = Some(Violation {
+                    kind: ViolationKind::Deadlock,
+                    detail,
+                    trace: rebuild_trace(&parents, root_fp, fp),
+                });
+                return report;
+            }
+            on_terminal(&state);
+            continue;
+        }
+        for a in &acts {
+            report.transitions += 1;
+            let succ = m.step(&state, a);
+            let succ_fp = m.fingerprint(&succ);
+            if parents.contains_key(&succ_fp) {
+                continue;
+            }
+            parents.insert(succ_fp, (fp, Some(a.clone())));
+            report.states += 1;
+            if let Err(detail) = m.invariant(&succ) {
+                report.violation = Some(Violation {
+                    kind: ViolationKind::Invariant,
+                    detail,
+                    trace: rebuild_trace(&parents, root_fp, succ_fp),
+                });
+                return report;
+            }
+            if report.states >= budget.max_states {
+                report.exhausted = false;
+                return report;
+            }
+            frontier.push_back((succ, succ_fp, depth + 1));
+        }
+    }
+    report
+}
+
+/// Walks the parent map from `fp` back to `root_fp`, returning the
+/// action sequence in execution order.
+fn rebuild_trace<A: Clone>(
+    parents: &HashMap<u64, (u64, Option<A>)>,
+    root_fp: u64,
+    mut fp: u64,
+) -> Vec<A> {
+    let mut trace = Vec::new();
+    while fp != root_fp {
+        let (parent, act) = &parents[&fp];
+        trace.push(act.clone().expect("non-root states record their action"));
+        fp = *parent;
+    }
+    trace.reverse();
+    trace
+}

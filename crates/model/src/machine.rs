@@ -1,0 +1,108 @@
+//! The [`Machine`] abstraction: a transition system with typed actions,
+//! in the style of explicit-state TLA+-like toolkits.
+//!
+//! A machine is the *rules*, not a run: it owns the immutable scenario
+//! (topology, schedules, configuration) and knows, for any state, which
+//! actions are enabled and what each does. States are owned values the
+//! explorer clones freely, so `step` takes `&State` and returns a fresh
+//! successor — machines never mutate in place.
+//!
+//! Properties ride on the same trait: [`Machine::invariant`] is checked
+//! on every reachable state (safety), [`Machine::deadlock`] on every
+//! terminal state — a state with no enabled actions. For the acyclic
+//! transition graphs our barrier-driven protocol produces, "quiescence
+//! is reachable from every state" reduces to "exploration terminates
+//! and every terminal state passes `deadlock`", which is how the
+//! checker phrases its liveness results.
+
+/// A transition system the explorer can walk exhaustively.
+pub trait Machine {
+    /// One global state of the system.
+    type State: Clone;
+    /// One enabled transition.
+    type Action: Clone + PartialEq + std::fmt::Debug;
+
+    /// The (single) initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Appends every action enabled in `s` to `out` (cleared by the
+    /// caller). An empty result marks `s` terminal.
+    fn actions(&self, s: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// The successor of `s` under `a`. `a` must be enabled in `s`.
+    fn step(&self, s: &Self::State, a: &Self::Action) -> Self::State;
+
+    /// A canonical 64-bit fingerprint of `s` for visited-set dedup.
+    /// Equal semantic states must collide; states that can ever diverge
+    /// must (collision-probability aside) differ.
+    fn fingerprint(&self, s: &Self::State) -> u64;
+
+    /// Safety property, checked on every reachable state.
+    fn invariant(&self, _s: &Self::State) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Terminal-state property, checked on states with no enabled
+    /// actions (e.g. "termination means quiescence, and every freerider
+    /// stands convicted").
+    fn deadlock(&self, _s: &Self::State) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Replays an action trace from the initial state, checking the
+/// invariant after every step, and returns the first violation.
+///
+/// This is how a model-checker counterexample becomes a regression
+/// test: the emitted test body calls this with the minimized trace and
+/// asserts the violation reproduces. Returns `None` when the whole
+/// trace replays cleanly (including the deadlock check on the final
+/// state if the trace ends terminal).
+pub fn replay_expect_violation<M: Machine>(m: &M, trace: &[M::Action]) -> Option<String> {
+    let mut s = m.initial();
+    if let Err(e) = m.invariant(&s) {
+        return Some(e);
+    }
+    let mut enabled = Vec::new();
+    for (i, a) in trace.iter().enumerate() {
+        enabled.clear();
+        m.actions(&s, &mut enabled);
+        assert!(
+            enabled.contains(a),
+            "trace step {i}: action {a:?} is not enabled"
+        );
+        s = m.step(&s, a);
+        if let Err(e) = m.invariant(&s) {
+            return Some(e);
+        }
+    }
+    enabled.clear();
+    m.actions(&s, &mut enabled);
+    if enabled.is_empty() {
+        if let Err(e) = m.deadlock(&s) {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// Replays a trace that must stay violation-free and returns the final
+/// state (panics on any property failure — use for extracting terminal
+/// states of known-good traces).
+pub fn replay<M: Machine>(m: &M, trace: &[M::Action]) -> M::State {
+    let mut s = m.initial();
+    let mut enabled = Vec::new();
+    for (i, a) in trace.iter().enumerate() {
+        enabled.clear();
+        m.actions(&s, &mut enabled);
+        assert!(
+            enabled.contains(a),
+            "trace step {i}: action {a:?} is not enabled"
+        );
+        s = m.step(&s, a);
+        if let Err(e) = m.invariant(&s) {
+            panic!("trace step {i}: invariant violated: {e}");
+        }
+    }
+    s
+}

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::term::Term;
+use crate::symbolic::term::Term;
 
 /// A set of terms closed (on demand) under attacker deduction.
 #[derive(Clone, Debug, Default)]
@@ -60,19 +60,17 @@ impl Knowledge {
                         }
                     }
                     // Signatures reveal their content.
-                    Term::Sign(inner, _) => {
-                        if !self.facts.contains(inner) {
+                    Term::Sign(inner, _)
+                        if !self.facts.contains(inner) => {
                             new_facts.push((**inner).clone());
                         }
-                    }
                     // Decrypt with a known private key.
-                    Term::Enc(inner, to) => {
+                    Term::Enc(inner, to)
                         if self.facts.contains(&Term::Priv(to.clone()))
                             && !self.facts.contains(inner)
-                        {
+                        => {
                             new_facts.push((**inner).clone());
                         }
-                    }
                     // Division: a product with exactly one unknown factor
                     // yields it.
                     Term::PrimeProduct(primes) => {
@@ -168,7 +166,7 @@ impl Knowledge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::term::Term;
+    use crate::symbolic::term::Term;
 
     #[test]
     fn tuples_and_signatures_decompose() {

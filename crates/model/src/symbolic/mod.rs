@@ -3,7 +3,7 @@
 //!
 //! The paper models PAG's cryptographic procedures in ProVerif and shows
 //! that a global, active attacker cannot link updates to nodes unless a
-//! sufficient coalition colludes. This crate reproduces that analysis
+//! sufficient coalition colludes. This module reproduces that analysis
 //! natively: [`term`] defines the term algebra (encryption, signatures,
 //! prime products, homomorphic hashes), [`knowledge`] implements attacker
 //! knowledge saturation under the standard deduction rules plus the
@@ -25,7 +25,7 @@
 //! # Examples
 //!
 //! ```
-//! use pag_symbolic::{PagScenario, Role};
+//! use pag_model::symbolic::{PagScenario, Role};
 //!
 //! let scenario = PagScenario::new(3);
 //! // Nobody corrupted: exchange A1 -> B stays private.
@@ -33,9 +33,6 @@
 //! // The designated monitor plus one other predecessor break it.
 //! assert!(scenario.privacy_broken(&[Role::Monitor(0), Role::Predecessor(1)], 0));
 //! ```
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod knowledge;
 pub mod protocol_model;

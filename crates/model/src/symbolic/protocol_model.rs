@@ -13,8 +13,8 @@
 
 use std::collections::BTreeSet;
 
-use crate::knowledge::Knowledge;
-use crate::term::Term;
+use crate::symbolic::knowledge::Knowledge;
+use crate::symbolic::term::Term;
 
 /// A role in the scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

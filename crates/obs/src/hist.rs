@@ -92,11 +92,7 @@ impl Histogram {
 
     /// Mean sample, microseconds (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_us / self.count
-        }
+        self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 
     /// Per-bucket counts, index `i` bounded by [`bucket_bound`]`(i)`.
@@ -157,11 +153,7 @@ pub struct HistSummary {
 impl HistSummary {
     /// Mean sample, microseconds (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_us / self.count
-        }
+        self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 }
 

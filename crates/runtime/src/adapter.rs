@@ -110,16 +110,15 @@ impl SimnetPag {
             let wall_us = t0.elapsed().as_micros() as u64;
             let delta = self.engine.metrics().ops.delta_since(&before);
             let total = delta.total();
-            if total > 0 {
-                for (op, count) in [
-                    (CryptoOp::Hash, delta.hashes),
-                    (CryptoOp::Sign, delta.signatures),
-                    (CryptoOp::Verify, delta.verifications),
-                    (CryptoOp::Prime, delta.primes),
-                ] {
-                    if count > 0 {
-                        rec.crypto(op, count, wall_us * count / total);
-                    }
+            for (op, count) in [
+                (CryptoOp::Hash, delta.hashes),
+                (CryptoOp::Sign, delta.signatures),
+                (CryptoOp::Verify, delta.verifications),
+                (CryptoOp::Prime, delta.primes),
+            ] {
+                // count > 0 implies total > 0, so the division is live.
+                if let (true, Some(share)) = (count > 0, (wall_us * count).checked_div(total)) {
+                    rec.crypto(op, count, share);
                 }
             }
         } else {

@@ -218,11 +218,15 @@ mod tests {
                         // Tear detector: every field of a publication
                         // encodes the same round, so a mixed-up status
                         // is observable.
-                        let mut metrics = NodeMetrics::default();
-                        metrics.exchanges_completed = round;
+                        let mut metrics = NodeMetrics {
+                            exchanges_completed: round,
+                            ..NodeMetrics::default()
+                        };
                         metrics.ops.signatures = round;
-                        let mut traffic = NodeTraffic::default();
-                        traffic.sent_msgs = round;
+                        let traffic = NodeTraffic {
+                            sent_msgs: round,
+                            ..NodeTraffic::default()
+                        };
                         let mut status =
                             NodeStatus::untraced(round, metrics, traffic);
                         status.lat = Some({
@@ -247,7 +251,8 @@ mod tests {
                         assert_eq!(status.metrics.exchanges_completed, status.round);
                         assert_eq!(status.metrics.ops.signatures, status.round);
                         assert_eq!(status.traffic.sent_msgs, status.round);
-                        assert_eq!(status.lat.unwrap().round_wall.count, status.round);
+                        let lat = status.lat.expect("publisher always sets lat");
+                        assert_eq!(lat.round_wall.count, status.round);
                         let prev = last_round.entry(node).or_insert(0);
                         assert!(status.round >= *prev, "round went backwards");
                         *prev = status.round;
@@ -261,10 +266,10 @@ mod tests {
         };
 
         for p in publishers {
-            p.join().unwrap();
+            p.join().expect("publisher thread panicked");
         }
         stop.store(true, Ordering::Relaxed);
-        poller.join().unwrap();
+        poller.join().expect("poller thread panicked");
 
         assert_eq!(watch.min_round(), Some(ROUNDS - 1));
         assert_eq!(watch.snapshot().len(), PUBLISHERS as usize);

@@ -56,6 +56,7 @@ pub mod churn;
 pub mod faults;
 pub mod hooks;
 pub mod pool;
+pub mod replay;
 pub mod report;
 pub mod session;
 pub mod tcp;
@@ -70,6 +71,7 @@ pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use faults::{FaultEvent, FaultPlan, FaultSchedule};
 pub use hooks::{HostHooks, NodeStatus, SessionWatch, SnapshotVault};
 pub use pool::Scheduler;
+pub use replay::{cross_validate, session_for_scenario, CrossValidation};
 pub use report::{NodeTraffic, TrafficReport, MAX_TRAFFIC_CLASSES};
 pub use session::{
     run_session, try_run_session, Driver, Session, SessionBuilder, SessionConfig, SessionError,

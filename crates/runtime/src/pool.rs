@@ -56,10 +56,12 @@ use crate::worker::{
 
 /// How a real-time driver maps nodes onto OS threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
 pub enum Scheduler {
     /// One dedicated OS thread per node (the PR 2/PR 4 model). Simple
     /// and latency-optimal for small sessions; falls over around a
     /// thousand nodes.
+    #[default]
     ThreadPerNode,
     /// A fixed-size worker pool multiplexing every node. The value is
     /// the thread count; `0` means "one per available CPU"
@@ -68,11 +70,6 @@ pub enum Scheduler {
     Pool(usize),
 }
 
-impl Default for Scheduler {
-    fn default() -> Self {
-        Scheduler::ThreadPerNode
-    }
-}
 
 impl Scheduler {
     /// The pool sized to the machine: one worker per available CPU.
@@ -624,7 +621,7 @@ mod tests {
         assert!(queues.enqueue(0, Envelope::Round(0)));
         assert!(queues.enqueue(0, Envelope::Flush));
         // One slot, two envelopes, one run-queue entry.
-        assert_eq!(queues.run_queue.lock().unwrap().len(), 1);
+        assert_eq!(queues.run_queue.lock().expect("run queue lock").len(), 1);
         queues.retire(0);
         assert!(!queues.enqueue(0, Envelope::Round(1)), "retired slots refuse mail");
         assert!(queues.enqueue(1, Envelope::Round(1)), "other slots unaffected");

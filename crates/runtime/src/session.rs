@@ -578,7 +578,7 @@ mod tests {
             .driver(Driver::Threaded(ThreadedConfig::default()))
             .run();
         assert!(outcome.verdicts.is_empty(), "{:?}", outcome.verdicts);
-        assert!(outcome.creations.len() > 0);
+        assert!(!outcome.creations.is_empty());
         assert!(outcome.report.mean_bandwidth_kbps() > 0.0);
     }
 

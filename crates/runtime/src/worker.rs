@@ -152,8 +152,8 @@ impl NetEmulation {
     /// inverted or out of range.
     pub fn from_sim(sim: &SimConfig) -> Result<Self, NetEmulationError> {
         NetEmulation::new(
-            (sim.latency_min.as_micros() / 1000) as u64,
-            (sim.latency_max.as_micros() / 1000) as u64,
+            sim.latency_min.as_micros() / 1000,
+            sim.latency_max.as_micros() / 1000,
             sim.loss_probability,
         )
     }
@@ -602,16 +602,16 @@ impl<L: Link> NodeCore<L> {
             let wall_us = t0.elapsed().as_micros() as u64;
             let delta = self.engine.metrics().ops.delta_since(&before);
             let total = delta.total();
-            if total > 0 {
-                let rec = self.rec.as_deref_mut().expect("checked above");
+            if let Some(rec) = self.rec.as_deref_mut() {
                 for (op, count) in [
                     (CryptoOp::Hash, delta.hashes),
                     (CryptoOp::Sign, delta.signatures),
                     (CryptoOp::Verify, delta.verifications),
                     (CryptoOp::Prime, delta.primes),
                 ] {
-                    if count > 0 {
-                        rec.crypto(op, count, wall_us * count / total);
+                    // count > 0 implies total > 0, so the division is live.
+                    if let (true, Some(share)) = (count > 0, (wall_us * count).checked_div(total)) {
+                        rec.crypto(op, count, share);
                     }
                 }
             }

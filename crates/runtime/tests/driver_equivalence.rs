@@ -494,7 +494,8 @@ fn traced_session_is_bit_identical_to_untraced() {
         sc.trace = TraceConfig::on();
         sc
     };
-    let runs: [(&str, fn(SessionConfig) -> SessionOutcome); 4] = [
+    type Runner = fn(SessionConfig) -> SessionOutcome;
+    let runs: [(&str, Runner); 4] = [
         ("simnet", on_simnet),
         ("threaded", on_threads),
         ("tcp", on_tcp),

@@ -1,0 +1,48 @@
+//! Model ↔ concrete cross-validation (DESIGN.md §15): the scenarios
+//! the model checker explores exhaustively must produce the same
+//! convictions when replayed as concrete simnet sessions — the simnet
+//! schedule is one particular interleaving of the ones the model
+//! explored, so disagreement means the model abstraction drifted from
+//! the real driver.
+
+use pag_membership::NodeId;
+use pag_model::{Budget, Scenario};
+use pag_runtime::cross_validate;
+
+#[test]
+fn canonical_scenario_model_and_simnet_agree_on_convictions() {
+    let evidence = cross_validate(&Scenario::canonical(), Budget::default());
+    assert_eq!(
+        evidence.convicted,
+        vec![NodeId(2)],
+        "the canonical freerider and nobody else"
+    );
+    assert!(
+        evidence.report.states >= 10_000,
+        "state space shrank to {}",
+        evidence.report.states
+    );
+    // The crash took effect concretely: node 3 was down for round 1 of
+    // 2, so it never acknowledged a served update (exchanges complete
+    // one round after the serve).
+    assert_eq!(
+        evidence.concrete.metrics[&NodeId(3)].accusations_sent, 0,
+        "a node that sat out round 1 has nothing to accuse"
+    );
+    assert!(
+        evidence.concrete.report.per_node[&NodeId(3)].sent_bytes
+            < evidence.concrete.report.per_node[&NodeId(1)].sent_bytes,
+        "crashed node kept transmitting — did the fault apply?"
+    );
+}
+
+#[test]
+fn honest_scenario_model_and_simnet_agree_on_no_convictions() {
+    let scenario = Scenario {
+        selfish: vec![],
+        ..Scenario::canonical()
+    };
+    let evidence = cross_validate(&scenario, Budget::default());
+    assert!(evidence.convicted.is_empty(), "honest run convicted");
+    assert!(evidence.concrete.verdicts.is_empty());
+}

@@ -19,7 +19,7 @@ use pag_runtime::{
 use pag_simnet::SimConfig;
 use proptest::prelude::*;
 
-const SEED: u64 = 0x900_1;
+const SEED: u64 = 0x9001;
 
 fn base(nodes: usize, rounds: u64) -> SessionConfig {
     let mut sc = SessionConfig::honest(nodes, rounds);
@@ -123,9 +123,11 @@ proptest! {
         let rounds = 4;
         let joiner = NodeId(nodes as u32); // joins at round 2, idle before
         let churn = ChurnSchedule::flash_crowd(nodes, 2, 1);
-        let mut pag = pag_core::PagConfig::default();
-        pag.session_id = session_id;
-        pag.stream_rate_kbps = 30.0;
+        let pag = pag_core::PagConfig {
+            session_id,
+            stream_rate_kbps: 30.0,
+            ..pag_core::PagConfig::default()
+        };
         let membership =
             Membership::with_uniform_nodes(pag.session_id, nodes, pag.fanout, pag.monitor_count);
         let shared = SharedContext::with_roster(pag, membership, &[joiner]);

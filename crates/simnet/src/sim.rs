@@ -153,7 +153,7 @@ impl<P: Protocol> Simulation<P> {
         // Schedule every round start upfront (exact boundaries; the paper
         // assumes roughly synchronized nodes).
         for r in 0..rounds {
-            let t = SimTime::ZERO + self.config.round_duration.mul(r);
+            let t = SimTime::ZERO + self.config.round_duration * r;
             for &id in &node_ids {
                 self.seq += 1;
                 self.queue.push(Event {
@@ -165,7 +165,7 @@ impl<P: Protocol> Simulation<P> {
             }
         }
 
-        let end = SimTime::ZERO + self.config.round_duration.mul(rounds);
+        let end = SimTime::ZERO + self.config.round_duration * rounds;
         while let Some(ev) = self.queue.pop() {
             if ev.time >= end {
                 break;
@@ -204,7 +204,7 @@ impl<P: Protocol> Simulation<P> {
         }
 
         SimReport {
-            duration: self.config.round_duration.mul(rounds),
+            duration: self.config.round_duration * rounds,
             rounds,
             per_node: self.stats.clone(),
         }

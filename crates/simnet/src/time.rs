@@ -1,7 +1,7 @@
 //! Virtual time: instants and durations in microseconds.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// A point in simulated time (microseconds since simulation start).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -73,8 +73,12 @@ impl SimDuration {
         self.0 as f64 / 1_000_000.0
     }
 
-    /// Scales the duration by an integer factor.
-    pub fn mul(self, k: u64) -> SimDuration {
+}
+
+/// Scales the duration by an integer factor.
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
         SimDuration(self.0 * k)
     }
 }
@@ -138,7 +142,7 @@ mod tests {
             (SimDuration::from_secs(3) - SimDuration::from_secs(1)).as_secs_f64(),
             2.0
         );
-        assert_eq!(SimDuration::from_millis(10).mul(5).as_micros(), 50_000);
+        assert_eq!((SimDuration::from_millis(10) * 5).as_micros(), 50_000);
     }
 
     #[test]

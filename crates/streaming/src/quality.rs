@@ -53,9 +53,7 @@ impl VideoQuality {
     /// The highest quality with rate at most `kbps`, if any.
     pub fn best_under(kbps: f64) -> Option<VideoQuality> {
         Self::ladder()
-            .into_iter()
-            .filter(|q| q.rate_kbps() <= kbps)
-            .next_back()
+            .into_iter().rfind(|q| q.rate_kbps() <= kbps)
     }
 }
 

@@ -7,8 +7,9 @@ pub use pag_core as core;
 pub use pag_crypto as crypto;
 pub use pag_host as host;
 pub use pag_membership as membership;
+pub use pag_model as model;
 pub use pag_obs as obs;
 pub use pag_runtime as runtime;
 pub use pag_simnet as simnet;
 pub use pag_streaming as streaming;
-pub use pag_symbolic as symbolic;
+pub use pag_model::symbolic;
