@@ -132,11 +132,71 @@ impl Montgomery {
     /// `a`, `b` and `out` are exactly `k` limbs; `t` is at least `k + 1`
     /// limbs of scratch (cleared here). `out` must not alias `a` or `b`.
     ///
+    /// Dispatches to a monomorphized kernel for the protocol's hot limb
+    /// widths — 4 (the 256-bit CRT primes behind every RSA-512
+    /// signature) and 8 (the 512-bit RSA and homomorphic moduli) — where
+    /// the unrolled inner loop keeps both carry chains in registers; any
+    /// other width takes the generic loop.
+    fn mont_mul_slices(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
+        match self.k {
+            2 => self.mont_mul_fixed::<2>(a, b, out),
+            4 => self.mont_mul_fixed::<4>(a, b, out),
+            8 => self.mont_mul_fixed::<8>(a, b, out),
+            _ => self.mont_mul_generic(a, b, out, t),
+        }
+    }
+
+    /// Monomorphized CIOS kernel: identical algorithm to
+    /// [`Self::mont_mul_generic`], but with the limb count a compile-time
+    /// constant the whole double carry chain unrolls flat.
+    fn mont_mul_fixed<const K: usize>(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let a: &[u64; K] = a[..K].try_into().expect("operand width");
+        let b: &[u64; K] = b[..K].try_into().expect("operand width");
+        let n: &[u64; K] = self.n.limbs[..K].try_into().expect("modulus width");
+        let mut t = [0u64; K];
+        let mut t_hi = 0u64;
+
+        for &ai in a {
+            // Column 0 fixes the reduction multiplier m for this row.
+            let p = t[0] as u128 + ai as u128 * b[0] as u128;
+            let m = (p as u64).wrapping_mul(self.n0_inv);
+            let q = (p as u64) as u128 + m as u128 * n[0] as u128;
+            debug_assert_eq!(q as u64, 0);
+            let mut carry_mul = p >> 64;
+            let mut carry_red = q >> 64;
+            for j in 1..K {
+                let p = t[j] as u128 + ai as u128 * b[j] as u128 + carry_mul;
+                carry_mul = p >> 64;
+                let q = (p as u64) as u128 + m as u128 * n[j] as u128 + carry_red;
+                carry_red = q >> 64;
+                t[j - 1] = q as u64;
+            }
+            let s = t_hi as u128 + carry_mul + carry_red;
+            t[K - 1] = s as u64;
+            t_hi = (s >> 64) as u64;
+        }
+
+        // Accumulated value is < 2n: subtract n once if needed.
+        if t_hi != 0 || !slice_lt(&t, n) {
+            let mut borrow = 0i128;
+            for j in 0..K {
+                let diff = t[j] as i128 - n[j] as i128 + borrow;
+                out[j] = diff as u64;
+                borrow = diff >> 64;
+            }
+        } else {
+            out[..K].copy_from_slice(&t);
+        }
+    }
+
+    /// Generic CIOS loop for moduli whose limb count has no dedicated
+    /// kernel.
+    ///
     /// The multiplication by `a_i` and the reduction by `m·n` run in one
     /// pass per outer limb (two separate carry chains), with the one-limb
     /// shift folded into the write index — each inner iteration touches
     /// `t[j]` once instead of three times.
-    fn mont_mul_slices(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
+    fn mont_mul_generic(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
         let k = self.k;
         let a = &a[..k];
         let b = &b[..k];
@@ -563,6 +623,27 @@ mod tests {
             }
         }
         assert_eq!(acc.finish(), expected);
+    }
+
+    #[test]
+    fn fixed_kernels_match_generic_at_every_width() {
+        // Build odd moduli of 1..10 limbs so the dispatch covers the
+        // monomorphized widths (2, 4, 8) and the generic fallback, and
+        // pin mul/pow against the division-based naive path.
+        for limbs in 1..10usize {
+            let mut m = BigUint::one().shl_bits(64 * limbs) - BigUint::from(0x2f1du64);
+            if m.is_even() {
+                m = &m + &BigUint::one();
+            }
+            let ctx = Montgomery::new(&m).unwrap();
+            assert_eq!(ctx.limb_width(), limbs);
+            let a = BigUint::from(0x9E37_79B9_7F4A_7C15u64).mod_pow(&BigUint::from(3u64), &m);
+            let b = BigUint::from(0xDEAD_BEEF_CAFE_F00Du64).mod_pow(&BigUint::from(5u64), &m);
+            assert_eq!(ctx.mul_mod(&a, &b), a.mod_mul(&b, &m), "{limbs} limbs");
+            let e = BigUint::from(0x1_0001u64);
+            assert_eq!(ctx.pow(&a, &e), a.mod_pow(&e, &m), "{limbs} limbs");
+            assert_eq!(ctx.pow_u64(&a, 65_537), a.mod_pow(&e, &m), "{limbs} limbs");
+        }
     }
 
     #[test]

@@ -4,12 +4,22 @@
 //! (§V-A), and RSA key generation needs two large primes, so prime
 //! generation speed matters: candidates are first sieved against small
 //! primes before any Miller–Rabin round runs.
+//!
+//! Determinism contract: every draw from the caller's RNG — candidate
+//! draws and Miller–Rabin witness draws — happens in a fixed order that
+//! the fast paths below must never change. Session seeds flow through
+//! prime generation into partner selection, so consuming one extra (or
+//! one fewer) random value here would silently reshuffle every
+//! downstream gossip topology. The word-sized fast paths therefore
+//! mirror the multi-limb control flow draw for draw and only change the
+//! *arithmetic* (u64/u128 instead of allocated `BigUint`s); the
+//! `fast_paths_preserve_rng_stream` test pins this.
 
 use rand::Rng;
 use std::sync::OnceLock;
 
 use crate::random::random_bits;
-use crate::BigUint;
+use crate::{BigUint, Montgomery};
 
 /// Number of Miller–Rabin rounds used by [`gen_prime`] and
 /// [`BigUint::is_probable_prime`]'s default. 2^-128 error bound for random inputs.
@@ -37,6 +47,32 @@ fn small_primes() -> &'static [u64] {
     })
 }
 
+/// `n mod m` for a word-sized modulus, folding limbs without allocating.
+fn rem_u64(n: &BigUint, m: u64) -> u64 {
+    let mut r: u128 = 0;
+    for &limb in n.limbs().iter().rev() {
+        r = ((r << 64) | limb as u128) % m as u128;
+    }
+    r as u64
+}
+
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u64(acc, base, m);
+        }
+        base = mul_mod_u64(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
 impl BigUint {
     /// Probabilistic primality test: trial division by all primes below
     /// 2^14, then `rounds` Miller–Rabin rounds with random bases.
@@ -56,14 +92,25 @@ impl BigUint {
                     .all(|&p| v % p != 0)
                     || small_primes().binary_search(&v).is_ok();
             }
+            // Word-sized fast path: same sieve, same witness schedule as
+            // the multi-limb path below, in u64/u128 arithmetic. `v` is
+            // above the sieve's square here, so a sieve hit is always
+            // composite.
+            if v & 1 == 0 {
+                return false;
+            }
+            if small_primes().iter().any(|&p| v % p == 0) {
+                return false;
+            }
+            return miller_rabin_u64(v, rounds, rng);
         }
         if self.is_even() {
             return false;
         }
         for &p in small_primes() {
-            let p_big = BigUint::from(p);
-            if (self % &p_big).is_zero() {
-                return self == &p_big;
+            if rem_u64(self, p) == 0 {
+                // Multi-limb values exceed every sieve prime.
+                return false;
             }
         }
         miller_rabin(self, rounds, rng)
@@ -73,7 +120,8 @@ impl BigUint {
 /// Runs `rounds` Miller–Rabin rounds with uniformly random bases in `[2, n-2]`.
 ///
 /// Requires `n` odd and `> small_primes` (callers go through
-/// [`BigUint::is_probable_prime`]).
+/// [`BigUint::is_probable_prime`]). One Montgomery context is built per
+/// call and shared by every witness exponentiation.
 fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
     let one = BigUint::one();
     let two = BigUint::from(2u64);
@@ -83,6 +131,9 @@ fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> boo
         .trailing_zeros()
         .expect("n > 2 is odd so n-1 > 0");
     let d = n_minus_1.shr_bits(s);
+    let Some(ctx) = Montgomery::new(n) else {
+        return false; // unreachable: n is odd
+    };
 
     'witness: for _ in 0..rounds {
         // Random base in [2, n-2].
@@ -92,12 +143,45 @@ fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> boo
                 break cand;
             }
         };
-        let mut x = a.mod_pow(&d, n);
+        let mut x = ctx.pow(&a, &d);
         if x.is_one() || x == n_minus_1 {
             continue 'witness;
         }
         for _ in 0..s - 1 {
-            x = x.mod_mul(&x, n);
+            x = ctx.mul_mod(&x, &x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// [`miller_rabin`] for word-sized `n`: identical witness draws (one
+/// `u64` per `random_bits` call at these widths, same rejection bounds),
+/// identical accept/reject decisions, u128 arithmetic.
+fn miller_rabin_u64<R: Rng + ?Sized>(n: u64, rounds: usize, rng: &mut R) -> bool {
+    let bits = 64 - n.leading_zeros() as usize;
+    let n_minus_1 = n - 1;
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1 >> s;
+
+    'witness: for _ in 0..rounds {
+        // Mirrors `random_bits(rng, bits)` for bits in (28, 64]: one limb
+        // drawn, shifted down to width — byte-for-byte the same RNG use.
+        let a = loop {
+            let cand = rng.random::<u64>() >> ((64 - bits) as u32);
+            if cand >= 2 && cand <= n - 2 {
+                break cand;
+            }
+        };
+        let mut x = pow_mod_u64(a, d, n);
+        if x == 1 || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod_u64(x, x, n);
             if x == n_minus_1 {
                 continue 'witness;
             }
@@ -164,6 +248,135 @@ mod tests {
         StdRng::seed_from_u64(42)
     }
 
+    /// The pre-optimization primality test, kept verbatim as the
+    /// reference the fast paths must match draw for draw: BigUint trial
+    /// division and `mod_pow`-based Miller–Rabin for everything above
+    /// the small-value cutoff.
+    fn reference_is_probable_prime<R: Rng + ?Sized>(
+        n: &BigUint,
+        rounds: usize,
+        rng: &mut R,
+    ) -> bool {
+        if let Some(v) = n.to_u64() {
+            if v < 2 {
+                return false;
+            }
+            if v < (SIEVE_LIMIT * SIEVE_LIMIT) as u64 {
+                return small_primes()
+                    .iter()
+                    .take_while(|&&p| p * p <= v)
+                    .all(|&p| v % p != 0)
+                    || small_primes().binary_search(&v).is_ok();
+            }
+        }
+        if n.is_even() {
+            return false;
+        }
+        for &p in small_primes() {
+            let p_big = BigUint::from(p);
+            if (n % &p_big).is_zero() {
+                return n == &p_big;
+            }
+        }
+        let one = BigUint::one();
+        let two = BigUint::from(2u64);
+        let n_minus_1 = n - &one;
+        let s = n_minus_1.trailing_zeros().expect("odd n > 2");
+        let d = n_minus_1.shr_bits(s);
+        'witness: for _ in 0..rounds {
+            let a = loop {
+                let cand = random_bits(rng, n.bit_len());
+                if cand >= two && cand <= (&n_minus_1 - &one) {
+                    break cand;
+                }
+            };
+            let mut x = a.mod_pow(&d, n);
+            if x.is_one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.mod_mul(&x, n);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `gen_prime` over the reference test — the exact pre-optimization
+    /// generator.
+    fn reference_gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        loop {
+            let mut cand = random_bits(rng, bits);
+            cand.set_bit(bits - 1);
+            cand.set_bit(bits - 2);
+            cand.set_bit(0);
+            let two = BigUint::from(2u64);
+            for _ in 0..64 {
+                if cand.bit_len() != bits {
+                    break;
+                }
+                if reference_is_probable_prime(&cand, DEFAULT_MILLER_RABIN_ROUNDS, rng) {
+                    return cand;
+                }
+                cand = &cand + &two;
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paths_preserve_rng_stream() {
+        // Identical primes AND identical RNG positions afterwards: the
+        // optimized paths must consume exactly the draws the reference
+        // consumed, or every seeded session topology downstream shifts.
+        for bits in [32usize, 48, 64, 128, 256] {
+            for seed in 0..4u64 {
+                let mut fast_rng = StdRng::seed_from_u64(seed * 31 + bits as u64);
+                let mut ref_rng = fast_rng.clone();
+                let fast = gen_prime(bits, &mut fast_rng);
+                let reference = reference_gen_prime(bits, &mut ref_rng);
+                assert_eq!(fast, reference, "prime diverged at bits={bits} seed={seed}");
+                assert_eq!(
+                    fast_rng.random::<u128>(),
+                    ref_rng.random::<u128>(),
+                    "RNG position diverged at bits={bits} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_test_agrees_with_reference_on_word_sized_values() {
+        // Composite and prime u64 values above the small cutoff, with
+        // matched RNG streams on both sides.
+        let mut base = rng();
+        for _ in 0..40 {
+            let v = base.random::<u64>() | (1 << 63);
+            let n = BigUint::from(v);
+            let mut a = StdRng::seed_from_u64(v);
+            let mut b = a.clone();
+            assert_eq!(
+                n.is_probable_prime(16, &mut a),
+                reference_is_probable_prime(&n, 16, &mut b),
+                "verdict diverged for {v}"
+            );
+            assert_eq!(a.random::<u128>(), b.random::<u128>(), "draws diverged for {v}");
+        }
+    }
+
+    #[test]
+    fn rem_u64_matches_biguint_rem() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let n = random_bits(&mut r, 200);
+            let m = r.random::<u64>() | 1;
+            let expect = (&n % &BigUint::from(m)).to_u64().unwrap_or(0);
+            assert_eq!(rem_u64(&n, m), expect);
+        }
+    }
+
     #[test]
     fn small_prime_classification() {
         let mut r = rng();
@@ -195,6 +408,19 @@ mod tests {
         // 2^128 - 1 is composite.
         let m128 = BigUint::one().shl_bits(128) - BigUint::one();
         assert!(!m128.is_probable_prime(16, &mut r));
+    }
+
+    #[test]
+    fn word_sized_known_primes_accepted() {
+        let mut r = rng();
+        // 2^61 - 1 is a Mersenne prime; 2^64 - 59 is the largest 64-bit prime.
+        for p in [(1u64 << 61) - 1, u64::MAX - 58] {
+            assert!(BigUint::from(p).is_probable_prime(16, &mut r), "{p}");
+        }
+        // Neighbours are composite.
+        for c in [(1u64 << 61) + 1, u64::MAX - 57, u64::MAX] {
+            assert!(!BigUint::from(c).is_probable_prime(16, &mut r), "{c}");
+        }
     }
 
     #[test]

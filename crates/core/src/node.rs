@@ -161,6 +161,12 @@ struct ServedSnapshot {
 struct PendingServe {
     serve: Option<(BigUint, u32, Vec<ServedUpdate>, Vec<ServedRef>)>,
     attestation: Option<HashTriple>,
+    /// `batch_verify` mode: signable bytes + signature of each part,
+    /// held unchecked until the entry completes, then verified together
+    /// under one Montgomery context. `None` in eager mode (the part was
+    /// already verified at delivery).
+    serve_sig: Option<(Vec<u8>, Signature)>,
+    attestation_sig: Option<(Vec<u8>, Signature)>,
 }
 
 /// Kind of a staged membership change. Joins sort before leaves within a
@@ -192,6 +198,15 @@ pub struct PagNode {
     /// `(effective round, kind, node)`, applied in sorted order at the
     /// next round start.
     staged_churn: BTreeSet<(u64, ChurnStage, NodeId)>,
+    /// Per-round pins of `view`, taken at round start after staged churn
+    /// applies. Pipelined drivers deliver monitoring traffic and fire
+    /// round-tagged timers after `view` has advanced past the body's
+    /// round; round-scoped duties (monitor sets, replay topologies) must
+    /// resolve against the view that round actually opened under, not
+    /// the advanced one. Consecutive unchanged views share one `Arc`, so
+    /// churn-free sessions pin a single allocation. Derived state: not
+    /// projected, not persisted.
+    view_log: Vec<(u64, Arc<Membership>)>,
     store: UpdateStore,
     recv_keys: BTreeMap<u64, RoundKeys>,
     /// Fresh (must-forward) receptions per round, with multiplicities.
@@ -227,6 +242,7 @@ impl PagNode {
             strategy,
             view,
             staged_churn: BTreeSet::new(),
+            view_log: Vec::new(),
             store: UpdateStore::new(),
             recv_keys: BTreeMap::new(),
             received_fresh: BTreeMap::new(),
@@ -522,6 +538,16 @@ impl PagNode {
     fn start_round(&mut self, round: u64, ctx: &mut EngineCtx<'_>) {
         self.apply_staged_churn(round, ctx);
         self.gc(round);
+        let pin = match self.view_log.last() {
+            Some((_, v))
+                if v.fingerprint() == self.view.fingerprint()
+                    && v.epoch() == self.view.epoch() =>
+            {
+                Arc::clone(v)
+            }
+            _ => Arc::new(self.view.clone()),
+        };
+        self.view_log.push((round, pin));
 
         if !self.view.contains(self.id) {
             // Waiting to join (tracking announcements) or departed: no
@@ -643,7 +669,22 @@ impl PagNode {
         self.acks_sent.retain(|&(r, _), _| r >= keep);
         self.sa_cache.retain(|&r, _| r >= keep);
         self.exchanges.retain(|&(r, _), _| r >= keep);
+        self.view_log.retain(|&(r, _)| r >= keep);
         self.monitor.gc(round);
+    }
+
+    /// The membership view pinned at `round`'s start. Falls back to the
+    /// live view for rounds outside the log (never entered, or past the
+    /// gc horizon) — which is exactly what the lockstep path always
+    /// consulted. Returns an owned handle so callers can hold it across
+    /// `&mut self` monitor calls.
+    fn view_for(&self, round: u64) -> Arc<Membership> {
+        self.view_log
+            .iter()
+            .rev()
+            .find(|&&(r, _)| r == round)
+            .map(|(_, v)| Arc::clone(v))
+            .unwrap_or_else(|| Arc::new(self.view.clone()))
     }
 
     // ----- receiver side (B in Fig. 5) -----------------------------------
@@ -700,23 +741,65 @@ impl PagNode {
         from: NodeId,
         round: u64,
         part: PendingServePart,
+        deferred: Option<(Vec<u8>, Signature)>,
         ctx: &mut EngineCtx<'_>,
     ) {
         let entry = self.pending_serves.entry((round, from)).or_default();
         match part {
             PendingServePart::Serve(k_prev, factors, fresh, refs) => {
                 entry.serve = Some((k_prev, factors, fresh, refs));
+                entry.serve_sig = deferred;
             }
-            PendingServePart::Attestation(h) => entry.attestation = Some(h),
+            PendingServePart::Attestation(h) => {
+                entry.attestation = Some(h);
+                entry.attestation_sig = deferred;
+            }
         }
         let ready = entry.serve.is_some() && entry.attestation.is_some();
         if !ready {
             return;
         }
-        let pending = self
+        let mut pending = self
             .pending_serves
             .remove(&(round, from))
             .expect("checked present");
+        // Deferred signature checks (batch_verify mode): both parts came
+        // from the same sender, so they verify together under one
+        // Montgomery context. The ops charge matches the eager path —
+        // one verification per signed message.
+        let serve_sig = pending.serve_sig.take();
+        let attestation_sig = pending.attestation_sig.take();
+        if serve_sig.is_some() || attestation_sig.is_some() {
+            let mut items: Vec<(&[u8], &Signature)> = Vec::with_capacity(2);
+            if let Some((bytes, sig)) = &serve_sig {
+                items.push((bytes, sig));
+            }
+            if let Some((bytes, sig)) = &attestation_sig {
+                items.push((bytes, sig));
+            }
+            self.metrics.ops.verifications += items.len() as u64;
+            let verdicts = self.shared.verify_batch(from, &items);
+            let mut v = verdicts.iter().copied();
+            let serve_ok = serve_sig.is_none() || v.next().unwrap_or(false);
+            let attestation_ok = attestation_sig.is_none() || v.next().unwrap_or(false);
+            if !serve_ok || !attestation_ok {
+                // Drop the invalid part(s); a valid sibling returns to
+                // the buffer exactly as if the invalid message had been
+                // rejected at delivery (the eager path's end state).
+                if serve_ok || attestation_ok {
+                    self.pending_serves.insert(
+                        (round, from),
+                        PendingServe {
+                            serve: if serve_ok { pending.serve } else { None },
+                            attestation: if attestation_ok { pending.attestation } else { None },
+                            serve_sig: None,
+                            attestation_sig: None,
+                        },
+                    );
+                }
+                return;
+            }
+        }
         let (k_prev, _factors, fresh, refs) = pending.serve.expect("serve present");
         let attestation = pending.attestation.expect("attestation present");
         self.process_incoming_exchange(from, round, k_prev, fresh, refs, Some(attestation), None, ctx);
@@ -874,7 +957,7 @@ impl PagNode {
         // Messages 6 and 7 to the designated monitor.
         if self.strategy.reports_to_monitors() {
             let shared = Arc::clone(&self.shared);
-            let d = designated_monitor(&shared, &self.view, self.id, round);
+            let d = designated_monitor(&shared, &self.view_for(round), self.id, round);
             let cofactor = self
                 .recv_keys
                 .get(&round)
@@ -1040,7 +1123,7 @@ impl PagNode {
                 fresh: value,
                 duplicate: identity,
             };
-            let monitors = self.view.monitors_of(self.id, round);
+            let monitors = self.view_for(round).monitors_of(self.id, round);
             for m in monitors {
                 self.send_body(
                     ctx,
@@ -1101,7 +1184,7 @@ impl PagNode {
                 ex.accused = true;
             }
             self.metrics.accusations_sent += 1;
-            let monitors = self.view.monitors_of(succ, round);
+            let monitors = self.view_for(round).monitors_of(succ, round);
             for m in monitors {
                 self.send_body(
                     ctx,
@@ -1151,10 +1234,11 @@ impl PagNode {
                 from,
                 round,
                 PendingServePart::Serve(k_prev, k_prev_factors, fresh, refs),
+                None,
                 ctx,
             ),
             MessageBody::Attestation { round, hashes } => {
-                self.handle_serve_part(from, round, PendingServePart::Attestation(hashes), ctx)
+                self.handle_serve_part(from, round, PendingServePart::Attestation(hashes), None, ctx)
             }
             MessageBody::Ack { round, hashes } => self.handle_ack(from, round, hashes, msg.sig),
             MessageBody::SourceDeclare { round, hashes } => {
@@ -1171,9 +1255,10 @@ impl PagNode {
             } => {
                 if monitors_others && self.monitor.watched().contains(&from) {
                     let shared = Arc::clone(&self.shared);
+                    let view = self.view_for(round);
                     let effects = self.monitor.on_monitor_ack(
                         &shared,
-                        &self.view,
+                        &view,
                         &mut self.metrics.ops,
                         from,
                         round,
@@ -1193,9 +1278,10 @@ impl PagNode {
             } => {
                 if monitors_others && self.monitor.watched().contains(&from) {
                     let shared = Arc::clone(&self.shared);
+                    let view = self.view_for(round);
                     let effects = self.monitor.on_monitor_attestation(
                         &shared,
-                        &self.view,
+                        &view,
                         &mut self.metrics.ops,
                         from,
                         round,
@@ -1216,13 +1302,13 @@ impl PagNode {
             } => {
                 if monitors_others {
                     let shared = Arc::clone(&self.shared);
+                    let view = self.view_for(round);
                     self.monitor
-                        .on_monitor_broadcast(&shared, &self.view, from, round, watched, sender, combined);
+                        .on_monitor_broadcast(&shared, &view, from, round, watched, sender, combined);
                     // The broadcast carries the ack as well; record it if
                     // we also monitor the exchange's sender.
-                    if self.view.contains(sender)
-                        && self
-                            .view
+                    if view.contains(sender)
+                        && view
                             .monitors_of(sender, round)
                             .contains(&self.id)
                         && self.verify_ack_evidence(watched, round, &ack, &ack_sig)
@@ -1261,7 +1347,7 @@ impl PagNode {
                 // `from` is a monitor replaying a serve on behalf of
                 // `accuser`.
                 if self
-                    .view
+                    .view_for(round)
                     .monitors_of(self.id, round)
                     .contains(&from)
                 {
@@ -1284,9 +1370,10 @@ impl PagNode {
                 ack_sig,
             } => {
                 if monitors_others && self.verify_ack_evidence(from, round, &ack, &ack_sig) {
+                    let view = self.view_for(round);
                     let effects = self
                         .monitor
-                        .on_reask_ack(&self.view, from, round, accuser, ack, ack_sig);
+                        .on_reask_ack(&view, from, round, accuser, ack, ack_sig);
                     self.send_effects(ctx, effects);
                 }
             }
@@ -1332,9 +1419,10 @@ impl PagNode {
             } => {
                 if monitors_others {
                     let shared = Arc::clone(&self.shared);
+                    let view = self.view_for(round);
                     let effects = self
                         .monitor
-                        .on_exhibit_response(&shared, &self.view, from, round, successor, ack);
+                        .on_exhibit_response(&shared, &view, from, round, successor, ack);
                     self.send_effects(ctx, effects);
                 }
             }
@@ -1346,8 +1434,9 @@ impl PagNode {
             } => {
                 if monitors_others {
                     let shared = Arc::clone(&self.shared);
+                    let view = self.view_for(round);
                     self.monitor
-                        .on_exhibit_notice(&shared, &self.view, round, sender, receiver);
+                        .on_exhibit_notice(&shared, &view, round, sender, receiver);
                 }
             }
             MessageBody::SelfAccum { round, value } => {
@@ -1421,6 +1510,45 @@ impl PagNode {
         ctx: &mut EngineCtx<'_>,
     ) {
         if self.shared.config.verify_signatures {
+            if self.shared.config.batch_verify
+                && matches!(
+                    msg.body,
+                    MessageBody::Serve { .. } | MessageBody::Attestation { .. }
+                )
+            {
+                // Exchange parts defer their signature check to the
+                // completion of the (round, sender) entry, where both
+                // parts verify as one batch. Mirror `dispatch`'s
+                // membership gate — the message is otherwise unchecked.
+                if !self.view.contains(self.id) {
+                    return;
+                }
+                let deferred = Some((msg.body.signable_bytes(), msg.sig));
+                match msg.body {
+                    MessageBody::Serve {
+                        round,
+                        k_prev,
+                        k_prev_factors,
+                        fresh,
+                        refs,
+                    } => self.handle_serve_part(
+                        from,
+                        round,
+                        PendingServePart::Serve(k_prev, k_prev_factors, fresh, refs),
+                        deferred,
+                        ctx,
+                    ),
+                    MessageBody::Attestation { round, hashes } => self.handle_serve_part(
+                        from,
+                        round,
+                        PendingServePart::Attestation(hashes),
+                        deferred,
+                        ctx,
+                    ),
+                    _ => unreachable!("matched Serve | Attestation above"),
+                }
+                return;
+            }
             self.metrics.ops.verifications += 1;
             if !self.shared.verify(from, &msg) {
                 return;
@@ -1437,7 +1565,8 @@ impl PagNode {
             TIMER_EVAL
                 if self.strategy.monitors_others() => {
                     let shared = Arc::clone(&self.shared);
-                    let effects = self.monitor.eval_round(&shared, &self.view, round);
+                    let view = self.view_for(round);
+                    let effects = self.monitor.eval_round(&shared, &view, round);
                     self.send_effects(ctx, effects);
                 }
             TIMER_EXHIBIT
@@ -1525,6 +1654,10 @@ impl PagNode {
             if let Some(t) = &ps.attestation {
                 project_triple(p, t);
             }
+            // An unverified buffered part (batch mode) is semantically
+            // distinct from a verified one.
+            p.bool(ps.serve_sig.is_some());
+            p.bool(ps.attestation_sig.is_some());
         }
         p.tag("buffermaps_sent");
         p.count(self.buffermaps_sent.len());

@@ -53,9 +53,43 @@ impl Keyring {
 
     /// Deterministically derives a keyring from a seed (reproducible
     /// simulations assign one seed per node).
+    ///
+    /// Derivation is a pure function of `(seed, rsa_bits, mode)`, so
+    /// the result is memoized process-wide: every consumer of the same
+    /// roster — a crash-restarted worker rejoining its session, the
+    /// second session multiplexed on one `pag-host`, each scenario of a
+    /// benchmark sweep — re-derives identical keys, and RSA keygen at
+    /// 512 bits costs milliseconds per node (seconds per thousand-node
+    /// roster of pure recomputation). The cache is capped and cleared
+    /// wholesale on overflow; rosters are derived in bulk, so partial
+    /// eviction would buy nothing.
     pub fn from_seed(seed: u64, rsa_bits: usize, mode: SigningMode) -> Self {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        const CACHE_CAP: usize = 4096;
+        type Key = (u64, usize, u8, usize);
+        static CACHE: Mutex<Option<HashMap<Key, Keyring>>> = Mutex::new(None);
+
+        let key = match mode {
+            SigningMode::Rsa => (seed, rsa_bits, 0u8, 0usize),
+            SigningMode::Fast { fast_len } => (seed, rsa_bits, 1u8, fast_len),
+        };
+        if let Ok(guard) = CACHE.lock() {
+            if let Some(hit) = guard.as_ref().and_then(|c| c.get(&key)) {
+                return hit.clone();
+            }
+        }
         let mut rng = StdRng::seed_from_u64(seed);
-        Self::generate(rsa_bits, mode, &mut rng)
+        let fresh = Self::generate(rsa_bits, mode, &mut rng);
+        if let Ok(mut guard) = CACHE.lock() {
+            let cache = guard.get_or_insert_with(HashMap::new);
+            if cache.len() >= CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, fresh.clone());
+        }
+        fresh
     }
 
     /// The RSA public key.
@@ -100,6 +134,20 @@ impl Keyring {
         match self.mode {
             SigningMode::Rsa => signature::verify(self.keypair.public(), message, sig),
             SigningMode::Fast { .. } => &self.sign(message) == sig,
+        }
+    }
+
+    /// Verifies a batch of this owner's signatures, one verdict per
+    /// pair. RSA mode takes the shared-context product screen of
+    /// [`signature::verify_batch`]; fast mode (a MAC) has no batch
+    /// structure to exploit and checks pairs one by one.
+    pub fn verify_own_batch(&self, items: &[(&[u8], &Signature)]) -> Vec<bool> {
+        match self.mode {
+            SigningMode::Rsa => signature::verify_batch(self.keypair.public(), items),
+            SigningMode::Fast { .. } => items
+                .iter()
+                .map(|(msg, sig)| self.verify_own(msg, sig))
+                .collect(),
         }
     }
 }

@@ -97,6 +97,61 @@ pub fn verify(public: &RsaPublicKey, message: &[u8], signature: &Signature) -> b
     em == encode_digest(&sha256(message), k)
 }
 
+/// Verifies a batch of signatures by the same signer, returning one
+/// verdict per `(message, signature)` pair in input order.
+///
+/// The fast path is the product screen of
+/// [`RsaPublicKey::verify_batch_raw`]: one shared Montgomery context,
+/// two accumulated products and a single `e = 65537` exponentiation for
+/// the whole batch. When the screen passes, every well-formed pair is
+/// reported valid. When it fails — or a pair is malformed (wrong
+/// length, value ≥ n) — the affected pairs are re-checked individually
+/// so invalid signatures are attributed exactly, matching [`verify`]
+/// pair for pair. See `verify_batch_raw` for the cancellation caveat
+/// (only the key holder can craft a cancelling invalid set, and a
+/// signer can sign anything it likes anyway).
+pub fn verify_batch(public: &RsaPublicKey, items: &[(&[u8], &Signature)]) -> Vec<bool> {
+    if items.len() < 2 {
+        return items
+            .iter()
+            .map(|(msg, sig)| verify(public, msg, sig))
+            .collect();
+    }
+    let k = public.modulus_len();
+    if k < DIGEST_LEN + 11 {
+        return vec![false; items.len()];
+    }
+    // Decode every pair once; malformed pairs are immediately invalid
+    // and excluded from the screen.
+    let mut verdicts = vec![false; items.len()];
+    let mut screened: Vec<(usize, BigUint, BigUint)> = Vec::with_capacity(items.len());
+    for (i, (msg, sig)) in items.iter().enumerate() {
+        if sig.bytes.len() != k {
+            continue;
+        }
+        let s = BigUint::from_bytes_be(&sig.bytes);
+        if &s >= public.modulus() {
+            continue;
+        }
+        screened.push((i, encode_digest(&sha256(msg), k), s));
+    }
+    let pairs: Vec<(&BigUint, &BigUint)> =
+        screened.iter().map(|(_, em, s)| (em, s)).collect();
+    if !pairs.is_empty() && public.verify_batch_raw(&pairs) {
+        for (i, _, _) in &screened {
+            verdicts[*i] = true;
+        }
+    } else {
+        for (i, em, s) in &screened {
+            verdicts[*i] = public
+                .encrypt_raw(s)
+                .map(|recovered| &recovered == em)
+                .unwrap_or(false);
+        }
+    }
+    verdicts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +222,93 @@ mod tests {
     fn deterministic_signatures() {
         let kp = keypair();
         assert_eq!(sign(&kp, b"same"), sign(&kp, b"same"));
+    }
+
+    #[test]
+    fn batch_all_valid() {
+        let kp = keypair();
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 20]).collect();
+        let sigs: Vec<Signature> = msgs.iter().map(|m| sign(&kp, m)).collect();
+        let items: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert_eq!(verify_batch(kp.public(), &items), vec![true; 8]);
+    }
+
+    #[test]
+    fn batch_attributes_single_invalid() {
+        let kp = keypair();
+        let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 20]).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| sign(&kp, m)).collect();
+        // Forge one: signature over a different message.
+        sigs[3] = sign(&kp, b"not message 3");
+        let items: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        let verdicts = verify_batch(kp.public(), &items);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(*v, i != 3, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_verify() {
+        // Every batch verdict must equal the one-at-a-time verdict,
+        // across valid, forged, truncated and oversized signatures.
+        let kp = keypair();
+        let k = kp.public().modulus_len();
+        let msgs: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"e"];
+        let sigs = vec![
+            sign(&kp, b"a"),
+            sign(&kp, b"wrong"),
+            Signature::from_bytes(vec![0x11; 10]),
+            Signature::from_bytes(vec![0xff; k]),
+            sign(&kp, b"e"),
+        ];
+        let items: Vec<(&[u8], &Signature)> =
+            msgs.iter().zip(&sigs).map(|(m, s)| (*m, s)).collect();
+        let batch = verify_batch(kp.public(), &items);
+        let individual: Vec<bool> = items
+            .iter()
+            .map(|(m, s)| verify(kp.public(), m, s))
+            .collect();
+        assert_eq!(batch, individual);
+        assert_eq!(batch, vec![true, false, false, false, true]);
+    }
+
+    #[test]
+    fn batch_small_inputs() {
+        let kp = keypair();
+        assert!(verify_batch(kp.public(), &[]).is_empty());
+        let sig = sign(&kp, b"solo");
+        let items: Vec<(&[u8], &Signature)> = vec![(b"solo", &sig)];
+        assert_eq!(verify_batch(kp.public(), &items), vec![true]);
+    }
+
+    #[test]
+    fn batch_raw_screen_detects_mismatch() {
+        let kp = keypair();
+        let m1 = sign(&kp, b"one");
+        let m2 = sign(&kp, b"two");
+        let em1 = encode_digest(&sha256(b"one"), kp.public().modulus_len());
+        let em2 = encode_digest(&sha256(b"two"), kp.public().modulus_len());
+        let s1 = BigUint::from_bytes_be(m1.as_bytes());
+        let s2 = BigUint::from_bytes_be(m2.as_bytes());
+        assert!(kp.public().verify_batch_raw(&[(&em1, &s1), (&em2, &s2)]));
+        // Corrupt one signature: the products diverge and the screen fails.
+        let bad = &s2 + &BigUint::one();
+        assert!(!kp.public().verify_batch_raw(&[(&em1, &s1), (&em2, &bad)]));
+        // The documented cancellation caveat, pinned: swapping two valid
+        // signatures leaves both products unchanged, so the *screen*
+        // passes even though neither pair verifies individually. Only a
+        // party already holding valid signatures from this signer can
+        // construct such a set, which is why the engine batches only
+        // same-sender authenticity checks, never transferable evidence.
+        assert!(kp.public().verify_batch_raw(&[(&em1, &s2), (&em2, &s1)]));
+        assert!(!kp.public().encrypt_raw(&s2).map(|r| r == em1).unwrap());
     }
 }

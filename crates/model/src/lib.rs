@@ -51,6 +51,7 @@ mod bug_tests {
             selfish: vec![],
             crashes: vec![(pag_membership::NodeId(2), 1, u64::MAX)],
             joins: vec![],
+            window: 0,
         }
     }
 

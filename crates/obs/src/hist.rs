@@ -59,18 +59,23 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        self.counts[bucket_of(us)] += n;
-        self.count += n;
+        let b = bucket_of(us);
+        self.counts[b] = self.counts[b].saturating_add(n);
+        self.count = self.count.saturating_add(n);
         self.sum_us = self.sum_us.saturating_add(us.saturating_mul(n));
         self.max_us = self.max_us.max(us);
     }
 
-    /// Adds another histogram into this one.
+    /// Adds another histogram into this one. Every counter saturates:
+    /// a long-lived aggregate absorbing per-node histograms must clamp
+    /// at `u64::MAX` rather than panic (debug) or silently wrap
+    /// (release) — a pinned-at-max counter is visibly wrong, a wrapped
+    /// one reads as a plausible small value.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum_us = self.sum_us.saturating_add(other.sum_us);
         self.max_us = self.max_us.max(other.max_us);
     }
@@ -279,6 +284,68 @@ mod tests {
         let s = a.summary();
         assert_eq!(s.count, 4);
         assert_eq!(s.mean_us(), 32);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        // Two histograms whose counters together exceed u64::MAX must
+        // clamp, not wrap to a small, plausible-looking value (and not
+        // panic in debug builds).
+        let mut a = Histogram::default();
+        a.record_n(1, u64::MAX);
+        let mut b = Histogram::default();
+        b.record_n(1, u64::MAX);
+        b.record_n(1 << 30, 7);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "count clamps");
+        assert_eq!(a.counts()[0], u64::MAX, "bucket clamps");
+        assert_eq!(a.sum_us(), u64::MAX, "sum clamps");
+        assert_eq!(a.max_us(), 1 << 30);
+        // Repeated self-absorption stays pinned at the clamp.
+        let snapshot = a.clone();
+        a.merge(&snapshot);
+        assert_eq!(a.count(), u64::MAX);
+        // record_n on a saturated histogram clamps too.
+        a.record_n(2, u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_edges_are_exact_powers_of_two() {
+        // Property over every bucket: the upper bound 2^i lands in
+        // bucket i, and 2^i + 1 lands in bucket i + 1 (until the
+        // overflow bucket absorbs everything). Pins the "inclusive
+        // upper bound" layout against off-by-one regressions.
+        for i in 0..HIST_BUCKETS - 1 {
+            let edge = 1u64 << i;
+            assert_eq!(bucket_of(edge), i, "2^{i} belongs to bucket {i}");
+            assert_eq!(
+                bucket_of(edge + 1),
+                (i + 1).min(HIST_BUCKETS - 1),
+                "2^{i}+1 spills to the next bucket"
+            );
+            assert_eq!(bucket_bound(i), edge);
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+        // Merging preserves per-bucket placement exactly: a histogram
+        // holding one sample on every edge merged into an empty one
+        // reproduces the same bucket vector.
+        let mut edges = Histogram::default();
+        for i in 0..HIST_BUCKETS - 1 {
+            edges.record_us(1u64 << i);
+        }
+        let mut merged = Histogram::default();
+        merged.merge(&edges);
+        assert_eq!(merged, edges);
+        for (i, &c) in merged.counts().iter().enumerate() {
+            assert_eq!(
+                c,
+                u64::from(i < HIST_BUCKETS - 1),
+                "bucket {i} holds exactly its edge sample"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Pipelined-lockstep equivalence (DESIGN.md §16): the round-pipelining
+//! window `w` overlaps round `r+1`'s data-plane exchanges with round
+//! `r`'s draining monitoring/accusation traffic. The accountability
+//! outcome must not depend on `w` — monitors evaluate a round only
+//! after a full-ledger barrier, so every verdict, conviction, delivery
+//! and crypto-op counter is pinned to the simulator's across
+//! `w ∈ {0, 1, 2}`, on the channel, pooled and TCP transports.
+//!
+//! `w = 0` must degenerate to the classic fully-synchronous schedule
+//! **bit for bit**: the golden tests pin absolute op counters, traffic
+//! totals and per-kind trace counts recorded before pipelining existed.
+
+use std::collections::BTreeSet;
+
+use pag_core::selfish::SelfishStrategy;
+use pag_membership::NodeId;
+use pag_runtime::{
+    run_session, ChurnSchedule, Driver, FaultEvent, Scheduler, SessionConfig, SessionOutcome,
+    TcpConfig, ThreadedConfig, TraceConfig,
+};
+use pag_simnet::SimConfig;
+
+const SEED: u64 = 0xE0_1D;
+
+fn base(nodes: usize, rounds: u64) -> SessionConfig {
+    let mut sc = SessionConfig::honest(nodes, rounds);
+    sc.pag.stream_rate_kbps = 30.0; // 4 updates/round keeps tests fast
+    sc
+}
+
+fn on_simnet(mut sc: SessionConfig) -> SessionOutcome {
+    sc.driver = Driver::Simnet(SimConfig {
+        seed: SEED,
+        ..SimConfig::default()
+    });
+    run_session(sc)
+}
+
+fn on_threads(mut sc: SessionConfig, window: u64) -> SessionOutcome {
+    sc.pipeline_window = window;
+    sc.driver = Driver::Threaded(ThreadedConfig {
+        lockstep: true,
+        seed: SEED,
+        ..ThreadedConfig::default()
+    });
+    run_session(sc)
+}
+
+fn on_pool(mut sc: SessionConfig, window: u64, threads: usize) -> SessionOutcome {
+    sc.pipeline_window = window;
+    sc.driver = Driver::Threaded(ThreadedConfig {
+        lockstep: true,
+        seed: SEED,
+        scheduler: Scheduler::Pool(threads),
+        ..ThreadedConfig::default()
+    });
+    run_session(sc)
+}
+
+fn on_tcp(mut sc: SessionConfig, window: u64) -> SessionOutcome {
+    sc.pipeline_window = window;
+    sc.driver = Driver::Tcp(TcpConfig {
+        lockstep: true,
+        seed: SEED,
+        ..TcpConfig::default()
+    });
+    run_session(sc)
+}
+
+/// Verdicts as an order-independent set.
+fn verdict_set(outcome: &SessionOutcome) -> BTreeSet<(NodeId, NodeId, u64, String)> {
+    outcome
+        .verdicts
+        .iter()
+        .map(|v| (v.monitor, v.accused, v.round, format!("{:?}", v.fault)))
+        .collect()
+}
+
+/// The accountability outcome may not depend on the window: verdict
+/// sets, conviction sets, delivery maps, the source stream and frame
+/// rejections all stay equal to the reference run.
+fn assert_outcome_equivalent(reference: &SessionOutcome, other: &SessionOutcome, what: &str) {
+    assert_eq!(
+        verdict_set(reference),
+        verdict_set(other),
+        "verdict sets diverge: {what}"
+    );
+    assert_eq!(
+        reference.convicted(),
+        other.convicted(),
+        "conviction sets diverge: {what}"
+    );
+    assert_eq!(reference.metrics.len(), other.metrics.len(), "{what}");
+    for (id, m_ref) in &reference.metrics {
+        let m_other = &other.metrics[id];
+        assert_eq!(m_ref.delivered, m_other.delivered, "deliveries at {id}: {what}");
+        assert_eq!(
+            m_ref.frames_rejected, m_other.frames_rejected,
+            "rejections at {id}: {what}"
+        );
+    }
+    assert_eq!(reference.creations, other.creations, "source stream: {what}");
+}
+
+/// Full bit-level equivalence: outcomes plus every crypto-op counter
+/// and traffic byte. Holds at any window for churn-free sessions, and
+/// at `w = 0` always. Under churn or crash windows at `w >= 1`, watch
+/// retirement reorders against deferred monitoring traffic — a gated
+/// frame's evidence check may be skipped — so only the outcome-level
+/// claim applies there (the skipped check can never mint evidence, only
+/// decline to re-verify a frame whose subject is already retired).
+fn assert_equivalent(reference: &SessionOutcome, other: &SessionOutcome, what: &str) {
+    assert_outcome_equivalent(reference, other, what);
+    for (id, m_ref) in &reference.metrics {
+        let m_other = &other.metrics[id];
+        assert_eq!(m_ref.ops, m_other.ops, "crypto ops at {id}: {what}");
+    }
+    for (id, t_ref) in &reference.report.per_node {
+        let t_other = &other.report.per_node[id];
+        assert_eq!(t_ref.sent_bytes, t_other.sent_bytes, "sent bytes at {id}: {what}");
+        assert_eq!(t_ref.recv_bytes, t_other.recv_bytes, "recv bytes at {id}: {what}");
+        assert_eq!(t_ref.sent_msgs, t_other.sent_msgs, "sent msgs at {id}: {what}");
+        assert_eq!(
+            t_ref.sent_by_class, t_other.sent_by_class,
+            "class breakdown at {id}: {what}"
+        );
+    }
+}
+
+#[test]
+fn honest_session_is_window_independent() {
+    let sim = on_simnet(base(10, 6));
+    assert!(sim.verdicts.is_empty(), "honest run convicted on simnet");
+    for w in [0, 1, 2] {
+        let thr = on_threads(base(10, 6), w);
+        assert_equivalent(&sim, &thr, &format!("threads w={w}"));
+        let pool = on_pool(base(10, 6), w, 3);
+        assert_equivalent(&sim, &pool, &format!("pool w={w}"));
+    }
+}
+
+#[test]
+fn honest_session_is_window_independent_on_tcp() {
+    let sim = on_simnet(base(10, 5));
+    for w in [0, 1, 2] {
+        let tcp = on_tcp(base(10, 5), w);
+        assert_equivalent(&sim, &tcp, &format!("tcp w={w}"));
+    }
+}
+
+#[test]
+fn freerider_session_is_window_independent() {
+    // The conviction comparison is non-vacuous: every window must
+    // convict the same node for the same rounds with the same faults.
+    let mut sc = base(12, 6);
+    sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
+    let sim = on_simnet(sc.clone());
+    assert_eq!(sim.convicted(), vec![NodeId(5)]);
+    for w in [0, 1, 2] {
+        let thr = on_threads(sc.clone(), w);
+        assert_eq!(thr.convicted(), vec![NodeId(5)]);
+        assert_equivalent(&sim, &thr, &format!("threads w={w}"));
+    }
+    let pool = on_pool(sc, 2, 3);
+    assert_eq!(pool.convicted(), vec![NodeId(5)]);
+    assert_equivalent(&sim, &pool, "pool w=2");
+}
+
+#[test]
+fn no_ack_session_is_window_independent() {
+    // The accusation / ReAsk / Nack flow lives entirely on the deferred
+    // lanes — the scenario most exposed to pipelining.
+    let mut sc = base(12, 5);
+    sc.selfish.push((NodeId(3), SelfishStrategy::NoAck));
+    let sim = on_simnet(sc.clone());
+    assert_eq!(sim.convicted(), vec![NodeId(3)]);
+    for w in [0, 1, 2] {
+        let thr = on_threads(sc.clone(), w);
+        assert_eq!(thr.convicted(), vec![NodeId(3)]);
+        assert_equivalent(&sim, &thr, &format!("threads w={w}"));
+    }
+    let tcp = on_tcp(sc, 1);
+    assert_equivalent(&sim, &tcp, "tcp w=1");
+}
+
+#[test]
+fn churned_session_is_window_independent() {
+    // Joins and leaves mid-session: deferred deliveries and late timer
+    // firings must resolve monitor sets against the view their round
+    // opened under (the engine's per-round view pins), not the live one.
+    let mut sc = base(12, 8);
+    sc.churn = ChurnSchedule::steady(SEED, 12, 8, 1, 1).events().to_vec();
+    let sim = on_simnet(sc.clone());
+    assert!(sim.verdicts.is_empty(), "clean churn convicted: {:?}", sim.verdicts);
+    // w = 0 degenerates bit-for-bit even under churn.
+    let thr0 = on_threads(sc.clone(), 0);
+    assert_equivalent(&sim, &thr0, "threads w=0");
+    for w in [1, 2] {
+        let thr = on_threads(sc.clone(), w);
+        assert_outcome_equivalent(&sim, &thr, &format!("threads w={w}"));
+    }
+    let pool = on_pool(sc, 2, 3);
+    assert_outcome_equivalent(&sim, &pool, "pool w=2");
+}
+
+#[test]
+fn crash_restart_session_is_window_independent() {
+    // A crash-restart fault exercises retirement windows against the
+    // pipelined ledger: quiescence must not wedge at any window and the
+    // rejoined node's outcome stays identical.
+    let mut sc = base(10, 8);
+    sc.faults.push(FaultEvent::CrashRestart {
+        node: NodeId(6),
+        crash_round: 2,
+        restart_round: 5,
+    });
+    let sim = on_simnet(sc.clone());
+    // w = 0 degenerates bit-for-bit, crash window included.
+    let thr0 = on_threads(sc.clone(), 0);
+    assert_equivalent(&sim, &thr0, "threads w=0");
+    let pool0 = on_pool(sc.clone(), 0, 2);
+    assert_equivalent(&sim, &pool0, "pool w=0");
+    for w in [1, 2] {
+        let thr = on_threads(sc.clone(), w);
+        assert_outcome_equivalent(&sim, &thr, &format!("threads w={w}"));
+        let pool = on_pool(sc.clone(), w, 2);
+        assert_outcome_equivalent(&sim, &pool, &format!("pool w={w}"));
+    }
+}
+
+#[test]
+fn coalescing_changes_framing_not_outcomes() {
+    // Frame coalescing rides the same phases: verdicts, deliveries and
+    // crypto ops are untouched; only wire byte totals may grow by the
+    // container framing (and message counts stay, by design — inner
+    // frames are individually accounted).
+    let mut sc = base(12, 6);
+    sc.selfish.push((NodeId(5), SelfishStrategy::DropForward));
+    let plain = on_threads(sc.clone(), 2);
+    let mut sc2 = sc.clone();
+    sc2.coalesce = true;
+    sc2.pipeline_window = 2;
+    sc2.driver = Driver::Threaded(ThreadedConfig {
+        lockstep: true,
+        seed: SEED,
+        ..ThreadedConfig::default()
+    });
+    let coalesced = run_session(sc2);
+    assert_eq!(verdict_set(&plain), verdict_set(&coalesced));
+    assert_eq!(plain.convicted(), coalesced.convicted());
+    for (id, m) in &plain.metrics {
+        let mc = &coalesced.metrics[id];
+        assert_eq!(m.delivered, mc.delivered, "deliveries at {id}");
+        assert_eq!(m.ops, mc.ops, "crypto ops at {id}");
+        assert_eq!(mc.frames_rejected, 0, "coalesced containers rejected at {id}");
+    }
+    for (id, t) in &plain.report.per_node {
+        let tc = &coalesced.report.per_node[id];
+        assert_eq!(t.sent_msgs, tc.sent_msgs, "msg counts at {id}");
+        assert!(tc.sent_bytes >= t.sent_bytes, "container framing only adds at {id}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// w = 0 bit-identity: golden numbers recorded on the pre-pipelining
+// lockstep scheduler. Any drift in these is a behavioral regression in
+// the degenerate window, not an acceptable re-baseline.
+// ---------------------------------------------------------------------
+
+#[test]
+fn window_zero_is_bit_identical_to_prepipelining_lockstep() {
+    // Scenario 1: honest, traced, pooled.
+    let mut sc = base(10, 6);
+    sc.trace = TraceConfig::on();
+    let o = on_pool(sc, 0, 3);
+    let ops = o.total_ops();
+    assert_eq!(
+        (ops.hashes, ops.signatures, ops.verifications, ops.primes),
+        (4570, 2286, 2876, 180),
+        "golden1 ops"
+    );
+    let sent: u64 = o.report.per_node.values().map(|t| t.sent_bytes).sum();
+    let recv: u64 = o.report.per_node.values().map(|t| t.recv_bytes).sum();
+    let msgs: u64 = o.report.per_node.values().map(|t| t.sent_msgs).sum();
+    assert_eq!((sent, recv, msgs), (1_847_626, 1_847_626, 2286), "golden1 traffic");
+    assert!(o.verdicts.is_empty(), "golden1 verdicts");
+    let t = o.trace.as_ref().expect("traced run");
+    assert_eq!(t.dropped, 0, "golden1 ring drops");
+    // Per-kind counts, excluding barrier_stall (wall-clock dependent).
+    let mut by_kind = std::collections::BTreeMap::new();
+    for ev in &t.events {
+        *by_kind.entry(ev.kind.tag()).or_insert(0u64) += 1;
+    }
+    by_kind.remove("barrier_stall");
+    let expect: std::collections::BTreeMap<&str, u64> = [
+        ("crypto_ops", 3915),
+        ("phase_begin", 480),
+        ("phase_end", 480),
+        ("round_enter", 60),
+        ("round_exit", 60),
+    ]
+    .into_iter()
+    .collect();
+    let got: std::collections::BTreeMap<&str, u64> =
+        by_kind.iter().map(|(k, &v)| (*k, v)).collect();
+    assert_eq!(got, expect, "golden1 trace kinds");
+
+    // Scenario 2: no-ack freerider (accusation path), pooled.
+    let mut sc = base(12, 5);
+    sc.selfish.push((NodeId(3), SelfishStrategy::NoAck));
+    let o = on_pool(sc, 0, 2);
+    let ops = o.total_ops();
+    assert_eq!(
+        (ops.hashes, ops.signatures, ops.verifications, ops.primes),
+        (4113, 2439, 2985, 180),
+        "golden2 ops"
+    );
+    let sent: u64 = o.report.per_node.values().map(|t| t.sent_bytes).sum();
+    assert_eq!(sent, 1_964_772, "golden2 sent bytes");
+    assert_eq!(o.convicted(), vec![NodeId(3)], "golden2 conviction");
+    assert_eq!(o.verdicts.len(), 30, "golden2 verdict count");
+
+    // Scenario 3: churn (joins + leaves), pooled.
+    let mut sc = base(12, 8);
+    sc.churn = ChurnSchedule::steady(SEED, 12, 8, 1, 1).events().to_vec();
+    let o = on_pool(sc, 0, 3);
+    let ops = o.total_ops();
+    assert_eq!(
+        (ops.hashes, ops.signatures, ops.verifications, ops.primes),
+        (7508, 3961, 4910, 288),
+        "golden3 ops"
+    );
+    let sent: u64 = o.report.per_node.values().map(|t| t.sent_bytes).sum();
+    let recv: u64 = o.report.per_node.values().map(|t| t.recv_bytes).sum();
+    assert_eq!((sent, recv), (3_136_153, 3_136_153), "golden3 traffic");
+    assert!(o.verdicts.is_empty(), "golden3 verdicts");
+}
